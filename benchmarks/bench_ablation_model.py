@@ -1,0 +1,77 @@
+"""Ablations: PCA refit sensitivity and measurement-plane sensitivity.
+
+Two design choices called out in DESIGN.md §5:
+
+1. **Refit policy for injections** — the vectorized §6.3 driver reuses
+   the PCA fitted on the unmodified week.  Here we verify a single
+   injected spike barely moves the model: refitting with the spike
+   *included* changes detection on a sample of cells almost nowhere.
+2. **Measurement-plane sensitivity** — the method consumes SNMP link
+   counts; here we check detection outcomes are essentially unchanged
+   when the input is the NetFlow-sampled OD estimate mapped to links
+   (the paper's validation data path) instead of exact link counts.
+"""
+
+import numpy as np
+
+from repro.core import SPEDetector
+from repro.measurement import MeasurementPipeline
+from repro.validation import InjectionStudy
+
+from conftest import write_result
+
+
+def test_ablation_refit_policy(benchmark, sprint1, results_dir):
+    study = InjectionStudy(sprint1)
+    rng = np.random.default_rng(5)
+    cells = [
+        (int(t), int(f))
+        for t, f in zip(
+            rng.integers(0, 144, size=30), rng.integers(0, 169, size=30)
+        )
+    ]
+
+    def compare():
+        agree = 0
+        for time_bin, flow in cells:
+            fixed, _, _ = study.run_naive_cell(3.0e7, time_bin, flow)
+            # Refit with the injected spike included in the training data.
+            perturbed = sprint1.link_traffic.copy()
+            perturbed[time_bin] += 3.0e7 * sprint1.routing.column(flow)
+            refit = SPEDetector().fit(perturbed)
+            spe = float(refit.model.spe(perturbed[time_bin]))
+            refit_detected = spe > refit.threshold
+            agree += int(refit_detected == fixed)
+        return agree
+
+    agree = benchmark.pedantic(compare, rounds=1, iterations=1)
+    text = (
+        f"fixed-model vs refit-per-injection detection agreement: "
+        f"{agree}/{len(cells)} sampled cells"
+    )
+    write_result(results_dir, "ablation_refit", text)
+    assert agree >= len(cells) - 3
+
+
+def test_ablation_measured_vs_exact_links(benchmark, sprint1, results_dir):
+    def compare():
+        pipeline = MeasurementPipeline.sprint_style(sprint1.routing, seed=99)
+        measured = pipeline.run(sprint1.od_traffic)
+        exact = SPEDetector().fit(sprint1.link_traffic)
+        sampled_links = sprint1.routing.link_loads(measured.od_estimates)
+        sampled = SPEDetector().fit(sampled_links)
+        flags_exact = exact.detect(sprint1.link_traffic).flags
+        flags_sampled = sampled.detect(sampled_links).flags
+        agreement = float(np.mean(flags_exact == flags_sampled))
+        return agreement, flags_exact.sum(), flags_sampled.sum()
+
+    agreement, n_exact, n_sampled = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    text = (
+        f"exact-SNMP vs sampled-NetFlow detection agreement: "
+        f"{agreement * 100:.1f}% of bins "
+        f"({n_exact} vs {n_sampled} alarms)"
+    )
+    write_result(results_dir, "ablation_measurement", text)
+    assert agreement > 0.97

@@ -1,0 +1,72 @@
+"""Extension bench: routing-anomaly diagnosis (§9 ongoing work).
+
+Fails every failable Abilene edge in turn, replays one traffic bin
+through the post-failure routing, and measures how often the identifier
+(a) detects the event and (b) names the correct edge — while plain
+volume anomalies keep being classified as volume.
+"""
+
+import numpy as np
+
+from repro.core import SPEDetector
+from repro.core.routing_anomalies import RoutingAnomalyIdentifier
+from repro.routing import apply_events
+
+from conftest import write_result
+
+
+def test_ext_routing_anomaly_sweep(benchmark, abilene_ds, results_dir):
+    detector = SPEDetector().fit(abilene_ds.link_traffic)
+    identifier = RoutingAnomalyIdentifier(
+        abilene_ds.network, abilene_ds.routing, detector.model
+    )
+
+    def sweep():
+        detected = 0
+        correct_edge = 0
+        total = 0
+        for hypothesis in identifier.hypotheses:
+            after = apply_events(abilene_ds.network, [hypothesis.failure])
+            time_bin = 200 + 17 * total  # spread over the trace
+            y = after.link_loads(abilene_ds.od_traffic.values[time_bin])
+            total += 1
+            if float(detector.model.spe(y)) > detector.threshold:
+                detected += 1
+            diagnosis = identifier.identify(y)
+            if diagnosis.kind == "routing" and {
+                diagnosis.failure.source,
+                diagnosis.failure.target,
+            } == {hypothesis.failure.source, hypothesis.failure.target}:
+                correct_edge += 1
+        return detected, correct_edge, total
+
+    detected, correct_edge, total = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    # Control: volume anomalies stay classified as volume.
+    rng = np.random.default_rng(3)
+    volume_correct = 0
+    volume_total = 10
+    for _ in range(volume_total):
+        flow = int(rng.integers(0, abilene_ds.num_flows))
+        time_bin = int(rng.integers(0, abilene_ds.num_bins))
+        y = abilene_ds.link_traffic[time_bin] + 2e8 * abilene_ds.routing.column(flow)
+        diagnosis = identifier.identify(y)
+        if diagnosis.kind == "volume" and diagnosis.flow_index == flow:
+            volume_correct += 1
+
+    text = "\n".join(
+        [
+            f"candidate edges: {total}",
+            f"failures detected by SPE: {detected}/{total}",
+            f"failed edge correctly named: {correct_edge}/{total}",
+            f"volume-anomaly controls kept as volume: "
+            f"{volume_correct}/{volume_total}",
+        ]
+    )
+    write_result(results_dir, "ext_routing", text)
+
+    assert detected >= total * 0.9
+    assert correct_edge >= total * 0.7
+    assert volume_correct >= volume_total * 0.8

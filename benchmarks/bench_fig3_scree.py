@@ -1,0 +1,40 @@
+"""Figure 3: fraction of link-traffic variance captured per component.
+
+Regenerates the scree series for all three datasets and verifies the
+paper's claim: despite 40+ links, the vast majority of the variance is
+captured by 3-4 principal components.
+"""
+
+import numpy as np
+
+from repro.core import PCA
+
+from conftest import write_result
+
+
+def _scree_table(datasets) -> str:
+    lines = ["PC   " + "  ".join(f"{d.name:>10}" for d in datasets)]
+    fractions = [PCA().fit(d.link_traffic).variance_fractions() for d in datasets]
+    for i in range(10):
+        row = f"{i + 1:<4} " + "  ".join(f"{f[i]:>10.4f}" for f in fractions)
+        lines.append(row)
+    lines.append(
+        "cum4 "
+        + "  ".join(f"{f[:4].sum():>10.4f}" for f in fractions)
+    )
+    return "\n".join(lines)
+
+
+def test_fig3_scree(benchmark, all_datasets, results_dir):
+    table = benchmark(_scree_table, all_datasets)
+    write_result(results_dir, "fig3_scree", table)
+    for dataset in all_datasets:
+        fractions = PCA().fit(dataset.link_traffic).variance_fractions()
+        assert dataset.num_links >= 41
+        assert fractions[:4].sum() > 0.9  # the paper's headline shape
+
+
+def test_fig3_pca_cost(benchmark, sprint1):
+    """§7.1: the SVD of a 1008 x 49 matrix takes well under a second."""
+    result = benchmark(lambda: PCA().fit(sprint1.link_traffic))
+    assert result.num_components == 49

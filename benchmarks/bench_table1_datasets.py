@@ -1,0 +1,24 @@
+"""Table 1: summary of datasets studied.
+
+Regenerates the paper's dataset-summary table (PoPs, links, bin width,
+period) for the three synthetic evaluation worlds, and benchmarks the
+full dataset-assembly path (topology -> routing -> traffic -> injection
+-> link counts).
+"""
+
+from repro.datasets import build_dataset, summary_table
+
+from conftest import write_result
+
+
+def test_table1_summary(benchmark, all_datasets, results_dir):
+    table = benchmark(summary_table, all_datasets)
+    write_result(results_dir, "table1_datasets", table)
+    assert "sprint-1" in table
+    assert "49" in table and "41" in table  # paper link counts
+
+
+def test_dataset_build_cost(benchmark):
+    """Cost of building one full evaluation world from scratch."""
+    dataset = benchmark(build_dataset, "abilene")
+    assert dataset.num_bins == 1008

@@ -1,0 +1,41 @@
+"""Table 2: results from actual volume anomalies (all six rows).
+
+Runs the §6.2 protocol — Fourier and EWMA ground truth extraction, then
+subspace diagnosis at the 99.9% confidence level — for all three
+datasets, and renders the table in the paper's format.
+"""
+
+from repro.validation import render_table2
+from repro.validation.experiments import run_actual_anomaly_experiment
+
+from conftest import write_result
+
+
+def test_table2_actual_anomalies(benchmark, all_datasets, results_dir):
+    def run():
+        rows = []
+        for dataset in all_datasets:
+            for method in ("fourier", "ewma"):
+                rows.append(run_actual_anomaly_experiment(dataset, method=method))
+        return rows
+
+    rows = benchmark(run)
+    write_result(results_dir, "table2_actual", render_table2(rows))
+
+    for row in rows:
+        score = row.score
+        # Paper Table 2 shape: high detection of above-cutoff anomalies
+        # (Sprint-2 Fourier is the known exception at ~0.55-0.64 because
+        # the extraction marks phase artifacts as anomalies), false
+        # alarms in the handful-per-week range, near-perfect
+        # identification of detected anomalies, quantification within a
+        # few tens of percent.
+        assert score.detection_rate >= 0.5
+        assert score.false_alarms <= 15
+        assert score.identification_rate >= 0.8
+        assert score.mean_quantification_error < 0.40
+
+    # At least four of the six rows reach the paper's 'nearly all
+    # detected' regime.
+    strong = sum(1 for row in rows if row.score.detection_rate >= 0.75)
+    assert strong >= 4

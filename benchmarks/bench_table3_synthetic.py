@@ -1,0 +1,43 @@
+"""Table 3: results on diagnosing synthetic volume anomalies.
+
+Runs the §6.3 injection sweeps (every OD flow x every timestep of a day)
+at the paper's large and small sizes for Sprint and Abilene, and renders
+the four-row table.
+"""
+
+from repro.validation import render_table3
+from repro.validation.experiments import run_synthetic_experiment
+
+from conftest import write_result
+
+
+def test_table3_synthetic(benchmark, sprint1, abilene_ds, results_dir):
+    def run():
+        rows = []
+        for dataset in (sprint1, abilene_ds):
+            large, small, _ = run_synthetic_experiment(dataset)
+            rows.append((large, small))
+        return rows
+
+    pairs = benchmark(run)
+    flat = [row for pair in pairs for row in pair]
+    write_result(results_dir, "table3_synthetic", render_table3(flat))
+
+    for large, small in pairs:
+        # Paper Table 3 shape:
+        #   large: detection ~90%+, identification high, quant ~20%.
+        assert large.detection_rate > 0.85
+        assert large.identification_rate > 0.65
+        assert large.quantification_error < 0.35
+        #   small: rarely detected (the desired false-anomaly rejection).
+        assert small.detection_rate < 0.35
+        assert large.detection_rate > 3 * small.detection_rate
+
+
+def test_injection_sweep_cost(benchmark, sprint1):
+    """Cost of one full vectorized day x all-flows sweep (24 336 cells)."""
+    from repro.validation import InjectionStudy
+
+    study = InjectionStudy(sprint1)
+    result = benchmark(study.run, 3.0e7)
+    assert result.detected.shape == (144, 169)

@@ -1,0 +1,50 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4).  Expensive artifacts are session-scoped; every benchmark
+also writes its rendered output to ``results/`` so the artifacts survive
+the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import build_dataset
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sprint1():
+    return build_dataset("sprint-1")
+
+
+@pytest.fixture(scope="session")
+def sprint2():
+    return build_dataset("sprint-2")
+
+
+@pytest.fixture(scope="session")
+def abilene_ds():
+    return build_dataset("abilene")
+
+
+@pytest.fixture(scope="session")
+def all_datasets(sprint1, sprint2, abilene_ds):
+    return [sprint1, sprint2, abilene_ds]
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validation against extracted "true" anomalies (paper §6.2, Table 2).
+
+The paper validates the subspace method against anomalies extracted from
+the OD-flow timeseries by two temporal methods (EWMA forecasting and
+Fourier filtering).  This example runs that protocol on Abilene:
+
+1. extract the top-40 ranked anomaly candidates from the OD flows with
+   each method;
+2. find the knee of the rank-ordered size plot (the paper's "anomalies
+   that stand out" cutoff);
+3. diagnose from link data only, and score detection / false alarms /
+   identification / quantification.
+
+Run:  python examples/abilene_diagnosis.py
+"""
+
+import numpy as np
+
+from repro import build_dataset
+from repro.validation import extract_true_anomalies, find_knee, render_table2
+from repro.validation.experiments import run_actual_anomaly_experiment
+
+
+def main() -> None:
+    dataset = build_dataset("abilene")
+    print(f"Dataset: {dataset.name} — {dataset.num_bins} bins, "
+          f"{dataset.num_flows} OD flows\n")
+
+    for method in ("fourier", "ewma"):
+        ranked = extract_true_anomalies(dataset.od_traffic, method=method, top_k=40)
+        sizes = np.array([a.size_bytes for a in ranked])
+        knee = find_knee(sizes)
+        print(f"[{method}] top-5 ranked anomaly sizes: "
+              + ", ".join(f"{s:.2e}" for s in sizes[:5]))
+        print(f"[{method}] knee of the rank plot at position {knee + 1} "
+              f"(size {sizes[knee]:.2e}); paper cutoff is 8.0e7\n")
+
+    rows = [
+        run_actual_anomaly_experiment(dataset, method=method)
+        for method in ("fourier", "ewma")
+    ]
+    print("Table 2 (Abilene rows):")
+    print(render_table2(rows))
+
+    fourier_score = rows[0].score
+    print(
+        f"\nSummary: detected {fourier_score.detected}/{fourier_score.num_true} "
+        f"true anomalies with {fourier_score.false_alarms} false alarms in "
+        f"{fourier_score.num_normal_bins} normal bins; mean quantification "
+        f"error {fourier_score.mean_quantification_error * 100:.1f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

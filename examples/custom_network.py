@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bring your own network (and the §7.2 multi-flow extension).
+
+The method is not limited to the paper's two backbones — it applies to
+any network with link byte counts.  This example:
+
+1. builds a custom 8-PoP topology with the fluent builder;
+2. generates a workload and fits the diagnoser on it;
+3. diagnoses a single-flow anomaly;
+4. simulates a *link failure* that reroutes several OD flows at once and
+   uses the multi-flow identification of §7.2 to recognize the affected
+   flow group from link data.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro import AnomalyDiagnoser, SPFRouting, build_routing_matrix
+from repro.core import identify_multi_flow
+from repro.routing import LinkFailure, apply_events
+from repro.routing.events import reroute_delta
+from repro.topology import NetworkBuilder
+from repro.traffic import ODFlowGenerator
+
+
+def build_network():
+    return (
+        NetworkBuilder("metro-8")
+        .pop("sea", city="Seattle", population=2.0)
+        .pop("sfo", city="San Francisco", population=4.0)
+        .pop("lax", city="Los Angeles", population=6.0)
+        .pop("den", city="Denver", population=1.5)
+        .pop("chi", city="Chicago", population=5.0)
+        .pop("dal", city="Dallas", population=3.5)
+        .pop("dca", city="Washington", population=4.0)
+        .pop("nyc", city="New York", population=9.0)
+        .edge("sea", "sfo")
+        .edge("sea", "den")
+        .edge("sfo", "lax")
+        .edge("sfo", "den")
+        .edge("lax", "dal")
+        .edge("den", "chi")
+        .edge("dal", "chi")
+        .edge("dal", "dca")
+        .edge("chi", "nyc")
+        .edge("dca", "nyc")
+        .with_intra_pop_links()
+        .build()
+    )
+
+
+def main() -> None:
+    network = build_network()
+    routing = build_routing_matrix(network, SPFRouting(network).compute())
+    print(f"Custom network: {network.num_pops} PoPs, {network.num_links} links, "
+          f"{network.num_od_pairs} OD flows")
+
+    generator = ODFlowGenerator(network, total_bytes_per_bin=3e9, seed=2024)
+    traffic = generator.generate(1008)
+    link_traffic = traffic.link_loads(routing)
+
+    diagnoser = AnomalyDiagnoser(confidence=0.999).fit(link_traffic, routing)
+    print(f"Fitted: rank {diagnoser.detector.normal_rank}, "
+          f"threshold {diagnoser.detector.threshold:.3e}")
+
+    # --- single-flow anomaly -----------------------------------------
+    flow = routing.od_index("sea", "nyc")
+    y = link_traffic[500] + 1.2e8 * routing.column(flow)
+    diagnosis = diagnoser.diagnose_timestep(y, time_bin=500)
+    origin, destination = diagnosis.od_pair
+    print(
+        f"\nSingle-flow anomaly injected on sea->nyc: diagnosed "
+        f"{origin}->{destination}, {diagnosis.estimated_bytes:.2e} bytes"
+    )
+
+    # --- multi-flow anomaly from a reroute (§7.2) ---------------------
+    after = apply_events(network, [LinkFailure("chi", "nyc")])
+    moved = reroute_delta(routing, after)
+    print(f"\nLink chi-nyc fails; {len(moved)} OD flows reroute: "
+          + ", ".join(f"{o}->{d}" for o, d in moved[:6])
+          + (" ..." if len(moved) > 6 else ""))
+
+    # The traffic of the moved flows shifts from old paths to new paths;
+    # on the *old* routing matrix this looks like correlated drops and
+    # rises.  Build the anomaly signature of the moved group: the link
+    # delta per unit of traffic is (A_after - A_before) for each flow.
+    time_bin = 650
+    x = traffic.values[time_bin]
+    y_rerouted = after.link_loads(x)
+
+    theta = routing.normalized_columns()
+    moved_indices = [routing.od_index(o, d) for o, d in moved]
+    delta_columns = after.matrix[:, moved_indices] - routing.matrix[:, moved_indices]
+    norms = np.linalg.norm(delta_columns, axis=0)
+    group_signature = delta_columns / norms
+
+    hypotheses = [theta[:, [j]] for j in range(routing.num_flows)]
+    hypotheses.append(group_signature)
+    model = diagnoser.detector.model
+    result = identify_multi_flow(model, hypotheses, y_rerouted)
+    winner = (
+        "reroute group"
+        if result.hypothesis_index == len(hypotheses) - 1
+        else f"single flow {routing.od_pairs[result.hypothesis_index]}"
+    )
+    print(f"Multi-flow identification picks: {winner}")
+    if result.hypothesis_index == len(hypotheses) - 1:
+        intensities = result.magnitudes / norms
+        top = np.argsort(-np.abs(intensities))[:3]
+        print("Estimated per-flow reroute intensities (bytes):")
+        for k in top:
+            o, d = moved[k]
+            print(f"  {o}->{d}: {intensities[k]:+.2e} "
+                  f"(true {x[moved_indices[k]]:.2e})")
+
+
+if __name__ == "__main__":
+    main()

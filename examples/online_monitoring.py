@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Online monitoring (paper §7.1).
+
+The paper envisions the subspace method as a first-level online tool: fit
+the (cheap to apply) projection once, score each arriving measurement
+vector, refit occasionally.  This example:
+
+1. warms an online detector on the first 5 days of Sprint-1;
+2. streams the remaining 2 days one 10-minute vector at a time, with a
+   daily refit;
+3. injects two live anomalies mid-stream and shows the alarms raised,
+   including flow identification and byte estimates.
+
+Run:  python examples/online_monitoring.py
+"""
+
+import numpy as np
+
+from repro import build_dataset
+from repro.core import OnlineSubspaceDetector
+
+
+def main() -> None:
+    dataset = build_dataset("sprint-1")
+    warmup_bins = 720  # five days
+    stream = dataset.link_traffic[warmup_bins:].copy()
+
+    detector = OnlineSubspaceDetector(
+        window_bins=720,
+        refit_interval=144,  # refit once per day
+        confidence=0.999,
+        routing=dataset.routing,
+    )
+    detector.warm_up(dataset.link_traffic[:warmup_bins])
+    print(f"Warmed up on {warmup_bins} bins; initial threshold "
+          f"{detector.threshold:.3e}")
+
+    # Two live injections while streaming.
+    injections = {
+        60: ("lon", "zur", 4.0e7),
+        200: ("mad", "cop", 5.0e7),
+    }
+    for offset, (origin, destination, size) in injections.items():
+        flow = dataset.routing.od_index(origin, destination)
+        stream[offset] += size * dataset.routing.column(flow)
+
+    print(f"Streaming {stream.shape[0]} bins with a daily refit...\n")
+    alarms = []
+    for row in stream:
+        outcome = detector.process(row)
+        if outcome.is_anomalous:
+            alarms.append(outcome)
+
+    print(f"{len(alarms)} alarms raised:")
+    for outcome in alarms:
+        flow_text = "unidentified"
+        if outcome.od_pair is not None:
+            origin, destination = outcome.od_pair
+            flow_text = (
+                f"{origin}->{destination}, {outcome.estimated_bytes:+.2e} bytes"
+            )
+        marker = " <== live injection" if outcome.index in injections else ""
+        print(
+            f"  bin +{outcome.index:3d}: SPE {outcome.spe:.2e} "
+            f"(threshold {outcome.threshold:.2e}) — {flow_text}{marker}"
+        )
+
+    caught = sum(1 for o in alarms if o.index in injections)
+    print(f"\nLive injections caught: {caught}/{len(injections)}")
+
+
+if __name__ == "__main__":
+    main()

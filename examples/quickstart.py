@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: diagnose network-wide volume anomalies from link counts.
+
+Walks the full three-step method of the paper on the Abilene evaluation
+dataset:
+
+1. build the dataset (topology, routing, one week of OD traffic with
+   ground-truth anomalies, and the link measurement matrix Y = X Aᵀ);
+2. fit the subspace model on Y (PCA + 3σ separation + Q-statistic);
+3. diagnose: detect anomalous timesteps, identify the responsible OD
+   flow, and quantify the anomaly's size in bytes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnomalyDiagnoser, build_dataset
+from repro.core.pca import PCA
+
+
+def main() -> None:
+    print("Building the Abilene evaluation dataset (one week, 10-min bins)...")
+    dataset = build_dataset("abilene")
+    print(
+        f"  {dataset.network.num_pops} PoPs, {dataset.num_links} links, "
+        f"{dataset.num_flows} OD flows, {dataset.num_bins} time bins"
+    )
+
+    # The low effective dimensionality behind the method (paper Fig. 3).
+    pca = PCA().fit(dataset.link_traffic)
+    fractions = pca.variance_fractions()
+    print(
+        f"  top-4 principal components capture "
+        f"{fractions[:4].sum() * 100:.1f}% of link-traffic variance"
+    )
+
+    print("\nFitting the subspace diagnoser (99.9% confidence)...")
+    diagnoser = AnomalyDiagnoser(confidence=0.999)
+    diagnoser.fit(dataset.link_traffic, dataset.routing)
+    print(f"  normal subspace rank: {diagnoser.detector.normal_rank}")
+    print(f"  SPE threshold (delta^2): {diagnoser.detector.threshold:.3e}")
+
+    print("\nDiagnosing the full week of link measurements...")
+    diagnoses = diagnoser.diagnose(dataset.link_traffic)
+    print(f"  {len(diagnoses)} anomalies diagnosed:\n")
+    print(f"  {'bin':>5}  {'flow':>12}  {'est. bytes':>12}  {'SPE/threshold':>13}")
+    for d in diagnoses:
+        origin, destination = d.od_pair
+        print(
+            f"  {d.time_bin:>5}  {origin + '->' + destination:>12}  "
+            f"{d.estimated_bytes:>12.3e}  {d.spe / d.threshold:>13.1f}"
+        )
+
+    # Compare against the ground truth the generator planted.
+    truth = {
+        e.time_bin: e
+        for e in dataset.true_events
+        if abs(e.amplitude_bytes) >= 8e7  # the paper's Abilene cutoff
+    }
+    hits = sum(
+        1
+        for d in diagnoses
+        if d.time_bin in truth and truth[d.time_bin].flow_index == d.flow_index
+    )
+    print(
+        f"\n  ground truth: {len(truth)} anomalies above the 8e7-byte cutoff; "
+        f"{hits} diagnosed with the correct OD flow"
+    )
+
+
+if __name__ == "__main__":
+    main()

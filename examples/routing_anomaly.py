@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Diagnosing a routing anomaly (the paper's §9 "ongoing work").
+
+A link failure reroutes groups of OD flows at once.  Seen through the
+original routing matrix, the measurement vector shifts along the
+*difference* of routing columns for every moved flow — a multi-flow
+anomaly whose signature is known per candidate edge.  This example:
+
+1. fits the subspace model on normal Abilene traffic;
+2. simulates the failure of an Abilene edge mid-trace;
+3. shows that detection fires, that ordinary single-flow identification
+   is the wrong tool for the event, and that the routing-anomaly
+   identifier names the failed edge and recovers the moved traffic.
+
+Run:  python examples/routing_anomaly.py
+"""
+
+import numpy as np
+
+from repro import build_dataset
+from repro.core import SPEDetector, identify_single_flow
+from repro.core.routing_anomalies import RoutingAnomalyIdentifier
+from repro.routing import LinkFailure, apply_events
+
+
+def main() -> None:
+    dataset = build_dataset("abilene")
+    detector = SPEDetector(confidence=0.999).fit(dataset.link_traffic)
+    print(f"Fitted on {dataset.name}: rank {detector.normal_rank}, "
+          f"threshold {detector.threshold:.3e}")
+
+    identifier = RoutingAnomalyIdentifier(
+        dataset.network, dataset.routing, detector.model
+    )
+    print(f"Candidate edge failures with nontrivial reroutes: "
+          f"{len(identifier.hypotheses)}")
+
+    # Fail the Denver-Kansas City edge at one timestep.
+    failure = LinkFailure("dnvr", "kscy")
+    after = apply_events(dataset.network, [failure])
+    time_bin = 400
+    y = after.link_loads(dataset.od_traffic.values[time_bin])
+
+    spe = float(detector.model.spe(y))
+    print(f"\nEdge dnvr-kscy fails at bin {time_bin}:")
+    print(f"  SPE {spe:.3e} vs threshold {detector.threshold:.3e} "
+          f"-> detected: {spe > detector.threshold}")
+
+    single = identify_single_flow(
+        detector.model, dataset.routing.normalized_columns(), y
+    )
+    origin, destination = dataset.routing.od_pairs[single.flow_index]
+    print(f"  naive single-flow identification blames: {origin}->{destination} "
+          "(wrong tool: the event moved several flows)")
+
+    diagnosis = identifier.identify(y)
+    print(f"  routing-anomaly identification: kind={diagnosis.kind}", end="")
+    if diagnosis.kind == "routing":
+        print(f", edge {diagnosis.failure.source}-{diagnosis.failure.target}")
+        hypothesis = next(
+            h
+            for h in identifier.hypotheses
+            if {h.failure.source, h.failure.target}
+            == {diagnosis.failure.source, diagnosis.failure.target}
+        )
+        moved = hypothesis.moved_flows
+        true_traffic = dataset.od_traffic.values[time_bin, list(moved)]
+        print(f"  {len(moved)} flows moved; recovered intensities "
+              "(top 5 by traffic):")
+        order = np.argsort(-true_traffic)[:5]
+        for k in order:
+            o, d = dataset.routing.od_pairs[moved[k]]
+            print(
+                f"    {o}->{d}: recovered {diagnosis.intensities[k]:.2e} "
+                f"vs true {true_traffic[k]:.2e}"
+            )
+    else:
+        print()
+
+    # Control: a plain volume anomaly is still classified as such.
+    flow = dataset.routing.od_index("sttl", "atla")
+    y_volume = dataset.link_traffic[500] + 2e8 * dataset.routing.column(flow)
+    control = identifier.identify(y_volume)
+    o, d = dataset.routing.od_pairs[control.flow_index]
+    print(f"\nControl (volume anomaly on sttl->atla): kind={control.kind}, "
+          f"flow {o}->{d}")
+
+
+if __name__ == "__main__":
+    main()

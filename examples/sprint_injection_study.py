@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Synthetic injection study (paper §6.3, Table 3, Figs. 7-9).
+
+Injects spikes of controlled size into every OD flow at every timestep of
+a day on the Sprint-1 dataset, then summarizes:
+
+* detection / identification / quantification rates at the paper's
+  "large" (3e7) and "small" (1.5e7) sizes;
+* the histogram of per-flow detection rates (Fig. 7);
+* the detection-rate timeseries over the day (Fig. 8);
+* detection rate vs mean flow size (Fig. 9) with the §5.4 detectability
+  explanation.
+
+Run:  python examples/sprint_injection_study.py
+"""
+
+import numpy as np
+
+from repro import build_dataset, detectability_thresholds
+from repro.validation import InjectionStudy
+from repro.validation.reporting import format_table
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 10, width: int = 40) -> str:
+    counts, edges = np.histogram(values, bins=bins, range=(0.0, 1.0))
+    peak = max(counts.max(), 1)
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {lo:4.2f}-{hi:4.2f}  {count:4d}  {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    dataset = build_dataset("sprint-1")
+    study = InjectionStudy(dataset, confidence=0.999)
+    print(f"SPE threshold: {study.threshold:.3e}\n")
+
+    rows = []
+    results = {}
+    for label, size in (("Large", 3.0e7), ("Small", 1.5e7)):
+        result = study.run(size)  # all flows x first day (144 bins)
+        results[label] = result
+        rows.append(
+            [
+                label,
+                f"{size:.1e}",
+                f"{result.detection_rate * 100:.0f}%",
+                f"{result.identification_rate * 100:.0f}%",
+                f"{result.mean_quantification_error * 100:.0f}%",
+            ]
+        )
+    print("Table 3 (Sprint rows):")
+    print(
+        format_table(
+            ["Injection", "Size", "Detection", "Identification", "Quantification"],
+            rows,
+        )
+    )
+
+    large = results["Large"]
+    print("\nFig. 7(a): histogram of per-flow detection rates (large spikes)")
+    print(ascii_histogram(large.detection_rate_by_flow()))
+    print("\nFig. 7(b): histogram of per-flow detection rates (small spikes)")
+    print(ascii_histogram(results["Small"].detection_rate_by_flow()))
+
+    by_time = large.detection_rate_by_time()
+    print(
+        f"\nFig. 8: detection rate over the day — mean "
+        f"{by_time.mean():.2f}, std {by_time.std():.3f} (fairly constant)"
+    )
+
+    means = dataset.od_traffic.flow_means()
+    rates = large.detection_rate_by_flow()
+    corr = np.corrcoef(np.log10(means[means > 0]), rates[means > 0])[0, 1]
+    print(
+        f"\nFig. 9: corr(log10 mean flow size, detection rate) = {corr:.2f} "
+        "(negative: big flows hide fixed-size anomalies)"
+    )
+
+    report = detectability_thresholds(
+        study.detector.model, dataset.routing, study.threshold
+    )
+    hardest = report.hardest_flows(3)
+    print("\n§5.4 detectability — hardest flows (largest byte thresholds):")
+    for flow in hardest:
+        origin, destination = dataset.routing.od_pairs[flow]
+        print(
+            f"  {origin}->{destination}: needs > {report.min_bytes[flow]:.2e} "
+            f"bytes (alignment {report.residual_alignment[flow]:.3f}, "
+            f"mean rate {means[flow]:.2e})"
+        )
+
+
+if __name__ == "__main__":
+    main()

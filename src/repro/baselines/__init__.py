@@ -1,0 +1,29 @@
+"""Temporal baselines.
+
+The paper uses two classes of single-timeseries methods (§6.2):
+
+* forecasting — EWMA (exponential smoothing) and Holt–Winters;
+* signal analysis — Fourier filtering on eight fixed periods, and
+  wavelet-based low-frequency modeling.
+
+They serve two roles in the reproduction: extracting "true" anomalies from
+OD-flow timeseries (the paper's validation protocol), and acting as the
+comparison points of Figure 10, where the same methods are applied to
+*link* timeseries and contrasted with the subspace residual.
+"""
+
+from repro.baselines.autoregressive import ARModel
+from repro.baselines.base import TimeseriesModel
+from repro.baselines.ewma import EWMAModel
+from repro.baselines.fourier import FourierModel
+from repro.baselines.holt_winters import HoltWintersModel
+from repro.baselines.wavelet import WaveletModel
+
+__all__ = [
+    "TimeseriesModel",
+    "ARModel",
+    "EWMAModel",
+    "FourierModel",
+    "HoltWintersModel",
+    "WaveletModel",
+]

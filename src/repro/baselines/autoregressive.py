@@ -1,0 +1,111 @@
+"""Autoregressive (Box–Jenkins-class) forecasting baseline.
+
+The paper's §6.2 lists ARIMA-based Box–Jenkins models ([19, 26]) as the
+sophisticated end of the forecasting class.  This module implements the
+workhorse member: an AR(p) model on a ``d``-times differenced series,
+fitted by ordinary least squares (the conditional maximum-likelihood
+solution for Gaussian innovations), producing one-step forecasts
+
+    ∇ᵈ ẑ_t = c + Σ_{k=1..p} φ_k · ∇ᵈ z_{t−k}
+
+that are un-differenced back to the original scale.  ``d = 1`` removes
+the slow diurnal drift; residual spikes mark anomalies exactly as with
+the EWMA and Fourier baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import TimeseriesModel
+from repro.exceptions import ModelError
+
+__all__ = ["ARModel", "fit_ar_coefficients"]
+
+
+def fit_ar_coefficients(series: np.ndarray, order: int) -> tuple[np.ndarray, float]:
+    """Least-squares AR(p) fit: returns ``(phi, intercept)``.
+
+    Solves ``z_t ≈ c + Σ φ_k z_{t−k}`` over all usable rows.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ModelError(f"series must be a vector, got shape {series.shape}")
+    if order < 1:
+        raise ModelError(f"order must be >= 1, got {order}")
+    if series.size <= 2 * order:
+        raise ModelError(
+            f"series of {series.size} samples too short for AR({order})"
+        )
+    rows = series.size - order
+    design = np.empty((rows, order + 1))
+    design[:, 0] = 1.0
+    for k in range(1, order + 1):
+        design[:, k] = series[order - k : series.size - k]
+    target = series[order:]
+    solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return solution[1:], float(solution[0])
+
+
+class ARModel(TimeseriesModel):
+    """AR(p) forecaster on a differenced series.
+
+    Parameters
+    ----------
+    order:
+        Autoregressive order ``p``.
+    differencing:
+        Number of first differences ``d`` applied before fitting (0-2).
+        One difference suffices for slowly drifting diurnal series.
+    """
+
+    def __init__(self, order: int = 4, differencing: int = 1) -> None:
+        if order < 1:
+            raise ModelError(f"order must be >= 1, got {order}")
+        if not 0 <= differencing <= 2:
+            raise ModelError(
+                f"differencing must be 0, 1 or 2, got {differencing}"
+            )
+        self.order = order
+        self.differencing = differencing
+
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        series = self._check(series)
+        squeeze = series.ndim == 1
+        matrix = series[:, None] if squeeze else series
+        forecasts = np.empty_like(matrix)
+        for j in range(matrix.shape[1]):
+            forecasts[:, j] = self._predict_column(matrix[:, j])
+        return forecasts[:, 0] if squeeze else forecasts
+
+    def _predict_column(self, column: np.ndarray) -> np.ndarray:
+        # Difference d times, keeping the removed prefixes for
+        # reconstruction.
+        diffed = column
+        for _ in range(self.differencing):
+            diffed = np.diff(diffed)
+        if diffed.size <= 2 * self.order:
+            raise ModelError(
+                f"series too short for AR({self.order}) after "
+                f"{self.differencing} difference(s)"
+            )
+        phi, intercept = fit_ar_coefficients(diffed, self.order)
+
+        # One-step forecasts of the differenced series; seed the warm-up
+        # region with the observed values (zero innovation surprise).
+        diff_forecast = diffed.copy()
+        for t in range(self.order, diffed.size):
+            window = diffed[t - self.order : t][::-1]
+            diff_forecast[t] = intercept + float(phi @ window)
+
+        # Undo the differencing: ẑ_t = z_{t−1} + ∇ẑ_t (per level).
+        forecast = diff_forecast
+        for level in range(self.differencing, 0, -1):
+            base = column
+            for _ in range(level - 1):
+                base = np.diff(base)
+            rebuilt = np.empty(base.size)
+            rebuilt[0] = base[0]
+            rebuilt[1:] = base[:-1] + forecast
+            forecast = rebuilt
+        return forecast

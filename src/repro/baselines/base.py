@@ -1,0 +1,68 @@
+"""Common interface for temporal baseline models.
+
+Every baseline decomposes each timeseries ``z`` into a modeled part ``ẑ``
+and a residual ``z − ẑ``; the *anomaly size* at time ``t`` is ``|z_t −
+ẑ_t|`` (paper §6.2).  Models operate column-wise on ``(t, k)`` matrices —
+each column an independent series (an OD flow or a link).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["TimeseriesModel"]
+
+
+class TimeseriesModel(abc.ABC):
+    """Interface: column-wise timeseries modeling.
+
+    Subclasses implement :meth:`predict`; the residual/score helpers are
+    shared.
+    """
+
+    @abc.abstractmethod
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        """The modeled value ``ẑ_t`` for each entry of ``series``.
+
+        ``series`` is ``(t,)`` or ``(t, k)``; the result has the same
+        shape.
+        """
+
+    # ------------------------------------------------------------------
+    def residuals(self, series: np.ndarray) -> np.ndarray:
+        """Signed residuals ``z − ẑ``."""
+        series = self._check(series)
+        return series - self.predict(series)
+
+    def anomaly_sizes(self, series: np.ndarray) -> np.ndarray:
+        """Per-entry anomaly size ``|z − ẑ|`` (the paper's size estimate)."""
+        return np.abs(self.residuals(series))
+
+    def residual_energy(self, series: np.ndarray) -> np.ndarray:
+        """Per-timestep squared residual magnitude across all columns.
+
+        The quantity plotted in the paper's Figure 10 for the EWMA and
+        Fourier link-data baselines: ``‖z_t − ẑ_t‖²`` over the ensemble.
+        """
+        residuals = self.residuals(series)
+        if residuals.ndim == 1:
+            return residuals**2
+        return np.einsum("ij,ij->i", residuals, residuals)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check(series: np.ndarray) -> np.ndarray:
+        array = np.asarray(series, dtype=np.float64)
+        if array.ndim not in (1, 2):
+            raise ModelError(
+                f"series must be 1-D or 2-D, got shape {array.shape}"
+            )
+        if array.shape[0] < 2:
+            raise ModelError("series needs at least 2 time samples")
+        if not np.all(np.isfinite(array)):
+            raise ModelError("series contains non-finite values")
+        return array

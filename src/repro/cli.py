@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows to
+operators without writing Python:
+
+========  ===========================================================
+command   what it does
+========  ===========================================================
+info      Table-1 summary of one or more preset datasets
+topology  render a backbone topology (paper Fig. 2)
+build     build a preset dataset and save it as ``.npz``
+diagnose  run detect -> identify -> quantify over a saved dataset
+inject    run a §6.3 injection sweep on a saved or preset dataset
+table2    regenerate the paper's Table 2
+table3    regenerate the paper's Table 3
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = ("sprint-1", "sprint-2", "abilene")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Lakhina et al., 'Diagnosing Network-Wide "
+            "Traffic Anomalies' (SIGCOMM 2004)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="Table-1 summary of preset datasets")
+    info.add_argument(
+        "datasets", nargs="*", default=list(_PRESETS),
+        help=f"preset names (default: {' '.join(_PRESETS)})",
+    )
+
+    topology = commands.add_parser("topology", help="render a topology (Fig. 2)")
+    topology.add_argument("name", choices=["abilene", "sprint-europe"])
+    topology.add_argument(
+        "--map", action="store_true", help="also draw the coordinate map"
+    )
+
+    build = commands.add_parser("build", help="build and save a preset dataset")
+    build.add_argument("dataset", choices=_PRESETS)
+    build.add_argument("-o", "--output", required=True, help="output .npz path")
+
+    diagnose = commands.add_parser(
+        "diagnose", help="diagnose anomalies in a dataset"
+    )
+    diagnose.add_argument(
+        "dataset", help="a preset name or a saved .npz path"
+    )
+    diagnose.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="Q-statistic confidence level (default 0.999)",
+    )
+
+    inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
+    inject.add_argument("dataset", help="a preset name or a saved .npz path")
+    inject.add_argument(
+        "--size", type=float, required=True, help="spike size in bytes"
+    )
+    inject.add_argument(
+        "--bins", type=int, default=144,
+        help="number of leading time bins to sweep (default 144 = one day)",
+    )
+
+    commands.add_parser("table2", help="regenerate the paper's Table 2")
+    commands.add_parser("table3", help="regenerate the paper's Table 3")
+    return parser
+
+
+def _load_dataset(name_or_path: str):
+    from repro.datasets import build_dataset, load_dataset
+
+    if name_or_path in _PRESETS:
+        return build_dataset(name_or_path)
+    return load_dataset(name_or_path)
+
+
+def _cmd_info(args) -> int:
+    from repro.datasets import build_dataset, summary_table
+
+    datasets = [build_dataset(name) for name in args.datasets]
+    print(summary_table(datasets))
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.topology.library import abilene, sprint_europe
+    from repro.topology.rendering import render_ascii_map, render_topology
+
+    network = abilene() if args.name == "abilene" else sprint_europe()
+    print(render_topology(network))
+    if args.map:
+        print()
+        print(render_ascii_map(network))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.datasets import build_dataset, save_dataset
+
+    dataset = build_dataset(args.dataset)
+    path = save_dataset(dataset, args.output)
+    print(f"wrote {dataset.name} ({dataset.num_bins} bins x "
+          f"{dataset.num_links} links) to {path}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.core import AnomalyDiagnoser
+
+    dataset = _load_dataset(args.dataset)
+    diagnoser = AnomalyDiagnoser(confidence=args.confidence)
+    diagnoser.fit(dataset.link_traffic, dataset.routing)
+    diagnoses = diagnoser.diagnose(dataset.link_traffic)
+    print(
+        f"dataset {dataset.name}: rank {diagnoser.detector.normal_rank}, "
+        f"threshold {diagnoser.detector.threshold:.3e}, "
+        f"{len(diagnoses)} anomalies at {args.confidence:.4f} confidence"
+    )
+    for diagnosis in diagnoses:
+        origin, destination = diagnosis.od_pair
+        print(
+            f"  bin {diagnosis.time_bin:>4}  {origin}->{destination:<6} "
+            f"{diagnosis.estimated_bytes:>+12.3e} bytes  "
+            f"(SPE/threshold {diagnosis.spe / diagnosis.threshold:.1f})"
+        )
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    import numpy as np
+
+    from repro.validation import InjectionStudy
+
+    dataset = _load_dataset(args.dataset)
+    study = InjectionStudy(dataset)
+    result = study.run(args.size, time_bins=np.arange(args.bins))
+    print(
+        f"injection sweep on {dataset.name}: size {args.size:.3e} bytes, "
+        f"{args.bins} bins x {dataset.num_flows} flows"
+    )
+    print(f"  detection rate:      {result.detection_rate * 100:.1f}%")
+    print(f"  identification rate: {result.identification_rate * 100:.1f}%")
+    quant = result.mean_quantification_error
+    quant_text = "-" if quant != quant else f"{quant * 100:.1f}%"
+    print(f"  quantification err:  {quant_text}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.datasets import build_dataset
+    from repro.validation import render_table2
+    from repro.validation.experiments import run_actual_anomaly_experiment
+
+    rows = []
+    for name in _PRESETS:
+        dataset = build_dataset(name)
+        for method in ("fourier", "ewma"):
+            rows.append(run_actual_anomaly_experiment(dataset, method=method))
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.datasets import build_dataset
+    from repro.validation import render_table3
+    from repro.validation.experiments import run_synthetic_experiment
+
+    rows = []
+    for name in ("sprint-1", "abilene"):
+        large, small, _ = run_synthetic_experiment(build_dataset(name))
+        rows.extend([large, small])
+    print(render_table3(rows))
+    return 0
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "topology": _cmd_topology,
+    "build": _cmd_build,
+    "diagnose": _cmd_diagnose,
+    "inject": _cmd_inject,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Detectability conditions (§5.4).
+
+An anomaly lying entirely inside the normal subspace is invisible to the
+subspace method (``C̃ θ_i = 0``).  Short of that, the sufficient condition
+for guaranteed detection of a one-dimensional anomaly ``F_i`` at
+confidence ``1 − α`` is
+
+    f_i > 2 δ_α / ‖C̃ θ_i‖
+
+and, translated to bytes for a single-flow anomaly (where ``f = b·‖A_i‖``),
+
+    b_i > 2 δ_α / (‖C̃ θ_i‖ · ‖A_i‖).
+
+Flows whose direction aligns closely with the normal subspace (typically
+the *largest-variance* flows) have small ``‖C̃ θ_i‖`` and thus higher byte
+thresholds — the effect behind the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.subspace import SubspaceModel
+from repro.exceptions import ModelError
+from repro.routing.routing_matrix import RoutingMatrix
+
+__all__ = ["DetectabilityReport", "detectability_thresholds"]
+
+
+@dataclass(frozen=True)
+class DetectabilityReport:
+    """Per-flow detectability at one confidence level.
+
+    Attributes
+    ----------
+    residual_alignment:
+        ``‖C̃ θ_i‖`` per flow — 1 means the anomaly lands entirely in the
+        residual subspace, 0 means it is undetectable.
+    min_magnitude:
+        ``f`` threshold per flow (∞ for undetectable flows).
+    min_bytes:
+        Byte threshold per flow (∞ for undetectable flows).
+    delta:
+        ``δ_α`` — the square root of the SPE limit used.
+    """
+
+    residual_alignment: np.ndarray
+    min_magnitude: np.ndarray
+    min_bytes: np.ndarray
+    delta: float
+
+    def undetectable_flows(self) -> np.ndarray:
+        """Indices of flows with (numerically) zero residual alignment."""
+        return np.nonzero(~np.isfinite(self.min_bytes))[0]
+
+    def hardest_flows(self, count: int = 5) -> np.ndarray:
+        """Indices of the ``count`` detectable flows with the largest byte
+        thresholds (the flows the method struggles with most)."""
+        finite = np.where(np.isfinite(self.min_bytes), self.min_bytes, -np.inf)
+        order = np.argsort(finite)[::-1]
+        order = order[np.isfinite(self.min_bytes[order])]
+        return order[:count]
+
+
+def detectability_thresholds(
+    model: SubspaceModel,
+    routing: RoutingMatrix,
+    spe_threshold: float,
+    alignment_floor: float = 1e-9,
+) -> DetectabilityReport:
+    """Compute §5.4's sufficient-detection thresholds for every flow.
+
+    Parameters
+    ----------
+    model:
+        Fitted subspace model.
+    routing:
+        Routing matrix defining the candidate flows.
+    spe_threshold:
+        The SPE limit ``δ²_α`` (e.g. ``SPEDetector.threshold``).
+    alignment_floor:
+        Alignments below this count as undetectable.
+    """
+    if routing.num_links != model.num_links:
+        raise ModelError(
+            f"routing matrix covers {routing.num_links} links but the model "
+            f"expects {model.num_links}"
+        )
+    if spe_threshold < 0:
+        raise ModelError(f"spe_threshold must be >= 0, got {spe_threshold}")
+
+    delta = float(np.sqrt(spe_threshold))
+    theta = routing.normalized_columns()
+    theta_tilde = model.anomalous_projector @ theta
+    alignment = np.linalg.norm(theta_tilde, axis=0)
+    column_norms = np.linalg.norm(routing.matrix, axis=0)
+
+    with np.errstate(divide="ignore"):
+        min_magnitude = np.where(
+            alignment > alignment_floor, 2.0 * delta / alignment, np.inf
+        )
+        min_bytes = np.where(
+            alignment > alignment_floor,
+            2.0 * delta / (alignment * column_norms),
+            np.inf,
+        )
+    return DetectabilityReport(
+        residual_alignment=alignment,
+        min_magnitude=min_magnitude,
+        min_bytes=min_bytes,
+        delta=delta,
+    )

@@ -1,0 +1,183 @@
+"""Volume-anomaly detection (§5.1).
+
+:class:`SPEDetector` packages the full detection pipeline: fit a PCA on
+the training measurements, separate the subspaces with the 3-sigma rule,
+compute the Q-statistic threshold, and flag any timestep whose squared
+prediction error exceeds it.
+
+An important property the paper emphasizes: the test never references the
+mean traffic level, so the same detector configuration applies to networks
+of any size and utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pca import PCA
+from repro.core.qstatistic import q_threshold
+from repro.core.subspace import SubspaceModel
+from repro.exceptions import ModelError, NotFittedError
+
+__all__ = ["SPEDetector", "DetectionResult"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Detection output for a block of measurements.
+
+    Attributes
+    ----------
+    spe:
+        Squared prediction error ``‖ỹ‖²`` per timestep.
+    threshold:
+        The Q-statistic limit ``δ²_α`` used.
+    flags:
+        Boolean per-timestep anomaly indicators (``spe > threshold``).
+    confidence:
+        The confidence level the threshold corresponds to.
+    """
+
+    spe: np.ndarray
+    threshold: float
+    flags: np.ndarray
+    confidence: float
+
+    @property
+    def anomalous_bins(self) -> np.ndarray:
+        """Indices of flagged timesteps."""
+        return np.nonzero(self.flags)[0]
+
+    @property
+    def num_alarms(self) -> int:
+        """Number of flagged timesteps."""
+        return int(np.count_nonzero(self.flags))
+
+    def alarm_rate(self) -> float:
+        """Fraction of timesteps flagged."""
+        if self.flags.size == 0:
+            return 0.0
+        return self.num_alarms / self.flags.size
+
+
+class SPEDetector:
+    """Subspace detector: PCA + separation + Q-statistic threshold.
+
+    Parameters
+    ----------
+    confidence:
+        ``1 − α`` for the Q-statistic limit (paper uses 0.995 / 0.999).
+    threshold_sigma:
+        Deviation multiplier of the axis-separation rule (paper uses 3).
+    normal_rank:
+        Explicit normal-subspace rank; None (default) applies the
+        separation rule.
+    min_normal_rank, max_normal_rank:
+        Clamps forwarded to the separation rule.
+
+    Examples
+    --------
+    >>> from repro.datasets import build_dataset
+    >>> ds = build_dataset("abilene")
+    >>> detector = SPEDetector().fit(ds.link_traffic)
+    >>> result = detector.detect(ds.link_traffic)
+    >>> bool(result.num_alarms < ds.num_bins * 0.05)
+    True
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        min_normal_rank: int = 1,
+        max_normal_rank: int | None = None,
+    ) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ModelError(f"confidence must lie in (0, 1), got {confidence}")
+        self.confidence = confidence
+        self.threshold_sigma = threshold_sigma
+        self.requested_rank = normal_rank
+        self.min_normal_rank = min_normal_rank
+        self.max_normal_rank = max_normal_rank
+        self._model: SubspaceModel | None = None
+        self._threshold: float | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, measurements: np.ndarray) -> "SPEDetector":
+        """Fit PCA, separate subspaces, and compute the SPE limit."""
+        pca = PCA().fit(measurements)
+        if self.requested_rank is not None:
+            model = SubspaceModel.with_rank(pca, self.requested_rank)
+        else:
+            model = SubspaceModel.from_pca(
+                pca,
+                measurements,
+                threshold_sigma=self.threshold_sigma,
+                min_normal_rank=self.min_normal_rank,
+                max_normal_rank=self.max_normal_rank,
+            )
+        self._model = model
+        self._threshold = q_threshold(
+            model.residual_eigenvalues(), confidence=self.confidence
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> SubspaceModel:
+        if self._model is None or self._threshold is None:
+            raise NotFittedError("SPEDetector.fit must be called first")
+        return self._model
+
+    @property
+    def model(self) -> SubspaceModel:
+        """The fitted subspace model."""
+        return self._require_fitted()
+
+    @property
+    def threshold(self) -> float:
+        """The fitted Q-statistic limit ``δ²_α``."""
+        self._require_fitted()
+        return self._threshold
+
+    @property
+    def normal_rank(self) -> int:
+        """The fitted normal-subspace rank ``r``."""
+        return self._require_fitted().normal_rank
+
+    def threshold_at(self, confidence: float) -> float:
+        """The SPE limit at another confidence level (same subspaces)."""
+        model = self._require_fitted()
+        return q_threshold(model.residual_eigenvalues(), confidence=confidence)
+
+    # ------------------------------------------------------------------
+    def spe(self, measurements: np.ndarray) -> np.ndarray | float:
+        """SPE of one measurement vector or a matrix of them."""
+        return self._require_fitted().spe(measurements)
+
+    def detect(
+        self,
+        measurements: np.ndarray,
+        confidence: float | None = None,
+    ) -> DetectionResult:
+        """Flag anomalous timesteps in a ``(t, m)`` measurement block.
+
+        ``confidence`` overrides the fitted level without refitting.
+        """
+        model = self._require_fitted()
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim == 1:
+            measurements = measurements[None, :]
+        if confidence is None:
+            threshold = self._threshold
+            level = self.confidence
+        else:
+            threshold = self.threshold_at(confidence)
+            level = confidence
+        spe = np.atleast_1d(model.spe(measurements))
+        flags = spe > threshold
+        return DetectionResult(
+            spe=spe, threshold=float(threshold), flags=flags, confidence=level
+        )

@@ -1,0 +1,194 @@
+"""Incremental subspace tracking (§7.1, references [12, 13, 24]).
+
+The paper notes that a straightforward SVD could become a bottleneck on
+larger measurement ensembles, and points to decomposition-*updating*
+methods.  This module implements the covariance-tracking variant: keep an
+exponentially weighted estimate of the measurement mean and covariance,
+
+    μ ← (1 − η)·μ + η·y
+    Σ ← (1 − η)·Σ + η·(y − μ)(y − μ)ᵀ
+
+and refresh the eigendecomposition (an ``m × m`` problem — tiny next to
+the ``t × m`` SVD) only every ``refresh_interval`` arrivals.  Between
+refreshes, each arrival costs one matrix-vector product, exactly the
+online regime the paper describes.
+
+:func:`principal_angles` quantifies subspace drift — the paper's
+stability claim ("reasonably stable from week to week") in degrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qstatistic import q_threshold
+from repro.exceptions import ModelError, NotFittedError
+
+__all__ = ["IncrementalSubspaceTracker", "principal_angles"]
+
+
+def principal_angles(basis_a: np.ndarray, basis_b: np.ndarray) -> np.ndarray:
+    """Principal angles (radians) between two orthonormal column spans.
+
+    The cosines are the singular values of ``Aᵀ B``; angles near zero
+    mean the subspaces coincide.  Used to measure week-to-week stability
+    of the normal subspace (§7.1).
+    """
+    basis_a = np.asarray(basis_a, dtype=np.float64)
+    basis_b = np.asarray(basis_b, dtype=np.float64)
+    if basis_a.ndim != 2 or basis_b.ndim != 2:
+        raise ModelError("bases must be 2-D matrices with orthonormal columns")
+    if basis_a.shape[0] != basis_b.shape[0]:
+        raise ModelError(
+            f"bases live in different spaces: {basis_a.shape[0]} vs "
+            f"{basis_b.shape[0]} rows"
+        )
+    cosines = np.linalg.svd(basis_a.T @ basis_b, compute_uv=False)
+    return np.arccos(np.clip(cosines, -1.0, 1.0))
+
+
+class IncrementalSubspaceTracker:
+    """Streaming subspace model with exponentially weighted statistics.
+
+    Parameters
+    ----------
+    normal_rank:
+        Rank of the normal subspace to track (use the batch 3σ rule on a
+        warm-up window to choose it; the tracker keeps it fixed).
+    forgetting:
+        Weight ``η`` of each new sample in the running statistics.
+        ``1/η`` is the effective memory in samples; the default (1/1008)
+        remembers about one week of 10-minute bins.
+    refresh_interval:
+        Arrivals between eigendecomposition refreshes (1 = every sample).
+    confidence:
+        Confidence level for the Q-statistic limit.
+    """
+
+    def __init__(
+        self,
+        normal_rank: int,
+        forgetting: float = 1.0 / 1008.0,
+        refresh_interval: int = 36,
+        confidence: float = 0.999,
+    ) -> None:
+        if normal_rank < 0:
+            raise ModelError(f"normal_rank must be >= 0, got {normal_rank}")
+        if not 0.0 < forgetting < 1.0:
+            raise ModelError(f"forgetting must lie in (0, 1), got {forgetting}")
+        if refresh_interval < 1:
+            raise ModelError(
+                f"refresh_interval must be >= 1, got {refresh_interval}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise ModelError(f"confidence must lie in (0, 1), got {confidence}")
+        self.normal_rank = normal_rank
+        self.forgetting = forgetting
+        self.refresh_interval = refresh_interval
+        self.confidence = confidence
+
+        self._mean: np.ndarray | None = None
+        self._cov: np.ndarray | None = None
+        self._basis: np.ndarray | None = None  # (m, r) normal basis
+        self._eigenvalues: np.ndarray | None = None  # descending, length m
+        self._threshold: float = 0.0
+        self._since_refresh = 0
+        self._arrivals = 0
+
+    # ------------------------------------------------------------------
+    def warm_up(self, measurements: np.ndarray) -> "IncrementalSubspaceTracker":
+        """Initialize statistics from a historical block (batch moments)."""
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2 or measurements.shape[0] < 2:
+            raise ModelError("warm-up needs a (t >= 2, m) matrix")
+        m = measurements.shape[1]
+        if self.normal_rank > m:
+            raise ModelError(
+                f"normal_rank {self.normal_rank} exceeds dimension {m}"
+            )
+        self._mean = measurements.mean(axis=0)
+        centered = measurements - self._mean
+        self._cov = (centered.T @ centered) / (measurements.shape[0] - 1)
+        self._refresh()
+        return self
+
+    def _refresh(self) -> None:
+        eigenvalues, eigenvectors = np.linalg.eigh(self._cov)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.maximum(eigenvalues[order], 0.0)
+        eigenvectors = eigenvectors[:, order]
+        self._eigenvalues = eigenvalues
+        self._basis = eigenvectors[:, : self.normal_rank]
+        self._threshold = q_threshold(
+            eigenvalues[self.normal_rank :], confidence=self.confidence
+        )
+        self._since_refresh = 0
+
+    # ------------------------------------------------------------------
+    def _require_ready(self) -> None:
+        if self._basis is None:
+            raise NotFittedError("warm_up must be called before streaming")
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Current running mean."""
+        self._require_ready()
+        return self._mean.copy()
+
+    @property
+    def normal_basis(self) -> np.ndarray:
+        """Current normal-subspace basis ``P`` (``(m, r)``)."""
+        self._require_ready()
+        return self._basis.copy()
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Current covariance eigenvalues, descending."""
+        self._require_ready()
+        return self._eigenvalues.copy()
+
+    @property
+    def threshold(self) -> float:
+        """Current SPE limit ``δ²_α``."""
+        self._require_ready()
+        return self._threshold
+
+    # ------------------------------------------------------------------
+    def spe(self, measurement: np.ndarray) -> float:
+        """SPE of one vector under the current model (no state update)."""
+        self._require_ready()
+        measurement = np.asarray(measurement, dtype=np.float64)
+        if measurement.shape != self._mean.shape:
+            raise ModelError(
+                f"measurement has shape {measurement.shape}, expected "
+                f"{self._mean.shape}"
+            )
+        centered = measurement - self._mean
+        residual = centered - self._basis @ (self._basis.T @ centered)
+        return float(residual @ residual)
+
+    def update(self, measurement: np.ndarray) -> tuple[float, bool]:
+        """Score one arrival, then fold it into the running statistics.
+
+        Returns ``(spe, is_anomalous)`` under the pre-update model.
+        """
+        spe = self.spe(measurement)
+        is_anomalous = spe > self._threshold
+
+        eta = self.forgetting
+        measurement = np.asarray(measurement, dtype=np.float64)
+        self._mean = (1.0 - eta) * self._mean + eta * measurement
+        deviation = measurement - self._mean
+        self._cov = (1.0 - eta) * self._cov + eta * np.outer(deviation, deviation)
+
+        self._arrivals += 1
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_interval:
+            self._refresh()
+        return spe, is_anomalous
+
+    def drift_from(self, reference_basis: np.ndarray) -> float:
+        """Largest principal angle (radians) to a reference normal basis."""
+        self._require_ready()
+        angles = principal_angles(self._basis, reference_basis)
+        return float(angles.max()) if angles.size else 0.0

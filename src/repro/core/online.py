@@ -1,0 +1,210 @@
+"""Online (streaming) application of the subspace method (§7.1).
+
+The paper envisions the method as a first-level online monitoring tool:
+the expensive part — the SVD — runs occasionally (the projection matrix
+``P Pᵀ`` is stable week to week), while each arriving measurement vector
+costs only one matrix-vector product.
+
+:class:`OnlineSubspaceDetector` implements exactly that: it keeps a
+sliding window of recent measurements, refits PCA / subspaces / threshold
+every ``refit_interval`` arrivals, and scores each arrival against the
+*current* model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.detection import SPEDetector
+from repro.core.identification import identify_single_flow
+from repro.core.quantification import quantify
+from repro.exceptions import ModelError, NotFittedError
+from repro.routing.routing_matrix import RoutingMatrix
+
+__all__ = ["OnlineSubspaceDetector", "StreamDiagnosis"]
+
+
+@dataclass(frozen=True)
+class StreamDiagnosis:
+    """Outcome for one streamed measurement vector.
+
+    Attributes
+    ----------
+    index:
+        Arrival counter (0-based, counting from the start of streaming).
+    spe, threshold:
+        The arrival's squared prediction error and the current limit.
+    is_anomalous:
+        Whether detection fired.
+    flow_index, od_pair, estimated_bytes:
+        Identification/quantification results — only populated when
+        detection fired and a routing matrix was supplied.
+    model_age:
+        Arrivals processed since the model was last (re)fitted.
+    """
+
+    index: int
+    spe: float
+    threshold: float
+    is_anomalous: bool
+    flow_index: int | None
+    od_pair: tuple[str, str] | None
+    estimated_bytes: float | None
+    model_age: int
+
+
+class OnlineSubspaceDetector:
+    """Streaming anomaly diagnosis with periodic refits.
+
+    Parameters
+    ----------
+    window_bins:
+        Sliding-window length used for (re)fitting — one week of
+        10-minute bins (1008) in the paper's setting.
+    refit_interval:
+        Refit the PCA/threshold every this many arrivals (None = never
+        refit after the initial fit; §7.1 notes weekly stability).
+    confidence, threshold_sigma, normal_rank:
+        Forwarded to :class:`~repro.core.detection.SPEDetector`.
+    routing:
+        Optional routing matrix enabling identification/quantification of
+        flagged arrivals.
+    """
+
+    def __init__(
+        self,
+        window_bins: int = 1008,
+        refit_interval: int | None = 144,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        routing: RoutingMatrix | None = None,
+    ) -> None:
+        if window_bins < 2:
+            raise ModelError(f"window_bins must be >= 2, got {window_bins}")
+        if refit_interval is not None and refit_interval < 1:
+            raise ModelError(
+                f"refit_interval must be >= 1 or None, got {refit_interval}"
+            )
+        self.window_bins = window_bins
+        self.refit_interval = refit_interval
+        self.routing = routing
+        self._detector_kwargs = {
+            "confidence": confidence,
+            "threshold_sigma": threshold_sigma,
+            "normal_rank": normal_rank,
+        }
+        self._window: deque[np.ndarray] = deque(maxlen=window_bins)
+        self._detector: SPEDetector | None = None
+        self._directions: np.ndarray | None = None
+        self._arrivals = 0
+        self._model_age = 0
+
+    # ------------------------------------------------------------------
+    def warm_up(self, measurements: np.ndarray) -> "OnlineSubspaceDetector":
+        """Seed the window with historical data and fit the initial model."""
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2:
+            raise ModelError(
+                f"warm-up data must be (t, m), got shape {measurements.shape}"
+            )
+        if measurements.shape[0] < 2:
+            raise ModelError("warm-up needs at least 2 measurement vectors")
+        for row in measurements[-self.window_bins :]:
+            self._window.append(row.copy())
+        self._refit()
+        return self
+
+    def _refit(self) -> None:
+        window = np.vstack(self._window)
+        detector = SPEDetector(**self._detector_kwargs)
+        detector.fit(window)
+        self._detector = detector
+        self._model_age = 0
+        if self.routing is not None:
+            if self.routing.num_links != window.shape[1]:
+                raise ModelError(
+                    f"routing matrix covers {self.routing.num_links} links "
+                    f"but measurements have {window.shape[1]}"
+                )
+            self._directions = self.routing.normalized_columns()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`warm_up` has run."""
+        return self._detector is not None
+
+    @property
+    def threshold(self) -> float:
+        """Current SPE limit."""
+        if self._detector is None:
+            raise NotFittedError("warm_up must be called before streaming")
+        return self._detector.threshold
+
+    def process(self, measurement: np.ndarray) -> StreamDiagnosis:
+        """Score one arriving measurement vector and update the window.
+
+        The vector is scored against the *pre-arrival* model, then pushed
+        into the window; a refit triggers afterwards when due.  Anomalous
+        arrivals are still admitted to the window — with a week of history
+        a single spike barely perturbs the eigenstructure, and excluding
+        flagged bins would make the model blind to slow drifts.
+        """
+        if self._detector is None:
+            raise NotFittedError("warm_up must be called before streaming")
+        measurement = np.asarray(measurement, dtype=np.float64)
+        if measurement.ndim != 1:
+            raise ModelError(
+                f"streamed measurements must be vectors, got {measurement.shape}"
+            )
+
+        spe = float(self._detector.spe(measurement))
+        threshold = self._detector.threshold
+        is_anomalous = spe > threshold
+
+        flow_index: int | None = None
+        od_pair: tuple[str, str] | None = None
+        estimated: float | None = None
+        if is_anomalous and self._directions is not None:
+            model = self._detector.model
+            identification = identify_single_flow(
+                model, self._directions, measurement
+            )
+            flow_index = identification.flow_index
+            od_pair = self.routing.od_pairs[flow_index]
+            estimated = quantify(model, self.routing, measurement, identification)
+
+        outcome = StreamDiagnosis(
+            index=self._arrivals,
+            spe=spe,
+            threshold=threshold,
+            is_anomalous=is_anomalous,
+            flow_index=flow_index,
+            od_pair=od_pair,
+            estimated_bytes=estimated,
+            model_age=self._model_age,
+        )
+
+        self._window.append(measurement.copy())
+        self._arrivals += 1
+        self._model_age += 1
+        if (
+            self.refit_interval is not None
+            and self._model_age >= self.refit_interval
+            and len(self._window) >= 2
+        ):
+            self._refit()
+        return outcome
+
+    def process_block(self, measurements: np.ndarray) -> list[StreamDiagnosis]:
+        """Stream a ``(t, m)`` block row by row."""
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2:
+            raise ModelError(
+                f"expected a (t, m) block, got shape {measurements.shape}"
+            )
+        return [self.process(row) for row in measurements]

@@ -1,0 +1,183 @@
+"""Principal Component Analysis of the link measurement matrix (§4.2).
+
+The paper treats each row of the ``(t, m)`` measurement matrix ``Y`` as a
+point in ``R^m``, centers the columns, and extracts principal axes
+``v_1, ..., v_m`` ordered by captured variance.  The normalized
+projections ``u_i = Y v_i / ‖Y v_i‖`` are the common temporal patterns of
+the link ensemble (paper Fig. 4).
+
+Implementation: thin SVD of the centered matrix (the standard route to the
+symmetric eigenproblem of ``YᵀY``; paper §7.1 cites the same procedure).
+Sign convention: each component's largest-magnitude coordinate is made
+positive, so results are deterministic across SVD backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """PCA of a timeseries matrix with the paper's conventions.
+
+    Parameters
+    ----------
+    center:
+        Subtract per-column means before decomposing (the paper always
+        does; disabling is for tests only).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> y = rng.normal(size=(100, 5)) @ np.diag([5, 1, 1, 1, 1])
+    >>> pca = PCA().fit(y)
+    >>> bool(pca.variance_fractions()[0] > 0.5)
+    True
+    """
+
+    def __init__(self, center: bool = True) -> None:
+        self.center = center
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None  # (m, m): columns are v_i
+        self._singular_values: np.ndarray | None = None
+        self._num_samples: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, measurements: np.ndarray) -> "PCA":
+        """Decompose a ``(t, m)`` measurement matrix.
+
+        Requires ``t >= 2`` (variance needs at least two samples).
+        """
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2:
+            raise ModelError(
+                f"measurement matrix must be 2-D, got shape {measurements.shape}"
+            )
+        t, m = measurements.shape
+        if t < 2:
+            raise ModelError(f"need at least 2 time samples, got {t}")
+        if m < 1:
+            raise ModelError("measurement matrix has no columns")
+        if not np.all(np.isfinite(measurements)):
+            raise ModelError("measurement matrix contains non-finite values")
+
+        self._num_samples = t
+        self._mean = (
+            measurements.mean(axis=0) if self.center else np.zeros(m)
+        )
+        centered = measurements - self._mean
+        # Thin SVD: centered = U S V^T with V's columns the principal axes.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=True)
+        components = vt.T
+        # SVD only returns min(t, m) singular values; pad with exact zeros
+        # for the degenerate directions of a short-and-wide matrix.
+        if singular_values.size < m:
+            padded = np.zeros(m)
+            padded[: singular_values.size] = singular_values
+            singular_values = padded
+        # Deterministic sign: largest-|coordinate| entry of each v_i > 0.
+        for i in range(components.shape[1]):
+            pivot = np.argmax(np.abs(components[:, i]))
+            if components[pivot, i] < 0:
+                components[:, i] = -components[:, i]
+        self._components = components
+        self._singular_values = singular_values
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self._components is None:
+            raise NotFittedError("PCA.fit must be called first")
+
+    @property
+    def num_components(self) -> int:
+        """Dimensionality ``m`` of the measurement space."""
+        self._require_fitted()
+        return self._components.shape[1]
+
+    @property
+    def num_samples(self) -> int:
+        """Number of time samples the decomposition was fitted on."""
+        self._require_fitted()
+        return self._num_samples
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-column training mean (zeros when centering is disabled)."""
+        self._require_fitted()
+        return self._mean.copy()
+
+    @property
+    def components(self) -> np.ndarray:
+        """``(m, m)`` orthonormal matrix; column ``i`` is the axis ``v_i``."""
+        self._require_fitted()
+        return self._components.copy()
+
+    def component(self, index: int) -> np.ndarray:
+        """Principal axis ``v_index`` (0-based)."""
+        self._require_fitted()
+        if not 0 <= index < self.num_components:
+            raise ModelError(
+                f"component index {index} out of range [0, {self.num_components})"
+            )
+        return self._components[:, index].copy()
+
+    # ------------------------------------------------------------------
+    def captured_variance(self) -> np.ndarray:
+        """Raw captured "variance" per axis: ``‖Y v_i‖²`` (paper notation)."""
+        self._require_fitted()
+        return self._singular_values**2
+
+    def eigenvalues(self) -> np.ndarray:
+        """Sample-covariance eigenvalues ``λ_i = ‖Y v_i‖² / (t − 1)``.
+
+        These are the values the Q-statistic consumes (DESIGN.md §5).
+        """
+        self._require_fitted()
+        return self._singular_values**2 / (self._num_samples - 1)
+
+    def variance_fractions(self) -> np.ndarray:
+        """Fraction of total variance captured by each axis (paper Fig. 3)."""
+        variances = self.captured_variance()
+        total = variances.sum()
+        if total == 0:
+            return np.zeros_like(variances)
+        return variances / total
+
+    def effective_dimension(self, fraction: float = 0.95) -> int:
+        """Smallest number of axes capturing ``fraction`` of total variance."""
+        if not 0.0 < fraction <= 1.0:
+            raise ModelError(f"fraction must lie in (0, 1], got {fraction}")
+        cumulative = np.cumsum(self.variance_fractions())
+        return int(np.searchsorted(cumulative, fraction - 1e-12) + 1)
+
+    # ------------------------------------------------------------------
+    def transform(self, measurements: np.ndarray) -> np.ndarray:
+        """Map measurements onto the principal axes (scores ``Y v_i``)."""
+        self._require_fitted()
+        measurements = np.asarray(measurements, dtype=np.float64)
+        centered = measurements - self._mean
+        return centered @ self._components
+
+    def projection_timeseries(self, measurements: np.ndarray, index: int) -> np.ndarray:
+        """The unit-norm temporal pattern ``u_i = Y v_i / ‖Y v_i‖`` (§4.3).
+
+        Evaluated on arbitrary measurements (typically the training data);
+        a zero-variance axis has no direction and raises.
+        """
+        scores = self.transform(measurements)[:, index]
+        norm = np.linalg.norm(scores)
+        if norm == 0:
+            raise ModelError(f"axis {index} captures no variance in this data")
+        return scores / norm
+
+    def inverse_transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map principal-axis scores back to measurement space."""
+        self._require_fitted()
+        scores = np.asarray(scores, dtype=np.float64)
+        return scores @ self._components.T + self._mean

@@ -1,0 +1,188 @@
+"""Routing-anomaly diagnosis (the paper's §9 "ongoing work").
+
+A routing change (link failure, IS-IS weight change) shifts *groups* of
+OD flows simultaneously.  Seen from the original routing matrix, the
+measurement vector moves by
+
+    Δy = Σ_{j moved} x_j · (A'_j − A_j)
+
+— a multi-flow anomaly (§7.2) whose per-flow signatures are the
+*differences* of routing-matrix columns.  This module builds one
+hypothesis per candidate inter-PoP edge failure and identifies the best
+explanation of a flagged measurement among them plus the ordinary
+single-flow candidates.
+
+This realizes the paper's proposed extension with the machinery the
+paper itself supplies: the hypothesis framework of §5.2/§7.2 with an
+enlarged anomaly set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.identification import identify_multi_flow
+from repro.core.subspace import SubspaceModel
+from repro.exceptions import ModelError, RoutingError
+from repro.routing.events import LinkFailure, apply_events, reroute_delta
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.network import Network
+
+__all__ = ["RoutingAnomalyIdentifier", "RoutingHypothesis", "RoutingDiagnosis"]
+
+
+@dataclass(frozen=True)
+class RoutingHypothesis:
+    """One candidate routing event and its link-space signature.
+
+    Attributes
+    ----------
+    failure:
+        The candidate failed edge.
+    moved_flows:
+        Indices of OD flows the failure reroutes.
+    signature:
+        ``(m, k)`` matrix of unit-norm per-flow delta columns
+        ``(A'_j − A_j)/‖·‖``.
+    column_norms:
+        Norms used in the normalization (to recover byte intensities).
+    """
+
+    failure: LinkFailure
+    moved_flows: tuple[int, ...]
+    signature: np.ndarray
+    column_norms: np.ndarray
+
+
+@dataclass(frozen=True)
+class RoutingDiagnosis:
+    """Outcome of routing-anomaly identification at one timestep.
+
+    Attributes
+    ----------
+    kind:
+        ``"routing"`` when a reroute hypothesis won, ``"volume"`` when a
+        single-flow volume anomaly explains the data better.
+    failure:
+        The winning candidate edge (None for volume anomalies).
+    flow_index:
+        The winning single flow (None for routing anomalies).
+    intensities:
+        Estimated per-moved-flow traffic (bytes) for routing anomalies.
+    residual_spe:
+        Residual energy left unexplained by the winner.
+    """
+
+    kind: str
+    failure: LinkFailure | None
+    flow_index: int | None
+    intensities: np.ndarray | None
+    residual_spe: float
+
+
+class RoutingAnomalyIdentifier:
+    """Identify link-failure reroutes from link measurements.
+
+    Parameters
+    ----------
+    network:
+        The topology (supplies candidate edges).
+    routing:
+        The *operational* routing matrix (pre-event).
+    model:
+        A fitted subspace model over the same link set.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        routing: RoutingMatrix,
+        model: SubspaceModel,
+    ) -> None:
+        if routing.num_links != model.num_links:
+            raise ModelError(
+                f"routing matrix covers {routing.num_links} links but the "
+                f"model expects {model.num_links}"
+            )
+        self.network = network
+        self.routing = routing
+        self.model = model
+        self._theta = routing.normalized_columns()
+        self._hypotheses = self._build_hypotheses()
+
+    # ------------------------------------------------------------------
+    @property
+    def hypotheses(self) -> list[RoutingHypothesis]:
+        """All candidate single-edge failures with nontrivial signatures."""
+        return list(self._hypotheses)
+
+    def _build_hypotheses(self) -> list[RoutingHypothesis]:
+        seen_edges: set[frozenset[str]] = set()
+        hypotheses = []
+        for link in self.network.inter_pop_links:
+            edge = frozenset((link.source, link.target))
+            if edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            failure = LinkFailure(link.source, link.target)
+            try:
+                after = apply_events(self.network, [failure])
+            except RoutingError:
+                # Failure disconnects the network; not diagnosable as a
+                # reroute (every flow through it simply vanishes).
+                continue
+            moved = reroute_delta(self.routing, after)
+            if not moved:
+                continue
+            indices = tuple(self.routing.od_index(o, d) for o, d in moved)
+            deltas = after.matrix[:, list(indices)] - self.routing.matrix[
+                :, list(indices)
+            ]
+            norms = np.linalg.norm(deltas, axis=0)
+            keep = norms > 1e-12
+            if not np.any(keep):
+                continue
+            hypotheses.append(
+                RoutingHypothesis(
+                    failure=failure,
+                    moved_flows=tuple(np.array(indices)[keep]),
+                    signature=deltas[:, keep] / norms[keep],
+                    column_norms=norms[keep],
+                )
+            )
+        return hypotheses
+
+    # ------------------------------------------------------------------
+    def identify(self, measurement: np.ndarray) -> RoutingDiagnosis:
+        """Best explanation of ``measurement``: a reroute or a volume
+        anomaly.
+
+        Offers every single OD flow plus every candidate edge failure to
+        the §7.2 multi-flow identifier and reports the winner.
+        """
+        measurement = np.asarray(measurement, dtype=np.float64)
+        n = self.routing.num_flows
+        hypotheses: list[np.ndarray] = [self._theta[:, [j]] for j in range(n)]
+        for hypothesis in self._hypotheses:
+            hypotheses.append(hypothesis.signature)
+
+        outcome = identify_multi_flow(self.model, hypotheses, measurement)
+        if outcome.hypothesis_index < n:
+            return RoutingDiagnosis(
+                kind="volume",
+                failure=None,
+                flow_index=outcome.hypothesis_index,
+                intensities=None,
+                residual_spe=outcome.residual_spe,
+            )
+        winner = self._hypotheses[outcome.hypothesis_index - n]
+        intensities = np.asarray(outcome.magnitudes) / winner.column_norms
+        return RoutingDiagnosis(
+            kind="routing",
+            failure=winner.failure,
+            flow_index=None,
+            intensities=intensities,
+            residual_spe=outcome.residual_spe,
+        )

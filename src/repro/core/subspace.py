@@ -1,0 +1,226 @@
+"""Normal/anomalous subspace separation (§4.3).
+
+The separation procedure examines the unit-norm projections
+``u_i = Y v_i / ‖Y v_i‖`` in principal-axis order.  As soon as a
+projection contains an entry deviating at least ``threshold_sigma``
+standard deviations from that projection's mean, that axis *and all
+subsequent axes* belong to the anomalous subspace ``S̃``; all preceding
+axes form the normal subspace ``S``.
+
+The resulting :class:`SubspaceModel` owns the projectors
+``C = P Pᵀ`` (onto ``S``) and ``C̃ = I − C`` (onto ``S̃``) and performs the
+decomposition ``y = ŷ + ỹ`` of §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pca import PCA
+from repro.exceptions import ModelError
+
+__all__ = ["SeparationResult", "SubspaceModel", "separate_axes"]
+
+
+@dataclass(frozen=True)
+class SeparationResult:
+    """Outcome of the 3-sigma axis separation.
+
+    Attributes
+    ----------
+    normal_rank:
+        Number of leading axes assigned to the normal subspace (the paper
+        calls this ``r``; it finds 4 for its datasets).
+    first_anomalous_axis:
+        Index of the first axis that tripped the rule, or None when no
+        axis tripped (then ``normal_rank == m`` and the anomalous subspace
+        is empty — detection will flag nothing).
+    max_deviations:
+        Per-axis maximum |deviation from mean| in units of that axis's
+        standard deviation.
+    """
+
+    normal_rank: int
+    first_anomalous_axis: int | None
+    max_deviations: np.ndarray
+
+
+def separate_axes(
+    pca: PCA,
+    measurements: np.ndarray,
+    threshold_sigma: float = 3.0,
+    min_normal_rank: int = 1,
+    max_normal_rank: int | None = None,
+) -> SeparationResult:
+    """Apply the paper's threshold separation to fitted PCA axes.
+
+    Parameters
+    ----------
+    pca:
+        A fitted :class:`~repro.core.pca.PCA`.
+    measurements:
+        The data whose projections are examined (normally the training
+        matrix itself).
+    threshold_sigma:
+        Deviation multiplier (the paper uses 3).
+    min_normal_rank, max_normal_rank:
+        Clamps on the resulting rank.  The paper's procedure has no
+        explicit clamps; the defaults only prevent the degenerate
+        ``r = 0`` case (an empty normal subspace turns SPE into plain
+        traffic volume).  Set ``min_normal_rank=0`` for strict fidelity.
+    """
+    if threshold_sigma <= 0:
+        raise ModelError(f"threshold_sigma must be positive, got {threshold_sigma}")
+    m = pca.num_components
+    if max_normal_rank is None:
+        max_normal_rank = m
+    if not 0 <= min_normal_rank <= max_normal_rank <= m:
+        raise ModelError(
+            f"invalid rank clamps: 0 <= {min_normal_rank} <= "
+            f"{max_normal_rank} <= {m} violated"
+        )
+
+    scores = pca.transform(measurements)
+    deviations = np.zeros(m)
+    first_anomalous: int | None = None
+    captured = pca.captured_variance()
+    for i in range(m):
+        if captured[i] == 0:
+            # Zero-variance axis: its projection is identically zero; it
+            # can never trip the rule.
+            deviations[i] = 0.0
+            continue
+        u = scores[:, i] / np.linalg.norm(scores[:, i])
+        std = u.std()
+        if std == 0:
+            deviations[i] = 0.0
+            continue
+        deviations[i] = float(np.max(np.abs(u - u.mean())) / std)
+        if first_anomalous is None and deviations[i] >= threshold_sigma:
+            first_anomalous = i
+
+    rank = m if first_anomalous is None else first_anomalous
+    rank = int(np.clip(rank, min_normal_rank, max_normal_rank))
+    return SeparationResult(
+        normal_rank=rank,
+        first_anomalous_axis=first_anomalous,
+        max_deviations=deviations,
+    )
+
+
+class SubspaceModel:
+    """Projectors onto the normal and anomalous subspaces (§5.1).
+
+    Build with :meth:`from_pca` (threshold separation) or
+    :meth:`with_rank` (explicit ``r``, used by ablations).
+    """
+
+    def __init__(self, pca: PCA, normal_rank: int) -> None:
+        m = pca.num_components
+        if not 0 <= normal_rank <= m:
+            raise ModelError(
+                f"normal rank {normal_rank} out of range [0, {m}]"
+            )
+        self.pca = pca
+        self.normal_rank = normal_rank
+        components = pca.components
+        self._p = components[:, :normal_rank]  # (m, r)
+        self._c = self._p @ self._p.T
+        self._c_tilde = np.eye(m) - self._c
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pca(
+        cls,
+        pca: PCA,
+        measurements: np.ndarray,
+        threshold_sigma: float = 3.0,
+        min_normal_rank: int = 1,
+        max_normal_rank: int | None = None,
+    ) -> "SubspaceModel":
+        """Construct via the paper's threshold separation rule."""
+        result = separate_axes(
+            pca,
+            measurements,
+            threshold_sigma=threshold_sigma,
+            min_normal_rank=min_normal_rank,
+            max_normal_rank=max_normal_rank,
+        )
+        model = cls(pca, result.normal_rank)
+        model.separation = result
+        return model
+
+    @classmethod
+    def with_rank(cls, pca: PCA, normal_rank: int) -> "SubspaceModel":
+        """Construct with an explicitly chosen normal rank."""
+        return cls(pca, normal_rank)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Dimensionality ``m`` of measurement space."""
+        return self._c.shape[0]
+
+    @property
+    def normal_basis(self) -> np.ndarray:
+        """``P``: the ``(m, r)`` matrix of normal-subspace axes."""
+        return self._p.copy()
+
+    @property
+    def normal_projector(self) -> np.ndarray:
+        """``C = P Pᵀ`` (projects onto the normal subspace ``S``)."""
+        return self._c.copy()
+
+    @property
+    def anomalous_projector(self) -> np.ndarray:
+        """``C̃ = I − P Pᵀ`` (projects onto the anomalous subspace ``S̃``)."""
+        return self._c_tilde.copy()
+
+    def residual_eigenvalues(self) -> np.ndarray:
+        """Covariance eigenvalues of the discarded axes (feeds the Q-statistic)."""
+        return self.pca.eigenvalues()[self.normal_rank :]
+
+    # ------------------------------------------------------------------
+    def _center(self, measurements: np.ndarray) -> np.ndarray:
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.shape[-1] != self.num_links:
+            raise ModelError(
+                f"measurements have {measurements.shape[-1]} links, model "
+                f"expects {self.num_links}"
+            )
+        return measurements - self.pca.mean
+
+    def decompose(self, measurements: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split (centered) measurements into ``(ŷ, ỹ)`` — modeled + residual.
+
+        Accepts one vector ``y`` or a ``(t, m)`` matrix.  The two parts sum
+        to the *centered* measurements: ``ŷ + ỹ = y − ȳ``.
+        """
+        centered = self._center(measurements)
+        modeled = centered @ self._c.T
+        residual = centered - modeled
+        return modeled, residual
+
+    def residual(self, measurements: np.ndarray) -> np.ndarray:
+        """``ỹ = C̃ (y − ȳ)`` for one vector or a matrix of measurements."""
+        centered = self._center(measurements)
+        return centered @ self._c_tilde.T
+
+    def spe(self, measurements: np.ndarray) -> np.ndarray | float:
+        """Squared prediction error ``SPE = ‖ỹ‖²`` (§5.1).
+
+        Returns a scalar for a single vector, an array for a matrix.
+        """
+        residual = self.residual(measurements)
+        if residual.ndim == 1:
+            return float(residual @ residual)
+        return np.einsum("ij,ij->i", residual, residual)
+
+    def state_magnitude(self, measurements: np.ndarray) -> np.ndarray | float:
+        """``‖y − ȳ‖²`` — the state-vector magnitude of paper Fig. 5 (top)."""
+        centered = self._center(measurements)
+        if centered.ndim == 1:
+            return float(centered @ centered)
+        return np.einsum("ij,ij->i", centered, centered)

@@ -1,0 +1,24 @@
+"""Dataset assembly.
+
+Builds the three evaluation worlds of the paper's Table 1 — Sprint-1,
+Sprint-2 and Abilene — as fully seeded synthetic datasets: a topology, a
+routing matrix, one week of OD-flow traffic with injected ground-truth
+anomalies, and the derived link measurement matrix ``Y = X Aᵀ``.
+"""
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import build_dataset, dataset_from_config
+from repro.datasets.export import export_csv
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.summary import dataset_summary, summary_table
+
+__all__ = [
+    "Dataset",
+    "build_dataset",
+    "dataset_from_config",
+    "save_dataset",
+    "load_dataset",
+    "export_csv",
+    "dataset_summary",
+    "summary_table",
+]

@@ -1,0 +1,162 @@
+"""The :class:`Dataset` container.
+
+A dataset bundles everything one of the paper's evaluation worlds needs:
+the network, its routing matrix, the true OD-flow traffic (with the
+ground-truth anomaly ledger), and the link measurement matrix the subspace
+method consumes.  Consistency (``Y = X Aᵀ``) is verified at construction,
+mirroring the paper's approach of constructing link counts from OD flows
+via the routing matrix (§3, following [31]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.network import Network
+from repro.traffic.anomalies import AnomalyEvent
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.workloads import WorkloadConfig
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One evaluation world (cf. paper Table 1).
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"sprint-1"``, ``"sprint-2"``, ``"abilene"``,
+        or anything for custom datasets).
+    network:
+        The backbone topology.
+    routing:
+        Routing matrix ``A`` mapping OD flows to links.
+    od_traffic:
+        True OD-flow byte counts ``X`` (``(t, n)``), anomalies included.
+        This data is *not* an input to the diagnosis method — the paper
+        uses it only for validation.
+    link_traffic:
+        Link byte counts ``Y = X Aᵀ`` (``(t, m)``) — the method's input.
+    true_events:
+        Ground-truth ledger of injected anomalies (empty for datasets
+        built from external measurements).
+    config:
+        The workload configuration that generated the dataset, when known.
+    """
+
+    name: str
+    network: Network
+    routing: RoutingMatrix
+    od_traffic: TrafficMatrix
+    link_traffic: np.ndarray
+    true_events: tuple[AnomalyEvent, ...] = ()
+    config: WorkloadConfig | None = None
+
+    def __post_init__(self) -> None:
+        link_traffic = np.asarray(self.link_traffic, dtype=np.float64)
+        if link_traffic.ndim != 2:
+            raise DatasetError(
+                f"link_traffic must be 2-D, got shape {link_traffic.shape}"
+            )
+        if link_traffic.shape[0] != self.od_traffic.num_bins:
+            raise DatasetError(
+                f"link_traffic covers {link_traffic.shape[0]} bins but OD "
+                f"traffic covers {self.od_traffic.num_bins}"
+            )
+        if link_traffic.shape[1] != self.routing.num_links:
+            raise DatasetError(
+                f"link_traffic covers {link_traffic.shape[1]} links but the "
+                f"routing matrix has {self.routing.num_links}"
+            )
+        if self.routing.num_flows != self.od_traffic.num_flows:
+            raise DatasetError(
+                "routing matrix and OD traffic disagree on the flow count"
+            )
+        expected = self.od_traffic.link_loads(self.routing)
+        if not np.allclose(expected, link_traffic, rtol=1e-9, atol=1e-3):
+            raise DatasetError(
+                "link_traffic is inconsistent with od_traffic under the "
+                "routing matrix (Y != X A^T)"
+            )
+        for event in self.true_events:
+            if event.last_bin >= self.num_bins:
+                raise DatasetError(
+                    f"ground-truth event at bin {event.time_bin} lies outside "
+                    f"the trace ({self.num_bins} bins)"
+                )
+            if event.flow_index >= self.num_flows:
+                raise DatasetError(
+                    f"ground-truth event targets flow {event.flow_index} but "
+                    f"the trace has {self.num_flows} flows"
+                )
+        object.__setattr__(self, "link_traffic", link_traffic)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bins(self) -> int:
+        """Number of time bins ``t``."""
+        return self.od_traffic.num_bins
+
+    @property
+    def num_links(self) -> int:
+        """Number of links ``m``."""
+        return self.routing.num_links
+
+    @property
+    def num_flows(self) -> int:
+        """Number of OD flows ``n``."""
+        return self.routing.num_flows
+
+    @property
+    def bin_seconds(self) -> float:
+        """Analysis bin width in seconds."""
+        return self.od_traffic.bin_seconds
+
+    @property
+    def measurement_matrix(self) -> np.ndarray:
+        """Alias for ``link_traffic`` — the matrix the paper calls ``Y``."""
+        return self.link_traffic
+
+    def event_flows(self) -> list[tuple[str, str]]:
+        """OD pairs of the ground-truth events, in event order."""
+        return [self.routing.od_pairs[e.flow_index] for e in self.true_events]
+
+    def window(self, start_bin: int, end_bin: int) -> "Dataset":
+        """A time-sliced copy covering bins ``[start_bin, end_bin)``.
+
+        Ground-truth events are re-indexed to the window; events outside
+        it are dropped.
+        """
+        od = self.od_traffic.window(start_bin, end_bin)
+        events = tuple(
+            AnomalyEvent(
+                time_bin=e.time_bin - start_bin,
+                flow_index=e.flow_index,
+                amplitude_bytes=e.amplitude_bytes,
+                shape=e.shape,
+                duration_bins=e.duration_bins,
+            )
+            for e in self.true_events
+            if start_bin <= e.time_bin and e.last_bin < end_bin
+        )
+        return Dataset(
+            name=self.name,
+            network=self.network,
+            routing=self.routing,
+            od_traffic=od,
+            link_traffic=self.link_traffic[start_bin:end_bin],
+            true_events=events,
+            config=self.config,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}: {self.num_bins} bins x {self.num_links} "
+            f"links, {self.num_flows} flows, {len(self.true_events)} events)"
+        )

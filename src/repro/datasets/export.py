@@ -1,0 +1,84 @@
+"""CSV export for interoperability.
+
+NPZ (:mod:`repro.datasets.io`) is the lossless round-trip format; CSV
+export exists so the matrices can be inspected in spreadsheets or loaded
+from R/Julia without this library.  One directory per dataset:
+
+=====================  ==============================================
+file                   contents
+=====================  ==============================================
+``link_traffic.csv``   ``(t, m)`` link byte counts, one column per link
+``od_traffic.csv``     ``(t, n)`` OD byte counts, one column per flow
+``routing_matrix.csv`` ``(m, n)`` routing matrix with labeled axes
+``events.csv``         the ground-truth anomaly ledger
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.datasets.dataset import Dataset
+
+__all__ = ["export_csv"]
+
+
+def export_csv(dataset: Dataset, directory: str | Path) -> Path:
+    """Write the dataset's matrices as labeled CSV files.
+
+    Returns the directory written.  Existing files are overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    link_names = dataset.routing.link_names
+    flow_names = [f"{o}->{d}" for o, d in dataset.routing.od_pairs]
+
+    _write_matrix(
+        directory / "link_traffic.csv",
+        header=["bin"] + link_names,
+        rows=(
+            [i] + [f"{v:.6g}" for v in row]
+            for i, row in enumerate(dataset.link_traffic)
+        ),
+    )
+    _write_matrix(
+        directory / "od_traffic.csv",
+        header=["bin"] + flow_names,
+        rows=(
+            [i] + [f"{v:.6g}" for v in row]
+            for i, row in enumerate(dataset.od_traffic.values)
+        ),
+    )
+    _write_matrix(
+        directory / "routing_matrix.csv",
+        header=["link"] + flow_names,
+        rows=(
+            [link_names[i]] + [f"{v:g}" for v in dataset.routing.matrix[i]]
+            for i in range(dataset.num_links)
+        ),
+    )
+    _write_matrix(
+        directory / "events.csv",
+        header=["time_bin", "flow", "amplitude_bytes", "shape", "duration_bins"],
+        rows=(
+            [
+                event.time_bin,
+                flow_names[event.flow_index],
+                f"{event.amplitude_bytes:.6g}",
+                event.shape.value,
+                event.duration_bins,
+            ]
+            for event in dataset.true_events
+        ),
+    )
+    return directory
+
+
+def _write_matrix(path: Path, header: list[str], rows) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,113 @@
+"""Dataset persistence.
+
+Datasets round-trip through a single ``.npz`` archive: numeric arrays are
+stored natively, the topology as embedded JSON, and the ground-truth event
+ledger as parallel arrays.  The workload config is stored as JSON too, so
+a loaded dataset remembers how it was generated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import DatasetError
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.topology.serialization import network_from_json, network_to_json
+from repro.traffic.anomalies import AnomalyEvent, AnomalyShape
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.workloads import WorkloadConfig
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended when missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    events = dataset.true_events
+    config_json = (
+        json.dumps(dataclasses.asdict(dataset.config))
+        if dataset.config is not None
+        else ""
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        name=np.array(dataset.name),
+        topology_json=np.array(network_to_json(dataset.network, indent=None)),
+        routing_matrix=dataset.routing.matrix,
+        od_values=dataset.od_traffic.values,
+        bin_seconds=np.array(dataset.bin_seconds),
+        link_traffic=dataset.link_traffic,
+        event_time_bins=np.array([e.time_bin for e in events], dtype=np.int64),
+        event_flow_indices=np.array([e.flow_index for e in events], dtype=np.int64),
+        event_amplitudes=np.array([e.amplitude_bytes for e in events]),
+        event_shapes=np.array([e.shape.value for e in events]),
+        event_durations=np.array([e.duration_bins for e in events], dtype=np.int64),
+        config_json=np.array(config_json),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported dataset format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        network = network_from_json(str(archive["topology_json"]))
+        routing = RoutingMatrix(
+            archive["routing_matrix"],
+            [link.name for link in network.links],
+            network.od_pairs,
+        )
+        od_traffic = TrafficMatrix(
+            archive["od_values"],
+            network.od_pairs,
+            bin_seconds=float(archive["bin_seconds"]),
+        )
+        events = tuple(
+            AnomalyEvent(
+                time_bin=int(t),
+                flow_index=int(f),
+                amplitude_bytes=float(a),
+                shape=AnomalyShape(str(s)),
+                duration_bins=int(d),
+            )
+            for t, f, a, s, d in zip(
+                archive["event_time_bins"],
+                archive["event_flow_indices"],
+                archive["event_amplitudes"],
+                archive["event_shapes"],
+                archive["event_durations"],
+            )
+        )
+        config_json = str(archive["config_json"])
+        config = None
+        if config_json:
+            payload = json.loads(config_json)
+            payload["anomaly_size_range"] = tuple(payload["anomaly_size_range"])
+            config = WorkloadConfig(**payload)
+        return Dataset(
+            name=str(archive["name"]),
+            network=network,
+            routing=routing,
+            od_traffic=od_traffic,
+            link_traffic=archive["link_traffic"],
+            true_events=events,
+            config=config,
+        )

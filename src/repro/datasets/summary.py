@@ -1,0 +1,73 @@
+"""Dataset summaries (paper Table 1).
+
+Produces the rows of Table 1 — ``# PoPs``, ``# Links``, time bin, period —
+for any collection of datasets, plus a plain-text rendering used by the
+Table-1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.dataset import Dataset
+
+__all__ = ["DatasetSummaryRow", "dataset_summary", "summary_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSummaryRow:
+    """One row of the Table-1 analogue."""
+
+    name: str
+    num_pops: int
+    num_links: int
+    bin_minutes: float
+    period_days: float
+    num_flows: int
+    num_true_events: int
+
+
+def dataset_summary(dataset: Dataset) -> DatasetSummaryRow:
+    """Summarize one dataset in Table-1 terms."""
+    return DatasetSummaryRow(
+        name=dataset.name,
+        num_pops=dataset.network.num_pops,
+        num_links=dataset.num_links,
+        bin_minutes=dataset.bin_seconds / 60.0,
+        period_days=dataset.num_bins * dataset.bin_seconds / 86_400.0,
+        num_flows=dataset.num_flows,
+        num_true_events=len(dataset.true_events),
+    )
+
+
+def summary_table(datasets: list[Dataset]) -> str:
+    """Plain-text Table 1 for a list of datasets.
+
+    >>> from repro.datasets import build_dataset
+    >>> print(summary_table([build_dataset("abilene")]))
+    ... # doctest: +NORMALIZE_WHITESPACE
+    Dataset   # PoPs  # Links  Time Bin  Period  # OD Flows
+    abilene   11      41       10 min    7.0 d   121
+    """
+    header = ["Dataset", "# PoPs", "# Links", "Time Bin", "Period", "# OD Flows"]
+    rows = []
+    for dataset in datasets:
+        row = dataset_summary(dataset)
+        rows.append(
+            [
+                row.name,
+                str(row.num_pops),
+                str(row.num_links),
+                f"{row.bin_minutes:.0f} min",
+                f"{row.period_days:.1f} d",
+                str(row.num_flows),
+            ]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError`` from their own
+code, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed or an element lookup failed."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed (disconnected graph, unknown flow, ...)."""
+
+
+class TrafficError(ReproError):
+    """Traffic generation was configured inconsistently."""
+
+
+class MeasurementError(ReproError):
+    """The measurement pipeline received invalid data or configuration."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed, inconsistent, or could not be (de)serialized."""
+
+
+class ModelError(ReproError):
+    """A statistical model (PCA, subspace split, detector) was misused."""
+
+
+class NotFittedError(ModelError):
+    """A model method that requires fitting was called before ``fit``."""
+
+
+class ValidationError(ReproError):
+    """An experiment or metric computation was configured inconsistently."""

@@ -1,0 +1,43 @@
+"""Measurement plane.
+
+Simulates the two data sources the paper works with (§3):
+
+* **Sampled flow data** — NetFlow-style packet sampling (periodic 1-in-250
+  on Sprint, random 1% on Abilene), aggregated into flow records on fine
+  time bins and re-binned to 10 minutes;
+* **SNMP link counters** — per-link byte counters polled per bin, with
+  counter-wrap semantics.
+
+The pipeline reproduces the paper's consistency check: sampling-adjusted
+flow bytecounts agree with SNMP link bytecounts to within a few percent on
+all but the quietest links.
+"""
+
+from repro.measurement.records import FlowRecord, FlowRecordBatch
+from repro.measurement.sampling import (
+    PacketSampler,
+    PeriodicSampler,
+    RandomSampler,
+    PacketSizeModel,
+)
+from repro.measurement.netflow import FlowCollector
+from repro.measurement.binning import rebin_matrix, rebin_vector, subdivide_matrix
+from repro.measurement.snmp import SNMPPoller, decode_counters
+from repro.measurement.collection import MeasurementPipeline, MeasurementResult
+
+__all__ = [
+    "FlowRecord",
+    "FlowRecordBatch",
+    "PacketSampler",
+    "PeriodicSampler",
+    "RandomSampler",
+    "PacketSizeModel",
+    "FlowCollector",
+    "rebin_matrix",
+    "rebin_vector",
+    "subdivide_matrix",
+    "SNMPPoller",
+    "decode_counters",
+    "MeasurementPipeline",
+    "MeasurementResult",
+]

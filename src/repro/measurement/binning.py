@@ -1,0 +1,88 @@
+"""Time binning and re-binning.
+
+The paper collects flows on 5-minute (Sprint) or 1-minute (Abilene) bins
+and aggregates both to 10 minutes "to avoid synchronization issues" (§3).
+Re-binning here is exact aggregation: byte mass is conserved.
+:func:`subdivide_matrix` goes the other way, splitting coarse bins into
+fine ones so the sampling pipeline can operate at export granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_from
+from repro.exceptions import MeasurementError
+
+__all__ = ["rebin_vector", "rebin_matrix", "subdivide_matrix"]
+
+
+def rebin_vector(values: np.ndarray, factor: int) -> np.ndarray:
+    """Aggregate consecutive groups of ``factor`` bins by summation.
+
+    The input length must be a multiple of ``factor``; partial trailing
+    windows would silently under-report traffic, so they are rejected.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise MeasurementError(f"expected a vector, got shape {values.shape}")
+    if factor < 1:
+        raise MeasurementError(f"factor must be >= 1, got {factor}")
+    if values.size % factor != 0:
+        raise MeasurementError(
+            f"cannot rebin {values.size} bins by a factor of {factor}"
+        )
+    return values.reshape(-1, factor).sum(axis=1)
+
+
+def rebin_matrix(values: np.ndarray, factor: int) -> np.ndarray:
+    """Aggregate a ``(bins, columns)`` matrix along time by summation."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise MeasurementError(f"expected a matrix, got shape {values.shape}")
+    if factor < 1:
+        raise MeasurementError(f"factor must be >= 1, got {factor}")
+    if values.shape[0] % factor != 0:
+        raise MeasurementError(
+            f"cannot rebin {values.shape[0]} bins by a factor of {factor}"
+        )
+    t, n = values.shape
+    return values.reshape(t // factor, factor, n).sum(axis=1)
+
+
+def subdivide_matrix(
+    values: np.ndarray,
+    factor: int,
+    roughness: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Split each coarse bin into ``factor`` fine bins conserving mass.
+
+    Each coarse cell's bytes are distributed across its fine bins with
+    Dirichlet-like proportions around uniform; ``roughness`` controls the
+    burstiness (0 gives an exactly even split).  Mass is conserved per
+    cell: the fine bins of a coarse bin sum to the original value exactly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise MeasurementError(f"expected a matrix, got shape {values.shape}")
+    if factor < 1:
+        raise MeasurementError(f"factor must be >= 1, got {factor}")
+    if roughness < 0:
+        raise MeasurementError(f"roughness must be >= 0, got {roughness}")
+    if np.any(values < 0):
+        raise MeasurementError("byte counts must be non-negative")
+    t, n = values.shape
+    if factor == 1:
+        return values.copy()
+
+    rng = rng_from(seed)
+    if roughness == 0:
+        shares = np.full((t, factor, n), 1.0 / factor)
+    else:
+        raw = np.maximum(
+            rng.normal(1.0, roughness, size=(t, factor, n)), 1e-3
+        )
+        shares = raw / raw.sum(axis=1, keepdims=True)
+    fine = shares * values[:, None, :]
+    return fine.reshape(t * factor, n)

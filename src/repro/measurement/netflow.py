@@ -1,0 +1,107 @@
+"""NetFlow-style flow collection.
+
+:class:`FlowCollector` turns true per-bin OD byte counts into the sampled,
+rate-adjusted estimates an operator would actually see: bytes are
+converted to packets, packets run through a :class:`PacketSampler`, and
+sampled sizes are re-expanded by the sampling rate.  Collection happens on
+fine export bins (5 min for Sprint-style, 1 min for Abilene-style); the
+caller re-bins to the paper's 10-minute analysis granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_from
+from repro.exceptions import MeasurementError
+from repro.measurement.records import FlowRecord, FlowRecordBatch
+from repro.measurement.sampling import PacketSampler, PacketSizeModel
+
+__all__ = ["FlowCollector"]
+
+
+class FlowCollector:
+    """Simulates a sampled-flow exporter for OD-aggregated traffic.
+
+    Parameters
+    ----------
+    sampler:
+        Packet sampling discipline (periodic or random).
+    size_model:
+        Packet-size distribution summary.
+    seed:
+        Randomness source (phase offsets, binomial draws, size noise).
+    """
+
+    def __init__(
+        self,
+        sampler: PacketSampler,
+        size_model: PacketSizeModel | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.sampler = sampler
+        self.size_model = size_model if size_model is not None else PacketSizeModel()
+        self._rng = rng_from(seed)
+
+    def estimate_matrix(self, true_bytes: np.ndarray) -> np.ndarray:
+        """Rate-adjusted byte estimates for a ``(bins, flows)`` matrix.
+
+        The estimator is unbiased: ``E[estimate] = true`` up to the packet
+        rounding of the size model.  Its relative error shrinks as
+        ``1/sqrt(n·p)`` with ``n`` packets and sampling rate ``p``.
+        """
+        true_bytes = np.asarray(true_bytes, dtype=np.float64)
+        if true_bytes.ndim != 2:
+            raise MeasurementError(
+                f"expected a (bins, flows) matrix, got shape {true_bytes.shape}"
+            )
+        packets = self.size_model.packets_for_bytes(true_bytes)
+        sampled_bytes, _counts = self.sampler.sampled_bytes(
+            packets, self.size_model, self._rng
+        )
+        return sampled_bytes / self.sampler.rate
+
+    def collect(
+        self,
+        true_bytes: np.ndarray,
+        od_pairs: list[tuple[str, str]],
+        emit_zero_records: bool = False,
+    ) -> FlowRecordBatch:
+        """Export a :class:`FlowRecordBatch` for a ``(bins, flows)`` matrix.
+
+        Real exporters emit nothing for flows with no sampled packets;
+        ``emit_zero_records`` forces records for every cell (useful in
+        tests that assert on record counts).
+        """
+        true_bytes = np.asarray(true_bytes, dtype=np.float64)
+        if true_bytes.ndim != 2:
+            raise MeasurementError(
+                f"expected a (bins, flows) matrix, got shape {true_bytes.shape}"
+            )
+        if true_bytes.shape[1] != len(od_pairs):
+            raise MeasurementError(
+                f"matrix has {true_bytes.shape[1]} flows but {len(od_pairs)} "
+                "OD pairs were given"
+            )
+        packets = self.size_model.packets_for_bytes(true_bytes)
+        sampled_bytes, counts = self.sampler.sampled_bytes(
+            packets, self.size_model, self._rng
+        )
+        batch = FlowRecordBatch()
+        bins, flows = true_bytes.shape
+        for time_bin in range(bins):
+            for j in range(flows):
+                if counts[time_bin, j] == 0 and not emit_zero_records:
+                    continue
+                origin, destination = od_pairs[j]
+                batch.add(
+                    FlowRecord(
+                        origin=origin,
+                        destination=destination,
+                        time_bin=time_bin,
+                        sampled_bytes=float(sampled_bytes[time_bin, j]),
+                        sampled_packets=int(counts[time_bin, j]),
+                        sampling_rate=self.sampler.rate,
+                    )
+                )
+        return batch

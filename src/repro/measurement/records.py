@@ -1,0 +1,133 @@
+"""Flow-record data structures.
+
+A :class:`FlowRecord` is the unit a NetFlow/Traffic-Sampling exporter
+emits: byte and packet counts for one aggregation key in one time bin.
+The paper aggregates Sprint flows at the network-prefix level in 5-minute
+bins and Abilene flows at the 5-tuple level in 1-minute bins; in this
+reproduction the aggregation key is the OD pair, which is the granularity
+every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+
+__all__ = ["FlowRecord", "FlowRecordBatch"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One exported flow record.
+
+    Parameters
+    ----------
+    origin, destination:
+        Ingress and egress PoP of the flow's traffic.
+    time_bin:
+        Index of the (fine-grained) time bin the record covers.
+    sampled_bytes, sampled_packets:
+        Raw counts of *sampled* traffic (before rate adjustment).
+    sampling_rate:
+        Probability with which each packet was sampled; the adjusted
+        estimate is ``sampled_bytes / sampling_rate``.
+    """
+
+    origin: str
+    destination: str
+    time_bin: int
+    sampled_bytes: float
+    sampled_packets: int
+    sampling_rate: float
+
+    def __post_init__(self) -> None:
+        if self.time_bin < 0:
+            raise MeasurementError(f"time_bin must be >= 0, got {self.time_bin}")
+        if self.sampled_bytes < 0 or self.sampled_packets < 0:
+            raise MeasurementError("sampled counts must be non-negative")
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise MeasurementError(
+                f"sampling_rate must lie in (0, 1], got {self.sampling_rate}"
+            )
+
+    @property
+    def estimated_bytes(self) -> float:
+        """Sampling-rate-adjusted byte estimate."""
+        return self.sampled_bytes / self.sampling_rate
+
+    @property
+    def estimated_packets(self) -> float:
+        """Sampling-rate-adjusted packet estimate."""
+        return self.sampled_packets / self.sampling_rate
+
+
+class FlowRecordBatch:
+    """A collection of flow records with matrix export.
+
+    Records are grouped by OD pair and time bin; :meth:`to_matrix` lays the
+    adjusted byte estimates out as a ``(num_bins, num_flows)`` array ready
+    for re-binning.
+    """
+
+    def __init__(self, records: Iterable[FlowRecord] = ()) -> None:
+        self._records: list[FlowRecord] = list(records)
+
+    def add(self, record: FlowRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[FlowRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    @property
+    def records(self) -> list[FlowRecord]:
+        """All records (copy of the list)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._records)
+
+    def od_pairs(self) -> list[tuple[str, str]]:
+        """Distinct OD pairs present, in first-seen order."""
+        seen: dict[tuple[str, str], None] = {}
+        for record in self._records:
+            seen.setdefault((record.origin, record.destination), None)
+        return list(seen)
+
+    def num_bins(self) -> int:
+        """One past the largest time-bin index present (0 when empty)."""
+        if not self._records:
+            return 0
+        return max(record.time_bin for record in self._records) + 1
+
+    def to_matrix(
+        self,
+        od_pairs: list[tuple[str, str]],
+        num_bins: int | None = None,
+    ) -> np.ndarray:
+        """Adjusted byte estimates as a ``(num_bins, num_flows)`` array.
+
+        Records for OD pairs missing from ``od_pairs`` raise; cells without
+        records are zero (NetFlow emits nothing for idle flows).
+        """
+        positions = {pair: j for j, pair in enumerate(od_pairs)}
+        bins = num_bins if num_bins is not None else self.num_bins()
+        matrix = np.zeros((bins, len(od_pairs)))
+        for record in self._records:
+            key = (record.origin, record.destination)
+            if key not in positions:
+                raise MeasurementError(f"record for unknown OD pair {key}")
+            if record.time_bin >= bins:
+                raise MeasurementError(
+                    f"record bin {record.time_bin} outside matrix of {bins} bins"
+                )
+            matrix[record.time_bin, positions[key]] += record.estimated_bytes
+        return matrix

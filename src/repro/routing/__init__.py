@@ -1,0 +1,31 @@
+"""Routing substrate.
+
+The paper relates link traffic to OD-flow traffic through the routing
+matrix ``A`` (``y = Ax``, §4.1): ``A[i, j] = 1`` when OD flow ``j``
+traverses link ``i``.  This subpackage computes shortest paths over a
+:class:`~repro.topology.network.Network` with an IS-IS-like shortest-path-
+first protocol, materializes routing tables, and builds the routing matrix
+(binary for single-path routing, fractional under ECMP).
+"""
+
+from repro.routing.paths import all_shortest_paths, path_links, shortest_path
+from repro.routing.tables import Route, RoutingTable
+from repro.routing.protocol import SPFRouting
+from repro.routing.ecmp import ecmp_link_fractions
+from repro.routing.routing_matrix import RoutingMatrix, build_routing_matrix
+from repro.routing.events import LinkFailure, WeightChange, apply_events
+
+__all__ = [
+    "shortest_path",
+    "all_shortest_paths",
+    "path_links",
+    "Route",
+    "RoutingTable",
+    "SPFRouting",
+    "ecmp_link_fractions",
+    "RoutingMatrix",
+    "build_routing_matrix",
+    "LinkFailure",
+    "WeightChange",
+    "apply_events",
+]

@@ -1,0 +1,128 @@
+"""Routing events: link failures and weight changes.
+
+The paper's future-work section (§7.2, §9) discusses anomalies caused by
+routing changes — events that shift *multiple* OD flows at once.  These
+event types let experiments rewire a network mid-trace and compare the
+before/after routing matrices; the multi-flow identification extension in
+:mod:`repro.core.identification` can then be exercised on realistic
+reroute signatures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import RoutingError
+from repro.routing.protocol import SPFRouting
+from repro.routing.routing_matrix import RoutingMatrix, build_routing_matrix
+from repro.topology.link import Link
+from repro.topology.network import Network
+
+__all__ = ["LinkFailure", "WeightChange", "apply_events", "reroute_delta"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFailure:
+    """Both directions of an inter-PoP edge go down."""
+
+    source: str
+    target: str
+
+    def affected_links(self, network: Network) -> list[str]:
+        """Canonical names of the failed directed links present in ``network``."""
+        names = [f"{self.source}->{self.target}", f"{self.target}->{self.source}"]
+        present = [name for name in names if network.has_link(name)]
+        if not present:
+            raise RoutingError(
+                f"no links between {self.source!r} and {self.target!r}"
+            )
+        return present
+
+
+@dataclass(frozen=True, slots=True)
+class WeightChange:
+    """The IS-IS metric of a directed link changes (traffic engineering)."""
+
+    link_name: str
+    new_weight: float
+
+    def __post_init__(self) -> None:
+        if self.new_weight <= 0:
+            raise RoutingError(
+                f"link weight must be positive, got {self.new_weight!r}"
+            )
+
+
+def apply_events(
+    network: Network,
+    events: Sequence[LinkFailure | WeightChange],
+    ecmp: bool = False,
+) -> RoutingMatrix:
+    """Recompute the routing matrix after the given events.
+
+    Failures are modeled by excluding the affected links from SPF; weight
+    changes rebuild the network with updated metrics.  The input network is
+    never mutated.
+    """
+    excluded: set[str] = set()
+    new_weights: dict[str, float] = {}
+    for event in events:
+        if isinstance(event, LinkFailure):
+            excluded.update(event.affected_links(network))
+        elif isinstance(event, WeightChange):
+            if not network.has_link(event.link_name):
+                raise RoutingError(f"unknown link: {event.link_name!r}")
+            new_weights[event.link_name] = event.new_weight
+        else:
+            raise RoutingError(f"unknown event type: {type(event).__name__}")
+
+    effective = _with_weights(network, new_weights) if new_weights else network
+    table = SPFRouting(effective, ecmp=ecmp).compute(exclude_links=excluded)
+    return build_routing_matrix(effective, table)
+
+
+def _with_weights(network: Network, new_weights: dict[str, float]) -> Network:
+    """Copy a network, overriding the weights of selected links."""
+    clone = Network(network.name)
+    for pop in network.pops:
+        clone.add_pop(pop)
+    for link in network.links:
+        weight = new_weights.get(link.name, link.weight)
+        clone.add_link(
+            Link(
+                source=link.source,
+                target=link.target,
+                capacity_bps=link.capacity_bps,
+                weight=weight,
+                kind=link.kind,
+            )
+        )
+    return clone
+
+
+def reroute_delta(
+    before: RoutingMatrix, after: RoutingMatrix
+) -> list[tuple[str, str]]:
+    """OD pairs whose routing changed between two routing matrices.
+
+    Useful for constructing multi-flow anomaly hypotheses: a routing event
+    perturbs exactly these flows.
+    """
+    if before.od_pairs != after.od_pairs:
+        raise RoutingError("routing matrices cover different OD pairs")
+    if before.link_names != after.link_names:
+        # A failed link keeps its row (it simply carries no flows), so rows
+        # should always agree; differing rows indicate a topology mismatch.
+        raise RoutingError("routing matrices cover different links")
+    changed = []
+    for j, od_pair in enumerate(before.od_pairs):
+        if not _columns_equal(before.matrix[:, j], after.matrix[:, j]):
+            changed.append(od_pair)
+    return changed
+
+
+def _columns_equal(a, b) -> bool:
+    import numpy as np
+
+    return bool(np.allclose(a, b, atol=1e-12))

@@ -1,0 +1,172 @@
+"""Shortest-path computation.
+
+A deliberately self-contained Dijkstra implementation with *deterministic*
+tie-breaking: among equal-cost paths the one with fewer hops wins, and
+remaining ties fall to the lexicographically smallest node sequence.  The
+determinism matters because the routing matrix — and therefore every
+downstream measurement — must be reproducible run to run.
+
+networkx is used in the test suite as an independent oracle, not here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.exceptions import RoutingError
+from repro.topology.network import Network
+
+__all__ = ["shortest_path", "all_shortest_paths", "path_links", "path_cost"]
+
+
+def _adjacency(network: Network, exclude_links: frozenset[str]) -> dict[str, list[tuple[str, float]]]:
+    """Map each PoP to its (neighbor, weight) pairs over usable links."""
+    adjacency: dict[str, list[tuple[str, float]]] = {
+        name: [] for name in network.pop_names
+    }
+    for link in network.inter_pop_links:
+        if link.name in exclude_links:
+            continue
+        adjacency[link.source].append((link.target, link.weight))
+    return adjacency
+
+
+def shortest_path(
+    network: Network,
+    origin: str,
+    destination: str,
+    exclude_links: Iterable[str] = (),
+) -> list[str]:
+    """Return the deterministic shortest path as a list of PoP names.
+
+    Parameters
+    ----------
+    network:
+        The network to route over (only inter-PoP links are considered).
+    origin, destination:
+        PoP names.  Equal names yield the trivial path ``[origin]``.
+    exclude_links:
+        Canonical link names to treat as failed.
+
+    Raises
+    ------
+    RoutingError
+        If either endpoint is unknown or no path exists.
+    """
+    network.pop(origin)
+    network.pop(destination)
+    if origin == destination:
+        return [origin]
+
+    excluded = frozenset(exclude_links)
+    adjacency = _adjacency(network, excluded)
+
+    # Heap entries are (cost, hops, path); tuple comparison implements the
+    # tie-breaking order documented above.
+    heap: list[tuple[float, int, tuple[str, ...]]] = [(0.0, 0, (origin,))]
+    best: dict[str, tuple[float, int, tuple[str, ...]]] = {}
+    while heap:
+        cost, hops, path = heapq.heappop(heap)
+        node = path[-1]
+        if node in best and best[node] <= (cost, hops, path):
+            continue
+        best[node] = (cost, hops, path)
+        if node == destination:
+            return list(path)
+        for neighbor, weight in adjacency[node]:
+            if neighbor in path:
+                continue
+            candidate = (cost + weight, hops + 1, path + (neighbor,))
+            if neighbor not in best or candidate < best[neighbor]:
+                heapq.heappush(heap, candidate)
+    raise RoutingError(
+        f"no path from {origin!r} to {destination!r}"
+        + (f" with links {sorted(excluded)} excluded" if excluded else "")
+    )
+
+
+def all_shortest_paths(
+    network: Network,
+    origin: str,
+    destination: str,
+    exclude_links: Iterable[str] = (),
+) -> list[list[str]]:
+    """Return *all* minimum-cost paths, sorted lexicographically.
+
+    Used by the ECMP layer; cost ties are not broken here.
+    """
+    network.pop(origin)
+    network.pop(destination)
+    if origin == destination:
+        return [[origin]]
+
+    excluded = frozenset(exclude_links)
+    adjacency = _adjacency(network, excluded)
+
+    # Dijkstra for distances from origin.
+    distances: dict[str, float] = {origin: 0.0}
+    heap: list[tuple[float, str]] = [(0.0, origin)]
+    visited: set[str] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, weight in adjacency[node]:
+            candidate = cost + weight
+            if candidate < distances.get(neighbor, float("inf")) - 1e-12:
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    if destination not in distances:
+        raise RoutingError(f"no path from {origin!r} to {destination!r}")
+
+    # Enumerate paths along the shortest-path DAG by depth-first search.
+    target_cost = distances[destination]
+    paths: list[list[str]] = []
+
+    def _extend(path: list[str], cost_so_far: float) -> None:
+        node = path[-1]
+        if node == destination:
+            paths.append(list(path))
+            return
+        for neighbor, weight in adjacency[node]:
+            remaining = distances.get(neighbor)
+            if remaining is None:
+                continue
+            on_dag = abs(cost_so_far + weight - remaining) < 1e-12
+            feasible = remaining <= target_cost + 1e-12
+            if on_dag and feasible and neighbor not in path:
+                path.append(neighbor)
+                _extend(path, cost_so_far + weight)
+                path.pop()
+
+    _extend([origin], 0.0)
+    paths = [p for p in paths if abs(path_cost(network, p) - target_cost) < 1e-9]
+    return sorted(paths)
+
+
+def path_links(network: Network, path: list[str]) -> list[str]:
+    """Convert a PoP-name path to the canonical names of its links.
+
+    A trivial single-PoP path maps to that PoP's intra-PoP link, matching
+    the paper's treatment of same-PoP OD flows.
+    """
+    if not path:
+        raise RoutingError("empty path")
+    if len(path) == 1:
+        return [network.intra_pop_link(path[0]).name]
+    links = []
+    for source, target in zip(path[:-1], path[1:]):
+        links.append(network.link_between(source, target).name)
+    return links
+
+
+def path_cost(network: Network, path: list[str]) -> float:
+    """Total routing weight along a PoP-name path (0 for a trivial path)."""
+    if len(path) <= 1:
+        return 0.0
+    total = 0.0
+    for source, target in zip(path[:-1], path[1:]):
+        total += network.link_between(source, target).weight
+    return total

@@ -1,0 +1,99 @@
+"""IS-IS-like shortest-path-first routing protocol.
+
+The paper resolves OD-flow paths with IS-IS/BGP routing tables taken from
+the networks in operation (§3).  :class:`SPFRouting` plays that role here:
+it runs shortest-path-first over the link weights of a network and emits a
+:class:`~repro.routing.tables.RoutingTable` covering every OD pair,
+including same-PoP pairs (routed over intra-PoP self-links).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import RoutingError
+from repro.routing import paths as _paths
+from repro.routing.ecmp import ecmp_routes
+from repro.routing.tables import Route, RoutingTable
+from repro.topology.network import Network
+
+__all__ = ["SPFRouting"]
+
+
+class SPFRouting:
+    """Shortest-path-first routing over a network.
+
+    Parameters
+    ----------
+    network:
+        The network to route.  Must contain one intra-PoP link per PoP
+        (same-PoP OD flows need somewhere to live).
+    ecmp:
+        When True, equal-cost paths split traffic evenly at each branching
+        node, producing fractional routes; when False (the default, and the
+        paper's setting) ties are broken deterministically and every OD
+        pair gets exactly one path.
+
+    Examples
+    --------
+    >>> from repro.topology import toy_network
+    >>> table = SPFRouting(toy_network()).compute()
+    >>> table.route("a", "b").links
+    ('a->b',)
+    """
+
+    def __init__(self, network: Network, ecmp: bool = False) -> None:
+        self.network = network
+        self.ecmp = ecmp
+        intra_sources = {link.source for link in network.intra_pop_links}
+        missing = [name for name in network.pop_names if name not in intra_sources]
+        if missing:
+            raise RoutingError(
+                "SPFRouting needs an intra-PoP link at every PoP; missing: "
+                + ", ".join(sorted(missing))
+            )
+
+    def compute(self, exclude_links: Iterable[str] = ()) -> RoutingTable:
+        """Run SPF for every OD pair and return the routing table.
+
+        Parameters
+        ----------
+        exclude_links:
+            Canonical names of links to treat as failed.  Excluding an
+            intra-PoP link is rejected, since same-PoP traffic has no
+            alternative route.
+        """
+        excluded = frozenset(exclude_links)
+        for name in excluded:
+            if not self.network.has_link(name):
+                raise RoutingError(f"cannot exclude unknown link {name!r}")
+            if self.network.link(name).is_intra_pop:
+                raise RoutingError(
+                    f"cannot exclude intra-PoP link {name!r}: same-PoP "
+                    "traffic has no alternative route"
+                )
+
+        routes: dict[tuple[str, str], tuple[Route, ...]] = {}
+        for origin, destination in self.network.od_pairs:
+            if origin == destination:
+                link = self.network.intra_pop_link(origin)
+                routes[(origin, destination)] = (
+                    Route(pops=(origin,), links=(link.name,), fraction=1.0),
+                )
+            elif self.ecmp:
+                routes[(origin, destination)] = ecmp_routes(
+                    self.network, origin, destination, exclude_links=excluded
+                )
+            else:
+                pop_path = _paths.shortest_path(
+                    self.network, origin, destination, exclude_links=excluded
+                )
+                link_path = _paths.path_links(self.network, pop_path)
+                routes[(origin, destination)] = (
+                    Route(
+                        pops=tuple(pop_path),
+                        links=tuple(link_path),
+                        fraction=1.0,
+                    ),
+                )
+        return RoutingTable(routes)

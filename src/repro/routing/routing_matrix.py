@@ -1,0 +1,191 @@
+"""The routing matrix ``A`` (paper §4.1).
+
+``A`` has one row per directed link and one column per OD flow;
+``A[i, j]`` is the fraction of OD flow ``j`` carried on link ``i`` (exactly
+0 or 1 under single-path routing, fractional under ECMP).  The vector of
+link counts relates to the vector of OD-flow counts by ``y = A x``.
+
+Two derived normalizations appear throughout the paper:
+
+* ``θ_i = A_i / ‖A_i‖`` — unit-L2-norm columns, the per-anomaly link
+  signature used by identification (§5.2);
+* ``Ā_i = A_i / Σ A_i`` — unit-sum columns, used by quantification (§5.3)
+  to convert per-link anomaly traffic back to flow bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.routing.tables import RoutingTable
+from repro.topology.network import Network
+
+__all__ = ["RoutingMatrix", "build_routing_matrix"]
+
+
+class RoutingMatrix:
+    """The routing matrix with named axes and the paper's normalizations.
+
+    Construct via :func:`build_routing_matrix` (or directly from an array
+    when testing).  Immutable after construction.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        link_names: list[str],
+        od_pairs: list[tuple[str, str]],
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise RoutingError(f"routing matrix must be 2-D, got {matrix.shape}")
+        if matrix.shape != (len(link_names), len(od_pairs)):
+            raise RoutingError(
+                f"routing matrix shape {matrix.shape} does not match "
+                f"{len(link_names)} links x {len(od_pairs)} OD pairs"
+            )
+        if np.any(matrix < 0) or np.any(matrix > 1 + 1e-9):
+            raise RoutingError("routing matrix entries must lie in [0, 1]")
+        column_mass = matrix.sum(axis=0)
+        if np.any(column_mass <= 0):
+            empty = [od_pairs[j] for j in np.nonzero(column_mass <= 0)[0]]
+            raise RoutingError(f"OD flows traverse no links: {empty}")
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+        self._link_names = list(link_names)
+        self._od_pairs = list(od_pairs)
+        self._link_positions = {name: i for i, name in enumerate(link_names)}
+        self._od_positions = {pair: j for j, pair in enumerate(od_pairs)}
+
+    # ------------------------------------------------------------------
+    # Shape and lookup
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (num_links, num_flows) array.  Read-only view."""
+        return self._matrix
+
+    @property
+    def num_links(self) -> int:
+        """Number of rows (directed links)."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_flows(self) -> int:
+        """Number of columns (OD flows)."""
+        return self._matrix.shape[1]
+
+    @property
+    def link_names(self) -> list[str]:
+        """Row labels: canonical link names."""
+        return list(self._link_names)
+
+    @property
+    def od_pairs(self) -> list[tuple[str, str]]:
+        """Column labels: (origin, destination) PoP names."""
+        return list(self._od_pairs)
+
+    def link_index(self, link_name: str) -> int:
+        """Row index of a link."""
+        try:
+            return self._link_positions[link_name]
+        except KeyError:
+            raise RoutingError(f"unknown link: {link_name!r}") from None
+
+    def od_index(self, origin: str, destination: str) -> int:
+        """Column index of an OD flow."""
+        try:
+            return self._od_positions[(origin, destination)]
+        except KeyError:
+            raise RoutingError(
+                f"unknown OD pair: ({origin!r}, {destination!r})"
+            ) from None
+
+    def column(self, flow_index: int) -> np.ndarray:
+        """Column ``A_i`` for OD flow ``flow_index`` (copy)."""
+        return self._matrix[:, flow_index].copy()
+
+    def links_of_flow(self, flow_index: int) -> list[str]:
+        """Names of links traversed by flow ``flow_index``."""
+        rows = np.nonzero(self._matrix[:, flow_index] > 0)[0]
+        return [self._link_names[i] for i in rows]
+
+    def flows_on_link(self, link_name: str) -> list[int]:
+        """Indices of OD flows traversing ``link_name``."""
+        row = self.link_index(link_name)
+        return list(np.nonzero(self._matrix[row] > 0)[0])
+
+    # ------------------------------------------------------------------
+    # Paper normalizations
+    # ------------------------------------------------------------------
+    def normalized_columns(self) -> np.ndarray:
+        """``Θ``: matrix whose column ``i`` is ``θ_i = A_i / ‖A_i‖`` (§5.2)."""
+        norms = np.linalg.norm(self._matrix, axis=0)
+        return self._matrix / norms
+
+    def unit_sum_columns(self) -> np.ndarray:
+        """``Ā``: matrix whose columns sum to one (§5.3)."""
+        sums = self._matrix.sum(axis=0)
+        return self._matrix / sums
+
+    def anomaly_direction(self, flow_index: int) -> np.ndarray:
+        """``θ_i`` for a single flow (unit-norm link signature)."""
+        if not 0 <= flow_index < self.num_flows:
+            raise RoutingError(
+                f"flow index {flow_index} out of range [0, {self.num_flows})"
+            )
+        column = self._matrix[:, flow_index]
+        return column / np.linalg.norm(column)
+
+    # ------------------------------------------------------------------
+    # Traffic mapping
+    # ------------------------------------------------------------------
+    def link_loads(self, od_traffic: np.ndarray) -> np.ndarray:
+        """Map OD traffic to link traffic: ``y = A x``.
+
+        Accepts a single OD vector of length ``num_flows`` or a
+        ``(t, num_flows)`` timeseries matrix; returns the matching link
+        vector or ``(t, num_links)`` matrix.
+        """
+        od_traffic = np.asarray(od_traffic, dtype=np.float64)
+        if od_traffic.ndim == 1:
+            if od_traffic.shape[0] != self.num_flows:
+                raise RoutingError(
+                    f"OD vector has length {od_traffic.shape[0]}, expected "
+                    f"{self.num_flows}"
+                )
+            return self._matrix @ od_traffic
+        if od_traffic.ndim == 2:
+            if od_traffic.shape[1] != self.num_flows:
+                raise RoutingError(
+                    f"OD matrix has {od_traffic.shape[1]} columns, expected "
+                    f"{self.num_flows}"
+                )
+            return od_traffic @ self._matrix.T
+        raise RoutingError(
+            f"OD traffic must be 1-D or 2-D, got shape {od_traffic.shape}"
+        )
+
+    def is_binary(self) -> bool:
+        """True when every entry is exactly 0 or 1 (single-path routing)."""
+        return bool(np.all((self._matrix == 0.0) | (self._matrix == 1.0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoutingMatrix({self.num_links} links x {self.num_flows} flows)"
+
+
+def build_routing_matrix(network: Network, table: RoutingTable) -> RoutingMatrix:
+    """Materialize the routing matrix from a network and routing table.
+
+    Rows follow the network's link insertion order; columns follow
+    ``network.od_pairs`` order (origin-major).  Every OD pair in the network
+    must be covered by the table.
+    """
+    matrix = np.zeros((network.num_links, network.num_od_pairs))
+    od_pairs = network.od_pairs
+    for j, (origin, destination) in enumerate(od_pairs):
+        for route in table.routes(origin, destination):
+            for link_name in route.links:
+                matrix[network.link_index(link_name), j] += route.fraction
+    return RoutingMatrix(matrix, [link.name for link in network.links], od_pairs)

@@ -1,0 +1,122 @@
+"""Routing tables.
+
+A :class:`RoutingTable` records, for every OD pair, the route (or routes,
+under ECMP) assigned by the routing protocol together with the fraction of
+the flow's traffic carried by each route.  Tables are immutable snapshots;
+re-running the protocol after a topology change produces a new table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import RoutingError
+
+__all__ = ["Route", "RoutingTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One path assigned to an OD pair.
+
+    Parameters
+    ----------
+    pops:
+        The PoP-name sequence, origin first.  A single-element sequence
+        denotes a same-PoP flow routed over its intra-PoP link.
+    links:
+        Canonical link names traversed, in order.
+    fraction:
+        Fraction of the OD flow's traffic carried on this path (1.0 for
+        single-path routing; ECMP assigns fractions summing to 1).
+    """
+
+    pops: tuple[str, ...]
+    links: tuple[str, ...]
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.pops:
+            raise RoutingError("a route must visit at least one PoP")
+        if not self.links:
+            raise RoutingError("a route must traverse at least one link")
+        if not 0.0 < self.fraction <= 1.0:
+            raise RoutingError(
+                f"route fraction must lie in (0, 1], got {self.fraction!r}"
+            )
+
+    @property
+    def origin(self) -> str:
+        """First PoP of the route."""
+        return self.pops[0]
+
+    @property
+    def destination(self) -> str:
+        """Last PoP of the route."""
+        return self.pops[-1]
+
+    @property
+    def num_hops(self) -> int:
+        """Number of links traversed."""
+        return len(self.links)
+
+
+class RoutingTable:
+    """Immutable mapping from OD pair to its route set."""
+
+    def __init__(self, routes: dict[tuple[str, str], tuple[Route, ...]]) -> None:
+        for od_pair, route_set in routes.items():
+            if not route_set:
+                raise RoutingError(f"OD pair {od_pair} has no routes")
+            total = sum(route.fraction for route in route_set)
+            if abs(total - 1.0) > 1e-9:
+                raise RoutingError(
+                    f"route fractions for {od_pair} sum to {total}, expected 1"
+                )
+            for route in route_set:
+                if (route.origin, route.destination) != od_pair:
+                    raise RoutingError(
+                        f"route {route.pops} filed under wrong OD pair {od_pair}"
+                    )
+        self._routes = dict(routes)
+
+    def routes(self, origin: str, destination: str) -> tuple[Route, ...]:
+        """All routes for the OD pair, fractions summing to 1."""
+        try:
+            return self._routes[(origin, destination)]
+        except KeyError:
+            raise RoutingError(
+                f"no routes recorded for OD pair ({origin!r}, {destination!r})"
+            ) from None
+
+    def route(self, origin: str, destination: str) -> Route:
+        """The unique route for the OD pair (errors if ECMP split)."""
+        route_set = self.routes(origin, destination)
+        if len(route_set) != 1:
+            raise RoutingError(
+                f"OD pair ({origin!r}, {destination!r}) has {len(route_set)} "
+                "ECMP routes; use .routes()"
+            )
+        return route_set[0]
+
+    def od_pairs(self) -> list[tuple[str, str]]:
+        """All OD pairs with routes, in insertion order."""
+        return list(self._routes.keys())
+
+    def links_used(self) -> set[str]:
+        """The set of link names carrying at least one route."""
+        used: set[str] = set()
+        for route_set in self._routes.values():
+            for route in route_set:
+                used.update(route.links)
+        return used
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._routes)
+
+    def __contains__(self, od_pair: tuple[str, str]) -> bool:
+        return od_pair in self._routes

@@ -1,0 +1,49 @@
+"""Network topology model.
+
+This subpackage provides the structural substrate of the reproduction: PoPs
+(points of presence), directed links between them, and the
+:class:`~repro.topology.network.Network` container that the routing and
+traffic layers operate on.
+
+The two backbone networks studied in the paper are available from
+:mod:`repro.topology.library`:
+
+>>> from repro.topology import abilene, sprint_europe
+>>> abilene().num_links
+41
+>>> sprint_europe().num_links
+49
+"""
+
+from repro.topology.link import Link, LinkKind
+from repro.topology.node import PoP
+from repro.topology.network import Network
+from repro.topology.builders import NetworkBuilder, line_network, ring_network, star_network
+from repro.topology.library import abilene, sprint_europe, toy_network
+from repro.topology.serialization import (
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
+from repro.topology.validation import check_network, connectivity_report
+
+__all__ = [
+    "PoP",
+    "Link",
+    "LinkKind",
+    "Network",
+    "NetworkBuilder",
+    "line_network",
+    "ring_network",
+    "star_network",
+    "abilene",
+    "sprint_europe",
+    "toy_network",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+    "check_network",
+    "connectivity_report",
+]

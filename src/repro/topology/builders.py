@@ -1,0 +1,165 @@
+"""Programmatic topology construction helpers.
+
+The :class:`NetworkBuilder` offers a fluent interface for assembling
+networks in examples and tests; the module-level functions build the classic
+regular shapes (line, ring, star) used throughout the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import TopologyError
+from repro.topology.link import DEFAULT_CAPACITY_BPS
+from repro.topology.network import Network
+from repro.topology.node import PoP
+
+__all__ = ["NetworkBuilder", "line_network", "ring_network", "star_network"]
+
+
+class NetworkBuilder:
+    """Fluent builder for :class:`~repro.topology.network.Network` objects.
+
+    Examples
+    --------
+    >>> net = (
+    ...     NetworkBuilder("demo")
+    ...     .pop("a", city="Amsterdam")
+    ...     .pop("b", city="Berlin")
+    ...     .edge("a", "b")
+    ...     .with_intra_pop_links()
+    ...     .build()
+    ... )
+    >>> net.num_links
+    4
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self._name = name
+        self._pops: list[PoP] = []
+        self._edges: list[tuple[str, str, float, float]] = []
+        self._directed: list[tuple[str, str, float, float]] = []
+        self._intra_pop = False
+        self._default_capacity = DEFAULT_CAPACITY_BPS
+
+    def pop(
+        self,
+        name: str,
+        city: str = "",
+        latitude: float | None = None,
+        longitude: float | None = None,
+        population: float = 1.0,
+    ) -> "NetworkBuilder":
+        """Add a PoP."""
+        self._pops.append(
+            PoP(
+                name,
+                city=city,
+                latitude=latitude,
+                longitude=longitude,
+                population=population,
+            )
+        )
+        return self
+
+    def pops(self, names: Sequence[str]) -> "NetworkBuilder":
+        """Add several plain PoPs at once."""
+        for name in names:
+            self.pop(name)
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        weight: float = 1.0,
+        capacity_bps: float | None = None,
+    ) -> "NetworkBuilder":
+        """Add a bidirectional inter-PoP edge (two directed links)."""
+        capacity = capacity_bps if capacity_bps is not None else self._default_capacity
+        self._edges.append((source, target, weight, capacity))
+        return self
+
+    def directed_link(
+        self,
+        source: str,
+        target: str,
+        weight: float = 1.0,
+        capacity_bps: float | None = None,
+    ) -> "NetworkBuilder":
+        """Add a single directed inter-PoP link."""
+        capacity = capacity_bps if capacity_bps is not None else self._default_capacity
+        self._directed.append((source, target, weight, capacity))
+        return self
+
+    def with_intra_pop_links(self, enabled: bool = True) -> "NetworkBuilder":
+        """Append one intra-PoP self-link per PoP at build time."""
+        self._intra_pop = enabled
+        return self
+
+    def default_capacity(self, capacity_bps: float) -> "NetworkBuilder":
+        """Set the capacity used for edges that do not specify one."""
+        if capacity_bps <= 0:
+            raise TopologyError("default capacity must be positive")
+        self._default_capacity = capacity_bps
+        return self
+
+    def build(self) -> Network:
+        """Materialize the network, validating all references."""
+        network = Network(self._name)
+        for pop in self._pops:
+            network.add_pop(pop)
+        for source, target, weight, capacity in self._edges:
+            network.add_bidirectional(
+                source, target, capacity_bps=capacity, weight=weight
+            )
+        for source, target, weight, capacity in self._directed:
+            from repro.topology.link import Link
+
+            network.add_link(
+                Link(source, target, capacity_bps=capacity, weight=weight)
+            )
+        if self._intra_pop:
+            network.add_intra_pop_links()
+        return network
+
+
+def _numbered_names(count: int, prefix: str) -> list[str]:
+    if count < 1:
+        raise TopologyError(f"network size must be >= 1, got {count}")
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def line_network(num_pops: int, with_intra_pop: bool = True, prefix: str = "p") -> Network:
+    """A chain ``p0 - p1 - ... - p(n-1)``.
+
+    Useful in tests because every OD path is unique and easy to enumerate.
+    """
+    names = _numbered_names(num_pops, prefix)
+    edges = [(names[i], names[i + 1]) for i in range(num_pops - 1)]
+    return Network.from_edges(
+        f"line-{num_pops}", names, edges, with_intra_pop=with_intra_pop
+    )
+
+
+def ring_network(num_pops: int, with_intra_pop: bool = True, prefix: str = "p") -> Network:
+    """A cycle of ``num_pops`` PoPs (requires at least 3)."""
+    if num_pops < 3:
+        raise TopologyError(f"a ring needs at least 3 PoPs, got {num_pops}")
+    names = _numbered_names(num_pops, prefix)
+    edges = [(names[i], names[(i + 1) % num_pops]) for i in range(num_pops)]
+    return Network.from_edges(
+        f"ring-{num_pops}", names, edges, with_intra_pop=with_intra_pop
+    )
+
+
+def star_network(num_leaves: int, with_intra_pop: bool = True, prefix: str = "leaf") -> Network:
+    """A hub PoP ``hub`` connected to ``num_leaves`` leaf PoPs."""
+    if num_leaves < 1:
+        raise TopologyError(f"a star needs at least 1 leaf, got {num_leaves}")
+    leaves = _numbered_names(num_leaves, prefix)
+    names = ["hub"] + leaves
+    edges = [("hub", leaf) for leaf in leaves]
+    return Network.from_edges(
+        f"star-{num_leaves}", names, edges, with_intra_pop=with_intra_pop
+    )

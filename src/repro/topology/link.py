@@ -1,0 +1,98 @@
+"""Directed link model.
+
+Links are directed: the traffic observed on ``a -> b`` is distinct from the
+traffic on ``b -> a``, and the measurement matrix ``Y`` has one column per
+directed link.  Backbone topologies in the paper also include one
+*intra-PoP* link per PoP, used by OD flows that enter and exit the backbone
+at the same PoP (paper §3, footnote 2); we model those as self-links with
+:attr:`LinkKind.INTRA_POP`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import TopologyError
+
+__all__ = ["Link", "LinkKind", "DEFAULT_CAPACITY_BPS"]
+
+#: Default link capacity: 10 Gb/s (OC-192, as deployed on Abilene in 2004).
+DEFAULT_CAPACITY_BPS: float = 10e9
+
+
+class LinkKind(enum.Enum):
+    """Classification of a link within a backbone topology."""
+
+    #: A link between two distinct PoPs.
+    INTER_POP = "inter-pop"
+    #: A self-link carrying traffic that enters and exits at the same PoP.
+    INTRA_POP = "intra-pop"
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed network link.
+
+    Parameters
+    ----------
+    source, target:
+        PoP names.  Equal names denote an intra-PoP link and require
+        ``kind=LinkKind.INTRA_POP``.
+    capacity_bps:
+        Link capacity in bits per second.  Used by the measurement layer to
+        derive utilization; the subspace method itself never needs it.
+    weight:
+        IS-IS/OSPF routing metric.  Shortest paths minimize the sum of
+        weights along the path.
+    kind:
+        Inter-PoP or intra-PoP (see :class:`LinkKind`).
+    """
+
+    source: str
+    target: str
+    capacity_bps: float = DEFAULT_CAPACITY_BPS
+    weight: float = 1.0
+    kind: LinkKind = LinkKind.INTER_POP
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise TopologyError("link endpoints must be non-empty PoP names")
+        if self.capacity_bps <= 0:
+            raise TopologyError(
+                f"link capacity must be positive, got {self.capacity_bps!r}"
+            )
+        if self.weight <= 0:
+            raise TopologyError(f"link weight must be positive, got {self.weight!r}")
+        if (self.source == self.target) != (self.kind is LinkKind.INTRA_POP):
+            raise TopologyError(
+                "self-links must be intra-PoP and intra-PoP links must be "
+                f"self-links: {self.source} -> {self.target} ({self.kind.value})"
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical identifier, e.g. ``"nycm->chin"`` or ``"atla=atla"``."""
+        if self.kind is LinkKind.INTRA_POP:
+            return f"{self.source}={self.target}"
+        return f"{self.source}->{self.target}"
+
+    @property
+    def is_intra_pop(self) -> bool:
+        """True for self-links carrying same-PoP OD traffic."""
+        return self.kind is LinkKind.INTRA_POP
+
+    def reversed(self) -> "Link":
+        """Return the link in the opposite direction (same attributes)."""
+        if self.is_intra_pop:
+            raise TopologyError(f"intra-PoP link {self.name} has no reverse")
+        return Link(
+            source=self.target,
+            target=self.source,
+            capacity_bps=self.capacity_bps,
+            weight=self.weight,
+            kind=self.kind,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

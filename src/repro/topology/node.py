@@ -1,0 +1,65 @@
+"""Point-of-Presence (PoP) model.
+
+A backbone network is composed of PoPs connected by links (paper §2).  A PoP
+is identified by a short name (e.g. ``"nycm"`` for New York in Abilene) and
+may carry descriptive metadata used only for display and plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+
+__all__ = ["PoP"]
+
+
+@dataclass(frozen=True, slots=True)
+class PoP:
+    """A network Point of Presence.
+
+    Parameters
+    ----------
+    name:
+        Unique short identifier within a network (case-sensitive).
+    city:
+        Human-readable location, for display only.
+    latitude, longitude:
+        Optional coordinates in degrees, for plotting topologies.
+    population:
+        Optional relative size of the customer base attached to this PoP.
+        The gravity traffic model uses it to set mean OD-flow rates; it is
+        a unitless weight, not a literal census count.
+    """
+
+    name: str
+    city: str = ""
+    latitude: float | None = None
+    longitude: float | None = None
+    population: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise TopologyError("PoP name must be a non-empty string")
+        if any(ch.isspace() for ch in self.name):
+            raise TopologyError(f"PoP name may not contain whitespace: {self.name!r}")
+        if self.population <= 0:
+            raise TopologyError(
+                f"PoP population weight must be positive, got {self.population!r}"
+            )
+        if (self.latitude is None) != (self.longitude is None):
+            raise TopologyError(
+                "latitude and longitude must be given together or not at all"
+            )
+        if self.latitude is not None and not -90.0 <= self.latitude <= 90.0:
+            raise TopologyError(f"latitude out of range: {self.latitude!r}")
+        if self.longitude is not None and not -180.0 <= self.longitude <= 180.0:
+            raise TopologyError(f"longitude out of range: {self.longitude!r}")
+
+    @property
+    def display_name(self) -> str:
+        """City name when available, else the short identifier."""
+        return self.city or self.name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

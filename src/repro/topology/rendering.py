@@ -1,0 +1,65 @@
+"""Plain-text topology rendering (paper Fig. 2).
+
+Renders a network as an annotated adjacency listing plus a coarse
+ASCII map placed by PoP coordinates (when available).  Used by the
+Table-1/Fig-2 benchmark and the ``repro topology`` CLI command.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import Network
+
+__all__ = ["render_topology", "render_ascii_map"]
+
+
+def render_topology(network: Network) -> str:
+    """Adjacency listing with degrees and link counts."""
+    lines = [
+        f"network {network.name}: {network.num_pops} PoPs, "
+        f"{network.num_links} links "
+        f"({len(network.inter_pop_links)} inter-PoP + "
+        f"{len(network.intra_pop_links)} intra-PoP)",
+        "",
+    ]
+    width = max(len(pop.name) for pop in network.pops)
+    for pop in network.pops:
+        neighbors = sorted(network.neighbors(pop.name))
+        label = pop.city or pop.name
+        lines.append(
+            f"  {pop.name:<{width}}  ({label}, w={pop.population:g})  ->  "
+            + ", ".join(neighbors)
+        )
+    return "\n".join(lines)
+
+
+def render_ascii_map(network: Network, width: int = 68, height: int = 18) -> str:
+    """A coarse coordinate map: PoP names placed by latitude/longitude.
+
+    PoPs lacking coordinates are listed below the map instead.  Edges
+    are not drawn (terminal art would obscure more than it shows); the
+    adjacency listing carries that information.
+    """
+    placed = [pop for pop in network.pops if pop.latitude is not None]
+    unplaced = [pop for pop in network.pops if pop.latitude is None]
+    if not placed:
+        return render_topology(network)
+
+    lats = np.array([pop.latitude for pop in placed])
+    lons = np.array([pop.longitude for pop in placed])
+    lat_span = max(lats.max() - lats.min(), 1e-6)
+    lon_span = max(lons.max() - lons.min(), 1e-6)
+
+    grid = [[" "] * width for _ in range(height)]
+    for pop in placed:
+        col = int((pop.longitude - lons.min()) / lon_span * (width - len(pop.name) - 1))
+        row = int((lats.max() - pop.latitude) / lat_span * (height - 1))
+        for k, ch in enumerate(pop.name):
+            if 0 <= col + k < width:
+                grid[row][col + k] = ch
+    lines = ["".join(row).rstrip() for row in grid]
+    text = "\n".join(line for line in lines)
+    if unplaced:
+        text += "\n(no coordinates: " + ", ".join(p.name for p in unplaced) + ")"
+    return text

@@ -1,0 +1,108 @@
+"""Network (de)serialization.
+
+Networks round-trip through plain dictionaries (and JSON strings built from
+them) so that topologies can be stored alongside datasets and reloaded
+without pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import TopologyError
+from repro.topology.link import Link, LinkKind
+from repro.topology.network import Network
+from repro.topology.node import PoP
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialize ``network`` to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": network.name,
+        "pops": [
+            {
+                "name": pop.name,
+                "city": pop.city,
+                "latitude": pop.latitude,
+                "longitude": pop.longitude,
+                "population": pop.population,
+            }
+            for pop in network.pops
+        ],
+        "links": [
+            {
+                "source": link.source,
+                "target": link.target,
+                "capacity_bps": link.capacity_bps,
+                "weight": link.weight,
+                "kind": link.kind.value,
+            }
+            for link in network.links
+        ],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_dict` output.
+
+    PoP and link insertion order is preserved, so routing-matrix indices
+    survive a round trip.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version: {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        network = Network(payload["name"])
+        for pop_row in payload["pops"]:
+            network.add_pop(
+                PoP(
+                    pop_row["name"],
+                    city=pop_row.get("city", ""),
+                    latitude=pop_row.get("latitude"),
+                    longitude=pop_row.get("longitude"),
+                    population=pop_row.get("population", 1.0),
+                )
+            )
+        for link_row in payload["links"]:
+            network.add_link(
+                Link(
+                    source=link_row["source"],
+                    target=link_row["target"],
+                    capacity_bps=link_row["capacity_bps"],
+                    weight=link_row["weight"],
+                    kind=LinkKind(link_row["kind"]),
+                )
+            )
+    except KeyError as exc:
+        raise TopologyError(f"topology payload missing field: {exc}") from exc
+    return network
+
+
+def network_to_json(network: Network, indent: int | None = 2) -> str:
+    """Serialize ``network`` to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent)
+
+
+def network_from_json(text: str) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid topology JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TopologyError("topology JSON must encode an object")
+    return network_from_dict(payload)

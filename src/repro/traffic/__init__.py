@@ -1,0 +1,52 @@
+"""Traffic generation substrate.
+
+Synthesizes origin-destination (OD) flow timeseries with the two
+statistical properties the subspace method relies on (see DESIGN.md §2):
+
+1. **Low effective dimensionality** — all flows share a handful of common
+   temporal patterns (diurnal and weekly cycles), so the ensemble of link
+   timeseries is well captured by a few principal components (paper Fig. 3).
+2. **Spike-shaped volume anomalies** — short-lived, large deviations
+   confined to a single OD flow (paper Fig. 1), injected on top of the
+   normal traffic.
+"""
+
+from repro.traffic.diurnal import DiurnalProfile, fourier_periods_hours, weekly_basis
+from repro.traffic.gravity import gravity_means
+from repro.traffic.noise import GaussianNoise, LognormalNoise, NoiseModel, NoNoise
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.anomalies import (
+    AnomalyEvent,
+    AnomalyShape,
+    inject_anomalies,
+    make_anomaly_events,
+)
+from repro.traffic.od_flows import ODFlowGenerator
+from repro.traffic.workloads import WorkloadConfig, workload_for
+from repro.traffic.metrics import (
+    average_packet_size_links,
+    inject_small_packet_flood,
+    packet_count_links,
+)
+
+__all__ = [
+    "DiurnalProfile",
+    "weekly_basis",
+    "fourier_periods_hours",
+    "gravity_means",
+    "NoiseModel",
+    "GaussianNoise",
+    "LognormalNoise",
+    "NoNoise",
+    "TrafficMatrix",
+    "AnomalyEvent",
+    "AnomalyShape",
+    "inject_anomalies",
+    "make_anomaly_events",
+    "ODFlowGenerator",
+    "WorkloadConfig",
+    "workload_for",
+    "packet_count_links",
+    "average_packet_size_links",
+    "inject_small_packet_flood",
+]

@@ -1,0 +1,153 @@
+"""Diurnal and weekly temporal patterns.
+
+Backbone traffic follows strong daily and weekly cycles; the paper's
+Figure 4 shows these cycles dominating the first principal components of
+link traffic.  This module builds the *shared temporal basis* from which
+the generator composes per-flow timeseries, and also provides the Fourier
+periods the paper uses for its baseline analysis (7d, 5d, 3d, 24h, 12h,
+6h, 3h, 1.5h — §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.exceptions import TrafficError
+
+__all__ = [
+    "DiurnalProfile",
+    "weekly_basis",
+    "fourier_periods_hours",
+    "time_of_day_hours",
+    "day_of_week",
+]
+
+#: Fourier basis periods used by the paper's baseline (§6.2), in hours.
+_PAPER_PERIODS_HOURS = (7 * 24.0, 5 * 24.0, 3 * 24.0, 24.0, 12.0, 6.0, 3.0, 1.5)
+
+_SECONDS_PER_HOUR = 3600.0
+_HOURS_PER_DAY = 24.0
+
+
+def fourier_periods_hours() -> tuple[float, ...]:
+    """The eight basis periods of the paper's Fourier baseline, in hours."""
+    return _PAPER_PERIODS_HOURS
+
+
+def time_of_day_hours(num_bins: int, bin_seconds: float) -> np.ndarray:
+    """Hour-of-day (0..24) for each time bin, starting at midnight Monday."""
+    check_positive(bin_seconds, "bin_seconds")
+    if num_bins < 1:
+        raise TrafficError(f"num_bins must be >= 1, got {num_bins}")
+    hours = np.arange(num_bins) * (bin_seconds / _SECONDS_PER_HOUR)
+    return hours % _HOURS_PER_DAY
+
+
+def day_of_week(num_bins: int, bin_seconds: float) -> np.ndarray:
+    """Day index (0=Monday .. 6=Sunday) for each time bin."""
+    check_positive(bin_seconds, "bin_seconds")
+    hours = np.arange(num_bins) * (bin_seconds / _SECONDS_PER_HOUR)
+    return (hours // _HOURS_PER_DAY).astype(int) % 7
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A normalized daily activity cycle with a weekend damping factor.
+
+    The profile is a truncated Fourier series over the 24-hour day:
+
+    ``s(h) = Σ_k amplitude_k · cos(2π·k·(h − peak_hour_k)/24)``
+
+    scaled so that its peak magnitude is 1, then multiplied by
+    ``weekend_factor`` on Saturdays and Sundays.  Values are *relative*
+    modulations around a mean of zero; the generator applies them as
+    ``mean · (1 + strength · s(t))``.
+
+    Parameters
+    ----------
+    harmonic_amplitudes:
+        Amplitude of each daily harmonic (k = 1, 2, ...).
+    peak_hour:
+        Hour of day (0..24) at which the fundamental peaks.
+    weekend_factor:
+        Multiplier applied to the cycle on days 5 and 6 (Sat/Sun); values
+        below 1 flatten weekend traffic, as observed on commercial
+        backbones.
+    """
+
+    harmonic_amplitudes: tuple[float, ...] = (1.0, 0.35, 0.12)
+    peak_hour: float = 14.0
+    weekend_factor: float = 0.55
+
+    def __post_init__(self) -> None:
+        if not self.harmonic_amplitudes:
+            raise TrafficError("at least one harmonic amplitude is required")
+        if all(a == 0 for a in self.harmonic_amplitudes):
+            raise TrafficError("harmonic amplitudes must not all be zero")
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise TrafficError(f"peak_hour must lie in [0, 24), got {self.peak_hour}")
+        if self.weekend_factor < 0:
+            raise TrafficError(
+                f"weekend_factor must be non-negative, got {self.weekend_factor}"
+            )
+
+    def evaluate(self, num_bins: int, bin_seconds: float) -> np.ndarray:
+        """Sample the profile on a time grid; peak magnitude normalized to 1."""
+        hours = time_of_day_hours(num_bins, bin_seconds)
+        days = day_of_week(num_bins, bin_seconds)
+        signal = np.zeros(num_bins)
+        for k, amplitude in enumerate(self.harmonic_amplitudes, start=1):
+            phase = 2.0 * np.pi * k * (hours - self.peak_hour) / _HOURS_PER_DAY
+            signal += amplitude * np.cos(phase)
+        peak = np.max(np.abs(signal))
+        if peak > 0:
+            signal = signal / peak
+        weekend = (days == 5) | (days == 6)
+        signal = np.where(weekend, self.weekend_factor * signal, signal)
+        return signal
+
+    def shifted(self, hours: float) -> "DiurnalProfile":
+        """A copy of this profile whose peak occurs ``hours`` later."""
+        return DiurnalProfile(
+            harmonic_amplitudes=self.harmonic_amplitudes,
+            peak_hour=(self.peak_hour + hours) % 24.0,
+            weekend_factor=self.weekend_factor,
+        )
+
+
+def weekly_basis(
+    num_bins: int,
+    bin_seconds: float,
+    num_patterns: int = 3,
+    base_profile: DiurnalProfile | None = None,
+) -> np.ndarray:
+    """Build the shared temporal basis: a ``(num_patterns, num_bins)`` array.
+
+    Pattern 0 is the base diurnal profile; later patterns are the same
+    cycle shifted by a few hours (regional time-zone offsets) with milder
+    weekend damping, plus a slow weekly trend for the final pattern.  Each
+    row is normalized to peak magnitude 1.
+    """
+    if num_patterns < 1:
+        raise TrafficError(f"num_patterns must be >= 1, got {num_patterns}")
+    profile = base_profile if base_profile is not None else DiurnalProfile()
+    rows = [profile.evaluate(num_bins, bin_seconds)]
+    # Shifts are spread widely so the patterns are close to orthogonal and
+    # the variance of link traffic distributes across as many principal
+    # components as there are patterns (cf. paper Fig. 3, where 3-4 axes
+    # carry non-negligible variance rather than one dominant axis).
+    shift_hours = (6.0, 12.0, 18.0, 3.0)
+    for k in range(1, num_patterns):
+        if k - 1 < len(shift_hours):
+            shifted = profile.shifted(shift_hours[k - 1])
+            rows.append(shifted.evaluate(num_bins, bin_seconds))
+        else:
+            # Beyond the shift table, fall back to a slow weekly sinusoid.
+            hours_abs = np.arange(num_bins) * (bin_seconds / _SECONDS_PER_HOUR)
+            week_hours = 7 * 24.0
+            row = np.cos(2.0 * np.pi * (k - len(shift_hours) + 1) * hours_abs / week_hours)
+            rows.append(row / np.max(np.abs(row)))
+    return np.vstack(rows[:num_patterns])

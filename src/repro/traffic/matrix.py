@@ -1,0 +1,162 @@
+"""The OD-flow traffic matrix ``X`` and its link projection ``Y``.
+
+``X`` is a ``(t, n)`` timeseries: one row per time bin, one column per OD
+flow (ordered like ``network.od_pairs``).  The measurement matrix the
+subspace method consumes is ``Y = X Aᵀ`` — the link counts implied by the
+routing matrix, exactly the construction the paper uses for validation
+(§3, following [31]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.exceptions import TrafficError
+from repro.routing.routing_matrix import RoutingMatrix
+
+__all__ = ["TrafficMatrix"]
+
+
+class TrafficMatrix:
+    """An OD-flow byte-count timeseries with named columns.
+
+    Parameters
+    ----------
+    values:
+        ``(num_bins, num_flows)`` array of bytes per bin; non-negative.
+    od_pairs:
+        Column labels, ``(origin, destination)`` PoP-name tuples.
+    bin_seconds:
+        Width of each time bin (the paper uses 600 s).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        od_pairs: Sequence[tuple[str, str]],
+        bin_seconds: float = 600.0,
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise TrafficError(f"traffic matrix must be 2-D, got {values.shape}")
+        if values.shape[1] != len(od_pairs):
+            raise TrafficError(
+                f"traffic matrix has {values.shape[1]} columns but "
+                f"{len(od_pairs)} OD pairs were given"
+            )
+        if not np.all(np.isfinite(values)):
+            raise TrafficError("traffic matrix contains non-finite values")
+        if np.any(values < 0):
+            raise TrafficError("traffic matrix contains negative byte counts")
+        self._values = values
+        self._values.setflags(write=False)
+        self._od_pairs = [tuple(pair) for pair in od_pairs]
+        self._od_positions = {pair: j for j, pair in enumerate(self._od_pairs)}
+        if len(self._od_positions) != len(self._od_pairs):
+            raise TrafficError("duplicate OD pairs in traffic matrix")
+        self.bin_seconds = check_positive(bin_seconds, "bin_seconds")
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(num_bins, num_flows)`` array (read-only view)."""
+        return self._values
+
+    @property
+    def num_bins(self) -> int:
+        """Number of time bins (rows)."""
+        return self._values.shape[0]
+
+    @property
+    def num_flows(self) -> int:
+        """Number of OD flows (columns)."""
+        return self._values.shape[1]
+
+    @property
+    def od_pairs(self) -> list[tuple[str, str]]:
+        """Column labels."""
+        return list(self._od_pairs)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total covered time span."""
+        return self.num_bins * self.bin_seconds
+
+    def od_index(self, origin: str, destination: str) -> int:
+        """Column index of an OD flow."""
+        try:
+            return self._od_positions[(origin, destination)]
+        except KeyError:
+            raise TrafficError(
+                f"unknown OD pair: ({origin!r}, {destination!r})"
+            ) from None
+
+    def flow(self, origin: str, destination: str) -> np.ndarray:
+        """The timeseries of one OD flow (copy)."""
+        return self._values[:, self.od_index(origin, destination)].copy()
+
+    def flow_by_index(self, flow_index: int) -> np.ndarray:
+        """The timeseries of OD flow ``flow_index`` (copy)."""
+        if not 0 <= flow_index < self.num_flows:
+            raise TrafficError(
+                f"flow index {flow_index} out of range [0, {self.num_flows})"
+            )
+        return self._values[:, flow_index].copy()
+
+    def window(self, start_bin: int, end_bin: int) -> "TrafficMatrix":
+        """A sub-range of time bins ``[start_bin, end_bin)``."""
+        if not 0 <= start_bin < end_bin <= self.num_bins:
+            raise TrafficError(
+                f"invalid window [{start_bin}, {end_bin}) for {self.num_bins} bins"
+            )
+        return TrafficMatrix(
+            self._values[start_bin:end_bin].copy(),
+            self._od_pairs,
+            bin_seconds=self.bin_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def flow_means(self) -> np.ndarray:
+        """Mean bytes per bin of each flow."""
+        return self._values.mean(axis=0)
+
+    def flow_stds(self) -> np.ndarray:
+        """Standard deviation of each flow's timeseries."""
+        return self._values.std(axis=0)
+
+    def total_per_bin(self) -> np.ndarray:
+        """Network-wide OD bytes in each time bin."""
+        return self._values.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Link projection
+    # ------------------------------------------------------------------
+    def link_loads(self, routing: RoutingMatrix) -> np.ndarray:
+        """The link measurement matrix ``Y = X Aᵀ`` (``(t, m)``)."""
+        if routing.num_flows != self.num_flows:
+            raise TrafficError(
+                f"routing matrix covers {routing.num_flows} flows but traffic "
+                f"matrix has {self.num_flows}"
+            )
+        if routing.od_pairs != self._od_pairs:
+            raise TrafficError(
+                "routing matrix and traffic matrix disagree on OD pair order"
+            )
+        return routing.link_loads(self._values)
+
+    def with_values(self, values: np.ndarray) -> "TrafficMatrix":
+        """A copy of this matrix with replaced values (same labels/bins)."""
+        return TrafficMatrix(values, self._od_pairs, bin_seconds=self.bin_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrafficMatrix({self.num_bins} bins x {self.num_flows} flows, "
+            f"bin={self.bin_seconds:.0f}s)"
+        )

@@ -1,0 +1,128 @@
+"""Alternative link metrics (§7.2).
+
+The paper observes that the subspace method applies to any per-link
+metric for which the ℓ₂ norm is meaningful — it names the number of IP
+flows and the average packet size.  This module derives such alternative
+measurement matrices from a byte-count world so those extensions can be
+exercised:
+
+* **packet counts** — bytes divided by a sampled per-cell mean packet
+  size (volume anomalies remain visible: extra bytes mean extra
+  packets);
+* **average packet size** — per-cell mean packet size with sampling
+  noise (volume anomalies made of typical packets are *invisible* here,
+  while packet-size anomalies like a flood of minimum-size packets stand
+  out — a different anomaly class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_from
+from repro.exceptions import TrafficError
+from repro.measurement.sampling import PacketSizeModel
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "packet_count_links",
+    "average_packet_size_links",
+    "inject_small_packet_flood",
+]
+
+
+def packet_count_links(
+    traffic: TrafficMatrix,
+    routing: RoutingMatrix,
+    size_model: PacketSizeModel | None = None,
+    jitter: float = 0.01,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-link *packet* counts: ``Y_pkts ≈ (X / packet_size) Aᵀ``.
+
+    Each OD cell's packet count is its bytes over a noisy per-cell mean
+    packet size; ``jitter`` is the relative noise of that mean.
+    """
+    size_model = size_model if size_model is not None else PacketSizeModel()
+    if jitter < 0:
+        raise TrafficError(f"jitter must be >= 0, got {jitter}")
+    rng = rng_from(seed)
+    sizes = size_model.mean_bytes * (
+        1.0 + rng.normal(0.0, jitter, size=traffic.values.shape)
+    )
+    sizes = np.maximum(sizes, 1.0)
+    packets = traffic.values / sizes
+    return routing.link_loads(packets)
+
+
+def average_packet_size_links(
+    traffic: TrafficMatrix,
+    routing: RoutingMatrix,
+    size_model: PacketSizeModel | None = None,
+    jitter: float = 0.01,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-link average packet size (bytes per packet).
+
+    Computed as total link bytes over total link packets; a volume
+    anomaly of ordinary packets leaves this metric almost unchanged,
+    while a small-packet flood (see :func:`inject_small_packet_flood`)
+    drags it down on every traversed link.
+    """
+    byte_links = traffic.link_loads(routing)
+    packet_links = packet_count_links(
+        traffic, routing, size_model=size_model, jitter=jitter, seed=seed
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        avg = np.where(packet_links > 0, byte_links / packet_links, 0.0)
+    return avg
+
+
+def inject_small_packet_flood(
+    traffic: TrafficMatrix,
+    routing: RoutingMatrix,
+    flow_index: int,
+    time_bin: int,
+    extra_packets: float,
+    flood_packet_bytes: float = 64.0,
+    size_model: PacketSizeModel | None = None,
+    jitter: float = 0.01,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A DDoS-like flood of tiny packets on one flow (§7.2 motivation).
+
+    Returns ``(packet_links, avg_size_links)`` with the flood included:
+    ``extra_packets`` packets of ``flood_packet_bytes`` each join flow
+    ``flow_index`` at ``time_bin``.  The flood barely moves the *byte*
+    matrix (64-byte packets) but spikes the packet-count metric and
+    depresses the average-packet-size metric on the flow's path.
+    """
+    if extra_packets <= 0:
+        raise TrafficError(f"extra_packets must be positive, got {extra_packets}")
+    if flood_packet_bytes <= 0:
+        raise TrafficError(
+            f"flood_packet_bytes must be positive, got {flood_packet_bytes}"
+        )
+    if not 0 <= time_bin < traffic.num_bins:
+        raise TrafficError(f"time_bin {time_bin} outside trace")
+    if not 0 <= flow_index < traffic.num_flows:
+        raise TrafficError(f"flow_index {flow_index} outside trace")
+
+    size_model = size_model if size_model is not None else PacketSizeModel()
+    rng = rng_from(seed)
+    sizes = size_model.mean_bytes * (
+        1.0 + rng.normal(0.0, jitter, size=traffic.values.shape)
+    )
+    sizes = np.maximum(sizes, 1.0)
+    packets = traffic.values / sizes
+    bytes_matrix = traffic.values.copy()
+
+    packets[time_bin, flow_index] += extra_packets
+    bytes_matrix[time_bin, flow_index] += extra_packets * flood_packet_bytes
+
+    packet_links = routing.link_loads(packets)
+    byte_links = routing.link_loads(bytes_matrix)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        avg_links = np.where(packet_links > 0, byte_links / packet_links, 0.0)
+    return packet_links, avg_links

@@ -1,0 +1,152 @@
+"""OD-flow timeseries generation.
+
+The generator composes each OD flow from three ingredients (DESIGN.md §2):
+
+* a **mean rate** from the gravity model (:mod:`repro.traffic.gravity`);
+* a **shared temporal structure** — a small set of diurnal/weekly basis
+  patterns (:mod:`repro.traffic.diurnal`) mixed with per-flow weights.
+  Because only a few patterns exist, the ensemble of link timeseries has
+  low effective dimensionality, the property behind the paper's Figure 3;
+* **idiosyncratic noise** (:mod:`repro.traffic.noise`).
+
+The result is ``x_j(t) = m_j · (1 + s · (w_j · basis(t))) + ε_j(t)``,
+clipped at zero.  Ground-truth anomalies are injected afterwards via
+:func:`repro.traffic.anomalies.inject_anomalies`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, rng_from
+from repro.exceptions import TrafficError
+from repro.topology.network import Network
+from repro.traffic.diurnal import DiurnalProfile, weekly_basis
+from repro.traffic.gravity import gravity_means
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.noise import GaussianNoise, NoiseModel
+
+__all__ = ["ODFlowGenerator"]
+
+
+class ODFlowGenerator:
+    """Generates a :class:`~repro.traffic.matrix.TrafficMatrix` for a network.
+
+    Parameters
+    ----------
+    network:
+        Supplies PoP weights and OD-pair ordering.
+    total_bytes_per_bin:
+        Network-wide mean OD traffic per bin.
+    num_patterns:
+        Number of shared temporal basis patterns (the effective
+        dimensionality of normal traffic; the paper observes 3-4).
+    diurnal_strength:
+        Peak relative modulation of a flow around its mean (0..1).
+    diurnal_profile:
+        Shape of the daily cycle; defaults to a mid-afternoon peak.
+    noise:
+        Per-flow noise model; defaults to Gaussian with a constant
+        coefficient of variation.
+    gravity_jitter:
+        Lognormal sigma applied to gravity means (breaks exact rank-1).
+    self_traffic_factor:
+        Relative size of same-PoP OD flows.
+    pattern_mixing:
+        Standard deviation of the random per-flow weights on non-primary
+        patterns; 0 gives every flow exactly one pattern.
+    seed:
+        Randomness source; a fixed seed reproduces the trace bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        total_bytes_per_bin: float,
+        num_patterns: int = 3,
+        diurnal_strength: float = 0.45,
+        diurnal_profile: DiurnalProfile | None = None,
+        noise: NoiseModel | None = None,
+        gravity_jitter: float = 0.25,
+        self_traffic_factor: float = 0.25,
+        pattern_mixing: float = 0.15,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if network.num_pops == 0:
+            raise TrafficError("network has no PoPs")
+        if not 0.0 <= diurnal_strength < 1.0:
+            raise TrafficError(
+                f"diurnal_strength must lie in [0, 1), got {diurnal_strength}"
+            )
+        if num_patterns < 1:
+            raise TrafficError(f"num_patterns must be >= 1, got {num_patterns}")
+        if pattern_mixing < 0:
+            raise TrafficError(
+                f"pattern_mixing must be non-negative, got {pattern_mixing}"
+            )
+        self.network = network
+        self.total_bytes_per_bin = check_positive(
+            total_bytes_per_bin, "total_bytes_per_bin"
+        )
+        self.num_patterns = num_patterns
+        self.diurnal_strength = diurnal_strength
+        self.diurnal_profile = diurnal_profile or DiurnalProfile()
+        self.noise = noise if noise is not None else GaussianNoise()
+        self.gravity_jitter = gravity_jitter
+        self.self_traffic_factor = self_traffic_factor
+        self.pattern_mixing = pattern_mixing
+        self._rng = rng_from(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, num_bins: int, bin_seconds: float = 600.0) -> TrafficMatrix:
+        """Generate a ``(num_bins, num_flows)`` traffic matrix."""
+        if num_bins < 1:
+            raise TrafficError(f"num_bins must be >= 1, got {num_bins}")
+        check_positive(bin_seconds, "bin_seconds")
+
+        means = gravity_means(
+            self.network,
+            self.total_bytes_per_bin,
+            self_traffic_factor=self.self_traffic_factor,
+            jitter=self.gravity_jitter,
+            seed=self._rng,
+        )
+        basis = weekly_basis(
+            num_bins,
+            bin_seconds,
+            num_patterns=self.num_patterns,
+            base_profile=self.diurnal_profile,
+        )
+        weights = self._flow_weights(len(means))
+        # modulation[t, j] = (weights @ basis).T, bounded so 1 + s*mod > 0.
+        modulation = (weights @ basis).T
+        values = means[None, :] * (1.0 + self.diurnal_strength * modulation)
+        values = values + self.noise.sample(means, num_bins, self._rng)
+        values = np.maximum(values, 0.0)
+        return TrafficMatrix(values, self.network.od_pairs, bin_seconds=bin_seconds)
+
+    # ------------------------------------------------------------------
+    def _flow_weights(self, num_flows: int) -> np.ndarray:
+        """Per-flow pattern weights, rows scaled to unit L1 norm.
+
+        Each flow is anchored to a primary pattern chosen by its origin PoP
+        (a stand-in for regional time zones), plus small random weights on
+        the other patterns.  Unit L1 rows guarantee the modulation stays in
+        [-1, 1] so traffic cannot go negative through the diurnal term.
+        """
+        num_pops = self.network.num_pops
+        primary_of_pop = np.arange(num_pops) % self.num_patterns
+        weights = np.zeros((num_flows, self.num_patterns))
+        for j in range(num_flows):
+            origin_index = j // num_pops
+            primary = primary_of_pop[origin_index]
+            weights[j, primary] = 1.0
+            if self.pattern_mixing > 0 and self.num_patterns > 1:
+                extra = self._rng.normal(
+                    0.0, self.pattern_mixing, size=self.num_patterns
+                )
+                extra[primary] = 0.0
+                weights[j] += extra
+        l1 = np.sum(np.abs(weights), axis=1, keepdims=True)
+        l1[l1 == 0] = 1.0
+        return weights / l1

@@ -1,0 +1,67 @@
+"""Validation harness (paper §6).
+
+Two evaluation protocols:
+
+1. **Actual anomalies** (§6.2) — extract "true" volume anomalies from the
+   OD-flow timeseries with EWMA and Fourier analysis, then measure the
+   subspace method's detection / false-alarm / identification /
+   quantification performance against them (Table 2, Fig. 6).
+2. **Synthetic injections** (§6.3) — inject spikes of controlled size
+   into every OD flow at every timestep of a day and measure diagnosis
+   success as a function of flow, time, and size (Table 3, Figs. 7-9).
+"""
+
+from repro.validation.ground_truth import (
+    TrueAnomaly,
+    extract_true_anomalies,
+    find_knee,
+)
+from repro.validation.metrics import (
+    DiagnosisScore,
+    score_against_truth,
+    match_diagnoses,
+)
+from repro.validation.injection import InjectionResult, InjectionStudy
+from repro.validation.multiflow import MultiFlowResult, MultiFlowStudy
+from repro.validation.roc import RocCurve, operating_point, roc_curve
+from repro.validation.sensitivity import SensitivityPoint, sweep_workload_knob
+from repro.validation.experiments import (
+    ActualAnomalyRow,
+    SyntheticRow,
+    run_actual_anomaly_experiment,
+    run_synthetic_experiment,
+    fig6_series,
+    fig10_series,
+)
+from repro.validation.reporting import (
+    render_table2,
+    render_table3,
+    render_ranked_anomalies,
+)
+
+__all__ = [
+    "TrueAnomaly",
+    "extract_true_anomalies",
+    "find_knee",
+    "DiagnosisScore",
+    "score_against_truth",
+    "match_diagnoses",
+    "InjectionStudy",
+    "InjectionResult",
+    "MultiFlowStudy",
+    "MultiFlowResult",
+    "RocCurve",
+    "roc_curve",
+    "operating_point",
+    "SensitivityPoint",
+    "sweep_workload_knob",
+    "ActualAnomalyRow",
+    "SyntheticRow",
+    "run_actual_anomaly_experiment",
+    "run_synthetic_experiment",
+    "fig6_series",
+    "fig10_series",
+    "render_table2",
+    "render_table3",
+    "render_ranked_anomalies",
+]

@@ -1,0 +1,175 @@
+"""Diagnosis quality metrics (§6.1).
+
+The paper scores each step separately:
+
+* **detection rate** — fraction of true anomalies detected;
+* **false alarm rate** — fraction of normal timesteps that trigger an
+  erroneous detection;
+* **identification rate** — fraction of *detected* anomalies whose
+  underlying OD flow is correctly identified;
+* **quantification error** — mean absolute relative error between the
+  estimated and true anomaly sizes, over the correctly identified ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.diagnosis import Diagnosis
+from repro.exceptions import ValidationError
+from repro.validation.ground_truth import TrueAnomaly
+
+__all__ = ["DiagnosisScore", "match_diagnoses", "score_against_truth"]
+
+
+@dataclass(frozen=True)
+class DiagnosisScore:
+    """Scorecard in the format of the paper's Table 2.
+
+    Rates carry their numerators/denominators so reports can print the
+    paper's ``x/y`` style.
+    """
+
+    detected: int
+    num_true: int
+    false_alarms: int
+    num_normal_bins: int
+    identified: int
+    num_detected_for_identification: int
+    quantification_errors: tuple[float, ...]
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of true anomalies detected."""
+        return self.detected / self.num_true if self.num_true else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of normal bins erroneously flagged."""
+        if self.num_normal_bins == 0:
+            return 0.0
+        return self.false_alarms / self.num_normal_bins
+
+    @property
+    def identification_rate(self) -> float:
+        """Fraction of detected anomalies correctly identified."""
+        if self.num_detected_for_identification == 0:
+            return 0.0
+        return self.identified / self.num_detected_for_identification
+
+    @property
+    def mean_quantification_error(self) -> float:
+        """Mean absolute relative size error over identified anomalies."""
+        if not self.quantification_errors:
+            return float("nan")
+        return float(np.mean(self.quantification_errors))
+
+    def as_row(self) -> dict[str, str]:
+        """Formatted cells in the paper's Table-2 style."""
+        quant = self.mean_quantification_error
+        return {
+            "Detection": f"{self.detected}/{self.num_true}",
+            "False Alarm": f"{self.false_alarms}/{self.num_normal_bins}",
+            "Identification": (
+                f"{self.identified}/{self.num_detected_for_identification}"
+            ),
+            "Quantification": "-" if np.isnan(quant) else f"{quant * 100:.1f}%",
+        }
+
+
+def match_diagnoses(
+    diagnoses: list[Diagnosis],
+    true_anomalies: list[TrueAnomaly],
+    time_tolerance: int = 0,
+) -> dict[int, Diagnosis | None]:
+    """Map each true anomaly (by list index) to its matching diagnosis.
+
+    A diagnosis matches when its time bin lies within ``time_tolerance``
+    of the anomaly's; among several, the closest (then earliest) wins.
+    Each diagnosis matches at most one anomaly.
+    """
+    if time_tolerance < 0:
+        raise ValidationError(
+            f"time_tolerance must be >= 0, got {time_tolerance}"
+        )
+    unused = list(diagnoses)
+    matches: dict[int, Diagnosis | None] = {}
+    for index, anomaly in enumerate(true_anomalies):
+        best: Diagnosis | None = None
+        best_distance = time_tolerance + 1
+        for diagnosis in unused:
+            distance = abs(diagnosis.time_bin - anomaly.time_bin)
+            if distance < best_distance:
+                best = diagnosis
+                best_distance = distance
+        matches[index] = best
+        if best is not None:
+            unused.remove(best)
+    return matches
+
+
+def score_against_truth(
+    diagnoses: list[Diagnosis],
+    true_anomalies: list[TrueAnomaly],
+    total_bins: int,
+    time_tolerance: int = 0,
+) -> DiagnosisScore:
+    """Score a diagnosis run against a set of true anomalies.
+
+    Parameters
+    ----------
+    diagnoses:
+        Output of :meth:`AnomalyDiagnoser.diagnose` over the full trace.
+    true_anomalies:
+        The validation set (e.g. above-cutoff extracted anomalies).
+    total_bins:
+        Trace length; normal bins = ``total_bins`` minus the true
+        anomalies' bins.
+    time_tolerance:
+        Bin slack when matching detection times.
+    """
+    if total_bins < 1:
+        raise ValidationError(f"total_bins must be >= 1, got {total_bins}")
+    true_bins = {anomaly.time_bin for anomaly in true_anomalies}
+    for anomaly in true_anomalies:
+        if not 0 <= anomaly.time_bin < total_bins:
+            raise ValidationError(
+                f"true anomaly at bin {anomaly.time_bin} outside trace of "
+                f"{total_bins} bins"
+            )
+
+    matches = match_diagnoses(diagnoses, true_anomalies, time_tolerance)
+    detected = sum(1 for d in matches.values() if d is not None)
+
+    identified = 0
+    errors: list[float] = []
+    for index, diagnosis in matches.items():
+        if diagnosis is None:
+            continue
+        anomaly = true_anomalies[index]
+        if diagnosis.flow_index == anomaly.flow_index:
+            identified += 1
+            if anomaly.size_bytes > 0:
+                errors.append(
+                    abs(abs(diagnosis.estimated_bytes) - anomaly.size_bytes)
+                    / anomaly.size_bytes
+                )
+
+    matched = {id(d) for d in matches.values() if d is not None}
+    false_alarms = sum(
+        1
+        for diagnosis in diagnoses
+        if id(diagnosis) not in matched and diagnosis.time_bin not in true_bins
+    )
+    num_normal = total_bins - len(true_bins)
+    return DiagnosisScore(
+        detected=detected,
+        num_true=len(true_anomalies),
+        false_alarms=false_alarms,
+        num_normal_bins=num_normal,
+        identified=identified,
+        num_detected_for_identification=detected,
+        quantification_errors=tuple(errors),
+    )

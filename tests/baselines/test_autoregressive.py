@@ -1,0 +1,87 @@
+"""Tests for repro.baselines.autoregressive."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoregressive import ARModel, fit_ar_coefficients
+from repro.exceptions import ModelError
+
+
+class TestFitCoefficients:
+    def test_recovers_ar1_process(self, rng):
+        phi_true = 0.7
+        z = np.zeros(5000)
+        for t in range(1, 5000):
+            z[t] = phi_true * z[t - 1] + rng.normal()
+        phi, intercept = fit_ar_coefficients(z, order=1)
+        assert phi[0] == pytest.approx(phi_true, abs=0.05)
+        assert intercept == pytest.approx(0.0, abs=0.1)
+
+    def test_recovers_ar2_process(self, rng):
+        phi_true = np.array([0.5, 0.3])
+        z = np.zeros(8000)
+        for t in range(2, 8000):
+            z[t] = phi_true @ z[t - 2 : t][::-1] + rng.normal()
+        phi, _ = fit_ar_coefficients(z, order=2)
+        assert np.allclose(phi, phi_true, atol=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            fit_ar_coefficients(np.ones(10), order=0)
+        with pytest.raises(ModelError):
+            fit_ar_coefficients(np.ones(5), order=3)
+        with pytest.raises(ModelError):
+            fit_ar_coefficients(np.ones((5, 2)), order=1)
+
+
+class TestARModel:
+    def test_tracks_drifting_series(self, rng):
+        t = np.arange(1000)
+        series = 100 + 0.5 * t + 20 * np.sin(2 * np.pi * t / 144)
+        series = series + rng.normal(0, 0.5, size=1000)
+        model = ARModel(order=4, differencing=1)
+        residual = model.residuals(series)
+        # After differencing + AR the residual is near the noise floor.
+        assert np.abs(residual[10:]).mean() < 3.0
+
+    def test_spike_survives(self, rng):
+        t = np.arange(1000)
+        series = 100 + 10 * np.sin(2 * np.pi * t / 144) + rng.normal(0, 0.3, size=1000)
+        series[600] += 200.0
+        sizes = ARModel(order=4, differencing=1).anomaly_sizes(series)
+        assert np.argmax(sizes) == 600
+        assert sizes[600] == pytest.approx(200.0, rel=0.15)
+
+    def test_matrix_form(self, rng):
+        series = rng.normal(size=(300, 3)).cumsum(axis=0) + 50
+        model = ARModel(order=2, differencing=1)
+        block = model.predict(series)
+        assert block.shape == (300, 3)
+        for j in range(3):
+            assert np.allclose(block[:, j], model.predict(series[:, j]))
+
+    def test_no_differencing_mode(self, rng):
+        z = np.zeros(2000)
+        for t in range(1, 2000):
+            z[t] = 0.8 * z[t - 1] + rng.normal()
+        model = ARModel(order=1, differencing=0)
+        residual = model.residuals(z)
+        # Residual variance close to the innovation variance (1.0),
+        # far below the process variance 1/(1-0.64) = 2.8.
+        assert residual[5:].var() < 1.5
+
+    def test_works_on_od_flows(self, sprint1):
+        """The ARIMA-class baseline also isolates the planted spikes."""
+        top = max(sprint1.true_events, key=lambda e: abs(e.amplitude_bytes))
+        flow = sprint1.od_traffic.values[:, top.flow_index]
+        sizes = ARModel(order=4, differencing=1).anomaly_sizes(flow)
+        # The spike bin is the global maximum of the residual sizes.
+        assert abs(int(np.argmax(sizes)) - top.time_bin) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ARModel(order=0)
+        with pytest.raises(ModelError):
+            ARModel(differencing=3)
+        with pytest.raises(ModelError):
+            ARModel(order=4, differencing=1).predict(np.ones(9))

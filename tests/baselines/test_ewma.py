@@ -1,0 +1,90 @@
+"""Tests for repro.baselines.ewma (§6.2, footnote 4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EWMAModel
+from repro.baselines.ewma import ewma_forecast, grid_search_alpha
+from repro.exceptions import ModelError
+
+
+class TestForecast:
+    def test_recursion(self):
+        series = np.array([10.0, 20.0, 30.0])
+        forecasts = ewma_forecast(series, alpha=0.5)
+        assert forecasts[0] == 10.0
+        assert forecasts[1] == pytest.approx(0.5 * 10 + 0.5 * 10)
+        assert forecasts[2] == pytest.approx(0.5 * 20 + 0.5 * 10)
+
+    def test_alpha_one_tracks_previous_value(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        forecasts = ewma_forecast(series, alpha=1.0)
+        assert np.allclose(forecasts[1:], series[:-1])
+
+    def test_alpha_zero_stays_at_seed(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        forecasts = ewma_forecast(series, alpha=0.0)
+        assert np.allclose(forecasts, 1.0)
+
+    def test_matrix_form_matches_columns(self, rng):
+        series = rng.normal(size=(50, 4))
+        block = ewma_forecast(series, 0.3)
+        for j in range(4):
+            assert np.allclose(block[:, j], ewma_forecast(series[:, j], 0.3))
+
+    def test_alpha_validation(self):
+        with pytest.raises(ModelError):
+            ewma_forecast(np.ones(3), alpha=1.5)
+
+
+class TestGridSearch:
+    def test_prefers_high_alpha_for_random_walk(self, rng):
+        walk = np.cumsum(rng.normal(size=2000))
+        assert grid_search_alpha(walk) > 0.5
+
+    def test_prefers_low_alpha_for_noise_around_constant(self, rng):
+        noise = 100.0 + rng.normal(size=2000)
+        assert grid_search_alpha(noise) < 0.3
+
+    def test_result_in_unit_interval(self, rng):
+        alpha = grid_search_alpha(rng.normal(size=100))
+        assert 0.0 <= alpha <= 1.0
+
+
+class TestSpikeEchoSuppression:
+    def test_bidirectional_minimum_removes_echo(self):
+        """Footnote 4: forward-only EWMA marks the bin after a spike as a
+        second spike; the bidirectional minimum must not."""
+        series = np.full(200, 100.0)
+        series[100] = 1100.0
+        forward = EWMAModel(alpha=0.3, bidirectional=False)
+        both = EWMAModel(alpha=0.3, bidirectional=True)
+
+        sizes_forward = forward.anomaly_sizes(series)
+        sizes_both = both.anomaly_sizes(series)
+        # Forward-only: large residual echo at bin 101.
+        assert sizes_forward[101] > 100.0
+        # Bidirectional: the echo is suppressed, the spike remains.
+        assert sizes_both[101] < 10.0
+        assert sizes_both[100] > 900.0
+
+    def test_spike_size_estimate(self):
+        series = np.full(300, 1000.0)
+        series[150] += 5e4
+        model = EWMAModel(alpha=0.25)
+        sizes = model.anomaly_sizes(series)
+        assert np.argmax(sizes) == 150
+        assert sizes[150] == pytest.approx(5e4, rel=0.1)
+
+    def test_alpha_none_triggers_grid_search(self, rng):
+        series = np.cumsum(rng.normal(size=300))
+        model = EWMAModel(alpha=None)
+        sizes = model.anomaly_sizes(series)
+        assert sizes.shape == (300,)
+
+    def test_residual_energy_shape(self, rng):
+        series = rng.normal(size=(100, 5)) + 50
+        model = EWMAModel(alpha=0.25)
+        energy = model.residual_energy(series)
+        assert energy.shape == (100,)
+        assert np.all(energy >= 0)

@@ -1,0 +1,82 @@
+"""Tests for repro.baselines.fourier (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FourierModel
+from repro.baselines.fourier import fourier_design_matrix
+from repro.exceptions import ModelError
+
+WEEK = 1008
+BIN = 600.0
+
+
+class TestDesignMatrix:
+    def test_shape(self):
+        design = fourier_design_matrix(WEEK, BIN)
+        # Constant + (sin, cos) per the paper's 8 periods.
+        assert design.shape == (WEEK, 17)
+
+    def test_first_column_constant(self):
+        design = fourier_design_matrix(100, BIN)
+        assert np.allclose(design[:, 0], 1.0)
+
+    def test_custom_periods(self):
+        design = fourier_design_matrix(100, BIN, periods_hours=(24.0,))
+        assert design.shape == (100, 3)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            fourier_design_matrix(1, BIN)
+        with pytest.raises(ModelError):
+            fourier_design_matrix(100, BIN, periods_hours=())
+        with pytest.raises(ModelError):
+            fourier_design_matrix(100, BIN, periods_hours=(-1.0,))
+
+
+class TestFourierModel:
+    def test_fits_pure_diurnal_exactly(self):
+        hours = np.arange(WEEK) * BIN / 3600.0
+        series = 50 + 10 * np.sin(2 * np.pi * hours / 24.0 + 0.7)
+        model = FourierModel(bin_seconds=BIN)
+        residual = model.residuals(series)
+        assert np.abs(residual).max() < 1e-8
+
+    def test_fits_weekly_plus_daily(self):
+        hours = np.arange(WEEK) * BIN / 3600.0
+        series = (
+            100
+            + 20 * np.cos(2 * np.pi * hours / 168.0)
+            + 10 * np.sin(2 * np.pi * hours / 24.0)
+            + 3 * np.sin(2 * np.pi * hours / 6.0)
+        )
+        sizes = FourierModel(bin_seconds=BIN).anomaly_sizes(series)
+        assert sizes.max() < 1e-8
+
+    def test_spike_survives_filtering(self):
+        hours = np.arange(WEEK) * BIN / 3600.0
+        series = 100 + 10 * np.sin(2 * np.pi * hours / 24.0)
+        series[444] += 500.0
+        sizes = FourierModel(bin_seconds=BIN).anomaly_sizes(series)
+        assert np.argmax(sizes) == 444
+        assert sizes[444] == pytest.approx(500.0, rel=0.05)
+
+    def test_matrix_form_matches_columns(self, rng):
+        series = rng.normal(size=(200, 3)) + 100
+        model = FourierModel(bin_seconds=BIN)
+        block = model.predict(series)
+        for j in range(3):
+            assert np.allclose(block[:, j], model.predict(series[:, j]))
+
+    def test_unfittable_square_wave_leaves_residual(self):
+        """The paper (Fig. 10 discussion): periodic behavior can be too
+        complex for a small set of frequencies."""
+        days = np.arange(WEEK) // 144
+        series = np.where(days % 7 >= 5, 50.0, 100.0)  # weekday/weekend step
+        sizes = FourierModel(bin_seconds=BIN).anomaly_sizes(series)
+        assert sizes.max() > 5.0
+
+    def test_residual_energy(self, rng):
+        series = rng.normal(size=(100, 4)) + 10
+        energy = FourierModel(bin_seconds=BIN).residual_energy(series)
+        assert energy.shape == (100,)

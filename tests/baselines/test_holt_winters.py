@@ -1,0 +1,56 @@
+"""Tests for repro.baselines.holt_winters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HoltWintersModel
+from repro.exceptions import ModelError
+
+
+def seasonal_series(num_bins: int, season: int = 144, level=100.0, amp=20.0):
+    t = np.arange(num_bins)
+    return level + amp * np.sin(2 * np.pi * t / season)
+
+
+class TestHoltWinters:
+    def test_tracks_seasonal_series(self):
+        series = seasonal_series(1008)
+        model = HoltWintersModel(season_bins=144, alpha=0.3, gamma=0.3)
+        residual = model.residuals(series)
+        # After the first two seasons the forecast locks on.
+        assert np.abs(residual[288:]).max() < 2.0
+
+    def test_tracks_trend(self):
+        t = np.arange(1008)
+        series = seasonal_series(1008) + 0.05 * t
+        model = HoltWintersModel(season_bins=144, alpha=0.3, beta=0.05, gamma=0.3)
+        residual = model.residuals(series)
+        assert np.abs(residual[432:]).mean() < 2.0
+
+    def test_spike_yields_large_residual(self):
+        series = seasonal_series(1008)
+        series[700] += 300.0
+        model = HoltWintersModel(season_bins=144)
+        sizes = model.anomaly_sizes(series)
+        assert np.argmax(sizes[300:]) + 300 == 700
+        assert sizes[700] == pytest.approx(300.0, rel=0.1)
+
+    def test_matrix_form(self, rng):
+        series = np.column_stack([seasonal_series(720), seasonal_series(720) * 2])
+        model = HoltWintersModel(season_bins=144)
+        block = model.predict(series)
+        assert block.shape == (720, 2)
+        for j in range(2):
+            assert np.allclose(block[:, j], model.predict(series[:, j]))
+
+    def test_needs_two_seasons(self):
+        with pytest.raises(ModelError, match="two seasons"):
+            HoltWintersModel(season_bins=144).predict(np.ones(200))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            HoltWintersModel(season_bins=0)
+        with pytest.raises(ModelError):
+            HoltWintersModel(alpha=1.5)
+        with pytest.raises(ModelError):
+            HoltWintersModel(gamma=-0.1)

@@ -1,0 +1,52 @@
+"""Tests for repro.baselines.wavelet."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WaveletModel
+from repro.exceptions import ModelError
+
+
+class TestWaveletModel:
+    def test_smooth_trend_fully_modeled(self):
+        t = np.arange(1024)
+        series = 100 + 30 * np.sin(2 * np.pi * t / 512)
+        model = WaveletModel(levels=4)
+        sizes = model.anomaly_sizes(series)
+        # Slow trend passes into the approximation; residual is small.
+        assert sizes.max() < 0.2 * 30
+
+    def test_spike_left_in_residual(self):
+        series = np.full(1024, 100.0)
+        series[500] += 400.0
+        sizes = WaveletModel(levels=4).anomaly_sizes(series)
+        assert np.argmax(sizes) == 500
+        assert sizes[500] > 200.0
+
+    def test_non_power_of_two_length_handled(self):
+        series = np.full(1008, 50.0)  # the paper's week length
+        series[300] += 100.0
+        sizes = WaveletModel(levels=4).anomaly_sizes(series)
+        assert sizes.shape == (1008,)
+        assert np.argmax(sizes) == 300
+
+    def test_matrix_form(self, rng):
+        series = rng.normal(size=(256, 3)) + 10
+        model = WaveletModel(levels=3)
+        block = model.predict(series)
+        assert block.shape == (256, 3)
+        for j in range(3):
+            assert np.allclose(block[:, j], model.predict(series[:, j]))
+
+    def test_prediction_preserves_mean_roughly(self, rng):
+        series = rng.normal(size=512) + 100
+        smooth = WaveletModel(levels=4).predict(series)
+        assert smooth.mean() == pytest.approx(series.mean(), rel=0.01)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ModelError):
+            WaveletModel(levels=4).predict(np.ones(8))
+
+    def test_level_validation(self):
+        with pytest.raises(ModelError):
+            WaveletModel(levels=0)

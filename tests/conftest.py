@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Expensive artifacts (the three paper datasets, fitted detectors) are
+session-scoped; small structural fixtures are function-scoped so tests may
+mutate them freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset
+from repro.datasets.synthetic import dataset_from_config
+from repro.routing import SPFRouting, build_routing_matrix
+from repro.topology import line_network, toy_network
+from repro.traffic.workloads import workload_for
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_net():
+    """4-PoP square-with-diagonal network, intra-PoP links included."""
+    return toy_network()
+
+
+@pytest.fixture
+def toy_routing(toy_net):
+    """Single-path routing matrix over the toy network."""
+    table = SPFRouting(toy_net).compute()
+    return build_routing_matrix(toy_net, table)
+
+
+@pytest.fixture
+def line_net():
+    """5-PoP chain (unique paths everywhere)."""
+    return line_network(5)
+
+
+@pytest.fixture(scope="session")
+def sprint1():
+    """The Sprint-1 evaluation dataset (seeded, deterministic)."""
+    return build_dataset("sprint-1")
+
+
+@pytest.fixture(scope="session")
+def abilene_ds():
+    """The Abilene evaluation dataset (seeded, deterministic)."""
+    return build_dataset("abilene")
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A fast two-day Sprint-like dataset for integration tests."""
+    config = workload_for("sprint-1").with_overrides(
+        name="sprint-small",
+        num_bins=288,
+        num_anomalies=8,
+        traffic_seed=777,
+        anomaly_seed=778,
+    )
+    return dataset_from_config(config)

@@ -1,0 +1,83 @@
+"""Tests for repro.core.detectability (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector, detectability_thresholds
+from repro.exceptions import ModelError
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    sprint1 = request.getfixturevalue("sprint1")
+    detector = SPEDetector().fit(sprint1.link_traffic)
+    return detectability_thresholds(
+        detector.model, sprint1.routing, detector.threshold
+    ), detector, sprint1
+
+
+class TestThresholds:
+    def test_shapes(self, report):
+        rep, detector, sprint1 = report
+        assert rep.residual_alignment.shape == (sprint1.num_flows,)
+        assert rep.min_bytes.shape == (sprint1.num_flows,)
+
+    def test_alignment_bounded_by_one(self, report):
+        rep, *_ = report
+        assert np.all(rep.residual_alignment <= 1.0 + 1e-9)
+        assert np.all(rep.residual_alignment >= 0.0)
+
+    def test_delta_is_sqrt_threshold(self, report):
+        rep, detector, _ = report
+        assert rep.delta == pytest.approx(np.sqrt(detector.threshold))
+
+    def test_formula(self, report):
+        """b_i > 2 delta / (||C~ theta_i|| * ||A_i||)."""
+        rep, detector, sprint1 = report
+        norms = np.linalg.norm(sprint1.routing.matrix, axis=0)
+        expected = 2 * rep.delta / (rep.residual_alignment * norms)
+        finite = np.isfinite(rep.min_bytes)
+        assert np.allclose(rep.min_bytes[finite], expected[finite])
+
+    def test_sufficiency_guarantee(self, report):
+        """An injection exceeding the §5.4 bound must always be detected
+        (the bound is sufficient, not merely necessary)."""
+        rep, detector, sprint1 = report
+        rng = np.random.default_rng(0)
+        flows = rng.choice(sprint1.num_flows, size=12, replace=False)
+        for flow in flows:
+            bound = rep.min_bytes[flow]
+            if not np.isfinite(bound):
+                continue
+            size = bound * 1.05
+            for time_bin in (50, 500, 950):
+                y = sprint1.link_traffic[time_bin] + size * sprint1.routing.column(flow)
+                assert detector.detect(y).flags[0]
+
+    def test_normal_aligned_flows_are_harder(self, report):
+        """Flows better aligned with the normal subspace need larger
+        anomalies — the mechanism behind paper Fig. 9."""
+        rep, _, _ = report
+        order = np.argsort(rep.residual_alignment)
+        weakest = rep.min_magnitude[order[:10]]
+        strongest = rep.min_magnitude[order[-10:]]
+        assert np.nanmean(weakest) > np.nanmean(strongest)
+
+    def test_hardest_flows_have_largest_thresholds(self, report):
+        rep, *_ = report
+        hardest = rep.hardest_flows(5)
+        assert len(hardest) == 5
+        finite = rep.min_bytes[np.isfinite(rep.min_bytes)]
+        assert rep.min_bytes[hardest[0]] == pytest.approx(finite.max())
+
+
+class TestValidation:
+    def test_negative_threshold_rejected(self, report):
+        rep, detector, sprint1 = report
+        with pytest.raises(ModelError):
+            detectability_thresholds(detector.model, sprint1.routing, -1.0)
+
+    def test_dimension_mismatch_rejected(self, report, toy_routing):
+        _, detector, _ = report
+        with pytest.raises(ModelError):
+            detectability_thresholds(detector.model, toy_routing, 1.0)

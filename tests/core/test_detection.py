@@ -1,0 +1,113 @@
+"""Tests for repro.core.detection (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector
+from repro.exceptions import ModelError, NotFittedError
+
+
+@pytest.fixture
+def detector(sprint1):
+    return SPEDetector().fit(sprint1.link_traffic)
+
+
+class TestFit:
+    def test_threshold_positive(self, detector):
+        assert detector.threshold > 0
+
+    def test_normal_rank_found(self, detector):
+        assert 1 <= detector.normal_rank < 49
+
+    def test_explicit_rank_honored(self, sprint1):
+        detector = SPEDetector(normal_rank=5).fit(sprint1.link_traffic)
+        assert detector.normal_rank == 5
+
+    def test_threshold_at_other_confidence(self, detector):
+        t995 = detector.threshold_at(0.995)
+        t999 = detector.threshold_at(0.999)
+        assert t995 < t999
+        assert t999 == pytest.approx(detector.threshold)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SPEDetector().detect(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            _ = SPEDetector().threshold
+
+    def test_confidence_validation(self):
+        with pytest.raises(ModelError):
+            SPEDetector(confidence=1.5)
+
+
+class TestDetect:
+    def test_result_shapes(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic)
+        assert result.spe.shape == (1008,)
+        assert result.flags.shape == (1008,)
+        assert result.flags.dtype == bool
+
+    def test_flags_match_threshold(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic)
+        assert np.array_equal(result.flags, result.spe > result.threshold)
+
+    def test_single_vector_detection(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic[0])
+        assert result.spe.shape == (1,)
+
+    def test_low_false_alarm_rate_on_training_week(self, detector, sprint1):
+        """The paper: at 99.9% confidence, alarms are rare (~1% of bins,
+        dominated by the real anomalies in the data)."""
+        result = detector.detect(sprint1.link_traffic)
+        assert result.alarm_rate() < 0.03
+
+    def test_most_alarms_are_true_events(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic)
+        event_bins = {e.time_bin for e in sprint1.true_events}
+        alarms = result.anomalous_bins
+        hits = sum(1 for t in alarms if t in event_bins)
+        assert hits >= len(alarms) * 0.7
+
+    def test_lower_confidence_flags_more(self, detector, sprint1):
+        strict = detector.detect(sprint1.link_traffic, confidence=0.999)
+        loose = detector.detect(sprint1.link_traffic, confidence=0.99)
+        assert loose.num_alarms >= strict.num_alarms
+        assert loose.confidence == 0.99
+
+    def test_injected_spike_detected(self, detector, sprint1):
+        """A spike the size of the paper's 'large' injection must be
+        caught at an arbitrary quiet timestep."""
+        y = sprint1.link_traffic[500].copy()
+        flow = sprint1.routing.od_index("lon", "mad")
+        y += 3e7 * sprint1.routing.column(flow)
+        result = detector.detect(y)
+        assert result.flags[0]
+
+    def test_scale_invariance_of_configuration(self, sprint1):
+        """Scaling all traffic by a constant scales SPE and threshold
+        together: the same timesteps are flagged (paper: the test does
+        not depend on traffic volume)."""
+        base = SPEDetector(normal_rank=3).fit(sprint1.link_traffic)
+        scaled = SPEDetector(normal_rank=3).fit(sprint1.link_traffic * 1000.0)
+        flags_base = base.detect(sprint1.link_traffic).flags
+        flags_scaled = scaled.detect(sprint1.link_traffic * 1000.0).flags
+        assert np.array_equal(flags_base, flags_scaled)
+
+
+class TestDetectionResult:
+    def test_anomalous_bins(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic)
+        assert np.array_equal(result.anomalous_bins, np.nonzero(result.flags)[0])
+
+    def test_num_alarms(self, detector, sprint1):
+        result = detector.detect(sprint1.link_traffic)
+        assert result.num_alarms == result.flags.sum()
+
+    def test_alarm_rate_empty(self):
+        from repro.core.detection import DetectionResult
+
+        empty = DetectionResult(
+            spe=np.array([]), threshold=1.0, flags=np.array([], dtype=bool),
+            confidence=0.999,
+        )
+        assert empty.alarm_rate() == 0.0

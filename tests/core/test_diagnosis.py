@@ -1,0 +1,73 @@
+"""Tests for repro.core.diagnosis (the detect->identify->quantify pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnomalyDiagnoser
+from repro.exceptions import ModelError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def diagnoser(request):
+    sprint1 = request.getfixturevalue("sprint1")
+    return AnomalyDiagnoser().fit(sprint1.link_traffic, sprint1.routing)
+
+
+class TestFit:
+    def test_not_fitted_raises(self, sprint1):
+        with pytest.raises(NotFittedError):
+            AnomalyDiagnoser().diagnose(sprint1.link_traffic)
+
+    def test_dimension_mismatch_rejected(self, sprint1, abilene_ds):
+        with pytest.raises(ModelError):
+            AnomalyDiagnoser().fit(sprint1.link_traffic, abilene_ds.routing)
+
+    def test_exposes_detector_and_routing(self, diagnoser, sprint1):
+        assert diagnoser.detector.threshold > 0
+        assert diagnoser.routing is sprint1.routing
+
+
+class TestDiagnose:
+    def test_diagnoses_at_flagged_bins_only(self, diagnoser, sprint1):
+        detection = diagnoser.detect(sprint1.link_traffic)
+        diagnoses = diagnoser.diagnose(sprint1.link_traffic)
+        assert [d.time_bin for d in diagnoses] == detection.anomalous_bins.tolist()
+
+    def test_diagnosis_fields_consistent(self, diagnoser, sprint1):
+        for diagnosis in diagnoser.diagnose(sprint1.link_traffic):
+            assert diagnosis.spe > diagnosis.threshold
+            assert diagnosis.od_pair == sprint1.routing.od_pairs[diagnosis.flow_index]
+            assert np.isfinite(diagnosis.estimated_bytes)
+
+    def test_finds_largest_true_events(self, diagnoser, sprint1):
+        """Top ground-truth anomalies must be diagnosed with the right
+        flow and a size in the right ballpark."""
+        diagnoses = {d.time_bin: d for d in diagnoser.diagnose(sprint1.link_traffic)}
+        top_events = sorted(
+            sprint1.true_events, key=lambda e: -abs(e.amplitude_bytes)
+        )[:5]
+        for event in top_events:
+            assert event.time_bin in diagnoses
+            diagnosis = diagnoses[event.time_bin]
+            assert diagnosis.flow_index == event.flow_index
+            assert abs(diagnosis.estimated_bytes) == pytest.approx(
+                abs(event.amplitude_bytes), rel=0.5
+            )
+
+    def test_single_timestep_diagnosis(self, diagnoser, sprint1):
+        flow = sprint1.routing.od_index("ams", "mad")
+        y = sprint1.link_traffic[100].copy() + 6e7 * sprint1.routing.column(flow)
+        diagnosis = diagnoser.diagnose_timestep(y, time_bin=100)
+        assert diagnosis.flow_index == flow
+        assert diagnosis.estimated_bytes == pytest.approx(6e7, rel=0.35)
+
+    def test_confidence_override(self, diagnoser, sprint1):
+        strict = diagnoser.diagnose(sprint1.link_traffic, confidence=0.9999)
+        loose = diagnoser.diagnose(sprint1.link_traffic, confidence=0.995)
+        assert len(loose) >= len(strict)
+
+    def test_str_rendering(self, diagnoser, sprint1):
+        diagnoses = diagnoser.diagnose(sprint1.link_traffic)
+        if diagnoses:
+            text = str(diagnoses[0])
+            assert "bin" in text and "->" in text

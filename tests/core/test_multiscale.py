@@ -1,0 +1,107 @@
+"""Tests for repro.core.multiscale (§7.3 / [23])."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiscaleDetector, haar_dwt, haar_idwt
+from repro.exceptions import ModelError, NotFittedError
+
+
+class TestHaarTransform:
+    def test_perfect_reconstruction_vector(self, rng):
+        signal = rng.normal(size=64)
+        details, approx = haar_dwt(signal, 3)
+        rebuilt = haar_idwt(details, approx)
+        assert np.allclose(rebuilt, signal, atol=1e-12)
+
+    def test_perfect_reconstruction_matrix(self, rng):
+        signal = rng.normal(size=(64, 5))
+        details, approx = haar_dwt(signal, 4)
+        rebuilt = haar_idwt(details, approx)
+        assert np.allclose(rebuilt, signal, atol=1e-12)
+
+    def test_band_shapes(self, rng):
+        signal = rng.normal(size=(64, 3))
+        details, approx = haar_dwt(signal, 3)
+        assert [d.shape[0] for d in details] == [32, 16, 8]
+        assert approx.shape == (8, 3)
+
+    def test_energy_conservation(self, rng):
+        """Haar is orthonormal: total energy splits across bands."""
+        signal = rng.normal(size=128)
+        details, approx = haar_dwt(signal, 4)
+        energy = sum(float(d @ d) for d in details) + float(approx @ approx)
+        assert energy == pytest.approx(float(signal @ signal))
+
+    def test_constant_signal_has_no_details(self):
+        signal = np.full(32, 7.0)
+        details, approx = haar_dwt(signal, 3)
+        for band in details:
+            assert np.allclose(band, 0.0)
+
+    def test_single_spike_lands_in_finest_band(self):
+        signal = np.zeros(64)
+        signal[20] = 100.0
+        details, _ = haar_dwt(signal, 3)
+        assert np.abs(details[0]).max() > np.abs(details[2]).max()
+
+    def test_length_validation(self, rng):
+        with pytest.raises(ModelError):
+            haar_dwt(rng.normal(size=30), 3)  # 30 not divisible by 8
+        with pytest.raises(ModelError):
+            haar_dwt(rng.normal(size=32), 0)
+
+    def test_idwt_shape_validation(self):
+        with pytest.raises(ModelError):
+            haar_idwt([np.ones(4)], np.ones(8))
+
+
+class TestMultiscaleDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        sprint1 = request.getfixturevalue("sprint1")
+        # 1008 = 16 * 63: divisible by 2**4.
+        detector = MultiscaleDetector(levels=4).fit(sprint1.link_traffic)
+        return detector, sprint1
+
+    def test_detects_ground_truth_spikes(self, fitted):
+        detector, sprint1 = fitted
+        result = detector.detect(sprint1.link_traffic)
+        flagged = set(result.anomalous_bins.tolist())
+        top = sorted(sprint1.true_events, key=lambda e: -abs(e.amplitude_bytes))[:3]
+        hits = sum(
+            1
+            for e in top
+            # A level-k coefficient covers 2**k bins.
+            if any(t in flagged for t in range(e.time_bin - 1, e.time_bin + 2))
+        )
+        assert hits >= 2
+
+    def test_band_bookkeeping(self, fitted):
+        detector, sprint1 = fitted
+        result = detector.detect(sprint1.link_traffic)
+        assert len(result.band_flags) == 4
+        assert result.band_names == [
+            "detail-1",
+            "detail-2",
+            "detail-3",
+            "detail-4",
+        ]
+        assert result.flags.shape == (1008,)
+
+    def test_include_approximation_band(self, sprint1):
+        detector = MultiscaleDetector(levels=4, include_approximation=True)
+        detector.fit(sprint1.link_traffic)
+        result = detector.detect(sprint1.link_traffic)
+        assert len(result.band_flags) == 5
+        assert result.band_names[-1] == "approx-4"
+
+    def test_not_fitted(self, sprint1):
+        with pytest.raises(NotFittedError):
+            MultiscaleDetector().detect(sprint1.link_traffic)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MultiscaleDetector(levels=0)
+        with pytest.raises(ModelError):
+            MultiscaleDetector(levels=2).fit(np.ones(10))

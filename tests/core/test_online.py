@@ -1,0 +1,121 @@
+"""Tests for repro.core.online (§7.1 streaming deployment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineSubspaceDetector
+from repro.exceptions import ModelError, NotFittedError
+
+
+class TestWarmUp:
+    def test_requires_warm_up(self, sprint1):
+        detector = OnlineSubspaceDetector()
+        with pytest.raises(NotFittedError):
+            detector.process(sprint1.link_traffic[0])
+
+    def test_warm_up_fits_model(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=288)
+        detector.warm_up(sprint1.link_traffic[:288])
+        assert detector.is_fitted
+        assert detector.threshold > 0
+
+    def test_warm_up_keeps_last_window(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=100)
+        detector.warm_up(sprint1.link_traffic[:288])
+        assert len(detector._window) == 100
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            OnlineSubspaceDetector(window_bins=1)
+        with pytest.raises(ModelError):
+            OnlineSubspaceDetector(refit_interval=0)
+
+
+class TestStreaming:
+    def test_processes_and_counts(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=288, refit_interval=None)
+        detector.warm_up(sprint1.link_traffic[:288])
+        outcomes = detector.process_block(sprint1.link_traffic[288:432])
+        assert len(outcomes) == 144
+        assert [o.index for o in outcomes] == list(range(144))
+
+    def test_matches_batch_detection_without_refit(self, sprint1):
+        """With refits disabled, streaming scores equal batch scores
+        from the same training window."""
+        from repro.core import SPEDetector
+
+        train = sprint1.link_traffic[:504]
+        test = sprint1.link_traffic[504:648]
+        batch = SPEDetector().fit(train)
+        expected = batch.detect(test)
+
+        online = OnlineSubspaceDetector(window_bins=504, refit_interval=None)
+        online.warm_up(train)
+        outcomes = online.process_block(test)
+        spe = np.array([o.spe for o in outcomes])
+        assert np.allclose(spe, expected.spe)
+        assert [o.is_anomalous for o in outcomes] == expected.flags.tolist()
+
+    def test_detects_injected_spike_in_stream(self, sprint1):
+        detector = OnlineSubspaceDetector(
+            window_bins=504, refit_interval=None, routing=sprint1.routing
+        )
+        detector.warm_up(sprint1.link_traffic[:504])
+        flow = sprint1.routing.od_index("lon", "mad")
+        y = sprint1.link_traffic[600].copy() + 6e7 * sprint1.routing.column(flow)
+        outcome = detector.process(y)
+        assert outcome.is_anomalous
+        assert outcome.flow_index == flow
+        assert outcome.od_pair == ("lon", "mad")
+        assert outcome.estimated_bytes == pytest.approx(6e7, rel=0.35)
+
+    def test_refit_happens_on_schedule(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=288, refit_interval=50)
+        detector.warm_up(sprint1.link_traffic[:288])
+        outcomes = detector.process_block(sprint1.link_traffic[288:408])
+        ages = [o.model_age for o in outcomes]
+        assert max(ages) < 50
+        # Age resets after each refit.
+        assert ages[49] == 49 and ages[50] == 0
+
+    def test_no_identification_without_routing(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=504, refit_interval=None)
+        detector.warm_up(sprint1.link_traffic[:504])
+        flow = sprint1.routing.od_index("lon", "mad")
+        y = sprint1.link_traffic[600].copy() + 8e7 * sprint1.routing.column(flow)
+        outcome = detector.process(y)
+        assert outcome.is_anomalous
+        assert outcome.flow_index is None
+
+    def test_threshold_stable_across_windows_at_fixed_rank(self, sprint1):
+        """§7.1: the subspace model is reasonably stable over time.  At a
+        fixed normal rank, thresholds fitted on the two half-weeks stay
+        within a small factor (the halves differ in weekday/weekend mix,
+        so exact equality is not expected)."""
+        a = OnlineSubspaceDetector(
+            window_bins=504, refit_interval=None, normal_rank=3
+        )
+        a.warm_up(sprint1.link_traffic[:504])
+        b = OnlineSubspaceDetector(
+            window_bins=504, refit_interval=None, normal_rank=3
+        )
+        b.warm_up(sprint1.link_traffic[504:])
+        ratio = a.threshold / b.threshold
+        assert 0.2 < ratio < 5.0
+
+    def test_normal_subspace_stable_across_windows(self, sprint1):
+        """The projection P P^T itself barely moves between half-weeks:
+        principal angles between the two normal subspaces stay small."""
+        from repro.core import PCA
+
+        first = PCA().fit(sprint1.link_traffic[:504]).components[:, :3]
+        second = PCA().fit(sprint1.link_traffic[504:]).components[:, :3]
+        # Cosines of principal angles = singular values of P1^T P2.
+        cosines = np.linalg.svd(first.T @ second, compute_uv=False)
+        assert cosines.min() > 0.8
+
+    def test_vector_shape_validation(self, sprint1):
+        detector = OnlineSubspaceDetector(window_bins=288)
+        detector.warm_up(sprint1.link_traffic[:288])
+        with pytest.raises(ModelError):
+            detector.process(sprint1.link_traffic[:2])

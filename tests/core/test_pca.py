@@ -1,0 +1,146 @@
+"""Tests for repro.core.pca (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PCA
+from repro.exceptions import ModelError, NotFittedError
+
+
+@pytest.fixture
+def anisotropic_data(rng):
+    # 200 samples in R^5 with variance concentrated on two axes.
+    latent = rng.normal(size=(200, 5))
+    return latent @ np.diag([10.0, 4.0, 1.0, 0.5, 0.1]) + 100.0
+
+
+class TestFit:
+    def test_components_orthonormal(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        v = pca.components
+        assert np.allclose(v.T @ v, np.eye(5), atol=1e-10)
+
+    def test_variance_ordering(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        captured = pca.captured_variance()
+        assert np.all(np.diff(captured) <= 1e-9)
+
+    def test_mean_computed(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        assert np.allclose(pca.mean, anisotropic_data.mean(axis=0))
+
+    def test_no_centering_option(self, anisotropic_data):
+        pca = PCA(center=False).fit(anisotropic_data)
+        assert np.allclose(pca.mean, 0.0)
+
+    def test_captured_variance_matches_projection_norm(self, anisotropic_data):
+        """The paper's definition: lambda_i = ||Y v_i||^2 on centered Y."""
+        pca = PCA().fit(anisotropic_data)
+        centered = anisotropic_data - anisotropic_data.mean(axis=0)
+        for i in range(5):
+            projected = centered @ pca.component(i)
+            assert pca.captured_variance()[i] == pytest.approx(
+                float(projected @ projected), rel=1e-9
+            )
+
+    def test_eigenvalues_are_covariance_eigenvalues(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        covariance = np.cov(anisotropic_data, rowvar=False)
+        expected = np.sort(np.linalg.eigvalsh(covariance))[::-1]
+        assert np.allclose(pca.eigenvalues(), expected, rtol=1e-9)
+
+    def test_total_variance_conserved(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        centered = anisotropic_data - anisotropic_data.mean(axis=0)
+        assert pca.captured_variance().sum() == pytest.approx(
+            float(np.sum(centered**2)), rel=1e-9
+        )
+
+    def test_deterministic_sign_convention(self, anisotropic_data):
+        a = PCA().fit(anisotropic_data)
+        b = PCA().fit(anisotropic_data.copy())
+        assert np.allclose(a.components, b.components)
+        for i in range(5):
+            v = a.component(i)
+            assert v[np.argmax(np.abs(v))] > 0
+
+    def test_short_wide_matrix_padded(self, rng):
+        # Fewer samples than dimensions: trailing axes get zero variance.
+        data = rng.normal(size=(4, 10))
+        pca = PCA().fit(data)
+        assert pca.num_components == 10
+        assert np.allclose(pca.captured_variance()[4:], 0.0)
+
+
+class TestFractionsAndDimension:
+    def test_fractions_sum_to_one(self, anisotropic_data):
+        assert PCA().fit(anisotropic_data).variance_fractions().sum() == pytest.approx(1.0)
+
+    def test_effective_dimension(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        assert pca.effective_dimension(0.5) <= 2
+        assert pca.effective_dimension(1.0) <= 5
+
+    def test_effective_dimension_validation(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        with pytest.raises(ModelError):
+            pca.effective_dimension(0.0)
+
+    def test_paper_fig3_shape(self, sprint1):
+        """Fig. 3: >40 links, but 3-4 components capture the vast
+        majority of the variance."""
+        pca = PCA().fit(sprint1.link_traffic)
+        assert pca.num_components == 49
+        assert pca.variance_fractions()[:4].sum() > 0.9
+
+
+class TestTransforms:
+    def test_transform_inverse_roundtrip(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        scores = pca.transform(anisotropic_data)
+        rebuilt = pca.inverse_transform(scores)
+        assert np.allclose(rebuilt, anisotropic_data, atol=1e-8)
+
+    def test_projection_timeseries_unit_norm(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        u0 = pca.projection_timeseries(anisotropic_data, 0)
+        assert np.linalg.norm(u0) == pytest.approx(1.0)
+
+    def test_projection_timeseries_orthogonal(self, anisotropic_data):
+        """The u_i of §4.3 are orthogonal by construction."""
+        pca = PCA().fit(anisotropic_data)
+        u0 = pca.projection_timeseries(anisotropic_data, 0)
+        u1 = pca.projection_timeseries(anisotropic_data, 1)
+        assert abs(float(u0 @ u1)) < 1e-10
+
+    def test_zero_variance_axis_rejected(self, rng):
+        data = np.zeros((10, 3))
+        data[:, 0] = rng.normal(size=10)
+        pca = PCA().fit(data)
+        with pytest.raises(ModelError):
+            pca.projection_timeseries(data, 2)
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PCA().transform(np.ones((2, 2)))
+
+    def test_one_sample_rejected(self):
+        with pytest.raises(ModelError):
+            PCA().fit(np.ones((1, 3)))
+
+    def test_non_finite_rejected(self):
+        data = np.ones((5, 3))
+        data[0, 0] = np.inf
+        with pytest.raises(ModelError):
+            PCA().fit(data)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ModelError):
+            PCA().fit(np.ones(5))
+
+    def test_component_index_out_of_range(self, anisotropic_data):
+        pca = PCA().fit(anisotropic_data)
+        with pytest.raises(ModelError):
+            pca.component(99)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.qstatistic (Jackson-Mudholkar, §5.1)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import q_threshold
+from repro.core.qstatistic import box_approx_threshold, residual_phis
+from repro.exceptions import ModelError
+
+
+class TestPhis:
+    def test_power_sums(self):
+        lam = np.array([2.0, 1.0])
+        phi1, phi2, phi3 = residual_phis(lam)
+        assert phi1 == pytest.approx(3.0)
+        assert phi2 == pytest.approx(5.0)
+        assert phi3 == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            residual_phis(np.array([[1.0]]))
+        with pytest.raises(ModelError):
+            residual_phis(np.array([-1.0]))
+
+
+class TestQThreshold:
+    def test_empty_residual_gives_zero(self):
+        assert q_threshold(np.array([])) == 0.0
+
+    def test_zero_eigenvalues_give_zero(self):
+        assert q_threshold(np.zeros(5)) == 0.0
+
+    def test_monotone_in_confidence(self):
+        lam = np.array([4.0, 3.0, 2.0, 1.0, 0.5])
+        t95 = q_threshold(lam, confidence=0.95)
+        t995 = q_threshold(lam, confidence=0.995)
+        t999 = q_threshold(lam, confidence=0.999)
+        assert t95 < t995 < t999
+
+    def test_threshold_above_mean_spe(self):
+        # E[SPE] = phi1; any sensible limit sits above the mean.
+        lam = np.array([4.0, 3.0, 2.0, 1.0, 0.5])
+        assert q_threshold(lam, confidence=0.99) > lam.sum()
+
+    def test_scale_equivariance(self):
+        """SPE scales like the eigenvalues, so the limit must too.
+        This is the property behind the paper's claim that the test does
+        not depend on mean traffic levels."""
+        lam = np.array([4.0, 3.0, 2.0, 1.0])
+        a = q_threshold(lam, confidence=0.999)
+        b = q_threshold(lam * 1e12, confidence=0.999)
+        assert b == pytest.approx(a * 1e12, rel=1e-9)
+
+    def test_gaussian_false_alarm_rate_calibrated(self, rng):
+        """On iid Gaussian residual data the exceedance rate of the JM
+        limit should be close to alpha."""
+        stds = np.array([3.0, 2.0, 1.5, 1.0, 0.5, 0.25])
+        n = 200_000
+        data = rng.normal(size=(n, stds.size)) * stds
+        spe = np.einsum("ij,ij->i", data, data)
+        lam = stds**2  # population eigenvalues
+        for confidence in (0.99, 0.999):
+            threshold = q_threshold(lam, confidence=confidence)
+            rate = float(np.mean(spe > threshold))
+            expected = 1.0 - confidence
+            # JM is an approximation and runs conservative in the far
+            # tail; require the right order of magnitude.
+            assert expected / 4 < rate < expected * 2
+
+    def test_single_eigenvalue_matches_chi2(self):
+        # With one residual axis SPE/lambda ~ chi^2_1; JM is approximate
+        # but must land within a few percent of the exact quantile.
+        lam = np.array([2.0])
+        exact = 2.0 * stats.chi2.ppf(0.999, df=1)
+        approx = q_threshold(lam, confidence=0.999)
+        assert approx == pytest.approx(exact, rel=0.10)
+
+    def test_negative_h0_falls_back_to_box(self):
+        # One dominant eigenvalue plus a diffuse tail pushes h0 negative;
+        # the implementation must fall back to the Box approximation
+        # rather than return a threshold below the SPE mean.
+        lam = np.concatenate([[1.0], np.full(100, 0.006)])
+        threshold = q_threshold(lam, confidence=0.999)
+        assert threshold == pytest.approx(
+            box_approx_threshold(lam, confidence=0.999)
+        )
+        assert threshold > lam.sum()
+
+    def test_confidence_validation(self):
+        with pytest.raises(ModelError):
+            q_threshold(np.array([1.0]), confidence=1.0)
+        with pytest.raises(ModelError):
+            q_threshold(np.array([1.0]), confidence=0.0)
+
+
+class TestBoxApproximation:
+    def test_matches_exact_for_equal_eigenvalues(self):
+        # k equal eigenvalues: SPE/lambda ~ chi^2_k exactly, and Box's
+        # g*chi2_h reduces to it (g = lambda, h = k).
+        lam = np.full(7, 3.0)
+        exact = 3.0 * stats.chi2.ppf(0.995, df=7)
+        assert box_approx_threshold(lam, confidence=0.995) == pytest.approx(exact)
+
+    def test_empty_gives_zero(self):
+        assert box_approx_threshold(np.array([])) == 0.0
+
+    def test_close_to_jm_for_smooth_spectra(self):
+        lam = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.25])
+        jm = q_threshold(lam, confidence=0.995)
+        box = box_approx_threshold(lam, confidence=0.995)
+        assert box == pytest.approx(jm, rel=0.15)

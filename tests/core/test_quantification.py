@@ -1,0 +1,114 @@
+"""Tests for repro.core.quantification (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector, identify_single_flow, quantify
+from repro.core.identification import identify_multi_flow
+from repro.core.quantification import quantify_from_magnitude, quantify_multi
+from repro.exceptions import ModelError
+
+
+@pytest.fixture
+def fitted(sprint1):
+    detector = SPEDetector().fit(sprint1.link_traffic)
+    return detector.model, sprint1.routing
+
+
+class TestQuantify:
+    def test_recovers_injected_size(self, fitted, sprint1):
+        model, routing = fitted
+        theta = routing.normalized_columns()
+        flow = routing.od_index("par", "vie")
+        size = 5e7
+        y = sprint1.link_traffic[450].copy() + size * routing.column(flow)
+        identification = identify_single_flow(model, theta, y)
+        assert identification.flow_index == flow
+        estimate = quantify(model, routing, y, identification)
+        # Accuracy within the paper's 15-35% band or better.
+        assert estimate == pytest.approx(size, rel=0.35)
+
+    def test_quantification_across_many_flows(self, fitted, sprint1):
+        """Mean relative error over a spread of flows must sit in the
+        paper's 'reasonably accurate' band."""
+        model, routing = fitted
+        theta = routing.normalized_columns()
+        size = 4e7
+        errors = []
+        for flow in range(0, sprint1.num_flows, 13):
+            y = sprint1.link_traffic[200].copy() + size * routing.column(flow)
+            identification = identify_single_flow(model, theta, y)
+            if identification.flow_index != flow:
+                continue
+            estimate = quantify(model, routing, y, identification)
+            errors.append(abs(estimate - size) / size)
+        assert len(errors) >= 8
+        assert np.mean(errors) < 0.35
+
+    def test_signed_estimate_for_traffic_drop(self, fitted, sprint1):
+        model, routing = fitted
+        theta = routing.normalized_columns()
+        flow = routing.od_index("lon", "par")
+        y = sprint1.link_traffic[300].copy()
+        on_path = routing.matrix[:, flow] > 0
+        drop = min(4e7, float(y[on_path].min()))
+        y = y - drop * routing.column(flow)
+        identification = identify_single_flow(model, theta, y)
+        if identification.flow_index == flow:
+            estimate = quantify(model, routing, y, identification)
+            assert estimate < 0
+
+    def test_closed_form_magnitude_path(self, fitted):
+        _, routing = fitted
+        flow = 7
+        column = routing.matrix[:, flow]
+        magnitude = 123.0
+        expected = magnitude * np.linalg.norm(column) / column.sum()
+        assert quantify_from_magnitude(routing, flow, magnitude) == pytest.approx(expected)
+
+    def test_binary_matrix_simplification(self, fitted):
+        """For a binary routing matrix the ratio ||A_i||/sum(A_i) is
+        1/sqrt(path length), so f = b*sqrt(L) quantifies back to b."""
+        _, routing = fitted
+        for flow in (0, 25, 90):
+            length = routing.matrix[:, flow].sum()
+            b = 1e6
+            f = b * np.sqrt(length)
+            assert quantify_from_magnitude(routing, flow, f) == pytest.approx(b)
+
+    def test_flow_out_of_range(self, fitted):
+        _, routing = fitted
+        with pytest.raises(ModelError):
+            quantify_from_magnitude(routing, 10_000, 1.0)
+
+    def test_dimension_mismatch_rejected(self, fitted, toy_routing, sprint1):
+        model, _ = fitted
+        theta = sprint1.routing.normalized_columns()
+        identification = identify_single_flow(
+            model, theta, sprint1.link_traffic[0]
+        )
+        with pytest.raises(ModelError):
+            quantify(model, toy_routing, sprint1.link_traffic[0], identification)
+
+
+class TestQuantifyMulti:
+    def test_per_flow_estimates(self, fitted, sprint1):
+        model, routing = fitted
+        theta = routing.normalized_columns()
+        f1 = routing.od_index("lon", "mil")
+        f2 = routing.od_index("mad", "sto")
+        y = sprint1.link_traffic[600].copy()
+        y = y + 4e7 * routing.column(f1) + 2.5e7 * routing.column(f2)
+        result = identify_multi_flow(model, [theta[:, [f1, f2]]], y)
+        estimates = quantify_multi(model, routing, [f1, f2], result)
+        assert estimates[0] == pytest.approx(4e7, rel=0.35)
+        assert estimates[1] == pytest.approx(2.5e7, rel=0.35)
+
+    def test_flow_count_mismatch_rejected(self, fitted, sprint1):
+        model, routing = fitted
+        theta = routing.normalized_columns()
+        result = identify_multi_flow(
+            model, [theta[:, [0, 1]]], sprint1.link_traffic[0]
+        )
+        with pytest.raises(ModelError):
+            quantify_multi(model, routing, [0], result)

@@ -1,0 +1,99 @@
+"""Tests for repro.core.routing_anomalies (§9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector
+from repro.core.routing_anomalies import RoutingAnomalyIdentifier
+from repro.exceptions import ModelError
+from repro.routing import LinkFailure, SPFRouting, apply_events, build_routing_matrix
+from repro.topology.builders import ring_network
+from repro.traffic import ODFlowGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A ring world with traffic, fitted model, and identifier."""
+    network = ring_network(6)
+    routing = build_routing_matrix(network, SPFRouting(network).compute())
+    generator = ODFlowGenerator(network, total_bytes_per_bin=2e9, seed=77)
+    traffic = generator.generate(288)
+    link_traffic = traffic.link_loads(routing)
+    detector = SPEDetector().fit(link_traffic)
+    identifier = RoutingAnomalyIdentifier(network, routing, detector.model)
+    return network, routing, traffic, link_traffic, detector, identifier
+
+
+class TestHypotheses:
+    def test_one_hypothesis_per_undirected_edge(self, world):
+        network, _, _, _, _, identifier = world
+        # A 6-ring has 6 undirected edges; every failure moves flows.
+        assert len(identifier.hypotheses) == 6
+
+    def test_signatures_unit_norm(self, world):
+        *_, identifier = world
+        for hypothesis in identifier.hypotheses:
+            norms = np.linalg.norm(hypothesis.signature, axis=0)
+            assert np.allclose(norms, 1.0)
+
+    def test_moved_flows_match_reroute_delta(self, world):
+        network, routing, *_ , identifier = world
+        from repro.routing.events import reroute_delta
+
+        for hypothesis in identifier.hypotheses:
+            after = apply_events(network, [hypothesis.failure])
+            moved = {
+                routing.od_index(o, d)
+                for o, d in reroute_delta(routing, after)
+            }
+            assert set(hypothesis.moved_flows) <= moved
+
+
+class TestIdentification:
+    def test_recognizes_real_reroute(self, world):
+        network, routing, traffic, link_traffic, detector, identifier = world
+        failure = LinkFailure("p2", "p3")
+        after = apply_events(network, [failure])
+        time_bin = 150
+        y = after.link_loads(traffic.values[time_bin])
+
+        # The reroute must register as an anomaly at all...
+        assert float(detector.model.spe(y)) > detector.threshold
+        diagnosis = identifier.identify(y)
+        assert diagnosis.kind == "routing"
+        assert {diagnosis.failure.source, diagnosis.failure.target} == {"p2", "p3"}
+
+    def test_intensities_recover_moved_traffic(self, world):
+        network, routing, traffic, _, _, identifier = world
+        failure = LinkFailure("p0", "p1")
+        after = apply_events(network, [failure])
+        time_bin = 100
+        x = traffic.values[time_bin]
+        y = after.link_loads(x)
+        diagnosis = identifier.identify(y)
+        if diagnosis.kind != "routing":
+            pytest.skip("reroute not preferred at this bin")
+        hypothesis = next(
+            h
+            for h in identifier.hypotheses
+            if {h.failure.source, h.failure.target}
+            == {diagnosis.failure.source, diagnosis.failure.target}
+        )
+        true_traffic = x[list(hypothesis.moved_flows)]
+        recovered = diagnosis.intensities
+        # Per-flow recovery within ~40% for the bulk of moved flows.
+        rel = np.abs(recovered - true_traffic) / np.maximum(true_traffic, 1.0)
+        assert np.median(rel) < 0.4
+
+    def test_volume_anomaly_still_wins_for_single_flow(self, world):
+        network, routing, traffic, link_traffic, _, identifier = world
+        flow = routing.od_index("p1", "p4")
+        y = link_traffic[120] + 1.5e8 * routing.column(flow)
+        diagnosis = identifier.identify(y)
+        assert diagnosis.kind == "volume"
+        assert diagnosis.flow_index == flow
+
+    def test_dimension_mismatch_rejected(self, world, toy_routing):
+        network, routing, _, link_traffic, detector, _ = world
+        with pytest.raises(ModelError):
+            RoutingAnomalyIdentifier(network, toy_routing, detector.model)

@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.exceptions import DatasetError
+from repro.traffic import AnomalyEvent
+
+
+class TestConsistency:
+    def test_small_dataset_is_consistent(self, small_dataset):
+        expected = small_dataset.od_traffic.link_loads(small_dataset.routing)
+        assert np.allclose(expected, small_dataset.link_traffic)
+
+    def test_inconsistent_link_traffic_rejected(self, small_dataset):
+        bad = small_dataset.link_traffic.copy()
+        bad[0, 0] += 1e9
+        with pytest.raises(DatasetError, match="inconsistent"):
+            Dataset(
+                name="bad",
+                network=small_dataset.network,
+                routing=small_dataset.routing,
+                od_traffic=small_dataset.od_traffic,
+                link_traffic=bad,
+            )
+
+    def test_wrong_bin_count_rejected(self, small_dataset):
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                network=small_dataset.network,
+                routing=small_dataset.routing,
+                od_traffic=small_dataset.od_traffic,
+                link_traffic=small_dataset.link_traffic[:-1],
+            )
+
+    def test_event_outside_trace_rejected(self, small_dataset):
+        event = AnomalyEvent(
+            time_bin=small_dataset.num_bins + 5, flow_index=0, amplitude_bytes=1.0
+        )
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                network=small_dataset.network,
+                routing=small_dataset.routing,
+                od_traffic=small_dataset.od_traffic,
+                link_traffic=small_dataset.link_traffic,
+                true_events=(event,),
+            )
+
+
+class TestProperties:
+    def test_dimensions(self, small_dataset):
+        assert small_dataset.num_bins == 288
+        assert small_dataset.num_links == 49
+        assert small_dataset.num_flows == 169
+        assert small_dataset.bin_seconds == 600.0
+
+    def test_measurement_matrix_alias(self, small_dataset):
+        assert small_dataset.measurement_matrix is small_dataset.link_traffic
+
+    def test_event_flows(self, small_dataset):
+        flows = small_dataset.event_flows()
+        assert len(flows) == len(small_dataset.true_events)
+        for od_pair, event in zip(flows, small_dataset.true_events):
+            assert small_dataset.routing.od_pairs[event.flow_index] == od_pair
+
+
+class TestWindow:
+    def test_window_shapes(self, small_dataset):
+        window = small_dataset.window(0, 144)
+        assert window.num_bins == 144
+        assert window.num_links == small_dataset.num_links
+
+    def test_window_reindexes_events(self, small_dataset):
+        if not small_dataset.true_events:
+            pytest.skip("dataset has no events")
+        event = small_dataset.true_events[0]
+        start = max(0, event.time_bin - 10)
+        window = small_dataset.window(start, min(start + 50, small_dataset.num_bins))
+        shifted = [e for e in window.true_events if e.flow_index == event.flow_index]
+        assert any(e.time_bin == event.time_bin - start for e in shifted)
+
+    def test_window_drops_outside_events(self, small_dataset):
+        window = small_dataset.window(0, 5)
+        assert all(e.time_bin < 5 for e in window.true_events)
+
+    def test_window_consistency_preserved(self, small_dataset):
+        window = small_dataset.window(10, 60)
+        expected = window.od_traffic.link_loads(window.routing)
+        assert np.allclose(expected, window.link_traffic)

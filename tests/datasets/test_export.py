@@ -1,0 +1,63 @@
+"""Tests for repro.datasets.export (CSV interoperability)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.datasets.export import export_csv
+
+
+@pytest.fixture(scope="module")
+def exported(request, tmp_path_factory):
+    small = request.getfixturevalue("small_dataset")
+    directory = tmp_path_factory.mktemp("csv")
+    return export_csv(small, directory), small
+
+
+class TestExportCsv:
+    def test_all_files_written(self, exported):
+        directory, _ = exported
+        for name in (
+            "link_traffic.csv",
+            "od_traffic.csv",
+            "routing_matrix.csv",
+            "events.csv",
+        ):
+            assert (directory / name).exists()
+
+    def test_link_traffic_round_trips(self, exported):
+        directory, dataset = exported
+        with open(directory / "link_traffic.csv") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            rows = list(reader)
+        assert header[1:] == dataset.routing.link_names
+        assert len(rows) == dataset.num_bins
+        rebuilt = np.array([[float(v) for v in row[1:]] for row in rows])
+        assert np.allclose(rebuilt, dataset.link_traffic, rtol=1e-5)
+
+    def test_routing_matrix_labels(self, exported):
+        directory, dataset = exported
+        with open(directory / "routing_matrix.csv") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            first = next(reader)
+        assert header[1] == "lon->lon"
+        assert first[0] == dataset.routing.link_names[0]
+
+    def test_events_ledger(self, exported):
+        directory, dataset = exported
+        with open(directory / "events.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(dataset.true_events)
+        for row, event in zip(rows, dataset.true_events):
+            assert int(row["time_bin"]) == event.time_bin
+            assert float(row["amplitude_bytes"]) == pytest.approx(
+                event.amplitude_bytes, rel=1e-5
+            )
+
+    def test_export_creates_directory(self, small_dataset, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        export_csv(small_dataset, target)
+        assert (target / "od_traffic.csv").exists()

@@ -1,0 +1,49 @@
+"""Tests for repro.datasets.io."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, save_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        loaded = load_dataset(path)
+        assert loaded.name == small_dataset.name
+        assert np.allclose(loaded.link_traffic, small_dataset.link_traffic)
+        assert np.allclose(
+            loaded.od_traffic.values, small_dataset.od_traffic.values
+        )
+        assert loaded.true_events == small_dataset.true_events
+
+    def test_routing_matrix_preserved(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "world")
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.routing.matrix, small_dataset.routing.matrix)
+        assert loaded.routing.od_pairs == small_dataset.routing.od_pairs
+
+    def test_config_preserved(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        loaded = load_dataset(path)
+        assert loaded.config == small_dataset.config
+
+    def test_suffix_added(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_topology_preserved(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "w.npz")
+        loaded = load_dataset(path)
+        assert loaded.network.pop_names == small_dataset.network.pop_names
+        assert [l.name for l in loaded.network.links] == [
+            l.name for l in small_dataset.network.links
+        ]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_dataset(tmp_path / "nope.npz")

@@ -1,0 +1,28 @@
+"""Tests for repro.datasets.summary (paper Table 1)."""
+
+from repro.datasets import dataset_summary, summary_table
+
+
+class TestSummary:
+    def test_row_fields(self, small_dataset):
+        row = dataset_summary(small_dataset)
+        assert row.name == "sprint-small"
+        assert row.num_pops == 13
+        assert row.num_links == 49
+        assert row.bin_minutes == 10.0
+        assert row.period_days == 2.0
+        assert row.num_flows == 169
+
+    def test_table_rendering(self, small_dataset):
+        text = summary_table([small_dataset])
+        assert "Dataset" in text
+        assert "sprint-small" in text
+        assert "49" in text
+        assert "10 min" in text
+
+    def test_paper_table1_values(self, sprint1, abilene_ds):
+        text = summary_table([sprint1, abilene_ds])
+        lines = text.splitlines()
+        assert any("sprint-1" in l and "13" in l and "49" in l for l in lines)
+        assert any("abilene" in l and "11" in l and "41" in l for l in lines)
+        assert all("7.0 d" in l for l in lines[1:])

@@ -1,0 +1,85 @@
+"""Tests for repro.datasets.synthetic (paper Table 1 dimensions)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset
+from repro.datasets.synthetic import dataset_from_config
+from repro.exceptions import TrafficError
+from repro.topology.builders import ring_network
+from repro.traffic.workloads import workload_for
+
+
+class TestPresetDatasets:
+    def test_sprint1_table1_dimensions(self, sprint1):
+        assert sprint1.network.num_pops == 13
+        assert sprint1.num_links == 49
+        assert sprint1.num_bins == 1008
+        assert sprint1.bin_seconds == 600.0
+
+    def test_abilene_table1_dimensions(self, abilene_ds):
+        assert abilene_ds.network.num_pops == 11
+        assert abilene_ds.num_links == 41
+        assert abilene_ds.num_bins == 1008
+
+    def test_deterministic_rebuild(self):
+        a = build_dataset("sprint-1")
+        b = build_dataset("sprint-1")
+        assert np.array_equal(a.link_traffic, b.link_traffic)
+        assert a.true_events == b.true_events
+
+    def test_weeks_differ(self, sprint1):
+        sprint2 = build_dataset("sprint-2")
+        assert not np.array_equal(sprint1.link_traffic[:100], sprint2.link_traffic[:100])
+
+    def test_ground_truth_present(self, sprint1):
+        assert len(sprint1.true_events) >= 30
+        sizes = [abs(e.amplitude_bytes) for e in sprint1.true_events]
+        # The anomaly mix spans the knee: some above 2e7, most below.
+        assert sum(1 for s in sizes if s >= 2e7) >= 5
+        assert sum(1 for s in sizes if s < 2e7) >= 20
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(TrafficError):
+            build_dataset("geant")
+
+    def test_link_loads_realistic_scale(self, sprint1):
+        """Paper Fig. 1 shows link loads of 1e7..3e8 bytes per bin."""
+        busy_links = sprint1.link_traffic.mean(axis=0)
+        inter_pop = [
+            i
+            for i, name in enumerate(sprint1.routing.link_names)
+            if "->" in name
+        ]
+        assert np.median(busy_links[inter_pop]) > 1e7
+        assert busy_links.max() < 5e9
+
+
+class TestCustomConfig:
+    def test_custom_network_override(self):
+        config = workload_for("sprint-1").with_overrides(
+            name="ring-world", num_bins=288, num_anomalies=4
+        )
+        network = ring_network(6)
+        # Give the ring PoPs population weights (defaults are 1.0 already).
+        ds = dataset_from_config(config, network=network)
+        assert ds.num_links == network.num_links
+        assert ds.num_flows == 36
+
+    def test_ecmp_routing(self):
+        config = workload_for("sprint-1").with_overrides(
+            name="ecmp-world", num_bins=144, num_anomalies=2
+        )
+        ds = dataset_from_config(config, ecmp=True)
+        # ECMP matrices may be fractional but must still be consistent.
+        assert np.allclose(
+            ds.od_traffic.link_loads(ds.routing), ds.link_traffic
+        )
+
+    def test_effective_events_match_injection(self, small_dataset):
+        # Every recorded event's spike must be visible in the OD matrix.
+        for event in small_dataset.true_events:
+            flow = small_dataset.od_traffic.values[:, event.flow_index]
+            window = flow[max(0, event.time_bin - 2) : event.time_bin + 3]
+            if event.amplitude_bytes > 0:
+                assert flow[event.time_bin] == window.max()

@@ -1,0 +1,89 @@
+"""Integration tests: topology -> routing -> traffic -> measurement ->
+diagnosis, end to end on small seeded worlds."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnomalyDiagnoser, SPEDetector
+from repro.measurement import MeasurementPipeline
+from repro.routing import SPFRouting, build_routing_matrix
+from repro.topology.builders import ring_network
+from repro.traffic import AnomalyEvent, ODFlowGenerator, inject_anomalies
+
+
+class TestFullStack:
+    def test_diagnosis_through_measured_link_counts(self):
+        """Run the whole stack including the SNMP measurement plane: the
+        diagnosis must work on *measured* (not ideal) link counts."""
+        network = ring_network(6)
+        routing = build_routing_matrix(network, SPFRouting(network).compute())
+        generator = ODFlowGenerator(network, total_bytes_per_bin=2e9, seed=42)
+        clean = generator.generate(288)
+
+        # Plant one large spike.
+        flow = network.od_index("p1", "p4")
+        event = AnomalyEvent(time_bin=200, flow_index=flow, amplitude_bytes=8e7)
+        traffic, effective = inject_anomalies(clean, [event])
+        assert effective
+
+        measured = MeasurementPipeline.sprint_style(routing, seed=7).run(traffic)
+        diagnoser = AnomalyDiagnoser(confidence=0.999)
+        diagnoser.fit(measured.link_counts, routing)
+        diagnoses = {d.time_bin: d for d in diagnoser.diagnose(measured.link_counts)}
+
+        assert 200 in diagnoses
+        assert diagnoses[200].flow_index == flow
+        assert diagnoses[200].estimated_bytes == pytest.approx(8e7, rel=0.4)
+
+    def test_detection_survives_sampled_od_estimates(self):
+        """Even the sampled OD estimates (NetFlow view) projected onto
+        links support detection — the paper's validation data path."""
+        network = ring_network(6)
+        routing = build_routing_matrix(network, SPFRouting(network).compute())
+        generator = ODFlowGenerator(network, total_bytes_per_bin=2e9, seed=43)
+        clean = generator.generate(288)
+        flow = network.od_index("p0", "p3")
+        traffic, _ = inject_anomalies(
+            clean, [AnomalyEvent(time_bin=150, flow_index=flow, amplitude_bytes=1e8)]
+        )
+        measured = MeasurementPipeline.abilene_style(routing, seed=8).run(traffic)
+        link_view = routing.link_loads(measured.od_estimates)
+        detector = SPEDetector().fit(link_view)
+        assert detector.detect(link_view).flags[150]
+
+    def test_reroute_then_diagnose_with_fresh_matrix(self):
+        """After a link failure the routing matrix changes; diagnosis
+        against the *new* matrix identifies flows correctly."""
+        from repro.routing import LinkFailure, apply_events
+
+        network = ring_network(6)
+        before = build_routing_matrix(network, SPFRouting(network).compute())
+        after = apply_events(network, [LinkFailure("p0", "p1")])
+
+        generator = ODFlowGenerator(network, total_bytes_per_bin=2e9, seed=44)
+        clean = generator.generate(288)
+        flow = network.od_index("p0", "p2")
+        traffic, _ = inject_anomalies(
+            clean, [AnomalyEvent(time_bin=100, flow_index=flow, amplitude_bytes=8e7)]
+        )
+        link_traffic = traffic.link_loads(after)
+        diagnoser = AnomalyDiagnoser().fit(link_traffic, after)
+        diagnoses = {d.time_bin: d for d in diagnoser.diagnose(link_traffic)}
+        assert 100 in diagnoses
+        assert diagnoses[100].flow_index == flow
+
+
+class TestDatasetRoundTripDiagnosis:
+    def test_saved_dataset_diagnoses_identically(self, small_dataset, tmp_path):
+        from repro.datasets import load_dataset, save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "w.npz")
+        loaded = load_dataset(path)
+
+        a = AnomalyDiagnoser().fit(small_dataset.link_traffic, small_dataset.routing)
+        b = AnomalyDiagnoser().fit(loaded.link_traffic, loaded.routing)
+        da = a.diagnose(small_dataset.link_traffic)
+        db = b.diagnose(loaded.link_traffic)
+        assert [(d.time_bin, d.flow_index) for d in da] == [
+            (d.time_bin, d.flow_index) for d in db
+        ]

@@ -1,0 +1,98 @@
+"""Model transfer over time (§7.1).
+
+The paper argues the projection ``P Pᵀ`` is stable enough that the SVD
+need only run occasionally.  These tests quantify that claim:
+
+* across the two *halves* of one week (the paper's deployment scenario:
+  a model fitted on recent history applied forward), the transferred
+  subspace detects like a natively fitted one;
+* across our two Sprint *worlds* the subspaces stay within tens of
+  degrees — a conservative bound, since the synthetic weeks draw
+  independent gravity structure and therefore differ more than real
+  consecutive weeks on one network would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PCA, SPEDetector, principal_angles
+from repro.core.qstatistic import q_threshold
+from repro.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def sprint_weeks():
+    return build_dataset("sprint-1"), build_dataset("sprint-2")
+
+
+def transfer_detect(
+    basis: np.ndarray, target: np.ndarray, confidence: float = 0.999
+) -> tuple[np.ndarray, float]:
+    """Detect on ``target`` using a foreign normal basis.
+
+    Recentres with the target's mean and rescales the threshold from the
+    target's residual moments — both cheap streaming statistics; no SVD.
+    """
+    mean = target.mean(axis=0)
+    centered = target - mean
+    residual = centered - (centered @ basis) @ basis.T
+    spe = np.einsum("ij,ij->i", residual, residual)
+    eigenvalues = np.sort(
+        np.linalg.eigvalsh((residual.T @ residual) / (target.shape[0] - 1))
+    )[::-1]
+    rank = basis.shape[1]
+    threshold = q_threshold(eigenvalues[: eigenvalues.size - rank], confidence)
+    return spe > threshold, float(threshold)
+
+
+class TestIntraWeekTransfer:
+    def test_first_half_model_detects_second_half(self, sprint1):
+        """Fit P on days 1-3.5, diagnose days 3.5-7 without refitting."""
+        first, second = sprint1.link_traffic[:504], sprint1.link_traffic[504:]
+        rank = SPEDetector().fit(first).normal_rank
+        basis = PCA().fit(first).components[:, :rank]
+
+        flags, _ = transfer_detect(basis, second)
+        native = SPEDetector(normal_rank=rank).fit(second)
+        native_flags = native.detect(second).flags
+
+        agreement = float(np.mean(flags == native_flags))
+        assert agreement > 0.97
+
+        events = [
+            e
+            for e in sprint1.true_events
+            if e.time_bin >= 504 and abs(e.amplitude_bytes) >= 2e7
+        ]
+        if events:
+            caught = sum(1 for e in events if flags[e.time_bin - 504])
+            assert caught >= len(events) * 0.6
+
+    def test_half_week_subspace_angles_small(self, sprint1):
+        p1 = PCA().fit(sprint1.link_traffic[:504]).components[:, :3]
+        p2 = PCA().fit(sprint1.link_traffic[504:]).components[:, :3]
+        angles = np.degrees(principal_angles(p1, p2))
+        assert angles.max() < 25.0
+
+
+class TestCrossWorldStability:
+    def test_cross_week_angles_bounded(self, sprint_weeks):
+        """Independent gravity draws rotate the weaker axes, but the
+        subspaces stay within tens of degrees (dominant axes much
+        closer)."""
+        week1, week2 = sprint_weeks
+        p1 = PCA().fit(week1.link_traffic).components[:, :3]
+        p2 = PCA().fit(week2.link_traffic).components[:, :3]
+        angles = np.degrees(principal_angles(p1, p2))
+        assert angles.min() < 15.0  # the dominant direction barely moves
+        assert angles.max() < 45.0
+
+    def test_stale_mean_breaks_detection(self, sprint_weeks):
+        """The mean must be refreshed: applying week-1's detector
+        verbatim (mean, threshold and all) to week-2 data inflates SPE
+        everywhere — recentring is the cheap, necessary step the
+        transfer recipe above performs."""
+        week1, week2 = sprint_weeks
+        detector1 = SPEDetector().fit(week1.link_traffic)
+        stale = detector1.detect(week2.link_traffic)
+        assert stale.alarm_rate() > 0.15

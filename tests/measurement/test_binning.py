@@ -1,0 +1,90 @@
+"""Tests for repro.measurement.binning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import rebin_matrix, rebin_vector, subdivide_matrix
+
+
+class TestRebinVector:
+    def test_sums_groups(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert np.array_equal(rebin_vector(values, 2), [3.0, 7.0, 11.0])
+
+    def test_factor_one_is_identity(self):
+        values = np.array([1.0, 2.0])
+        assert np.array_equal(rebin_vector(values, 1), values)
+
+    def test_partial_window_rejected(self):
+        with pytest.raises(MeasurementError):
+            rebin_vector(np.arange(5, dtype=float), 2)
+
+    def test_not_vector_rejected(self):
+        with pytest.raises(MeasurementError):
+            rebin_vector(np.ones((2, 2)), 2)
+
+
+class TestRebinMatrix:
+    def test_mass_conservation(self, rng):
+        values = rng.uniform(0, 10, size=(30, 4))
+        rebinned = rebin_matrix(values, 5)
+        assert rebinned.shape == (6, 4)
+        assert np.allclose(rebinned.sum(axis=0), values.sum(axis=0))
+
+    def test_matches_vector_rebin(self, rng):
+        values = rng.uniform(0, 10, size=(12, 3))
+        rebinned = rebin_matrix(values, 3)
+        for j in range(3):
+            assert np.allclose(rebinned[:, j], rebin_vector(values[:, j], 3))
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            rebin_matrix(np.ones(6), 2)
+        with pytest.raises(MeasurementError):
+            rebin_matrix(np.ones((5, 2)), 2)
+        with pytest.raises(MeasurementError):
+            rebin_matrix(np.ones((4, 2)), 0)
+
+
+class TestSubdivideMatrix:
+    def test_mass_conserved_per_cell(self, rng):
+        values = rng.uniform(0, 1e6, size=(10, 5))
+        fine = subdivide_matrix(values, 4, roughness=0.2, seed=1)
+        assert fine.shape == (40, 5)
+        coarse = rebin_matrix(fine, 4)
+        assert np.allclose(coarse, values)
+
+    def test_zero_roughness_splits_evenly(self):
+        values = np.array([[8.0, 4.0]])
+        fine = subdivide_matrix(values, 4, roughness=0.0)
+        assert np.allclose(fine, [[2.0, 1.0]] * 4)
+
+    def test_non_negative(self, rng):
+        values = rng.uniform(0, 1e3, size=(20, 3))
+        fine = subdivide_matrix(values, 10, roughness=0.5, seed=2)
+        assert np.all(fine >= 0)
+
+    def test_factor_one_copies(self, rng):
+        values = rng.uniform(0, 1, size=(5, 2))
+        fine = subdivide_matrix(values, 1)
+        assert np.array_equal(fine, values)
+        fine[0, 0] = 99.0
+        assert values[0, 0] != 99.0
+
+    def test_deterministic_with_seed(self):
+        values = np.ones((5, 2)) * 100
+        a = subdivide_matrix(values, 3, seed=7)
+        b = subdivide_matrix(values, 3, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(MeasurementError):
+            subdivide_matrix(np.array([[-1.0]]), 2)
+
+    def test_roundtrip_rebin_subdivide(self, rng):
+        """subdivide -> rebin is the identity (up to float error)."""
+        values = rng.uniform(0, 1e8, size=(8, 6))
+        for roughness in (0.0, 0.1, 0.4):
+            fine = subdivide_matrix(values, 6, roughness=roughness, seed=3)
+            assert np.allclose(rebin_matrix(fine, 6), values)

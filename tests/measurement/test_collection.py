@@ -1,0 +1,84 @@
+"""Tests for repro.measurement.collection (the full pipeline of paper §3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import MeasurementPipeline
+from repro.traffic import ODFlowGenerator, TrafficMatrix
+
+
+@pytest.fixture
+def toy_traffic(toy_net):
+    # Enough traffic that most links clear the paper's 1 Mbps "busy"
+    # threshold (7.5e7 bytes per 10-minute bin).
+    generator = ODFlowGenerator(toy_net, total_bytes_per_bin=2e9, seed=3)
+    return generator.generate(36)
+
+
+class TestPipeline:
+    def test_output_shapes(self, toy_traffic, toy_routing):
+        pipeline = MeasurementPipeline.sprint_style(toy_routing, seed=0)
+        result = pipeline.run(toy_traffic)
+        assert result.od_estimates.shape == toy_traffic.values.shape
+        assert result.link_counts.shape == (
+            toy_traffic.num_bins,
+            toy_routing.num_links,
+        )
+
+    def test_link_counts_match_truth(self, toy_traffic, toy_routing):
+        # Lossless 64-bit counters: SNMP-decoded counts equal Y = X A^T.
+        pipeline = MeasurementPipeline.sprint_style(toy_routing, seed=0)
+        result = pipeline.run(toy_traffic)
+        assert np.allclose(result.link_counts, toy_traffic.link_loads(toy_routing))
+
+    def test_sprint_style_agreement_within_paper_bounds(self, toy_traffic, toy_routing):
+        """The paper found 1-5% agreement between adjusted flow counts and
+        SNMP counts on links above 1 Mbps; the simulated pipeline must too."""
+        pipeline = MeasurementPipeline.sprint_style(toy_routing, seed=0)
+        result = pipeline.run(toy_traffic)
+        busy = toy_traffic.link_loads(toy_routing).mean(axis=0) > 7.5e7
+        assert busy.sum() >= 5  # the threshold actually selects links
+        assert result.agreement_error[busy].max() < 0.06
+
+    def test_abilene_style_noisier_but_unbiased(self, toy_traffic, toy_routing):
+        pipeline = MeasurementPipeline.abilene_style(toy_routing, seed=0)
+        result = pipeline.run(toy_traffic)
+        total_true = toy_traffic.values.sum()
+        total_est = result.od_estimates.sum()
+        assert total_est == pytest.approx(total_true, rel=0.02)
+
+    def test_random_sampling_noisier_at_equal_rate(self, toy_traffic, toy_routing):
+        # Holding the rate fixed isolates the sampling discipline: the
+        # binomial count noise of random sampling raises the agreement
+        # error relative to periodic sampling.
+        from repro.measurement import PeriodicSampler, RandomSampler
+
+        periodic = MeasurementPipeline(
+            toy_routing, sampler=PeriodicSampler(250), fine_factor=2, seed=0
+        ).run(toy_traffic)
+        random = MeasurementPipeline(
+            toy_routing, sampler=RandomSampler(1 / 250), fine_factor=2, seed=0
+        ).run(toy_traffic)
+        assert random.agreement_error.mean() > periodic.agreement_error.mean()
+
+    def test_fine_bin_seconds(self, toy_traffic, toy_routing):
+        sprint = MeasurementPipeline.sprint_style(toy_routing, seed=0)
+        result = sprint.run(toy_traffic)
+        assert result.fine_bin_seconds == pytest.approx(300.0)  # 5 minutes
+
+    def test_max_agreement_error_helper(self, toy_traffic, toy_routing):
+        result = MeasurementPipeline.sprint_style(toy_routing, seed=0).run(toy_traffic)
+        assert result.max_agreement_error() == pytest.approx(
+            result.agreement_error.max()
+        )
+
+    def test_flow_count_mismatch_rejected(self, toy_routing):
+        bad = TrafficMatrix(np.ones((4, 2)), [("a", "b"), ("b", "a")])
+        pipeline = MeasurementPipeline.sprint_style(toy_routing)
+        with pytest.raises(MeasurementError):
+            pipeline.run(bad)
+
+    def test_invalid_fine_factor(self, toy_routing):
+        with pytest.raises(MeasurementError):
+            MeasurementPipeline(toy_routing, fine_factor=0)

@@ -1,0 +1,86 @@
+"""Tests for repro.measurement.netflow."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import FlowCollector, PacketSizeModel, PeriodicSampler, RandomSampler
+
+
+@pytest.fixture
+def true_bytes(rng):
+    # 20 bins x 5 flows, 1e6..1e8 bytes per cell.
+    return rng.uniform(1e6, 1e8, size=(20, 5))
+
+
+class TestEstimateMatrix:
+    def test_shape(self, true_bytes):
+        collector = FlowCollector(PeriodicSampler(250), seed=0)
+        estimates = collector.estimate_matrix(true_bytes)
+        assert estimates.shape == true_bytes.shape
+
+    def test_periodic_estimates_close(self, true_bytes):
+        """Periodic 1-in-250 on large flows: percent-level accuracy, as
+        the paper's SNMP agreement check found (1-5%)."""
+        collector = FlowCollector(PeriodicSampler(250), seed=0)
+        estimates = collector.estimate_matrix(true_bytes)
+        rel = np.abs(estimates - true_bytes) / true_bytes
+        assert np.median(rel) < 0.05
+
+    def test_random_estimates_unbiased(self, rng):
+        collector = FlowCollector(RandomSampler(0.01), seed=1)
+        truth = np.full((2000, 1), 5e7)
+        estimates = collector.estimate_matrix(truth)
+        assert estimates.mean() == pytest.approx(5e7, rel=0.01)
+
+    def test_random_noisier_than_periodic_at_equal_rate(self, rng):
+        # At the same sampling rate, random sampling adds binomial
+        # count noise on top of the shared packet-size noise, so its
+        # byte estimates spread wider than periodic sampling's.
+        truth = np.full((2000, 1), 5e7)
+        periodic = FlowCollector(PeriodicSampler(250), seed=2).estimate_matrix(truth)
+        random = FlowCollector(RandomSampler(1 / 250), seed=3).estimate_matrix(truth)
+        assert random.std() > 1.2 * periodic.std()
+
+    def test_wrong_ndim_rejected(self):
+        collector = FlowCollector(PeriodicSampler(250))
+        with pytest.raises(MeasurementError):
+            collector.estimate_matrix(np.ones(5))
+
+
+class TestCollect:
+    def test_records_cover_active_cells(self, true_bytes):
+        od_pairs = [(f"o{j}", f"d{j}") for j in range(5)]
+        collector = FlowCollector(PeriodicSampler(250), seed=0)
+        batch = collector.collect(true_bytes, od_pairs)
+        # Every cell has >= thousands of packets, so every cell yields
+        # at least one sampled packet with period 250.
+        assert len(batch) == true_bytes.size
+        matrix = batch.to_matrix(od_pairs, num_bins=20)
+        rel = np.abs(matrix - true_bytes) / true_bytes
+        assert np.median(rel) < 0.05
+
+    def test_idle_flows_emit_no_records(self):
+        od_pairs = [("a", "b")]
+        collector = FlowCollector(RandomSampler(0.01), seed=0)
+        batch = collector.collect(np.zeros((5, 1)), od_pairs)
+        assert len(batch) == 0
+
+    def test_emit_zero_records_forces_records(self):
+        od_pairs = [("a", "b")]
+        collector = FlowCollector(RandomSampler(0.01), seed=0)
+        batch = collector.collect(
+            np.zeros((5, 1)), od_pairs, emit_zero_records=True
+        )
+        assert len(batch) == 5
+
+    def test_od_pair_count_mismatch_rejected(self, true_bytes):
+        collector = FlowCollector(PeriodicSampler(250))
+        with pytest.raises(MeasurementError):
+            collector.collect(true_bytes, [("a", "b")])
+
+    def test_records_carry_sampling_rate(self, true_bytes):
+        od_pairs = [(f"o{j}", f"d{j}") for j in range(5)]
+        collector = FlowCollector(RandomSampler(0.01), seed=0)
+        batch = collector.collect(true_bytes, od_pairs)
+        assert all(r.sampling_rate == pytest.approx(0.01) for r in batch)

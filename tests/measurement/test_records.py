@@ -1,0 +1,80 @@
+"""Tests for repro.measurement.records."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import FlowRecord, FlowRecordBatch
+
+
+def record(origin="a", destination="b", time_bin=0, sampled_bytes=100.0,
+           sampled_packets=2, sampling_rate=0.01) -> FlowRecord:
+    return FlowRecord(
+        origin=origin,
+        destination=destination,
+        time_bin=time_bin,
+        sampled_bytes=sampled_bytes,
+        sampled_packets=sampled_packets,
+        sampling_rate=sampling_rate,
+    )
+
+
+class TestFlowRecord:
+    def test_estimated_bytes_adjusts_for_rate(self):
+        assert record(sampled_bytes=100.0, sampling_rate=0.01).estimated_bytes == pytest.approx(10_000.0)
+
+    def test_estimated_packets(self):
+        assert record(sampled_packets=3, sampling_rate=0.01).estimated_packets == pytest.approx(300.0)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            record(time_bin=-1)
+        with pytest.raises(MeasurementError):
+            record(sampled_bytes=-1.0)
+        with pytest.raises(MeasurementError):
+            record(sampling_rate=0.0)
+        with pytest.raises(MeasurementError):
+            record(sampling_rate=1.5)
+
+
+class TestFlowRecordBatch:
+    def test_add_and_len(self):
+        batch = FlowRecordBatch()
+        batch.add(record())
+        batch.extend([record(time_bin=1), record(time_bin=2)])
+        assert len(batch) == 3
+
+    def test_od_pairs_first_seen_order(self):
+        batch = FlowRecordBatch(
+            [record("a", "b"), record("c", "d"), record("a", "b")]
+        )
+        assert batch.od_pairs() == [("a", "b"), ("c", "d")]
+
+    def test_num_bins(self):
+        batch = FlowRecordBatch([record(time_bin=7)])
+        assert batch.num_bins() == 8
+        assert FlowRecordBatch().num_bins() == 0
+
+    def test_to_matrix_sums_estimates(self):
+        batch = FlowRecordBatch(
+            [
+                record("a", "b", time_bin=0, sampled_bytes=50.0),
+                record("a", "b", time_bin=0, sampled_bytes=30.0),
+                record("c", "d", time_bin=1, sampled_bytes=10.0),
+            ]
+        )
+        matrix = batch.to_matrix([("a", "b"), ("c", "d")], num_bins=3)
+        assert matrix.shape == (3, 2)
+        assert matrix[0, 0] == pytest.approx(8000.0)  # (50+30)/0.01
+        assert matrix[1, 1] == pytest.approx(1000.0)
+        assert matrix[2].sum() == 0.0
+
+    def test_to_matrix_unknown_pair_rejected(self):
+        batch = FlowRecordBatch([record("x", "y")])
+        with pytest.raises(MeasurementError):
+            batch.to_matrix([("a", "b")])
+
+    def test_to_matrix_bin_overflow_rejected(self):
+        batch = FlowRecordBatch([record(time_bin=5)])
+        with pytest.raises(MeasurementError):
+            batch.to_matrix([("a", "b")], num_bins=3)

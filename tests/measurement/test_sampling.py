@@ -1,0 +1,102 @@
+"""Tests for repro.measurement.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import PacketSizeModel, PeriodicSampler, RandomSampler
+
+
+class TestPacketSizeModel:
+    def test_packets_for_bytes(self):
+        model = PacketSizeModel(mean_bytes=500.0)
+        packets = model.packets_for_bytes(np.array([5000.0, 250.0, 0.0]))
+        assert packets.tolist() == [10, 0, 0]  # 250/500 rounds to 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(MeasurementError):
+            PacketSizeModel().packets_for_bytes(np.array([-1.0]))
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            PacketSizeModel(mean_bytes=0)
+        with pytest.raises(MeasurementError):
+            PacketSizeModel(std_bytes=-1)
+
+
+class TestPeriodicSampler:
+    def test_rate(self):
+        assert PeriodicSampler(250).rate == pytest.approx(1 / 250)
+
+    def test_expectation_unbiased(self, rng):
+        sampler = PeriodicSampler(250)
+        counts = np.full((200, 50), 25_000, dtype=np.int64)
+        sampled = sampler.sample_counts(counts, rng)
+        assert sampled.mean() == pytest.approx(100.0, rel=0.02)
+
+    def test_low_variance(self, rng):
+        # Periodic sampling varies by at most one packet from the phase.
+        sampler = PeriodicSampler(250)
+        counts = np.full(10_000, 25_000, dtype=np.int64)
+        sampled = sampler.sample_counts(counts, rng)
+        assert set(np.unique(sampled)) <= {100, 101}
+
+    def test_zero_packets(self, rng):
+        sampler = PeriodicSampler(250)
+        assert np.all(sampler.sample_counts(np.zeros(10, dtype=np.int64), rng) == 0)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            PeriodicSampler(0)
+
+
+class TestRandomSampler:
+    def test_rate(self):
+        assert RandomSampler(0.01).rate == pytest.approx(0.01)
+
+    def test_binomial_moments(self, rng):
+        sampler = RandomSampler(0.01)
+        counts = np.full(50_000, 20_000, dtype=np.int64)
+        sampled = sampler.sample_counts(counts, rng)
+        assert sampled.mean() == pytest.approx(200.0, rel=0.02)
+        assert sampled.std() == pytest.approx(np.sqrt(20_000 * 0.01 * 0.99), rel=0.05)
+
+    def test_noisier_than_periodic(self, rng):
+        """The paper's observation: random 1% sampling is noisier than
+        periodic 1-in-250 at comparable packet counts."""
+        counts = np.full(20_000, 25_000, dtype=np.int64)
+        periodic = PeriodicSampler(250).sample_counts(counts, rng) * 250.0
+        random = RandomSampler(0.01).sample_counts(counts, rng) / 0.01
+        assert random.std() > 5 * periodic.std()
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            RandomSampler(0.0)
+        with pytest.raises(Exception):
+            RandomSampler(1.5)
+
+
+class TestSampledBytes:
+    def test_unbiased_byte_estimates(self, rng):
+        sampler = RandomSampler(0.01)
+        size_model = PacketSizeModel(mean_bytes=500.0, std_bytes=450.0)
+        packets = np.full(20_000, 20_000, dtype=np.int64)
+        sampled_bytes, counts = sampler.sampled_bytes(packets, size_model, rng)
+        estimates = sampled_bytes / sampler.rate
+        true_bytes = 20_000 * 500.0
+        assert estimates.mean() == pytest.approx(true_bytes, rel=0.01)
+
+    def test_zero_count_cells_are_zero_bytes(self, rng):
+        sampler = RandomSampler(0.01)
+        size_model = PacketSizeModel()
+        packets = np.zeros(100, dtype=np.int64)
+        sampled_bytes, counts = sampler.sampled_bytes(packets, size_model, rng)
+        assert np.all(sampled_bytes == 0)
+
+    def test_non_integer_counts_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            PeriodicSampler(250).sample_counts(np.array([1.5]), rng)
+
+    def test_negative_counts_rejected(self, rng):
+        with pytest.raises(MeasurementError):
+            RandomSampler(0.01).sample_counts(np.array([-1]), rng)

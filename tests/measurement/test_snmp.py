@@ -1,0 +1,92 @@
+"""Tests for repro.measurement.snmp."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import SNMPPoller, decode_counters
+from repro.measurement.snmp import COUNTER32_MAX
+
+
+class TestPollDecodeRoundTrip:
+    def test_lossless_64bit(self, rng):
+        link_bytes = rng.uniform(0, 1e9, size=(50, 8))
+        poller = SNMPPoller(counter_bits=64)
+        readings = poller.poll(link_bytes)
+        decoded = decode_counters(readings, counter_bits=64)
+        assert np.allclose(decoded, link_bytes)
+
+    def test_readings_shape(self, rng):
+        link_bytes = rng.uniform(0, 1e6, size=(10, 3))
+        readings = SNMPPoller().poll(link_bytes)
+        assert readings.shape == (11, 3)
+
+    def test_counters_start_at_zero(self, rng):
+        readings = SNMPPoller().poll(rng.uniform(0, 1e6, size=(5, 2)))
+        assert np.all(readings[0] == 0)
+
+
+class TestCounterWrap:
+    def test_32bit_wrap_recovered(self):
+        # Three bins of 3 GB each wrap a 32-bit counter every other bin.
+        link_bytes = np.full((3, 1), 3e9)
+        poller = SNMPPoller(counter_bits=32)
+        readings = poller.poll(link_bytes)
+        assert np.all(readings <= COUNTER32_MAX)
+        decoded = decode_counters(readings, counter_bits=32)
+        assert np.allclose(decoded, link_bytes)
+
+    def test_many_wraps_across_trace(self):
+        link_bytes = np.full((20, 2), 2.5e9)
+        poller = SNMPPoller(counter_bits=32)
+        decoded = decode_counters(poller.poll(link_bytes), counter_bits=32)
+        assert np.allclose(decoded, link_bytes)
+
+
+class TestDroppedPolls:
+    def test_gap_spreads_bytes_evenly(self):
+        readings = np.array([[0.0], [100.0], [np.nan], [300.0]])
+        decoded = decode_counters(readings)
+        # 200 bytes accumulated over bins 1 and 2 -> 100 each.
+        assert np.allclose(decoded[:, 0], [100.0, 100.0, 100.0])
+
+    def test_trailing_gap_reports_zero(self):
+        readings = np.array([[0.0], [50.0], [np.nan]])
+        decoded = decode_counters(readings)
+        assert np.allclose(decoded[:, 0], [50.0, 0.0])
+
+    def test_drops_preserve_total_mass(self, rng):
+        link_bytes = rng.uniform(1e5, 1e6, size=(100, 4))
+        poller = SNMPPoller(drop_probability=0.2, seed=9)
+        readings = poller.poll(link_bytes)
+        decoded = decode_counters(readings)
+        # Totals match except for bytes after the final successful poll.
+        for j in range(4):
+            column = readings[:, j]
+            last_ok = np.max(np.nonzero(~np.isnan(column))[0])
+            assert decoded[: last_ok, j].sum() == pytest.approx(
+                link_bytes[: last_ok, j].sum()
+            )
+
+    def test_missing_baseline_rejected(self):
+        readings = np.array([[np.nan], [100.0]])
+        with pytest.raises(MeasurementError):
+            decode_counters(readings)
+
+
+class TestValidation:
+    def test_poller_rejects_bad_bits(self):
+        with pytest.raises(MeasurementError):
+            SNMPPoller(counter_bits=16)
+
+    def test_poller_rejects_bad_drop_probability(self):
+        with pytest.raises(MeasurementError):
+            SNMPPoller(drop_probability=1.0)
+
+    def test_poll_rejects_negative_traffic(self):
+        with pytest.raises(MeasurementError):
+            SNMPPoller().poll(np.array([[-1.0]]))
+
+    def test_decode_rejects_short_input(self):
+        with pytest.raises(MeasurementError):
+            decode_counters(np.ones((1, 2)))

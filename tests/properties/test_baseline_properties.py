@@ -1,0 +1,95 @@
+"""Property-based tests for the temporal baselines and the Haar DWT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.ewma import ewma_forecast
+from repro.core.multiscale import haar_dwt, haar_idwt
+from repro.core.qstatistic import box_approx_threshold, q_threshold
+
+
+def bounded_series(min_len=8, max_len=200):
+    lengths = st.integers(min_len, max_len)
+    return lengths.flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_series(), st.floats(0.0, 1.0))
+def test_ewma_forecast_bounded_by_history(series, alpha):
+    """Every EWMA forecast is a convex combination of past values, so it
+    stays inside the running min/max envelope."""
+    forecasts = ewma_forecast(series, alpha)
+    running_min = np.minimum.accumulate(series)
+    running_max = np.maximum.accumulate(series)
+    tolerance = 1e-9 * max(1.0, np.max(np.abs(series)))
+    assert np.all(forecasts[1:] >= running_min[:-1] - tolerance)
+    assert np.all(forecasts[1:] <= running_max[:-1] + tolerance)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_series(min_len=16, max_len=128), st.integers(1, 3))
+def test_haar_roundtrip_and_energy(series, levels):
+    block = 2**levels
+    usable = (series.size // block) * block
+    if usable < block:
+        return
+    trimmed = series[:usable]
+    details, approx = haar_dwt(trimmed, levels)
+    rebuilt = haar_idwt(details, approx)
+    scale = max(1.0, float(np.max(np.abs(trimmed))))
+    assert np.allclose(rebuilt, trimmed, atol=1e-9 * scale)
+    energy = sum(float(d @ d) for d in details) + float(approx @ approx)
+    assert energy == pytest.approx(float(trimmed @ trimmed), rel=1e-9, abs=1e-6)
+
+
+def eigen_spectra():
+    sizes = st.integers(1, 12)
+    return sizes.flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(1e-6, 1e6, allow_nan=False),
+        )
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(eigen_spectra(), st.floats(0.9, 0.9999))
+def test_q_threshold_above_mean_spe(spectrum, confidence):
+    """Any valid limit at confidence >= 0.9 sits above E[SPE] = phi1."""
+    threshold = q_threshold(spectrum, confidence=confidence)
+    assert threshold >= spectrum.sum() * 0.999
+
+
+@settings(max_examples=80, deadline=None)
+@given(eigen_spectra())
+def test_q_threshold_monotone_in_confidence(spectrum):
+    t_low = q_threshold(spectrum, confidence=0.95)
+    t_high = q_threshold(spectrum, confidence=0.999)
+    assert t_high >= t_low
+
+
+@settings(max_examples=80, deadline=None)
+@given(eigen_spectra(), st.floats(1e-3, 1e3))
+def test_q_threshold_scale_equivariant(spectrum, scale):
+    base = q_threshold(spectrum, confidence=0.995)
+    scaled = q_threshold(spectrum * scale, confidence=0.995)
+    assert scaled == pytest.approx(base * scale, rel=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(eigen_spectra())
+def test_box_threshold_positive_and_scaled(spectrum):
+    threshold = box_approx_threshold(spectrum, confidence=0.995)
+    assert threshold > 0
+    assert box_approx_threshold(spectrum * 2, 0.995) == pytest.approx(
+        2 * threshold, rel=1e-9
+    )

@@ -1,0 +1,75 @@
+"""Property-based tests for identification/quantification algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PCA, SubspaceModel
+from repro.core.identification import (
+    identify_single_flow,
+    identify_single_flow_naive,
+)
+from repro.core.quantification import quantify_from_magnitude
+from repro.routing import SPFRouting, build_routing_matrix
+from repro.topology.builders import ring_network
+
+
+@st.composite
+def fitted_world(draw):
+    """A small ring world with a fitted rank-2 subspace model."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    network = ring_network(5)
+    routing = build_routing_matrix(network, SPFRouting(network).compute())
+    m = routing.num_links
+    t = 60
+    modes = rng.normal(size=(2, m))
+    clock = np.arange(t)
+    data = (
+        np.outer(np.sin(2 * np.pi * clock / 20), modes[0] * 100)
+        + np.outer(np.cos(2 * np.pi * clock / 15), modes[1] * 40)
+        + rng.normal(0, 1.0, size=(t, m))
+        + 1000.0
+    )
+    pca = PCA().fit(data)
+    model = SubspaceModel.with_rank(pca, 2)
+    return model, routing, data, rng
+
+
+@settings(max_examples=30, deadline=None)
+@given(fitted_world(), st.integers(0, 24), st.floats(1e3, 1e6))
+def test_closed_form_equals_naive(world, flow_seed, size):
+    """argmin over Eq. 1 == argmax of explained residual energy."""
+    model, routing, data, rng = world
+    flow = flow_seed % routing.num_flows
+    theta = routing.normalized_columns()
+    y = data[7] + size * routing.column(flow)
+    fast = identify_single_flow(model, theta, y)
+    naive = identify_single_flow_naive(model, theta, y)
+    assert fast.flow_index == naive.flow_index
+    assert fast.magnitude == pytest.approx(naive.magnitude, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(fitted_world(), st.integers(0, 24), st.floats(1e4, 1e6))
+def test_removing_identified_anomaly_never_increases_residual(world, flow_seed, size):
+    model, routing, data, rng = world
+    flow = flow_seed % routing.num_flows
+    theta = routing.normalized_columns()
+    y = data[3] + size * routing.column(flow)
+    result = identify_single_flow(model, theta, y)
+    assert result.residual_spe <= float(model.spe(y)) + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 24), st.floats(1e-3, 1e8), st.sampled_from([-1.0, 1.0]))
+def test_quantification_linear_in_magnitude(flow_seed, size, sign):
+    network = ring_network(5)
+    routing = build_routing_matrix(network, SPFRouting(network).compute())
+    flow = flow_seed % routing.num_flows
+    magnitude = sign * size
+    single = quantify_from_magnitude(routing, flow, magnitude)
+    double = quantify_from_magnitude(routing, flow, 2 * magnitude)
+    assert double == pytest.approx(2 * single, rel=1e-12)
+    # Sign is preserved.
+    assert np.sign(single) == np.sign(magnitude)

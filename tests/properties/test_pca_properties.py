@@ -1,0 +1,103 @@
+"""Property-based tests for PCA and the subspace decomposition.
+
+These check the algebraic invariants the subspace method rests on, over
+arbitrary (finite, well-conditioned) data matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import PCA, SubspaceModel
+
+
+def matrices(min_rows=4, max_rows=40, min_cols=2, max_cols=8):
+    """Random finite measurement matrices with bounded magnitude."""
+    shapes = st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    )
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_components_orthonormal(data):
+    pca = PCA().fit(data)
+    v = pca.components
+    assert np.allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_variance_ordering_and_conservation(data):
+    pca = PCA().fit(data)
+    captured = pca.captured_variance()
+    assert np.all(np.diff(captured) <= 1e-6 * max(captured.max(), 1.0))
+    centered = data - data.mean(axis=0)
+    assert captured.sum() == pytest.approx(float(np.sum(centered**2)), rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), st.integers(0, 8))
+def test_projection_energy_split(data, rank_seed):
+    """||y - mean||^2 = ||y_hat||^2 + ||y_tilde||^2 for every rank."""
+    pca = PCA().fit(data)
+    rank = rank_seed % (pca.num_components + 1)
+    model = SubspaceModel.with_rank(pca, rank)
+    modeled, residual = model.decompose(data)
+    total = model.state_magnitude(data)
+    split = np.einsum("ij,ij->i", modeled, modeled) + np.einsum(
+        "ij,ij->i", residual, residual
+    )
+    scale = max(float(np.max(total)), 1.0)
+    assert np.allclose(split, total, atol=1e-6 * scale)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), st.integers(0, 8))
+def test_projectors_idempotent_and_complementary(data, rank_seed):
+    pca = PCA().fit(data)
+    rank = rank_seed % (pca.num_components + 1)
+    model = SubspaceModel.with_rank(pca, rank)
+    c = model.normal_projector
+    c_tilde = model.anomalous_projector
+    assert np.allclose(c @ c, c, atol=1e-8)
+    assert np.allclose(c_tilde @ c_tilde, c_tilde, atol=1e-8)
+    assert np.allclose(c + c_tilde, np.eye(c.shape[0]), atol=1e-10)
+    assert np.allclose(c @ c_tilde, 0.0, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_spe_nonnegative_and_zero_at_full_rank(data):
+    pca = PCA().fit(data)
+    model_full = SubspaceModel.with_rank(pca, pca.num_components)
+    spe_full = model_full.spe(data)
+    scale = max(float(np.max(np.abs(data))), 1.0)
+    assert np.all(np.asarray(spe_full) <= 1e-12 * scale**2 + 1e-6)
+    model_zero = SubspaceModel.with_rank(pca, 0)
+    spe_zero = model_zero.spe(data)
+    assert np.all(np.asarray(spe_zero) >= -1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(min_rows=6), st.floats(0.1, 1000.0))
+def test_spe_scale_equivariance(data, scale):
+    """Scaling the data scales SPE quadratically (threshold follows)."""
+    pca_a = PCA().fit(data)
+    model_a = SubspaceModel.with_rank(pca_a, 1)
+    pca_b = PCA().fit(data * scale)
+    model_b = SubspaceModel.with_rank(pca_b, 1)
+    spe_a = np.asarray(model_a.spe(data))
+    spe_b = np.asarray(model_b.spe(data * scale))
+    ref = max(float(spe_a.max()), 1e-9)
+    assert np.allclose(spe_b, spe_a * scale**2, atol=1e-5 * ref * scale**2)

@@ -1,0 +1,106 @@
+"""Property-based tests for routing over random connected topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import SPFRouting, build_routing_matrix
+from repro.routing.paths import path_cost, shortest_path
+from repro.topology import Network, PoP
+
+
+@st.composite
+def connected_networks(draw):
+    """Random connected symmetric networks of 3-8 PoPs."""
+    n = draw(st.integers(3, 8))
+    names = [f"p{i}" for i in range(n)]
+    network = Network("random")
+    for name in names:
+        network.add_pop(PoP(name))
+    # Spanning tree first (guarantees connectivity)...
+    for i in range(1, n):
+        parent = draw(st.integers(0, i - 1))
+        weight = draw(st.floats(0.5, 4.0))
+        network.add_bidirectional(names[parent], names[i], weight=weight)
+    # ... plus a few random extra edges.
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a == b:
+            continue
+        if network.has_link(f"{names[a]}->{names[b]}"):
+            continue
+        network.add_bidirectional(names[a], names[b], weight=draw(st.floats(0.5, 4.0)))
+    network.add_intra_pop_links()
+    return network
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_networks())
+def test_triangle_inequality_of_spf(network):
+    """d(a, c) <= d(a, b) + d(b, c) for all PoP triples."""
+    names = network.pop_names
+    costs = {}
+    for a in names:
+        for b in names:
+            if a == b:
+                costs[(a, b)] = 0.0
+            else:
+                costs[(a, b)] = path_cost(network, shortest_path(network, a, b))
+    for a in names:
+        for b in names:
+            for c in names:
+                assert costs[(a, c)] <= costs[(a, b)] + costs[(b, c)] + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_networks())
+def test_routing_matrix_consistency(network):
+    """Every column of A marks exactly the links of the flow's route and
+    y = Ax holds for random traffic."""
+    table = SPFRouting(network).compute()
+    routing = build_routing_matrix(network, table)
+    assert routing.is_binary()
+    for j, (origin, destination) in enumerate(routing.od_pairs):
+        route = table.route(origin, destination)
+        assert set(routing.links_of_flow(j)) == set(route.links)
+        assert routing.matrix[:, j].sum() == len(route.links)
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1e6, size=routing.num_flows)
+    y = routing.link_loads(x)
+    # Total link bytes = sum over flows of (bytes * path length).
+    path_lengths = routing.matrix.sum(axis=0)
+    assert y.sum() == pytest.approx(float(x @ path_lengths), rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_networks())
+def test_paths_never_revisit_pops(network):
+    names = network.pop_names
+    for a in names:
+        for b in names:
+            path = shortest_path(network, a, b)
+            assert len(path) == len(set(path))
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_networks())
+def test_ecmp_fractions_conserve_flow(network):
+    """Under ECMP every column of A still sums to the expected path-hop
+    mass and link fractions lie in [0, 1]."""
+    table = SPFRouting(network, ecmp=True).compute()
+    routing = build_routing_matrix(network, table)
+    assert np.all(routing.matrix >= 0)
+    assert np.all(routing.matrix <= 1 + 1e-9)
+    for j, (origin, destination) in enumerate(routing.od_pairs):
+        if origin == destination:
+            continue
+        # Fractions on links entering the destination sum to 1.
+        incoming = [
+            i
+            for i, name in enumerate(routing.link_names)
+            if name.endswith(f"->{destination}")
+        ]
+        assert routing.matrix[incoming, j].sum() == pytest.approx(1.0)

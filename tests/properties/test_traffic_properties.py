@@ -1,0 +1,94 @@
+"""Property-based tests for traffic generation and anomaly injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.builders import line_network, ring_network
+from repro.traffic import (
+    AnomalyEvent,
+    ODFlowGenerator,
+    TrafficMatrix,
+    inject_anomalies,
+)
+from repro.traffic.gravity import gravity_means
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(3, 6),
+    st.floats(1e6, 1e10),
+    st.integers(0, 2**31 - 1),
+)
+def test_gravity_total_conserved(num_pops, total, seed):
+    network = ring_network(max(num_pops, 3))
+    means = gravity_means(network, total, jitter=0.3, seed=seed)
+    assert means.sum() == pytest.approx(total, rel=1e-9)
+    assert np.all(means > 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(10, 60),
+    st.floats(0.0, 0.8),
+    st.integers(0, 2**31 - 1),
+)
+def test_generated_traffic_nonnegative_and_labeled(num_bins, strength, seed):
+    network = line_network(4)
+    generator = ODFlowGenerator(
+        network, total_bytes_per_bin=1e8, diurnal_strength=strength, seed=seed
+    )
+    traffic = generator.generate(num_bins)
+    assert traffic.values.shape == (num_bins, 16)
+    assert np.all(traffic.values >= 0)
+    assert traffic.od_pairs == network.od_pairs
+
+
+@st.composite
+def traffic_and_events(draw):
+    num_bins = draw(st.integers(10, 40))
+    num_flows = 9  # line_network(3)
+    base = draw(st.floats(100.0, 1e6))
+    values = np.full((num_bins, num_flows), base)
+    num_events = draw(st.integers(0, 5))
+    events = []
+    used_cells = set()
+    for _ in range(num_events):
+        t = draw(st.integers(0, num_bins - 1))
+        f = draw(st.integers(0, num_flows - 1))
+        if (t, f) in used_cells:
+            continue
+        used_cells.add((t, f))
+        amplitude = draw(
+            st.floats(min_value=1.0, max_value=1e7).map(
+                lambda a: a if draw(st.booleans()) else -a
+            )
+        )
+        events.append(AnomalyEvent(time_bin=t, flow_index=f, amplitude_bytes=amplitude))
+    return values, events
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic_and_events())
+def test_injection_mass_accounting(data):
+    """After injection, each cell changes by exactly the effective
+    amplitude; everything else is untouched."""
+    values, events = data
+    od_pairs = [(f"p{i}", f"p{j}") for i in range(3) for j in range(3)]
+    traffic = TrafficMatrix(values, od_pairs)
+    injected, effective = inject_anomalies(traffic, events)
+
+    delta = injected.values - values
+    # Non-event cells unchanged.
+    event_cells = {(e.time_bin, e.flow_index) for e in effective}
+    for t in range(values.shape[0]):
+        for f in range(values.shape[1]):
+            if (t, f) not in event_cells:
+                assert delta[t, f] == pytest.approx(0.0, abs=1e-9)
+    # Event cells changed by the recorded effective amplitude.
+    for event in effective:
+        assert delta[event.time_bin, event.flow_index] == pytest.approx(
+            event.amplitude_bytes, rel=1e-9, abs=1e-9
+        )
+    # Traffic never goes negative.
+    assert np.all(injected.values >= 0)

@@ -1,0 +1,90 @@
+"""Tests for repro.routing.events."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import (
+    LinkFailure,
+    SPFRouting,
+    WeightChange,
+    apply_events,
+    build_routing_matrix,
+)
+from repro.routing.events import reroute_delta
+from repro.topology import toy_network
+
+
+@pytest.fixture
+def baseline(toy_net):
+    return build_routing_matrix(toy_net, SPFRouting(toy_net).compute())
+
+
+class TestLinkFailure:
+    def test_failure_reroutes_affected_flows(self, toy_net, baseline):
+        after = apply_events(toy_net, [LinkFailure("a", "b")])
+        j = after.od_index("a", "b")
+        links = after.links_of_flow(j)
+        assert "a->b" not in links
+        assert len(links) == 2  # detour via c or d
+
+    def test_failure_keeps_matrix_shape(self, toy_net, baseline):
+        after = apply_events(toy_net, [LinkFailure("a", "b")])
+        assert after.matrix.shape == baseline.matrix.shape
+        assert after.link_names == baseline.link_names
+
+    def test_failed_link_carries_nothing(self, toy_net):
+        after = apply_events(toy_net, [LinkFailure("a", "b")])
+        row = after.link_index("a->b")
+        assert np.all(after.matrix[row] == 0)
+
+    def test_unknown_edge_rejected(self, toy_net):
+        with pytest.raises(RoutingError):
+            apply_events(toy_net, [LinkFailure("a", "zzz")])
+
+    def test_input_network_not_mutated(self, toy_net):
+        before_weights = [link.weight for link in toy_net.links]
+        apply_events(toy_net, [LinkFailure("a", "b")])
+        assert [link.weight for link in toy_net.links] == before_weights
+
+
+class TestWeightChange:
+    def test_weight_change_moves_traffic(self, toy_net, baseline):
+        # Make the diagonal a-c prohibitively expensive in both directions.
+        after = apply_events(
+            toy_net,
+            [WeightChange("a->c", 10.0), WeightChange("c->a", 10.0)],
+        )
+        j = after.od_index("a", "c")
+        assert "a->c" not in after.links_of_flow(j)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(RoutingError):
+            WeightChange("a->c", 0.0)
+
+    def test_unknown_link_rejected(self, toy_net):
+        with pytest.raises(RoutingError):
+            apply_events(toy_net, [WeightChange("x->y", 2.0)])
+
+
+class TestRerouteDelta:
+    def test_delta_identifies_changed_flows(self, toy_net, baseline):
+        after = apply_events(toy_net, [LinkFailure("a", "b")])
+        changed = reroute_delta(baseline, after)
+        assert ("a", "b") in changed
+        assert ("b", "a") in changed
+        # Flows not using a-b are untouched.
+        assert ("c", "d") not in changed
+        assert ("a", "a") not in changed
+
+    def test_no_events_no_delta(self, toy_net, baseline):
+        again = apply_events(toy_net, [])
+        assert reroute_delta(baseline, again) == []
+
+    def test_mismatched_matrices_rejected(self, baseline):
+        from repro.topology.builders import line_network
+
+        other_net = line_network(3)
+        other = build_routing_matrix(other_net, SPFRouting(other_net).compute())
+        with pytest.raises(RoutingError):
+            reroute_delta(baseline, other)

@@ -1,0 +1,100 @@
+"""Tests for repro.routing.paths (with networkx as an independent oracle)."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import all_shortest_paths, path_links, shortest_path
+from repro.routing.paths import path_cost
+from repro.topology import abilene, sprint_europe, toy_network
+from repro.topology.builders import line_network, ring_network
+
+
+class TestShortestPath:
+    def test_direct_link(self, toy_net):
+        assert shortest_path(toy_net, "a", "b") == ["a", "b"]
+
+    def test_trivial_path(self, toy_net):
+        assert shortest_path(toy_net, "a", "a") == ["a"]
+
+    def test_multi_hop(self):
+        net = line_network(4)
+        assert shortest_path(net, "p0", "p3") == ["p0", "p1", "p2", "p3"]
+
+    def test_respects_weights(self):
+        net = toy_network()
+        # Make the diagonal a-c expensive; a->c should go via b or d.
+        expensive = net.link("a->c")
+        path = shortest_path(net, "a", "c", exclude_links=["a->c"])
+        assert len(path) == 3
+
+    def test_unknown_pop_rejected(self, toy_net):
+        # Endpoint validation happens at the topology layer.
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            shortest_path(toy_net, "a", "zzz")
+
+    def test_no_path_raises(self):
+        net = line_network(3)
+        with pytest.raises(RoutingError, match="no path"):
+            shortest_path(net, "p0", "p2", exclude_links=["p1->p2"])
+
+    def test_deterministic_tie_break(self):
+        # Ring of 4: two equal paths between opposite corners; the
+        # lexicographically smaller node sequence must win every time.
+        net = ring_network(4)
+        paths = {tuple(shortest_path(net, "p0", "p2")) for _ in range(10)}
+        assert paths == {("p0", "p1", "p2")}
+
+    @pytest.mark.parametrize("factory", [abilene, sprint_europe])
+    def test_matches_networkx_costs(self, factory):
+        net = factory()
+        graph = net.to_networkx()
+        for origin in net.pop_names:
+            lengths = nx.single_source_dijkstra_path_length(graph, origin)
+            for destination in net.pop_names:
+                if origin == destination:
+                    continue
+                ours = shortest_path(net, origin, destination)
+                assert path_cost(net, ours) == pytest.approx(lengths[destination])
+
+
+class TestAllShortestPaths:
+    def test_single_path(self):
+        net = line_network(3)
+        assert all_shortest_paths(net, "p0", "p2") == [["p0", "p1", "p2"]]
+
+    def test_two_equal_paths(self):
+        net = ring_network(4)
+        paths = all_shortest_paths(net, "p0", "p2")
+        assert paths == [["p0", "p1", "p2"], ["p0", "p3", "p2"]]
+
+    def test_matches_networkx_enumeration(self):
+        net = abilene()
+        graph = net.to_networkx()
+        for origin, destination in [("sttl", "atla"), ("losa", "nycm")]:
+            ours = all_shortest_paths(net, origin, destination)
+            theirs = sorted(
+                nx.all_shortest_paths(graph, origin, destination, weight="weight")
+            )
+            assert ours == theirs
+
+    def test_trivial(self, toy_net):
+        assert all_shortest_paths(toy_net, "b", "b") == [["b"]]
+
+
+class TestPathLinks:
+    def test_multi_hop_links(self):
+        net = line_network(3)
+        assert path_links(net, ["p0", "p1", "p2"]) == ["p0->p1", "p1->p2"]
+
+    def test_trivial_path_maps_to_intra_pop(self, toy_net):
+        assert path_links(toy_net, ["a"]) == ["a=a"]
+
+    def test_empty_path_rejected(self, toy_net):
+        with pytest.raises(RoutingError):
+            path_links(toy_net, [])
+
+    def test_cost_of_trivial_path_is_zero(self, toy_net):
+        assert path_cost(toy_net, ["a"]) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for repro.routing.protocol."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import SPFRouting
+from repro.topology import Network, abilene, toy_network
+from repro.topology.builders import line_network
+
+
+class TestSPFRouting:
+    def test_covers_every_od_pair(self, toy_net):
+        table = SPFRouting(toy_net).compute()
+        assert len(table) == toy_net.num_od_pairs
+        for origin, destination in toy_net.od_pairs:
+            assert (origin, destination) in table
+
+    def test_same_pop_flows_use_intra_pop_links(self, toy_net):
+        table = SPFRouting(toy_net).compute()
+        route = table.route("b", "b")
+        assert route.links == ("b=b",)
+        assert route.pops == ("b",)
+
+    def test_single_path_fractions_are_one(self, toy_net):
+        table = SPFRouting(toy_net).compute()
+        for od_pair in table.od_pairs():
+            (route,) = table.routes(*od_pair)
+            assert route.fraction == 1.0
+
+    def test_requires_intra_pop_links(self):
+        net = Network.from_edges("n", ["a", "b"], [("a", "b")], with_intra_pop=False)
+        with pytest.raises(RoutingError, match="intra-PoP"):
+            SPFRouting(net)
+
+    def test_routes_are_contiguous(self):
+        net = abilene()
+        table = SPFRouting(net).compute()
+        for origin, destination in net.od_pairs:
+            route = table.route(origin, destination)
+            assert route.pops[0] == origin
+            assert route.pops[-1] == destination
+            # Each link connects consecutive path PoPs.
+            for pop, link_name in zip(route.pops, route.links):
+                assert link_name.startswith(f"{pop}->") or link_name == f"{pop}={pop}"
+
+    def test_exclude_links_forces_detour(self):
+        net = toy_network()
+        table = SPFRouting(net).compute(exclude_links=["a->b", "b->a"])
+        route = table.route("a", "b")
+        assert "a->b" not in route.links
+        assert route.num_hops == 2
+
+    def test_exclude_unknown_link_rejected(self, toy_net):
+        with pytest.raises(RoutingError, match="unknown"):
+            SPFRouting(toy_net).compute(exclude_links=["x->y"])
+
+    def test_exclude_intra_pop_link_rejected(self, toy_net):
+        with pytest.raises(RoutingError, match="intra-PoP"):
+            SPFRouting(toy_net).compute(exclude_links=["a=a"])
+
+    def test_disconnection_raises(self):
+        net = line_network(3)
+        with pytest.raises(RoutingError, match="no path"):
+            SPFRouting(net).compute(exclude_links=["p0->p1", "p1->p0"])
+
+    def test_symmetric_paths_on_unit_weights(self):
+        # With all weights 1 and symmetric links, forward and reverse
+        # paths have the same length.
+        net = abilene()
+        table = SPFRouting(net).compute()
+        for origin, destination in [("sttl", "atla"), ("losa", "nycm")]:
+            forward = table.route(origin, destination)
+            backward = table.route(destination, origin)
+            assert forward.num_hops == backward.num_hops

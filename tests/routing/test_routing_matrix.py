@@ -1,0 +1,131 @@
+"""Tests for repro.routing.routing_matrix (the paper's A, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import RoutingMatrix, SPFRouting, build_routing_matrix
+from repro.topology import abilene, sprint_europe, toy_network
+
+
+def routing_for(network):
+    return build_routing_matrix(network, SPFRouting(network).compute())
+
+
+class TestConstruction:
+    def test_shape_matches_network(self, toy_net, toy_routing):
+        assert toy_routing.num_links == toy_net.num_links
+        assert toy_routing.num_flows == toy_net.num_od_pairs
+        assert toy_routing.matrix.shape == (14, 16)
+
+    def test_binary_under_single_path_routing(self, toy_routing):
+        assert toy_routing.is_binary()
+
+    def test_every_flow_covers_some_link(self, toy_routing):
+        assert np.all(toy_routing.matrix.sum(axis=0) >= 1)
+
+    def test_matrix_read_only(self, toy_routing):
+        with pytest.raises(ValueError):
+            toy_routing.matrix[0, 0] = 5.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingMatrix(np.ones((2, 3)), ["l1", "l2"], [("a", "b")])
+
+    def test_empty_column_rejected(self):
+        matrix = np.zeros((2, 1))
+        with pytest.raises(RoutingError, match="no links"):
+            RoutingMatrix(matrix, ["l1", "l2"], [("a", "b")])
+
+    def test_out_of_range_entries_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingMatrix(np.array([[2.0]]), ["l1"], [("a", "b")])
+
+
+class TestLookups:
+    def test_od_index(self, toy_net, toy_routing):
+        for origin, destination in toy_net.od_pairs:
+            j = toy_routing.od_index(origin, destination)
+            assert toy_routing.od_pairs[j] == (origin, destination)
+
+    def test_unknown_od_rejected(self, toy_routing):
+        with pytest.raises(RoutingError):
+            toy_routing.od_index("a", "zzz")
+
+    def test_links_of_flow_matches_route(self, toy_net, toy_routing):
+        table = SPFRouting(toy_net).compute()
+        for origin, destination in toy_net.od_pairs:
+            j = toy_routing.od_index(origin, destination)
+            expected = set(table.route(origin, destination).links)
+            assert set(toy_routing.links_of_flow(j)) == expected
+
+    def test_flows_on_link_inverse_of_links_of_flow(self, toy_routing):
+        for link_name in toy_routing.link_names:
+            for j in toy_routing.flows_on_link(link_name):
+                assert link_name in toy_routing.links_of_flow(j)
+
+    def test_same_pop_flow_only_on_intra_link(self, toy_net, toy_routing):
+        j = toy_routing.od_index("c", "c")
+        assert toy_routing.links_of_flow(j) == ["c=c"]
+
+
+class TestNormalizations:
+    def test_normalized_columns_unit_norm(self, toy_routing):
+        theta = toy_routing.normalized_columns()
+        norms = np.linalg.norm(theta, axis=0)
+        assert np.allclose(norms, 1.0)
+
+    def test_unit_sum_columns(self, toy_routing):
+        a_bar = toy_routing.unit_sum_columns()
+        assert np.allclose(a_bar.sum(axis=0), 1.0)
+
+    def test_anomaly_direction_matches_column(self, toy_routing):
+        for j in range(toy_routing.num_flows):
+            theta = toy_routing.anomaly_direction(j)
+            column = toy_routing.column(j)
+            assert np.allclose(theta, column / np.linalg.norm(column))
+
+    def test_anomaly_direction_out_of_range(self, toy_routing):
+        with pytest.raises(RoutingError):
+            toy_routing.anomaly_direction(999)
+
+
+class TestLinkLoads:
+    def test_vector_form(self, toy_routing):
+        x = np.ones(toy_routing.num_flows)
+        y = toy_routing.link_loads(x)
+        assert y.shape == (toy_routing.num_links,)
+        # Each link carries as many unit flows as traverse it.
+        assert np.allclose(y, toy_routing.matrix.sum(axis=1))
+
+    def test_matrix_form_matches_row_by_row(self, toy_routing, rng):
+        x = rng.uniform(0, 100, size=(5, toy_routing.num_flows))
+        block = toy_routing.link_loads(x)
+        for t in range(5):
+            assert np.allclose(block[t], toy_routing.link_loads(x[t]))
+
+    def test_single_flow_lands_on_its_path(self, toy_net, toy_routing):
+        j = toy_routing.od_index("a", "c")
+        x = np.zeros(toy_routing.num_flows)
+        x[j] = 42.0
+        y = toy_routing.link_loads(x)
+        for i, link_name in enumerate(toy_routing.link_names):
+            expected = 42.0 if link_name in toy_routing.links_of_flow(j) else 0.0
+            assert y[i] == pytest.approx(expected)
+
+    def test_wrong_length_rejected(self, toy_routing):
+        with pytest.raises(RoutingError):
+            toy_routing.link_loads(np.ones(3))
+
+    def test_wrong_ndim_rejected(self, toy_routing):
+        with pytest.raises(RoutingError):
+            toy_routing.link_loads(np.ones((2, 2, 2)))
+
+
+@pytest.mark.parametrize("factory", [abilene, sprint_europe])
+def test_paper_network_dimensions(factory):
+    network = factory()
+    routing = routing_for(network)
+    assert routing.num_links == network.num_links
+    assert routing.num_flows == network.num_pops**2
+    assert routing.is_binary()

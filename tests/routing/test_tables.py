@@ -1,0 +1,95 @@
+"""Tests for repro.routing.tables."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import Route, RoutingTable
+
+
+def simple_table() -> RoutingTable:
+    return RoutingTable(
+        {
+            ("a", "b"): (Route(("a", "b"), ("a->b",)),),
+            ("a", "a"): (Route(("a",), ("a=a",)),),
+        }
+    )
+
+
+class TestRoute:
+    def test_properties(self):
+        route = Route(("a", "b", "c"), ("a->b", "b->c"), fraction=0.5)
+        assert route.origin == "a"
+        assert route.destination == "c"
+        assert route.num_hops == 2
+        assert route.fraction == pytest.approx(0.5)
+
+    def test_empty_pops_rejected(self):
+        with pytest.raises(RoutingError):
+            Route((), ("a->b",))
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(("a", "b"), ())
+
+    def test_fraction_bounds(self):
+        with pytest.raises(RoutingError):
+            Route(("a", "b"), ("a->b",), fraction=0.0)
+        with pytest.raises(RoutingError):
+            Route(("a", "b"), ("a->b",), fraction=1.5)
+
+
+class TestRoutingTable:
+    def test_route_lookup(self):
+        table = simple_table()
+        assert table.route("a", "b").links == ("a->b",)
+
+    def test_unknown_od_pair_rejected(self):
+        with pytest.raises(RoutingError):
+            simple_table().routes("b", "a")
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(RoutingError, match="sum"):
+            RoutingTable(
+                {("a", "b"): (Route(("a", "b"), ("a->b",), fraction=0.6),)}
+            )
+
+    def test_ecmp_fractions_accepted(self):
+        table = RoutingTable(
+            {
+                ("a", "c"): (
+                    Route(("a", "b", "c"), ("a->b", "b->c"), fraction=0.5),
+                    Route(("a", "d", "c"), ("a->d", "d->c"), fraction=0.5),
+                )
+            }
+        )
+        assert len(table.routes("a", "c")) == 2
+
+    def test_single_route_accessor_rejects_ecmp(self):
+        table = RoutingTable(
+            {
+                ("a", "c"): (
+                    Route(("a", "b", "c"), ("a->b", "b->c"), fraction=0.5),
+                    Route(("a", "d", "c"), ("a->d", "d->c"), fraction=0.5),
+                )
+            }
+        )
+        with pytest.raises(RoutingError, match="ECMP"):
+            table.route("a", "c")
+
+    def test_route_filed_under_wrong_pair_rejected(self):
+        with pytest.raises(RoutingError, match="wrong OD pair"):
+            RoutingTable({("a", "c"): (Route(("a", "b"), ("a->b",)),)})
+
+    def test_empty_route_set_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingTable({("a", "b"): ()})
+
+    def test_links_used(self):
+        assert simple_table().links_used() == {"a->b", "a=a"}
+
+    def test_container_protocol(self):
+        table = simple_table()
+        assert len(table) == 2
+        assert ("a", "b") in table
+        assert ("b", "a") not in table
+        assert set(table) == {("a", "b"), ("a", "a")}

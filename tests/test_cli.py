@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_default_presets(self, capsys):
+        assert main(["info", "abilene"]) == 0
+        out = capsys.readouterr().out
+        assert "abilene" in out
+        assert "41" in out
+
+    def test_unknown_preset_fails_cleanly(self, capsys):
+        assert main(["info", "geant"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTopology:
+    def test_adjacency_listing(self, capsys):
+        assert main(["topology", "abilene"]) == 0
+        out = capsys.readouterr().out
+        assert "11 PoPs" in out
+        assert "nycm" in out
+
+    def test_with_map(self, capsys):
+        assert main(["topology", "sprint-europe", "--map"]) == 0
+        out = capsys.readouterr().out
+        assert "13 PoPs" in out
+        assert "lon" in out
+
+    def test_invalid_name_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "arpanet"])
+
+
+class TestBuildDiagnoseInject:
+    def test_build_then_diagnose_roundtrip(self, tmp_path, capsys, small_dataset):
+        # Save a small dataset directly (building a preset in-test is slow
+        # enough that we exercise the load path with the fixture instead).
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(["diagnose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sprint-small" in out
+        assert "threshold" in out
+
+    def test_build_writes_npz(self, tmp_path, capsys):
+        target = tmp_path / "abilene.npz"
+        assert main(["build", "abilene", "-o", str(target)]) == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert "wrote abilene" in out
+
+    def test_diagnose_preset(self, capsys):
+        assert main(["diagnose", "abilene", "--confidence", "0.999"]) == 0
+        out = capsys.readouterr().out
+        assert "anomalies at 0.9990 confidence" in out
+
+    def test_inject_summary(self, tmp_path, capsys, small_dataset):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(["inject", str(path), "--size", "3e7", "--bins", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "identification rate" in out
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["diagnose", str(tmp_path / "nope.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("info", "topology", "build", "diagnose", "inject"):
+            assert command in out

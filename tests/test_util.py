@@ -1,0 +1,98 @@
+"""Tests for the internal repro._util helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_float_array,
+    as_matrix,
+    as_vector,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    pairwise,
+    require,
+    rng_from,
+    unit_norm,
+)
+from repro.exceptions import ReproError, TopologyError
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ReproError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_error_class(self):
+        with pytest.raises(TopologyError):
+            require(False, "broken", TopologyError)
+
+
+class TestArrayConversions:
+    def test_as_float_array_rejects_nan(self):
+        with pytest.raises(ReproError):
+            as_float_array([1.0, np.nan])
+
+    def test_as_vector_rejects_matrix(self):
+        with pytest.raises(ReproError):
+            as_vector(np.ones((2, 2)))
+
+    def test_as_matrix_rejects_vector(self):
+        with pytest.raises(ReproError):
+            as_matrix(np.ones(3))
+
+    def test_round_trips(self):
+        assert as_vector([1, 2, 3]).dtype == np.float64
+        assert as_matrix([[1, 2]]).shape == (1, 2)
+
+
+class TestChecks:
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0.0, -1.0, float("inf")):
+            with pytest.raises(ReproError):
+                check_positive(bad, "x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ReproError):
+            check_nonnegative(-0.1, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ReproError):
+            check_fraction(1.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "x") == 0.5
+        for bad in (0.0, 1.0):
+            with pytest.raises(ReproError):
+                check_probability(bad, "x")
+
+
+class TestMisc:
+    def test_rng_from_seed(self):
+        a = rng_from(7).uniform()
+        b = rng_from(7).uniform()
+        assert a == b
+
+    def test_rng_from_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert rng_from(rng) is rng
+
+    def test_unit_norm(self):
+        v = unit_norm([3.0, 4.0])
+        assert np.allclose(v, [0.6, 0.8])
+
+    def test_unit_norm_zero_vector_rejected(self):
+        with pytest.raises(ReproError):
+            unit_norm([0.0, 0.0])
+
+    def test_pairwise(self):
+        assert pairwise([1, 2, 3]) == [(1, 2), (2, 3)]
+        assert pairwise([1]) == []

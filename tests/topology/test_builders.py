@@ -1,0 +1,92 @@
+"""Tests for repro.topology.builders."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import NetworkBuilder, line_network, ring_network, star_network
+
+
+class TestNetworkBuilder:
+    def test_fluent_build(self):
+        net = (
+            NetworkBuilder("demo")
+            .pop("a", city="Amsterdam")
+            .pop("b", city="Berlin")
+            .edge("a", "b", weight=2.0)
+            .with_intra_pop_links()
+            .build()
+        )
+        assert net.num_pops == 2
+        assert net.num_links == 4
+        assert net.link("a->b").weight == pytest.approx(2.0)
+
+    def test_pops_bulk(self):
+        net = NetworkBuilder().pops(["x", "y", "z"]).edge("x", "y").build()
+        assert net.num_pops == 3
+
+    def test_directed_link(self):
+        net = (
+            NetworkBuilder()
+            .pops(["a", "b"])
+            .directed_link("a", "b")
+            .build()
+        )
+        assert net.has_link("a->b")
+        assert not net.has_link("b->a")
+
+    def test_default_capacity_applied(self):
+        net = (
+            NetworkBuilder()
+            .pops(["a", "b"])
+            .default_capacity(2.5e9)
+            .edge("a", "b")
+            .build()
+        )
+        assert net.link("a->b").capacity_bps == pytest.approx(2.5e9)
+
+    def test_invalid_default_capacity(self):
+        with pytest.raises(TopologyError):
+            NetworkBuilder().default_capacity(0)
+
+    def test_unknown_pop_fails_at_build(self):
+        builder = NetworkBuilder().pops(["a"]).edge("a", "ghost")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+
+class TestRegularShapes:
+    def test_line_network_structure(self):
+        net = line_network(4)
+        assert net.num_pops == 4
+        # 3 edges x 2 + 4 intra.
+        assert net.num_links == 10
+        assert net.is_connected()
+
+    def test_line_without_intra_pop(self):
+        net = line_network(3, with_intra_pop=False)
+        assert len(net.intra_pop_links) == 0
+
+    def test_line_size_validation(self):
+        with pytest.raises(TopologyError):
+            line_network(0)
+
+    def test_ring_network_structure(self):
+        net = ring_network(5)
+        assert net.num_pops == 5
+        assert len(net.inter_pop_links) == 10
+        assert net.is_connected()
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring_network(2)
+
+    def test_star_network_structure(self):
+        net = star_network(4)
+        assert net.num_pops == 5
+        assert net.degree("hub") == 4
+        assert net.degree("leaf0") == 1
+        assert net.is_connected()
+
+    def test_star_minimum_size(self):
+        with pytest.raises(TopologyError):
+            star_network(0)

@@ -1,0 +1,82 @@
+"""Tests for the library topologies (paper Table 1 / Fig. 2)."""
+
+import pytest
+
+from repro.topology import abilene, sprint_europe, toy_network
+from repro.topology.validation import check_network
+
+
+class TestAbilene:
+    def test_paper_dimensions(self):
+        net = abilene()
+        assert net.num_pops == 11
+        assert net.num_links == 41  # paper Table 1
+        assert len(net.inter_pop_links) == 30
+        assert len(net.intra_pop_links) == 11
+
+    def test_od_flow_count(self):
+        assert abilene().num_od_pairs == 121
+
+    def test_well_formed(self):
+        check_network(
+            abilene(),
+            require_connected=True,
+            require_intra_pop=True,
+            require_symmetric=True,
+        )
+
+    def test_expected_pops_present(self):
+        net = abilene()
+        for name in ("nycm", "chin", "losa", "sttl", "atla", "hstn"):
+            assert net.has_pop(name)
+
+    def test_known_adjacency(self):
+        net = abilene()
+        assert net.has_link("sttl->snva")
+        assert net.has_link("nycm->wash")
+        assert not net.has_link("sttl->nycm")
+
+    def test_fresh_instance_each_call(self):
+        first, second = abilene(), abilene()
+        assert first is not second
+        first.add_intra_pop_links  # no mutation; just confirm independence
+        assert second.num_links == 41
+
+
+class TestSprintEurope:
+    def test_paper_dimensions(self):
+        net = sprint_europe()
+        assert net.num_pops == 13
+        assert net.num_links == 49  # paper Table 1
+        assert len(net.inter_pop_links) == 36
+        assert len(net.intra_pop_links) == 13
+
+    def test_od_flow_count(self):
+        assert sprint_europe().num_od_pairs == 169
+
+    def test_well_formed(self):
+        check_network(
+            sprint_europe(),
+            require_connected=True,
+            require_intra_pop=True,
+            require_symmetric=True,
+        )
+
+    def test_population_weights_positive(self):
+        assert all(pop.population > 0 for pop in sprint_europe().pops)
+
+    def test_coordinates_present(self):
+        # Library topologies carry coordinates for plotting Figure 2.
+        for pop in sprint_europe().pops:
+            assert pop.latitude is not None
+            assert pop.longitude is not None
+
+
+class TestToyNetwork:
+    def test_dimensions(self):
+        net = toy_network()
+        assert net.num_pops == 4
+        assert net.num_links == 14
+
+    def test_well_formed(self):
+        check_network(toy_network(), require_intra_pop=True)

@@ -1,0 +1,60 @@
+"""Tests for repro.topology.link."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Link, LinkKind
+
+
+class TestLinkConstruction:
+    def test_inter_pop_defaults(self):
+        link = Link("a", "b")
+        assert link.kind is LinkKind.INTER_POP
+        assert link.weight == 1.0
+        assert link.capacity_bps == pytest.approx(10e9)
+
+    def test_name_format(self):
+        assert Link("a", "b").name == "a->b"
+        assert Link("a", "a", kind=LinkKind.INTRA_POP).name == "a=a"
+
+    def test_is_intra_pop(self):
+        assert not Link("a", "b").is_intra_pop
+        assert Link("a", "a", kind=LinkKind.INTRA_POP).is_intra_pop
+
+    def test_reversed_swaps_endpoints(self):
+        link = Link("a", "b", capacity_bps=2.5e9, weight=3.0)
+        back = link.reversed()
+        assert back.source == "b" and back.target == "a"
+        assert back.capacity_bps == pytest.approx(2.5e9)
+        assert back.weight == pytest.approx(3.0)
+
+    def test_reversed_intra_pop_rejected(self):
+        link = Link("a", "a", kind=LinkKind.INTRA_POP)
+        with pytest.raises(TopologyError):
+            link.reversed()
+
+
+class TestLinkValidation:
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("", "b")
+        with pytest.raises(TopologyError):
+            Link("a", "")
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b", capacity_bps=0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b", weight=0)
+        with pytest.raises(TopologyError):
+            Link("a", "b", weight=-2)
+
+    def test_self_link_must_be_intra_pop(self):
+        with pytest.raises(TopologyError):
+            Link("a", "a")  # self-link with INTER_POP kind
+
+    def test_intra_pop_must_be_self_link(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b", kind=LinkKind.INTRA_POP)

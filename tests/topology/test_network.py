@@ -1,0 +1,149 @@
+"""Tests for repro.topology.network."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import Link, LinkKind, Network, PoP
+
+
+def two_pop_net() -> Network:
+    net = Network("two")
+    net.add_pop(PoP("a"))
+    net.add_pop(PoP("b"))
+    return net
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Network("")
+
+    def test_add_pop_duplicate_rejected(self):
+        net = two_pop_net()
+        with pytest.raises(TopologyError):
+            net.add_pop(PoP("a"))
+
+    def test_add_link_unknown_pop_rejected(self):
+        net = two_pop_net()
+        with pytest.raises(TopologyError):
+            net.add_link(Link("a", "zzz"))
+
+    def test_add_link_duplicate_rejected(self):
+        net = two_pop_net()
+        net.add_link(Link("a", "b"))
+        with pytest.raises(TopologyError):
+            net.add_link(Link("a", "b"))
+
+    def test_add_bidirectional_creates_both_directions(self):
+        net = two_pop_net()
+        net.add_bidirectional("a", "b", capacity_bps=1e9, weight=2.0)
+        assert net.has_link("a->b") and net.has_link("b->a")
+        assert net.link("a->b").weight == pytest.approx(2.0)
+        assert net.link("b->a").capacity_bps == pytest.approx(1e9)
+
+    def test_add_intra_pop_links(self):
+        net = two_pop_net()
+        net.add_intra_pop_links()
+        assert net.has_link("a=a") and net.has_link("b=b")
+        assert len(net.intra_pop_links) == 2
+
+    def test_from_edges(self):
+        net = Network.from_edges("t", ["a", "b", "c"], [("a", "b"), ("b", "c")])
+        # 2 edges x 2 directions + 3 intra-PoP links.
+        assert net.num_links == 7
+        assert net.num_pops == 3
+
+
+class TestLookup:
+    def test_link_index_matches_insertion_order(self, toy_net):
+        for i, link in enumerate(toy_net.links):
+            assert toy_net.link_index(link.name) == i
+
+    def test_pop_index_matches_insertion_order(self, toy_net):
+        for i, name in enumerate(toy_net.pop_names):
+            assert toy_net.pop_index(name) == i
+
+    def test_unknown_lookups_raise(self, toy_net):
+        with pytest.raises(TopologyError):
+            toy_net.pop("zzz")
+        with pytest.raises(TopologyError):
+            toy_net.link("zzz->zzz")
+        with pytest.raises(TopologyError):
+            toy_net.link_index("nope")
+        with pytest.raises(TopologyError):
+            toy_net.pop_index("nope")
+
+    def test_link_between(self, toy_net):
+        link = toy_net.link_between("a", "b")
+        assert link.source == "a" and link.target == "b"
+
+    def test_intra_pop_link(self, toy_net):
+        link = toy_net.intra_pop_link("c")
+        assert link.is_intra_pop and link.source == "c"
+
+    def test_neighbors(self, toy_net):
+        assert set(toy_net.neighbors("a")) == {"b", "d", "c"}
+        assert set(toy_net.neighbors("b")) == {"a", "c"}
+
+    def test_degree_counts_inter_pop_only(self, toy_net):
+        assert toy_net.degree("a") == 3
+
+    def test_contains(self, toy_net):
+        assert "a" in toy_net
+        assert "a->b" in toy_net
+        assert "zzz" not in toy_net
+
+    def test_len_and_iter(self, toy_net):
+        assert len(toy_net) == 4
+        assert [p.name for p in toy_net] == ["a", "b", "c", "d"]
+
+
+class TestODPairs:
+    def test_count_includes_self_pairs(self, toy_net):
+        assert toy_net.num_od_pairs == 16
+        assert ("a", "a") in toy_net.od_pairs
+
+    def test_origin_major_order(self, toy_net):
+        pairs = toy_net.od_pairs
+        assert pairs[0] == ("a", "a")
+        assert pairs[1] == ("a", "b")
+        assert pairs[4] == ("b", "a")
+
+    def test_od_index_roundtrip(self, toy_net):
+        for index, (origin, destination) in enumerate(toy_net.od_pairs):
+            assert toy_net.od_index(origin, destination) == index
+            assert toy_net.od_pair(index) == (origin, destination)
+
+    def test_od_pair_out_of_range(self, toy_net):
+        with pytest.raises(TopologyError):
+            toy_net.od_pair(16)
+        with pytest.raises(TopologyError):
+            toy_net.od_pair(-1)
+
+
+class TestInterop:
+    def test_to_networkx_excludes_intra_pop_by_default(self, toy_net):
+        graph = toy_net.to_networkx()
+        assert graph.number_of_edges() == len(toy_net.inter_pop_links)
+
+    def test_to_networkx_with_intra_pop(self, toy_net):
+        graph = toy_net.to_networkx(include_intra_pop=True)
+        assert graph.number_of_edges() == toy_net.num_links
+
+    def test_is_connected(self, toy_net):
+        assert toy_net.is_connected()
+
+    def test_disconnected_detected(self):
+        net = Network.from_edges(
+            "split", ["a", "b", "c", "d"], [("a", "b"), ("c", "d")]
+        )
+        assert not net.is_connected()
+
+    def test_single_pop_is_connected(self):
+        net = Network("solo")
+        net.add_pop(PoP("a"))
+        assert net.is_connected()
+
+    def test_pop_with_no_links_breaks_connectivity(self):
+        net = Network.from_edges("iso", ["a", "b", "c"], [("a", "b")])
+        assert not net.is_connected()

@@ -1,0 +1,59 @@
+"""Tests for repro.topology.node."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import PoP
+
+
+class TestPoPConstruction:
+    def test_minimal(self):
+        pop = PoP("nycm")
+        assert pop.name == "nycm"
+        assert pop.population == 1.0
+
+    def test_full_attributes(self):
+        pop = PoP("nycm", city="New York", latitude=40.7, longitude=-74.0, population=9.3)
+        assert pop.city == "New York"
+        assert pop.latitude == pytest.approx(40.7)
+        assert pop.population == pytest.approx(9.3)
+
+    def test_display_name_prefers_city(self):
+        assert PoP("nycm", city="New York").display_name == "New York"
+        assert PoP("nycm").display_name == "nycm"
+
+    def test_str_is_name(self):
+        assert str(PoP("atla")) == "atla"
+
+    def test_frozen(self):
+        pop = PoP("a")
+        with pytest.raises(AttributeError):
+            pop.name = "b"
+
+
+class TestPoPValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP("")
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP("new york")
+
+    def test_nonpositive_population_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP("a", population=0.0)
+        with pytest.raises(TopologyError):
+            PoP("a", population=-1.0)
+
+    def test_partial_coordinates_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP("a", latitude=40.0)
+        with pytest.raises(TopologyError):
+            PoP("a", longitude=-74.0)
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP("a", latitude=91.0, longitude=0.0)
+        with pytest.raises(TopologyError):
+            PoP("a", latitude=0.0, longitude=181.0)

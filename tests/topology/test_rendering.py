@@ -1,0 +1,52 @@
+"""Tests for repro.topology.rendering (Fig. 2 artifacts)."""
+
+from repro.topology import abilene, sprint_europe, toy_network
+from repro.topology.rendering import render_ascii_map, render_topology
+
+
+class TestRenderTopology:
+    def test_header_counts(self):
+        text = render_topology(abilene())
+        assert "11 PoPs" in text
+        assert "41 links" in text
+        assert "30 inter-PoP" in text
+
+    def test_every_pop_listed(self):
+        network = sprint_europe()
+        text = render_topology(network)
+        for name in network.pop_names:
+            assert name in text
+
+    def test_adjacency_shown(self):
+        text = render_topology(abilene())
+        # Seattle's neighbors on the canonical map.
+        line = next(l for l in text.splitlines() if l.strip().startswith("sttl"))
+        assert "dnvr" in line and "snva" in line
+
+
+class TestRenderAsciiMap:
+    def test_all_pops_placed(self):
+        network = abilene()
+        text = render_ascii_map(network)
+        for name in network.pop_names:
+            assert name in text
+
+    def test_geography_roughly_preserved(self):
+        # Seattle is north (earlier line) of Houston; New York is east
+        # (farther right) of Los Angeles.
+        text = render_ascii_map(abilene())
+        lines = text.splitlines()
+        row_of = {name: i for i, line in enumerate(lines)
+                  for name in ("sttl", "hstn") if name in line}
+        assert row_of["sttl"] < row_of["hstn"]
+        col_of = {}
+        for line in lines:
+            for name in ("losa", "nycm"):
+                if name in line:
+                    col_of[name] = line.index(name)
+        assert col_of["losa"] < col_of["nycm"]
+
+    def test_fallback_without_coordinates(self):
+        text = render_ascii_map(toy_network())
+        # toy PoPs have no coordinates; fall back to the listing.
+        assert "4 PoPs" in text

@@ -1,0 +1,64 @@
+"""Tests for repro.topology.serialization."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    abilene,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+    toy_network,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        original = abilene()
+        rebuilt = network_from_dict(network_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.pop_names == original.pop_names
+        assert [l.name for l in rebuilt.links] == [l.name for l in original.links]
+
+    def test_dict_round_trip_preserves_attributes(self):
+        original = abilene()
+        rebuilt = network_from_dict(network_to_dict(original))
+        for a, b in zip(original.pops, rebuilt.pops):
+            assert a == b
+        for a, b in zip(original.links, rebuilt.links):
+            assert a == b
+
+    def test_json_round_trip(self):
+        original = toy_network()
+        rebuilt = network_from_json(network_to_json(original))
+        assert rebuilt.pop_names == original.pop_names
+        assert rebuilt.num_links == original.num_links
+
+    def test_link_indices_survive_round_trip(self):
+        original = abilene()
+        rebuilt = network_from_json(network_to_json(original))
+        for link in original.links:
+            assert rebuilt.link_index(link.name) == original.link_index(link.name)
+
+
+class TestErrors:
+    def test_wrong_version_rejected(self):
+        payload = network_to_dict(toy_network())
+        payload["format_version"] = 99
+        with pytest.raises(TopologyError, match="version"):
+            network_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = network_to_dict(toy_network())
+        del payload["links"]
+        with pytest.raises(TopologyError):
+            network_from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TopologyError, match="invalid topology JSON"):
+            network_from_json("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(TopologyError, match="object"):
+            network_from_json("[1, 2, 3]")

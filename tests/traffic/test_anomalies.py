@@ -1,0 +1,166 @@
+"""Tests for repro.traffic.anomalies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    AnomalyEvent,
+    AnomalyShape,
+    TrafficMatrix,
+    inject_anomalies,
+    make_anomaly_events,
+)
+
+
+@pytest.fixture
+def flat_traffic(toy_net):
+    values = np.full((50, toy_net.num_od_pairs), 1000.0)
+    return TrafficMatrix(values, toy_net.od_pairs)
+
+
+class TestAnomalyEvent:
+    def test_spike_deltas(self):
+        event = AnomalyEvent(time_bin=3, flow_index=0, amplitude_bytes=500.0)
+        assert np.array_equal(event.deltas(), [500.0])
+
+    def test_square_deltas(self):
+        event = AnomalyEvent(
+            time_bin=3,
+            flow_index=0,
+            amplitude_bytes=500.0,
+            shape=AnomalyShape.SQUARE,
+            duration_bins=3,
+        )
+        assert np.array_equal(event.deltas(), [500.0] * 3)
+
+    def test_ramp_deltas(self):
+        event = AnomalyEvent(
+            time_bin=3,
+            flow_index=0,
+            amplitude_bytes=900.0,
+            shape=AnomalyShape.RAMP,
+            duration_bins=3,
+        )
+        assert np.allclose(event.deltas(), [300.0, 600.0, 900.0])
+
+    def test_last_bin(self):
+        event = AnomalyEvent(0, 0, 1.0, AnomalyShape.SQUARE, duration_bins=4)
+        assert event.last_bin == 3
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            AnomalyEvent(-1, 0, 1.0)
+        with pytest.raises(TrafficError):
+            AnomalyEvent(0, -1, 1.0)
+        with pytest.raises(TrafficError):
+            AnomalyEvent(0, 0, 0.0)
+        with pytest.raises(TrafficError):
+            AnomalyEvent(0, 0, 1.0, AnomalyShape.SPIKE, duration_bins=2)
+
+
+class TestInjectAnomalies:
+    def test_positive_spike_adds_bytes(self, flat_traffic):
+        event = AnomalyEvent(time_bin=10, flow_index=2, amplitude_bytes=5000.0)
+        injected, effective = inject_anomalies(flat_traffic, [event])
+        assert injected.values[10, 2] == pytest.approx(6000.0)
+        assert effective == [event]
+
+    def test_other_cells_untouched(self, flat_traffic):
+        event = AnomalyEvent(time_bin=10, flow_index=2, amplitude_bytes=5000.0)
+        injected, _ = inject_anomalies(flat_traffic, [event])
+        mask = np.ones_like(flat_traffic.values, dtype=bool)
+        mask[10, 2] = False
+        assert np.array_equal(injected.values[mask], flat_traffic.values[mask])
+
+    def test_negative_spike_clips_at_zero(self, flat_traffic):
+        event = AnomalyEvent(time_bin=5, flow_index=1, amplitude_bytes=-5000.0)
+        injected, effective = inject_anomalies(flat_traffic, [event])
+        assert injected.values[5, 1] == 0.0
+        # The effective amplitude records only what was actually removed.
+        assert effective[0].amplitude_bytes == pytest.approx(-1000.0)
+
+    def test_fully_clipped_event_dropped(self, toy_net):
+        values = np.zeros((10, toy_net.num_od_pairs))
+        traffic = TrafficMatrix(values, toy_net.od_pairs)
+        event = AnomalyEvent(time_bin=5, flow_index=0, amplitude_bytes=-100.0)
+        _, effective = inject_anomalies(traffic, [event])
+        assert effective == []
+
+    def test_square_injection(self, flat_traffic):
+        event = AnomalyEvent(
+            time_bin=10,
+            flow_index=0,
+            amplitude_bytes=100.0,
+            shape=AnomalyShape.SQUARE,
+            duration_bins=4,
+        )
+        injected, _ = inject_anomalies(flat_traffic, [event])
+        assert np.allclose(injected.values[10:14, 0], 1100.0)
+
+    def test_out_of_range_rejected(self, flat_traffic):
+        with pytest.raises(TrafficError):
+            inject_anomalies(
+                flat_traffic, [AnomalyEvent(time_bin=99, flow_index=0, amplitude_bytes=1.0)]
+            )
+        with pytest.raises(TrafficError):
+            inject_anomalies(
+                flat_traffic, [AnomalyEvent(time_bin=0, flow_index=99, amplitude_bytes=1.0)]
+            )
+
+    def test_original_not_mutated(self, flat_traffic):
+        event = AnomalyEvent(time_bin=10, flow_index=2, amplitude_bytes=5000.0)
+        inject_anomalies(flat_traffic, [event])
+        assert flat_traffic.values[10, 2] == pytest.approx(1000.0)
+
+
+class TestMakeAnomalyEvents:
+    def test_count_and_bounds(self):
+        events = make_anomaly_events(
+            20, num_bins=500, num_flows=50, size_range=(1e3, 1e5), seed=1
+        )
+        assert len(events) == 20
+        for event in events:
+            assert 6 <= event.time_bin < 494  # default margin
+            assert 0 <= event.flow_index < 50
+            assert 1e3 <= abs(event.amplitude_bytes) <= 1e5
+
+    def test_deterministic_with_seed(self):
+        a = make_anomaly_events(10, 500, 50, (1e3, 1e5), seed=42)
+        b = make_anomaly_events(10, 500, 50, (1e3, 1e5), seed=42)
+        assert a == b
+
+    def test_minimum_separation(self):
+        events = make_anomaly_events(
+            30, 1000, 50, (1e3, 1e5), seed=2, min_separation_bins=5
+        )
+        bins = sorted(e.time_bin for e in events)
+        assert all(b2 - b1 >= 5 for b1, b2 in zip(bins, bins[1:]))
+
+    def test_negative_fraction(self):
+        events = make_anomaly_events(
+            200, 5000, 50, (1e3, 1e5), seed=3, negative_fraction=0.5,
+            min_separation_bins=1, margin_bins=6,
+        )
+        negatives = sum(1 for e in events if e.amplitude_bytes < 0)
+        assert 60 < negatives < 140
+
+    def test_heavy_tail_produces_knee(self):
+        events = make_anomaly_events(
+            100, 5000, 50, (1e3, 1e6), seed=4, pareto_shape=1.5,
+            min_separation_bins=1,
+        )
+        sizes = sorted((abs(e.amplitude_bytes) for e in events), reverse=True)
+        # Pareto tail: the top decile carries most of the mass.
+        assert sizes[0] / sizes[50] > 3.0
+
+    def test_impossible_packing_raises(self):
+        with pytest.raises(TrafficError, match="separation"):
+            make_anomaly_events(
+                100, num_bins=120, num_flows=5, size_range=(1.0, 2.0),
+                seed=5, min_separation_bins=10,
+            )
+
+    def test_trace_too_short_rejected(self):
+        with pytest.raises(TrafficError):
+            make_anomaly_events(1, num_bins=10, num_flows=5, size_range=(1.0, 2.0))

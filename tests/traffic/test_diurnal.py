@@ -1,0 +1,110 @@
+"""Tests for repro.traffic.diurnal."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.diurnal import (
+    DiurnalProfile,
+    day_of_week,
+    fourier_periods_hours,
+    time_of_day_hours,
+    weekly_basis,
+)
+
+WEEK = 1008  # one week of 10-minute bins
+BIN = 600.0
+
+
+class TestTimeGrids:
+    def test_time_of_day_wraps_at_24h(self):
+        hours = time_of_day_hours(WEEK, BIN)
+        assert hours[0] == 0.0
+        assert hours[143] == pytest.approx(23.0 + 50 / 60)
+        assert hours[144] == 0.0  # next day
+
+    def test_day_of_week_cycle(self):
+        days = day_of_week(WEEK, BIN)
+        assert days[0] == 0
+        assert days[143] == 0
+        assert days[144] == 1
+        assert days[-1] == 6
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            time_of_day_hours(0, BIN)
+
+
+class TestFourierPeriods:
+    def test_paper_periods(self):
+        periods = fourier_periods_hours()
+        assert periods == (168.0, 120.0, 72.0, 24.0, 12.0, 6.0, 3.0, 1.5)
+
+
+class TestDiurnalProfile:
+    def test_peak_normalized_to_one(self):
+        signal = DiurnalProfile(weekend_factor=1.0).evaluate(144, BIN)
+        assert np.max(np.abs(signal)) == pytest.approx(1.0)
+
+    def test_peak_occurs_at_peak_hour(self):
+        profile = DiurnalProfile(peak_hour=14.0, weekend_factor=1.0)
+        signal = profile.evaluate(144, BIN)
+        peak_bin = int(np.argmax(signal))
+        peak_hour = peak_bin * BIN / 3600.0
+        assert peak_hour == pytest.approx(14.0, abs=0.5)
+
+    def test_weekend_damping(self):
+        profile = DiurnalProfile(weekend_factor=0.5)
+        signal = profile.evaluate(WEEK, BIN)
+        weekday_peak = np.max(np.abs(signal[:144]))
+        saturday = signal[5 * 144 : 6 * 144]
+        assert np.max(np.abs(saturday)) == pytest.approx(0.5 * weekday_peak, rel=0.05)
+
+    def test_shifted_moves_peak(self):
+        base = DiurnalProfile(peak_hour=10.0, weekend_factor=1.0)
+        shifted = base.shifted(6.0)
+        assert shifted.peak_hour == pytest.approx(16.0)
+        signal = shifted.evaluate(144, BIN)
+        peak_hour = np.argmax(signal) * BIN / 3600.0
+        assert peak_hour == pytest.approx(16.0, abs=0.5)
+
+    def test_shift_wraps_midnight(self):
+        assert DiurnalProfile(peak_hour=20.0).shifted(6.0).peak_hour == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            DiurnalProfile(harmonic_amplitudes=())
+        with pytest.raises(TrafficError):
+            DiurnalProfile(harmonic_amplitudes=(0.0, 0.0))
+        with pytest.raises(TrafficError):
+            DiurnalProfile(peak_hour=24.0)
+        with pytest.raises(TrafficError):
+            DiurnalProfile(weekend_factor=-0.1)
+
+
+class TestWeeklyBasis:
+    def test_shape(self):
+        basis = weekly_basis(WEEK, BIN, num_patterns=3)
+        assert basis.shape == (3, WEEK)
+
+    def test_rows_normalized(self):
+        basis = weekly_basis(WEEK, BIN, num_patterns=4)
+        for row in basis:
+            assert np.max(np.abs(row)) <= 1.0 + 1e-9
+
+    def test_patterns_are_distinct(self):
+        basis = weekly_basis(WEEK, BIN, num_patterns=3)
+        # Shifted patterns must not be (anti)collinear: correlation
+        # bounded away from +/-1 so PCA variance spreads over 3 axes.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                corr = np.corrcoef(basis[i], basis[j])[0, 1]
+                assert abs(corr) < 0.9
+
+    def test_single_pattern(self):
+        basis = weekly_basis(WEEK, BIN, num_patterns=1)
+        assert basis.shape == (1, WEEK)
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            weekly_basis(WEEK, BIN, num_patterns=0)

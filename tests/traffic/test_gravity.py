@@ -1,0 +1,75 @@
+"""Tests for repro.traffic.gravity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.gravity import flow_size_spread, gravity_means
+from repro.topology import sprint_europe, toy_network
+
+
+class TestGravityMeans:
+    def test_total_conserved(self, toy_net):
+        means = gravity_means(toy_net, 1e9)
+        assert means.sum() == pytest.approx(1e9)
+
+    def test_all_positive(self, toy_net):
+        assert np.all(gravity_means(toy_net, 1e9) > 0)
+
+    def test_length_matches_od_pairs(self, toy_net):
+        assert gravity_means(toy_net, 1e9).shape == (toy_net.num_od_pairs,)
+
+    def test_proportional_to_population_product(self):
+        net = sprint_europe()
+        means = gravity_means(net, 1e9, self_traffic_factor=1.0, jitter=0.0)
+        pairs = net.od_pairs
+        weights = {pop.name: pop.population for pop in net.pops}
+        # Ratio of two flows equals the ratio of their weight products.
+        j1 = pairs.index(("lon", "par"))
+        j2 = pairs.index(("sto", "dub"))
+        expected = (weights["lon"] * weights["par"]) / (
+            weights["sto"] * weights["dub"]
+        )
+        assert means[j1] / means[j2] == pytest.approx(expected)
+
+    def test_self_traffic_factor_shrinks_diagonal(self, toy_net):
+        full = gravity_means(toy_net, 1e9, self_traffic_factor=1.0, jitter=0.0)
+        damped = gravity_means(toy_net, 1e9, self_traffic_factor=0.1, jitter=0.0)
+        j_self = toy_net.od_index("a", "a")
+        j_cross = toy_net.od_index("a", "b")
+        assert (damped[j_self] / damped[j_cross]) < (full[j_self] / full[j_cross])
+
+    def test_jitter_is_deterministic_with_seed(self, toy_net):
+        a = gravity_means(toy_net, 1e9, jitter=0.4, seed=7)
+        b = gravity_means(toy_net, 1e9, jitter=0.4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_jitter_changes_with_seed(self, toy_net):
+        a = gravity_means(toy_net, 1e9, jitter=0.4, seed=7)
+        b = gravity_means(toy_net, 1e9, jitter=0.4, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_jitter_preserves_total(self, toy_net):
+        means = gravity_means(toy_net, 1e9, jitter=0.5, seed=3)
+        assert means.sum() == pytest.approx(1e9)
+
+    def test_validation(self, toy_net):
+        with pytest.raises(Exception):
+            gravity_means(toy_net, -1.0)
+
+
+class TestFlowSizeSpread:
+    def test_spread_in_decades(self):
+        assert flow_size_spread(np.array([1.0, 10.0, 1000.0])) == pytest.approx(3.0)
+
+    def test_paper_like_spread(self):
+        # The paper's Fig. 9 x-axis spans several orders of magnitude.
+        net = sprint_europe()
+        means = gravity_means(net, 2.5e9, jitter=0.35, seed=11_001)
+        assert flow_size_spread(means) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            flow_size_spread(np.array([]))
+        with pytest.raises(TrafficError):
+            flow_size_spread(np.array([1.0, -2.0]))

@@ -1,0 +1,110 @@
+"""Tests for repro.traffic.matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def tm(toy_net, rng):
+    values = rng.uniform(0, 1000, size=(20, toy_net.num_od_pairs))
+    return TrafficMatrix(values, toy_net.od_pairs)
+
+
+class TestConstruction:
+    def test_shape_properties(self, tm):
+        assert tm.num_bins == 20
+        assert tm.num_flows == 16
+        assert tm.duration_seconds == pytest.approx(20 * 600)
+
+    def test_values_read_only(self, tm):
+        with pytest.raises(ValueError):
+            tm.values[0, 0] = 1.0
+
+    def test_negative_values_rejected(self, toy_net):
+        values = -np.ones((5, toy_net.num_od_pairs))
+        with pytest.raises(TrafficError):
+            TrafficMatrix(values, toy_net.od_pairs)
+
+    def test_nan_rejected(self, toy_net):
+        values = np.ones((5, toy_net.num_od_pairs))
+        values[0, 0] = np.nan
+        with pytest.raises(TrafficError):
+            TrafficMatrix(values, toy_net.od_pairs)
+
+    def test_column_mismatch_rejected(self, toy_net):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.ones((5, 3)), toy_net.od_pairs)
+
+    def test_duplicate_od_pairs_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(np.ones((5, 2)), [("a", "b"), ("a", "b")])
+
+    def test_invalid_bin_seconds(self, toy_net):
+        with pytest.raises(Exception):
+            TrafficMatrix(np.ones((5, 16)), toy_net.od_pairs, bin_seconds=0)
+
+
+class TestAccess:
+    def test_flow_lookup(self, tm):
+        column = tm.flow("a", "b")
+        j = tm.od_index("a", "b")
+        assert np.array_equal(column, tm.values[:, j])
+
+    def test_flow_by_index(self, tm):
+        assert np.array_equal(tm.flow_by_index(0), tm.values[:, 0])
+
+    def test_flow_by_index_out_of_range(self, tm):
+        with pytest.raises(TrafficError):
+            tm.flow_by_index(100)
+
+    def test_unknown_od_pair(self, tm):
+        with pytest.raises(TrafficError):
+            tm.flow("a", "zzz")
+
+    def test_flow_returns_copy(self, tm):
+        column = tm.flow("a", "b")
+        column[0] = -99
+        assert tm.values[0, tm.od_index("a", "b")] != -99
+
+    def test_window(self, tm):
+        window = tm.window(5, 15)
+        assert window.num_bins == 10
+        assert np.array_equal(window.values, tm.values[5:15])
+
+    def test_window_validation(self, tm):
+        with pytest.raises(TrafficError):
+            tm.window(10, 5)
+        with pytest.raises(TrafficError):
+            tm.window(0, 100)
+
+
+class TestStatistics:
+    def test_flow_means(self, tm):
+        assert np.allclose(tm.flow_means(), tm.values.mean(axis=0))
+
+    def test_total_per_bin(self, tm):
+        assert np.allclose(tm.total_per_bin(), tm.values.sum(axis=1))
+
+    def test_flow_stds(self, tm):
+        assert np.allclose(tm.flow_stds(), tm.values.std(axis=0))
+
+
+class TestLinkLoads:
+    def test_y_equals_x_a_transpose(self, tm, toy_routing):
+        y = tm.link_loads(toy_routing)
+        expected = tm.values @ toy_routing.matrix.T
+        assert np.allclose(y, expected)
+
+    def test_od_order_mismatch_rejected(self, tm, toy_routing, toy_net):
+        shuffled = list(reversed(toy_net.od_pairs))
+        other = TrafficMatrix(tm.values, shuffled)
+        with pytest.raises(TrafficError, match="OD pair order"):
+            other.link_loads(toy_routing)
+
+    def test_with_values_keeps_labels(self, tm):
+        other = tm.with_values(tm.values * 2)
+        assert other.od_pairs == tm.od_pairs
+        assert np.allclose(other.values, tm.values * 2)

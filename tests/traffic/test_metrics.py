@@ -1,0 +1,116 @@
+"""Tests for repro.traffic.metrics (§7.2 alternative link metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector
+from repro.exceptions import TrafficError
+from repro.measurement.sampling import PacketSizeModel
+from repro.traffic import (
+    average_packet_size_links,
+    inject_small_packet_flood,
+    packet_count_links,
+)
+
+
+class TestPacketCountLinks:
+    def test_shape_and_scale(self, sprint1):
+        packets = packet_count_links(
+            sprint1.od_traffic, sprint1.routing, jitter=0.0, seed=0
+        )
+        bytes_links = sprint1.link_traffic
+        assert packets.shape == bytes_links.shape
+        # With zero jitter, packets = bytes / mean size exactly.
+        assert np.allclose(packets * 500.0, bytes_links, rtol=1e-9)
+
+    def test_jitter_perturbs_but_preserves_scale(self, sprint1):
+        packets = packet_count_links(
+            sprint1.od_traffic, sprint1.routing, jitter=0.02, seed=0
+        )
+        expected = sprint1.link_traffic / 500.0
+        rel = np.abs(packets - expected) / np.maximum(expected, 1.0)
+        assert np.median(rel) < 0.05
+
+    def test_volume_anomaly_visible_in_packet_metric(self, sprint1):
+        """§7.2: the subspace method applies to packet counts; a volume
+        anomaly surfaces there too."""
+        packets = packet_count_links(
+            sprint1.od_traffic, sprint1.routing, jitter=0.01, seed=1
+        )
+        detector = SPEDetector().fit(packets)
+        top = max(sprint1.true_events, key=lambda e: abs(e.amplitude_bytes))
+        assert detector.detect(packets).flags[top.time_bin]
+
+    def test_validation(self, sprint1):
+        with pytest.raises(TrafficError):
+            packet_count_links(sprint1.od_traffic, sprint1.routing, jitter=-1)
+
+
+class TestAveragePacketSize:
+    def test_near_mean_packet_size(self, sprint1):
+        avg = average_packet_size_links(
+            sprint1.od_traffic, sprint1.routing, jitter=0.01, seed=2
+        )
+        busy = sprint1.link_traffic.mean(axis=0) > 1e6
+        assert np.allclose(avg[:, busy].mean(), 500.0, rtol=0.05)
+
+    def test_volume_anomaly_nearly_invisible(self, sprint1):
+        """A volume anomaly made of ordinary packets does not move the
+        average packet size — it is a different anomaly class."""
+        avg = average_packet_size_links(
+            sprint1.od_traffic, sprint1.routing, jitter=0.01, seed=3
+        )
+        top = max(sprint1.true_events, key=lambda e: abs(e.amplitude_bytes))
+        link = sprint1.routing.links_of_flow(top.flow_index)[0]
+        column = avg[:, sprint1.routing.link_index(link)]
+        deviation = abs(column[top.time_bin] - np.median(column))
+        assert deviation < 5 * column.std()
+
+
+class TestSmallPacketFlood:
+    def test_flood_visible_in_packet_metric_not_bytes(self, sprint1):
+        flow = sprint1.routing.od_index("lon", "mil")
+        time_bin = 300
+        extra_packets = 2e5  # 2e5 * 64B = 1.3e7 bytes: below the knee
+        packet_links, avg_links = inject_small_packet_flood(
+            sprint1.od_traffic,
+            sprint1.routing,
+            flow_index=flow,
+            time_bin=time_bin,
+            extra_packets=extra_packets,
+            seed=4,
+        )
+        # Packet-count detector fires...
+        packet_detector = SPEDetector().fit(packet_links)
+        assert packet_detector.detect(packet_links).flags[time_bin]
+        # ... while the byte-count detector stays quiet (the flood adds
+        # only ~1.9e7 bytes, below the Sprint detection boundary).
+        byte_matrix = sprint1.link_traffic.copy()
+        byte_matrix[time_bin] += extra_packets * 64.0 * sprint1.routing.column(flow)
+        byte_detector = SPEDetector().fit(sprint1.link_traffic)
+        assert not byte_detector.detect(byte_matrix[time_bin]).flags[0]
+
+    def test_flood_depresses_average_packet_size(self, sprint1):
+        flow = sprint1.routing.od_index("lon", "mil")
+        time_bin = 300
+        _, avg_links = inject_small_packet_flood(
+            sprint1.od_traffic,
+            sprint1.routing,
+            flow_index=flow,
+            time_bin=time_bin,
+            extra_packets=5e5,
+            seed=5,
+        )
+        for link_name in sprint1.routing.links_of_flow(flow):
+            column = avg_links[:, sprint1.routing.link_index(link_name)]
+            assert column[time_bin] < np.median(column) - 3 * column.std()
+
+    def test_validation(self, sprint1):
+        with pytest.raises(TrafficError):
+            inject_small_packet_flood(
+                sprint1.od_traffic, sprint1.routing, 0, 0, extra_packets=0
+            )
+        with pytest.raises(TrafficError):
+            inject_small_packet_flood(
+                sprint1.od_traffic, sprint1.routing, 0, 10**9, extra_packets=10
+            )

@@ -1,0 +1,91 @@
+"""Tests for repro.traffic.noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.noise import (
+    GaussianNoise,
+    LognormalNoise,
+    NoNoise,
+)
+from repro.traffic.noise import make_noise_model
+
+
+@pytest.fixture
+def means():
+    return np.array([1e4, 1e6, 1e8])
+
+
+class TestGaussianNoise:
+    def test_shape(self, means, rng):
+        noise = GaussianNoise().sample(means, 50, rng)
+        assert noise.shape == (50, 3)
+
+    def test_zero_mean(self, means, rng):
+        noise = GaussianNoise(relative_std=0.1).sample(means, 20_000, rng)
+        assert np.allclose(noise.mean(axis=0) / means, 0.0, atol=0.01)
+
+    def test_std_scales_with_mean_power(self, means, rng):
+        model = GaussianNoise(relative_std=100.0, exponent=0.5)
+        noise = model.sample(means, 20_000, rng)
+        expected = 100.0 * np.sqrt(means)
+        assert np.allclose(noise.std(axis=0), expected, rtol=0.05)
+
+    def test_floor_applies_to_small_flows(self, rng):
+        model = GaussianNoise(relative_std=0.01, exponent=1.0, floor=1e5)
+        stds = model.std_for(np.array([1.0, 1e9]))
+        assert stds[0] == pytest.approx(1e5)
+        assert stds[1] == pytest.approx(1e7)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            GaussianNoise(relative_std=-1.0)
+
+    def test_negative_means_rejected(self, rng):
+        with pytest.raises(TrafficError):
+            GaussianNoise().sample(np.array([-1.0]), 10, rng)
+
+
+class TestLognormalNoise:
+    def test_shape(self, means, rng):
+        noise = LognormalNoise(sigma=0.2).sample(means, 50, rng)
+        assert noise.shape == (50, 3)
+
+    def test_recentred_to_zero_mean(self, means, rng):
+        noise = LognormalNoise(sigma=0.3).sample(means, 100_000, rng)
+        assert np.allclose(noise.mean(axis=0) / means, 0.0, atol=0.02)
+
+    def test_right_skewed(self, rng):
+        noise = LognormalNoise(sigma=0.5).sample(np.array([1e6]), 100_000, rng)
+        column = noise[:, 0]
+        skew = np.mean(((column - column.mean()) / column.std()) ** 3)
+        assert skew > 0.5
+
+    def test_zero_sigma_is_silent(self, means, rng):
+        noise = LognormalNoise(sigma=0.0).sample(means, 10, rng)
+        assert np.all(noise == 0)
+
+
+class TestNoNoise:
+    def test_all_zero(self, means, rng):
+        assert np.all(NoNoise().sample(means, 10, rng) == 0)
+
+
+class TestFactory:
+    def test_gaussian(self):
+        model = make_noise_model("gaussian", relative_std=0.1)
+        assert isinstance(model, GaussianNoise)
+
+    def test_lognormal(self):
+        assert isinstance(make_noise_model("lognormal"), LognormalNoise)
+
+    def test_none(self):
+        assert isinstance(make_noise_model("none"), NoNoise)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_noise_model("GAUSSIAN"), GaussianNoise)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TrafficError):
+            make_noise_model("pink")

@@ -1,0 +1,102 @@
+"""Tests for repro.traffic.od_flows."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import ODFlowGenerator
+from repro.traffic.noise import NoNoise
+from repro.topology import sprint_europe
+
+
+WEEK = 1008
+
+
+class TestGeneration:
+    def test_shape_and_labels(self, toy_net):
+        generator = ODFlowGenerator(toy_net, total_bytes_per_bin=1e9, seed=0)
+        traffic = generator.generate(100)
+        assert traffic.num_bins == 100
+        assert traffic.num_flows == toy_net.num_od_pairs
+        assert traffic.od_pairs == toy_net.od_pairs
+
+    def test_non_negative(self, toy_net):
+        generator = ODFlowGenerator(toy_net, total_bytes_per_bin=1e9, seed=0)
+        assert np.all(generator.generate(200).values >= 0)
+
+    def test_deterministic_with_seed(self, toy_net):
+        a = ODFlowGenerator(toy_net, 1e9, seed=5).generate(50)
+        b = ODFlowGenerator(toy_net, 1e9, seed=5).generate(50)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, toy_net):
+        a = ODFlowGenerator(toy_net, 1e9, seed=5).generate(50)
+        b = ODFlowGenerator(toy_net, 1e9, seed=6).generate(50)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_total_traffic_near_target(self, toy_net):
+        generator = ODFlowGenerator(toy_net, total_bytes_per_bin=1e9, seed=0)
+        traffic = generator.generate(WEEK)
+        # Diurnal modulation averages out over a week; total per bin
+        # should be near the target on average.
+        assert traffic.total_per_bin().mean() == pytest.approx(1e9, rel=0.1)
+
+    def test_noiseless_traffic_is_smooth(self, toy_net):
+        generator = ODFlowGenerator(
+            toy_net, 1e9, noise=NoNoise(), gravity_jitter=0.0, seed=0
+        )
+        traffic = generator.generate(288)
+        # Without noise, consecutive-bin differences are tiny relative to
+        # the flow level (pure diurnal drift).
+        values = traffic.values
+        diffs = np.abs(np.diff(values, axis=0))
+        assert diffs.max() < 0.1 * values.max()
+
+    def test_diurnal_cycle_visible(self, toy_net):
+        generator = ODFlowGenerator(
+            toy_net, 1e9, noise=NoNoise(), diurnal_strength=0.5, seed=0
+        )
+        traffic = generator.generate(288)  # two days
+        total = traffic.total_per_bin()
+        # Day 2 repeats day 1 (weekday pattern, no noise).
+        assert np.allclose(total[:144], total[144:], rtol=1e-6)
+        # And there is meaningful within-day variation.
+        assert total.std() / total.mean() > 0.05
+
+
+class TestLowDimensionality:
+    def test_link_traffic_has_low_effective_dimension(self):
+        """The property behind paper Fig. 3: few PCs capture most variance."""
+        from repro.core.pca import PCA
+        from repro.routing import SPFRouting, build_routing_matrix
+
+        network = sprint_europe()
+        generator = ODFlowGenerator(network, 2.5e9, num_patterns=3, seed=1)
+        traffic = generator.generate(WEEK)
+        routing = build_routing_matrix(network, SPFRouting(network).compute())
+        link_traffic = traffic.link_loads(routing)
+
+        pca = PCA().fit(link_traffic)
+        fractions = pca.variance_fractions()
+        assert fractions[:4].sum() > 0.9
+        assert pca.effective_dimension(0.9) <= 4
+
+
+class TestValidation:
+    def test_invalid_strength(self, toy_net):
+        with pytest.raises(TrafficError):
+            ODFlowGenerator(toy_net, 1e9, diurnal_strength=1.0)
+
+    def test_invalid_patterns(self, toy_net):
+        with pytest.raises(TrafficError):
+            ODFlowGenerator(toy_net, 1e9, num_patterns=0)
+
+    def test_invalid_bins(self, toy_net):
+        generator = ODFlowGenerator(toy_net, 1e9)
+        with pytest.raises(TrafficError):
+            generator.generate(0)
+
+    def test_weights_unit_l1(self, toy_net):
+        generator = ODFlowGenerator(toy_net, 1e9, num_patterns=3, seed=0)
+        weights = generator._flow_weights(toy_net.num_od_pairs)
+        assert np.allclose(np.abs(weights).sum(axis=1), 1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.traffic.workloads."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import WorkloadConfig, workload_for
+from repro.traffic.workloads import WORKLOAD_NAMES
+
+
+class TestPresets:
+    def test_all_presets_available(self):
+        assert set(WORKLOAD_NAMES) == {"sprint-1", "sprint-2", "abilene"}
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_presets_are_week_long(self, name):
+        config = workload_for(name)
+        assert config.num_bins == 1008  # paper Table 1: one week of 10-min bins
+        assert config.bin_seconds == 600.0
+
+    def test_sprint_uses_sprint_topology(self):
+        assert workload_for("sprint-1").topology == "sprint-europe"
+        assert workload_for("sprint-2").topology == "sprint-europe"
+
+    def test_abilene_uses_abilene_topology(self):
+        assert workload_for("abilene").topology == "abilene"
+
+    def test_abilene_knee_scale(self):
+        # The paper's Abilene knee is 8e7 vs Sprint's 2e7; the anomaly
+        # ranges must reflect that scale difference.
+        sprint = workload_for("sprint-1")
+        abilene = workload_for("abilene")
+        assert abilene.anomaly_size_range[1] > sprint.anomaly_size_range[1]
+
+    def test_seeds_differ_between_weeks(self):
+        assert workload_for("sprint-1").traffic_seed != workload_for("sprint-2").traffic_seed
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TrafficError, match="unknown workload"):
+            workload_for("sprint-99")
+
+
+class TestWorkloadConfig:
+    def test_with_overrides(self):
+        config = workload_for("sprint-1").with_overrides(num_bins=288)
+        assert config.num_bins == 288
+        assert config.name == "sprint-1"
+        # Original untouched (frozen dataclass).
+        assert workload_for("sprint-1").num_bins == 1008
+
+    def test_diurnal_profile_reflects_config(self):
+        config = workload_for("sprint-1")
+        profile = config.diurnal_profile()
+        assert profile.peak_hour == config.diurnal_peak_hour
+        assert profile.weekend_factor == config.weekend_factor
+
+    def test_validation_num_bins(self):
+        with pytest.raises(TrafficError):
+            WorkloadConfig(name="x", topology="abilene", num_bins=1)
+
+    def test_validation_topology(self):
+        with pytest.raises(TrafficError):
+            WorkloadConfig(name="x", topology="arpanet")
+
+    def test_validation_size_range(self):
+        with pytest.raises(TrafficError):
+            WorkloadConfig(
+                name="x", topology="abilene", anomaly_size_range=(5.0, 1.0)
+            )

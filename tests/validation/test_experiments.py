@@ -1,0 +1,133 @@
+"""Tests for repro.validation.experiments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import fig6_series, fig10_series
+from repro.validation.experiments import (
+    run_actual_anomaly_experiment,
+    run_synthetic_experiment,
+    separability,
+)
+
+
+class TestActualAnomalyExperiment:
+    def test_paper_table2_shape_sprint1(self, sprint1):
+        """Sprint-1, Fourier: nearly all above-knee anomalies detected
+        and identified; false alarms in the handful range."""
+        row = run_actual_anomaly_experiment(sprint1, method="fourier")
+        assert row.score.detection_rate >= 0.8
+        assert row.score.identification_rate >= 0.8
+        assert row.score.false_alarms <= 15
+        assert row.cutoff_bytes == pytest.approx(2e7)
+
+    def test_ewma_and_fourier_agree_roughly(self, sprint1):
+        fourier = run_actual_anomaly_experiment(sprint1, method="fourier")
+        ewma = run_actual_anomaly_experiment(sprint1, method="ewma")
+        assert abs(fourier.score.detection_rate - ewma.score.detection_rate) < 0.4
+
+    def test_custom_cutoff(self, sprint1):
+        row = run_actual_anomaly_experiment(sprint1, cutoff_bytes=1e7)
+        assert row.cutoff_bytes == 1e7
+        assert row.score.num_true >= 9
+
+    def test_quantification_in_paper_band(self, sprint1):
+        """Paper Table 2 reports 15-33% error against method-estimated
+        sizes; our synthetic world is cleaner, so the band is <= 35%."""
+        row = run_actual_anomaly_experiment(sprint1, method="fourier")
+        assert row.score.mean_quantification_error < 0.35
+
+    def test_unknown_dataset_needs_explicit_cutoff(self, small_dataset):
+        with pytest.raises(ValidationError):
+            run_actual_anomaly_experiment(small_dataset)
+
+
+class TestSyntheticExperiment:
+    def test_paper_table3_shape(self, sprint1):
+        large, small, raw = run_synthetic_experiment(sprint1)
+        assert large.size_bytes == pytest.approx(3e7)
+        assert small.size_bytes == pytest.approx(1.5e7)
+        # Shape of Table 3: large >> small in both detection and the
+        # product of detection x identification.
+        assert large.detection_rate > 0.85
+        assert small.detection_rate < 0.35
+        assert large.identification_rate > 0.8
+        assert set(raw) == {"large", "small"}
+
+    def test_custom_sizes(self, sprint1):
+        large, small, _ = run_synthetic_experiment(
+            sprint1, large_bytes=5e7, small_bytes=1e7,
+            time_bins=np.arange(12),
+        )
+        assert large.size_bytes == 5e7
+        assert small.detection_rate <= large.detection_rate
+
+
+class TestFig6Series:
+    def test_series_aligned(self, sprint1):
+        series = fig6_series(sprint1, method="fourier", top_k=40)
+        assert len(series.anomalies) == 40
+        assert series.detected.shape == (40,)
+        # identified implies detected.
+        assert np.all(series.detected[series.identified])
+        # estimates exist exactly where identified.
+        assert np.array_equal(~np.isnan(series.estimated_sizes), series.identified)
+
+    def test_knee_detected_above_knee_mostly_hit(self, sprint1):
+        series = fig6_series(sprint1, method="fourier", top_k=40)
+        sizes = np.array([a.size_bytes for a in series.anomalies])
+        above = sizes >= 2e7
+        assert series.detected[above].mean() > 0.8
+        assert series.detected[~above].mean() < 0.3
+
+
+class TestFig10:
+    def test_series_lengths(self, sprint1):
+        data = fig10_series(sprint1)
+        for key in ("subspace", "fourier", "ewma"):
+            assert data[key].shape == (1008,)
+        assert data["threshold"] > 0
+
+    def test_subspace_separates_best(self, sprint1):
+        """The paper's Fig. 10 claim: a clean threshold exists for the
+        subspace residual but not for the temporal baselines."""
+        data = fig10_series(sprint1)
+        anomaly_bins = np.array(
+            sorted(
+                e.time_bin
+                for e in sprint1.true_events
+                if abs(e.amplitude_bytes) >= 2e7
+            )
+        )
+        subspace = separability(data["subspace"], anomaly_bins)
+        fourier = separability(data["fourier"], anomaly_bins)
+        ewma = separability(data["ewma"], anomaly_bins)
+        assert (
+            subspace["detection_at_zero_fa"] >= fourier["detection_at_zero_fa"]
+        )
+        assert subspace["fa_at_full_detection"] <= fourier["fa_at_full_detection"]
+        assert subspace["fa_at_full_detection"] <= ewma["fa_at_full_detection"]
+        # And in absolute terms the subspace method separates well.
+        assert subspace["detection_at_zero_fa"] >= 0.6
+        assert subspace["fa_at_full_detection"] <= 0.05
+
+
+class TestSeparability:
+    def test_perfect_separation(self):
+        energy = np.array([1.0, 1.0, 10.0, 1.0])
+        result = separability(energy, np.array([2]))
+        assert result["detection_at_zero_fa"] == 1.0
+        assert result["fa_at_full_detection"] == 0.0
+
+    def test_no_separation(self):
+        energy = np.array([10.0, 1.0, 5.0, 1.0])
+        result = separability(energy, np.array([2]))
+        assert result["detection_at_zero_fa"] == 0.0
+        assert result["fa_at_full_detection"] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            separability(np.ones((2, 2)), np.array([0]))
+        with pytest.raises(ValidationError):
+            separability(np.ones(5), np.array([], dtype=int))

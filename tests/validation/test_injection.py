@@ -1,0 +1,114 @@
+"""Tests for repro.validation.injection (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import InjectionStudy
+
+
+@pytest.fixture(scope="module")
+def study(request):
+    return InjectionStudy(request.getfixturevalue("sprint1"))
+
+
+class TestVectorizedSweep:
+    def test_result_shapes(self, study, sprint1):
+        result = study.run(3e7, time_bins=np.arange(12))
+        assert result.detected.shape == (12, sprint1.num_flows)
+        assert result.identified.shape == (12, sprint1.num_flows)
+        assert result.estimated_bytes.shape == (12, sprint1.num_flows)
+
+    def test_matches_naive_diagnosis(self, study, sprint1):
+        """The vectorized algebra must agree with the literal per-cell
+        diagnosis path on every checked cell."""
+        time_bins = np.array([30, 400, 900])
+        flows = np.array([0, 17, 60, 111, 168])
+        result = study.run(3e7, time_bins=time_bins, flow_indices=flows)
+        for ti, t in enumerate(time_bins):
+            for fi, flow in enumerate(flows):
+                detected, identified, estimated = study.run_naive_cell(
+                    3e7, int(t), int(flow)
+                )
+                assert result.detected[ti, fi] == detected
+                if identified:
+                    # The naive path reports the *winner's* estimate; when
+                    # the injected flow won, both paths must agree.
+                    assert result.identified[ti, fi]
+                    assert result.estimated_bytes[ti, fi] == pytest.approx(
+                        estimated, rel=1e-9
+                    )
+
+    def test_large_injections_mostly_detected(self, study):
+        """Paper Table 3: large Sprint injections detected ~93%."""
+        result = study.run(3e7)
+        assert result.detection_rate > 0.85
+
+    def test_small_injections_rarely_detected(self, study):
+        """Paper Table 3: small Sprint injections detected ~15%."""
+        result = study.run(1.5e7)
+        assert result.detection_rate < 0.35
+
+    def test_identification_rate_high_for_large(self, study):
+        result = study.run(3e7)
+        assert result.identification_rate > 0.8
+
+    def test_quantification_error_in_paper_band(self, study):
+        """Paper Table 3: ~18% mean error for large Sprint injections;
+        anything under ~35% preserves the claim."""
+        result = study.run(3e7)
+        assert result.mean_quantification_error < 0.35
+
+    def test_detection_rate_axes(self, study):
+        result = study.run(3e7, time_bins=np.arange(24))
+        by_flow = result.detection_rate_by_flow()
+        by_time = result.detection_rate_by_time()
+        assert by_flow.shape == (169,)
+        assert by_time.shape == (24,)
+        assert by_flow.mean() == pytest.approx(result.detection_rate)
+        assert by_time.mean() == pytest.approx(result.detection_rate)
+
+    def test_detection_rate_stable_over_time(self, study):
+        """Paper Fig. 8: detection rate is fairly constant across the
+        day despite traffic nonstationarity."""
+        result = study.run(3e7)
+        by_time = result.detection_rate_by_time()
+        assert by_time.std() < 0.12
+
+    def test_large_flows_harder(self, study, sprint1):
+        """Paper Fig. 9: fixed-size injections are detected less often
+        in large OD flows."""
+        result = study.run(3e7)
+        rates = result.detection_rate_by_flow()
+        means = sprint1.od_traffic.flow_means()
+        order = np.argsort(means)
+        small_rate = rates[order[:50]].mean()
+        large_rate = rates[order[-20:]].mean()
+        assert large_rate < small_rate
+
+    def test_chunking_invariant(self, study):
+        a = study.run(3e7, time_bins=np.arange(20), chunk_bins=3)
+        b = study.run(3e7, time_bins=np.arange(20), chunk_bins=20)
+        assert np.array_equal(a.detected, b.detected)
+        assert np.array_equal(a.identified, b.identified)
+        assert np.allclose(a.estimated_bytes, b.estimated_bytes, equal_nan=True)
+
+
+class TestValidation:
+    def test_zero_size_rejected(self, study):
+        with pytest.raises(ValidationError):
+            study.run(0.0)
+
+    def test_bad_time_bins(self, study):
+        with pytest.raises(ValidationError):
+            study.run(1e7, time_bins=np.array([99999]))
+        with pytest.raises(ValidationError):
+            study.run(1e7, time_bins=np.array([], dtype=np.int64))
+
+    def test_bad_flows(self, study):
+        with pytest.raises(ValidationError):
+            study.run(1e7, flow_indices=np.array([9999]))
+
+    def test_bad_chunk(self, study):
+        with pytest.raises(ValidationError):
+            study.run(1e7, chunk_bins=0)

@@ -1,0 +1,121 @@
+"""Tests for repro.validation.metrics (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnosis import Diagnosis
+from repro.exceptions import ValidationError
+from repro.validation import DiagnosisScore, match_diagnoses, score_against_truth
+from repro.validation.ground_truth import TrueAnomaly
+
+
+def diagnosis(time_bin, flow_index, estimated=1e7):
+    return Diagnosis(
+        time_bin=time_bin,
+        spe=2.0,
+        threshold=1.0,
+        flow_index=flow_index,
+        od_pair=("a", "b"),
+        estimated_bytes=estimated,
+        magnitude=1.0,
+    )
+
+
+def anomaly(time_bin, flow_index, size=1e7):
+    return TrueAnomaly(time_bin=time_bin, flow_index=flow_index, size_bytes=size)
+
+
+class TestMatchDiagnoses:
+    def test_exact_match(self):
+        matches = match_diagnoses([diagnosis(5, 1)], [anomaly(5, 1)])
+        assert matches[0] is not None
+
+    def test_miss(self):
+        matches = match_diagnoses([diagnosis(6, 1)], [anomaly(5, 1)])
+        assert matches[0] is None
+
+    def test_tolerance(self):
+        matches = match_diagnoses([diagnosis(6, 1)], [anomaly(5, 1)], time_tolerance=1)
+        assert matches[0] is not None
+
+    def test_each_diagnosis_used_once(self):
+        d = diagnosis(5, 1)
+        matches = match_diagnoses([d], [anomaly(5, 1), anomaly(5, 2)])
+        assert matches[0] is d
+        assert matches[1] is None
+
+    def test_closest_wins(self):
+        near, far = diagnosis(5, 1), diagnosis(7, 1)
+        matches = match_diagnoses([far, near], [anomaly(5, 1)], time_tolerance=2)
+        assert matches[0] is near
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValidationError):
+            match_diagnoses([], [], time_tolerance=-1)
+
+
+class TestScoreAgainstTruth:
+    def test_perfect_run(self):
+        truth = [anomaly(5, 1, size=1e7), anomaly(20, 3, size=2e7)]
+        diagnoses = [diagnosis(5, 1, estimated=1e7), diagnosis(20, 3, estimated=2e7)]
+        score = score_against_truth(diagnoses, truth, total_bins=100)
+        assert score.detection_rate == 1.0
+        assert score.false_alarm_rate == 0.0
+        assert score.identification_rate == 1.0
+        assert score.mean_quantification_error == pytest.approx(0.0)
+
+    def test_missed_detection(self):
+        truth = [anomaly(5, 1), anomaly(20, 3)]
+        score = score_against_truth([diagnosis(5, 1)], truth, total_bins=100)
+        assert score.detected == 1
+        assert score.num_true == 2
+        assert score.detection_rate == 0.5
+
+    def test_false_alarms_counted(self):
+        truth = [anomaly(5, 1)]
+        diagnoses = [diagnosis(5, 1), diagnosis(50, 2), diagnosis(60, 2)]
+        score = score_against_truth(diagnoses, truth, total_bins=100)
+        assert score.false_alarms == 2
+        assert score.num_normal_bins == 99
+        assert score.false_alarm_rate == pytest.approx(2 / 99)
+
+    def test_wrong_flow_hurts_identification_only(self):
+        truth = [anomaly(5, 1)]
+        score = score_against_truth([diagnosis(5, 9)], truth, total_bins=100)
+        assert score.detection_rate == 1.0
+        assert score.identification_rate == 0.0
+        assert np.isnan(score.mean_quantification_error)
+
+    def test_quantification_error(self):
+        truth = [anomaly(5, 1, size=1e7)]
+        score = score_against_truth(
+            [diagnosis(5, 1, estimated=1.3e7)], truth, total_bins=100
+        )
+        assert score.mean_quantification_error == pytest.approx(0.3)
+
+    def test_negative_estimates_compared_by_magnitude(self):
+        truth = [anomaly(5, 1, size=1e7)]
+        score = score_against_truth(
+            [diagnosis(5, 1, estimated=-1e7)], truth, total_bins=100
+        )
+        assert score.mean_quantification_error == pytest.approx(0.0)
+
+    def test_as_row_formatting(self):
+        truth = [anomaly(5, 1, size=1e7)]
+        score = score_against_truth(
+            [diagnosis(5, 1, estimated=1.2e7)], truth, total_bins=100
+        )
+        row = score.as_row()
+        assert row["Detection"] == "1/1"
+        assert row["False Alarm"] == "0/99"
+        assert row["Identification"] == "1/1"
+        assert row["Quantification"] == "20.0%"
+
+    def test_anomaly_outside_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            score_against_truth([], [anomaly(500, 1)], total_bins=100)
+
+    def test_empty_truth(self):
+        score = score_against_truth([diagnosis(5, 1)], [], total_bins=100)
+        assert score.detection_rate == 0.0
+        assert score.false_alarms == 1

@@ -1,0 +1,55 @@
+"""Tests for repro.validation.multiflow (§7.2 systematic study)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import MultiFlowStudy
+
+
+@pytest.fixture(scope="module")
+def study(request):
+    sprint1 = request.getfixturevalue("sprint1")
+    return MultiFlowStudy(sprint1, num_decoy_pairs=15, seed=7)
+
+
+class TestMultiFlowStudy:
+    def test_pair_usually_wins(self, study):
+        result = study.run(num_trials=12, size_range=(3e7, 6e7))
+        assert result.pair_identification_rate >= 0.75
+
+    def test_intensities_recovered(self, study):
+        result = study.run(num_trials=12, size_range=(3e7, 6e7))
+        assert result.mean_intensity_error < 0.35
+
+    def test_trials_record_coordinates(self, study, sprint1):
+        result = study.run(num_trials=5)
+        assert len(result.trials) == 5
+        for trial in result.trials:
+            assert 0 <= trial.time_bin < sprint1.num_bins
+            f1, f2 = trial.flows
+            assert f1 != f2
+            links1 = set(sprint1.routing.links_of_flow(f1))
+            links2 = set(sprint1.routing.links_of_flow(f2))
+            assert links1.isdisjoint(links2)
+
+    def test_errors_nan_when_pair_loses(self, study):
+        result = study.run(num_trials=12)
+        for trial in result.trials:
+            if not trial.pair_identified:
+                assert all(np.isnan(e) for e in trial.intensity_errors)
+
+    def test_empty_result_properties(self):
+        from repro.validation.multiflow import MultiFlowResult
+
+        empty = MultiFlowResult(trials=())
+        assert empty.pair_identification_rate == 0.0
+        assert np.isnan(empty.mean_intensity_error)
+
+    def test_validation(self, study, sprint1):
+        with pytest.raises(ValidationError):
+            study.run(num_trials=0)
+        with pytest.raises(ValidationError):
+            study.run(num_trials=1, size_range=(5.0, 1.0))
+        with pytest.raises(ValidationError):
+            MultiFlowStudy(sprint1, num_decoy_pairs=-1)

@@ -1,0 +1,80 @@
+"""Coverage for negative (traffic-drop) anomalies.
+
+The paper defines volume anomalies as sudden changes "positive or
+negative" in an OD flow (§2); ground-truth generation plants some drops,
+and the method must handle them symmetrically: SPE grows quadratically
+with the displacement regardless of sign, and quantification reports
+signed bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnomalyDiagnoser, SPEDetector
+from repro.validation import InjectionStudy
+
+
+class TestNegativeGroundTruth:
+    def test_presets_contain_drops(self, sprint1):
+        drops = [e for e in sprint1.true_events if e.amplitude_bytes < 0]
+        assert drops, "the Sprint-1 preset plants at least one traffic drop"
+
+    def test_large_drop_diagnosed_with_sign(self, sprint1):
+        diagnoser = AnomalyDiagnoser().fit(sprint1.link_traffic, sprint1.routing)
+        drops = sorted(
+            (e for e in sprint1.true_events if e.amplitude_bytes < 0),
+            key=lambda e: e.amplitude_bytes,
+        )
+        diagnosed = {d.time_bin: d for d in diagnoser.diagnose(sprint1.link_traffic)}
+        # At least the biggest detectable drop should be caught and carry
+        # a negative estimate (drops above the knee).
+        big_drops = [e for e in drops if abs(e.amplitude_bytes) >= 2e7]
+        if not big_drops:
+            pytest.skip("no above-knee drops in this world")
+        for event in big_drops:
+            if event.time_bin in diagnosed:
+                diagnosis = diagnosed[event.time_bin]
+                assert diagnosis.flow_index == event.flow_index
+                assert diagnosis.estimated_bytes < 0
+
+
+class TestSymmetricDetection:
+    def test_spe_symmetric_in_sign(self, sprint1):
+        """Injecting +b or -b at the same cell yields nearly identical
+        SPE increments (exact up to the cross term with the residual)."""
+        detector = SPEDetector().fit(sprint1.link_traffic)
+        model = detector.model
+        flow = sprint1.routing.od_index("par", "vie")
+        column = sprint1.routing.column(flow)
+        y = sprint1.link_traffic[300]
+        base = float(model.spe(y))
+        up = float(model.spe(y + 3e7 * column))
+        down = float(model.spe(y - 3e7 * column))
+        # Quadratic term dominates; the signed cross terms cancel in sum.
+        assert (up - base) + (down - base) == pytest.approx(
+            2 * (up - base), rel=0.5
+        )
+        assert down > detector.threshold
+
+    def test_negative_injection_sweep(self, sprint1):
+        """The vectorized driver accepts negative sizes; detection rates
+        are comparable to the positive sweep."""
+        study = InjectionStudy(sprint1)
+        bins = np.arange(24)
+        positive = study.run(3e7, time_bins=bins)
+        negative = study.run(-3e7, time_bins=bins)
+        assert negative.detection_rate == pytest.approx(
+            positive.detection_rate, abs=0.15
+        )
+        # Identification still names the injected flow.
+        assert negative.identification_rate > 0.8
+
+    def test_negative_magnitude_recovered(self, sprint1):
+        study = InjectionStudy(sprint1)
+        result = study.run(-3e7, time_bins=np.arange(12))
+        mask = result.detected & result.identified
+        if not mask.any():
+            pytest.skip("no detected+identified cells")
+        estimates = result.estimated_bytes[mask]
+        # Estimates carry the negative sign.
+        assert np.median(estimates) < 0

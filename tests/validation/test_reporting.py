@@ -1,0 +1,98 @@
+"""Tests for repro.validation.reporting."""
+
+import numpy as np
+
+from repro.validation import render_table2, render_table3, render_ranked_anomalies
+from repro.validation.experiments import ActualAnomalyRow, Fig6Series, SyntheticRow
+from repro.validation.ground_truth import TrueAnomaly
+from repro.validation.metrics import DiagnosisScore
+from repro.validation.reporting import format_table
+
+
+def make_score():
+    return DiagnosisScore(
+        detected=9,
+        num_true=9,
+        false_alarms=1,
+        num_normal_bins=999,
+        identified=9,
+        num_detected_for_identification=9,
+        quantification_errors=(0.156,),
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"], [["x", "y"], ["longcell", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderTable2:
+    def test_contains_paper_style_cells(self):
+        row = ActualAnomalyRow(
+            validation_method="fourier",
+            dataset_name="sprint-1",
+            cutoff_bytes=2e7,
+            confidence=0.999,
+            score=make_score(),
+        )
+        text = render_table2([row])
+        assert "Fourier" in text
+        assert "sprint-1" in text
+        assert "9/9" in text
+        assert "1/999" in text
+        assert "15.6%" in text
+
+
+class TestRenderTable3:
+    def test_contains_rates(self):
+        row = SyntheticRow(
+            dataset_name="sprint-1",
+            label="Large",
+            size_bytes=3e7,
+            detection_rate=0.93,
+            identification_rate=0.85,
+            quantification_error=0.18,
+        )
+        text = render_table3([row])
+        assert "93%" in text
+        assert "85%" in text
+        assert "18%" in text
+        assert "Large (3.0e+07)" in text
+
+    def test_nan_quantification_rendered_as_dash(self):
+        row = SyntheticRow(
+            dataset_name="x",
+            label="Small",
+            size_bytes=1e7,
+            detection_rate=0.0,
+            identification_rate=0.0,
+            quantification_error=float("nan"),
+        )
+        assert "-" in render_table3([row])
+
+
+class TestRenderRanked:
+    def test_rows_rendered(self):
+        series = Fig6Series(
+            anomalies=[
+                TrueAnomaly(10, 3, 3e7),
+                TrueAnomaly(20, 5, 1e7),
+            ],
+            detected=np.array([True, False]),
+            identified=np.array([True, False]),
+            estimated_sizes=np.array([2.8e7, np.nan]),
+        )
+        text = render_ranked_anomalies(series)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "yes" in lines[2]
+        assert "2.80e+07" in lines[2]
+        assert lines[3].count("-") >= 2

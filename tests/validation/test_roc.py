@@ -1,0 +1,80 @@
+"""Tests for repro.validation.roc."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.validation import operating_point, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        energy = np.array([1.0, 2.0, 100.0, 3.0, 200.0])
+        curve = roc_curve(energy, np.array([2, 4]))
+        assert curve.auc == pytest.approx(1.0)
+        assert curve.detection_at(0.0) == 1.0
+
+    def test_no_separation(self, rng):
+        energy = rng.uniform(size=2000)
+        anomaly_bins = rng.choice(2000, size=200, replace=False)
+        curve = roc_curve(energy, anomaly_bins)
+        assert curve.auc == pytest.approx(0.5, abs=0.06)
+
+    def test_monotone_curve(self, rng):
+        energy = rng.exponential(size=500)
+        curve = roc_curve(energy, np.array([3, 100, 400]))
+        # Descending thresholds produce nondecreasing rates.
+        assert np.all(np.diff(curve.detection_rates) >= 0)
+        assert np.all(np.diff(curve.false_alarm_rates) >= 0)
+
+    def test_detection_at_budget(self):
+        energy = np.array([1.0, 5.0, 10.0, 2.0, 8.0])
+        curve = roc_curve(energy, np.array([2, 4]))  # 10 and 8
+        # Zero-FA threshold must sit above 5 -> catches both anomalies.
+        assert curve.detection_at(0.0) == 1.0
+
+    def test_subspace_auc_on_sprint(self, sprint1):
+        from repro.core import SPEDetector
+
+        detector = SPEDetector().fit(sprint1.link_traffic)
+        spe = np.asarray(detector.model.spe(sprint1.link_traffic))
+        events = np.array(
+            sorted(
+                e.time_bin
+                for e in sprint1.true_events
+                if abs(e.amplitude_bytes) >= 2e7
+            )
+        )
+        curve = roc_curve(spe, events)
+        assert curve.auc > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            roc_curve(np.ones((2, 2)), np.array([0]))
+        with pytest.raises(ValidationError):
+            roc_curve(np.ones(5), np.array([], dtype=int))
+        with pytest.raises(ValidationError):
+            roc_curve(np.ones(5), np.array([99]))
+
+
+class TestOperatingPoint:
+    def test_exact_rates(self):
+        energy = np.array([1.0, 5.0, 10.0, 2.0])
+        detection, false_alarm = operating_point(energy, np.array([2]), 4.0)
+        assert detection == 1.0
+        assert false_alarm == pytest.approx(1 / 3)
+
+    def test_q_statistic_point_lies_on_curve(self, sprint1):
+        from repro.core import SPEDetector
+
+        detector = SPEDetector().fit(sprint1.link_traffic)
+        spe = np.asarray(detector.model.spe(sprint1.link_traffic))
+        events = np.array(sorted(
+            e.time_bin
+            for e in sprint1.true_events
+            if abs(e.amplitude_bytes) >= 2e7
+        ))
+        detection, false_alarm = operating_point(spe, events, detector.threshold)
+        # The paper's chosen operating point: high detection, ~1e-3 FA.
+        assert detection >= 0.75
+        assert false_alarm < 0.01

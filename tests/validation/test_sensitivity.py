@@ -1,0 +1,57 @@
+"""Tests for repro.validation.sensitivity."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.traffic.workloads import workload_for
+from repro.validation import sweep_workload_knob
+
+
+@pytest.fixture(scope="module")
+def fast_base():
+    """A shortened Sprint config so sweeps stay quick."""
+    return workload_for("sprint-1").with_overrides(
+        name="sweep-base", num_bins=432, num_anomalies=10
+    )
+
+
+class TestSweep:
+    def test_noise_sweep_monotone_threshold(self, fast_base):
+        points = sweep_workload_knob(
+            "noise_relative",
+            [200.0, 280.0, 380.0],
+            base_config=fast_base,
+            time_bins=24,
+        )
+        thresholds = [p.threshold for p in points]
+        assert thresholds == sorted(thresholds)
+
+    def test_contrast_robust_across_noise(self, fast_base):
+        """The large >> small detection contrast holds across a 2x range
+        of the noise coefficient (the result is not knife-edge)."""
+        points = sweep_workload_knob(
+            "noise_relative",
+            [200.0, 280.0, 380.0],
+            base_config=fast_base,
+            time_bins=24,
+        )
+        for point in points:
+            assert point.large_detection > point.small_detection
+            assert point.large_detection > 0.6
+
+    def test_point_fields(self, fast_base):
+        (point,) = sweep_workload_knob(
+            "diurnal_strength", [0.45], base_config=fast_base, time_bins=12
+        )
+        assert point.knob == "diurnal_strength"
+        assert point.value == pytest.approx(0.45)
+        assert 0.0 <= point.small_detection <= 1.0
+        assert point.contrast >= 1.0
+
+    def test_unknown_knob_rejected(self, fast_base):
+        with pytest.raises(ValidationError):
+            sweep_workload_knob("bogus_knob", [1.0], base_config=fast_base)
+
+    def test_empty_values_rejected(self, fast_base):
+        with pytest.raises(ValidationError):
+            sweep_workload_knob("noise_relative", [], base_config=fast_base)
