@@ -1,23 +1,23 @@
 #!/usr/bin/env python3
-"""Online monitoring (paper §7.1).
+"""Online monitoring (paper §7.1) on the streaming pipeline.
 
-The paper envisions the subspace method as a first-level online tool: fit
-the (cheap to apply) projection once, score each arriving measurement
-vector, refit occasionally.  This example:
+The paper envisions the subspace method as a first-level online tool:
+fit the (cheap to apply) projection once, score each arriving
+measurement vector, refresh occasionally.  The streaming mode of
+:class:`~repro.pipeline.DetectionPipeline` does exactly that — windows
+are scored in one vectorized pass against an exponentially weighted
+model backed by the incremental subspace tracker, so the model follows
+drift without ever refitting from scratch.  This example:
 
-1. warms an online detector on the first 5 days of Sprint-1;
-2. streams the remaining 2 days one 10-minute vector at a time, with a
-   daily refit;
+1. fits the pipeline on the first 5 days of Sprint-1;
+2. streams the remaining 2 days in half-hour windows (3 bins each);
 3. injects two live anomalies mid-stream and shows the alarms raised,
    including flow identification and byte estimates.
 
 Run:  python examples/online_monitoring.py
 """
 
-import numpy as np
-
-from repro import build_dataset
-from repro.core import OnlineSubspaceDetector
+from repro import DetectionPipeline, build_dataset
 
 
 def main() -> None:
@@ -25,15 +25,13 @@ def main() -> None:
     warmup_bins = 720  # five days
     stream = dataset.link_traffic[warmup_bins:].copy()
 
-    detector = OnlineSubspaceDetector(
-        window_bins=720,
-        refit_interval=144,  # refit once per day
-        confidence=0.999,
-        routing=dataset.routing,
+    pipeline = DetectionPipeline(confidence=0.999).fit(
+        dataset.link_traffic[:warmup_bins], routing=dataset.routing
     )
-    detector.warm_up(dataset.link_traffic[:warmup_bins])
-    print(f"Warmed up on {warmup_bins} bins; initial threshold "
-          f"{detector.threshold:.3e}")
+    print(
+        f"Fitted on {warmup_bins} bins; rank {pipeline.normal_rank}, "
+        f"initial threshold {pipeline.threshold:.3e}"
+    )
 
     # Two live injections while streaming.
     injections = {
@@ -44,28 +42,35 @@ def main() -> None:
         flow = dataset.routing.od_index(origin, destination)
         stream[offset] += size * dataset.routing.column(flow)
 
-    print(f"Streaming {stream.shape[0]} bins with a daily refit...\n")
+    print(f"Streaming {stream.shape[0]} bins in 3-bin windows...\n")
     alarms = []
-    for row in stream:
-        outcome = detector.process(row)
-        if outcome.is_anomalous:
-            alarms.append(outcome)
+    for window in pipeline.stream(stream, window_bins=3):
+        for position, index in enumerate(window.anomalous_bins):
+            alarms.append(
+                (
+                    int(index),
+                    float(window.spe[int(index) - window.start_index]),
+                    float(window.threshold),
+                    window.od_pairs[position] if window.od_pairs else None,
+                    float(window.estimated_bytes[position])
+                    if window.estimated_bytes.size
+                    else None,
+                )
+            )
 
     print(f"{len(alarms)} alarms raised:")
-    for outcome in alarms:
+    for index, spe, threshold, od_pair, estimated in alarms:
         flow_text = "unidentified"
-        if outcome.od_pair is not None:
-            origin, destination = outcome.od_pair
-            flow_text = (
-                f"{origin}->{destination}, {outcome.estimated_bytes:+.2e} bytes"
-            )
-        marker = " <== live injection" if outcome.index in injections else ""
+        if od_pair is not None:
+            origin, destination = od_pair
+            flow_text = f"{origin}->{destination}, {estimated:+.2e} bytes"
+        marker = " <== live injection" if index in injections else ""
         print(
-            f"  bin +{outcome.index:3d}: SPE {outcome.spe:.2e} "
-            f"(threshold {outcome.threshold:.2e}) — {flow_text}{marker}"
+            f"  bin +{index:3d}: SPE {spe:.2e} "
+            f"(threshold {threshold:.2e}) — {flow_text}{marker}"
         )
 
-    caught = sum(1 for o in alarms if o.index in injections)
+    caught = sum(1 for alarm in alarms if alarm[0] in injections)
     print(f"\nLive injections caught: {caught}/{len(injections)}")
 
 

@@ -2,18 +2,20 @@
 """Quickstart: diagnose network-wide volume anomalies from link counts.
 
 Walks the full three-step method of the paper on the Abilene evaluation
-dataset:
+dataset, driven by the :class:`~repro.pipeline.DetectionPipeline` — the
+vectorized front door that wires measurement → traffic matrix → subspace
+model → Q-statistic → identification together:
 
 1. build the dataset (topology, routing, one week of OD traffic with
    ground-truth anomalies, and the link measurement matrix Y = X Aᵀ);
-2. fit the subspace model on Y (PCA + 3σ separation + Q-statistic);
-3. diagnose: detect anomalous timesteps, identify the responsible OD
-   flow, and quantify the anomaly's size in bytes.
+2. fit the pipeline on Y (PCA + 3σ separation + Q-statistic);
+3. detect: one batched pass flags anomalous timesteps, identifies the
+   responsible OD flow, and quantifies each anomaly's size in bytes.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AnomalyDiagnoser, build_dataset
+from repro import DetectionPipeline, build_dataset
 from repro.core.pca import PCA
 
 
@@ -33,14 +35,16 @@ def main() -> None:
         f"{fractions[:4].sum() * 100:.1f}% of link-traffic variance"
     )
 
-    print("\nFitting the subspace diagnoser (99.9% confidence)...")
-    diagnoser = AnomalyDiagnoser(confidence=0.999)
-    diagnoser.fit(dataset.link_traffic, dataset.routing)
-    print(f"  normal subspace rank: {diagnoser.detector.normal_rank}")
-    print(f"  SPE threshold (delta^2): {diagnoser.detector.threshold:.3e}")
+    print("\nFitting the detection pipeline (99.9% confidence)...")
+    pipeline = DetectionPipeline(confidence=0.999).fit(
+        dataset.link_traffic, routing=dataset.routing
+    )
+    print(f"  normal subspace rank: {pipeline.normal_rank}")
+    print(f"  SPE threshold (delta^2): {pipeline.threshold:.3e}")
 
-    print("\nDiagnosing the full week of link measurements...")
-    diagnoses = diagnoser.diagnose(dataset.link_traffic)
+    print("\nDiagnosing the full week of link measurements (one pass)...")
+    result = pipeline.detect(dataset.link_traffic)
+    diagnoses = result.diagnoses()
     print(f"  {len(diagnoses)} anomalies diagnosed:\n")
     print(f"  {'bin':>5}  {'flow':>12}  {'est. bytes':>12}  {'SPE/threshold':>13}")
     for d in diagnoses:

@@ -37,6 +37,12 @@ from repro.core import (
 )
 from repro.datasets import Dataset, build_dataset, load_dataset, save_dataset
 from repro.exceptions import ReproError
+from repro.pipeline import (
+    BatchRunner,
+    DetectionPipeline,
+    PipelineResult,
+    StreamingDetector,
+)
 from repro.routing import RoutingMatrix, SPFRouting, build_routing_matrix
 from repro.topology import Network, abilene, sprint_europe
 from repro.traffic import AnomalyEvent, ODFlowGenerator, TrafficMatrix
@@ -59,6 +65,11 @@ __all__ = [
     "identify_single_flow",
     "identify_multi_flow",
     "detectability_thresholds",
+    # pipeline
+    "DetectionPipeline",
+    "PipelineResult",
+    "BatchRunner",
+    "StreamingDetector",
     # data layer
     "Dataset",
     "build_dataset",

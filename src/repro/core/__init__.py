@@ -22,11 +22,13 @@ Pipeline:
 
 from repro.core.pca import PCA
 from repro.core.subspace import SubspaceModel, SeparationResult
-from repro.core.qstatistic import q_threshold, box_approx_threshold
+from repro.core.qstatistic import q_threshold, q_thresholds, box_approx_threshold
 from repro.core.detection import SPEDetector, DetectionResult
 from repro.core.identification import (
+    identify_block,
     identify_single_flow,
     identify_multi_flow,
+    BlockIdentification,
     IdentificationResult,
 )
 from repro.core.quantification import quantify, quantify_multi
@@ -46,11 +48,14 @@ __all__ = [
     "SubspaceModel",
     "SeparationResult",
     "q_threshold",
+    "q_thresholds",
     "box_approx_threshold",
     "SPEDetector",
     "DetectionResult",
+    "identify_block",
     "identify_single_flow",
     "identify_multi_flow",
+    "BlockIdentification",
     "IdentificationResult",
     "quantify",
     "quantify_multi",

@@ -112,6 +112,35 @@ class IncrementalSubspaceTracker:
         self._refresh()
         return self
 
+    def warm_up_from_moments(
+        self, mean: np.ndarray, covariance: np.ndarray
+    ) -> "IncrementalSubspaceTracker":
+        """Initialize from precomputed moments instead of raw history.
+
+        Lets a batch-fitted model (e.g. ``V diag(λ) Vᵀ`` reconstructed
+        from a PCA) seed the tracker without retaining the training
+        window.
+        """
+        mean = np.asarray(mean, dtype=np.float64)
+        covariance = np.asarray(covariance, dtype=np.float64)
+        if mean.ndim != 1:
+            raise ModelError(f"mean must be a vector, got shape {mean.shape}")
+        m = mean.shape[0]
+        if covariance.shape != (m, m):
+            raise ModelError(
+                f"covariance must be ({m}, {m}), got shape {covariance.shape}"
+            )
+        if self.normal_rank > m:
+            raise ModelError(
+                f"normal_rank {self.normal_rank} exceeds dimension {m}"
+            )
+        self._mean = mean.copy()
+        # Symmetrize defensively; eigh assumes it and the exponential
+        # update preserves it.
+        self._cov = 0.5 * (covariance + covariance.T)
+        self._refresh()
+        return self
+
     def _refresh(self) -> None:
         eigenvalues, eigenvectors = np.linalg.eigh(self._cov)
         order = np.argsort(eigenvalues)[::-1]
@@ -186,6 +215,95 @@ class IncrementalSubspaceTracker:
         if self._since_refresh >= self.refresh_interval:
             self._refresh()
         return spe, is_anomalous
+
+    def spe_block(self, measurements: np.ndarray) -> np.ndarray:
+        """SPE of a ``(t, m)`` block under the current model (no update).
+
+        One ``(t, m) @ (m, r)`` product scores the whole block — the
+        vectorized counterpart of calling :meth:`spe` per row.
+        """
+        self._require_ready()
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2 or measurements.shape[1] != self._mean.shape[0]:
+            raise ModelError(
+                f"block must be (t, {self._mean.shape[0]}), got shape "
+                f"{measurements.shape}"
+            )
+        centered = measurements - self._mean
+        residual = centered - (centered @ self._basis) @ self._basis.T
+        return np.einsum("ij,ij->i", residual, residual)
+
+    def update_block(
+        self, measurements: np.ndarray, refresh: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score a window against the current model, then fold it in.
+
+        The exponential recursions ``μ_j = (1−η)μ_{j−1} + η y_j`` and
+        ``Σ_j = (1−η)Σ_{j−1} + η d_j d_jᵀ`` (``d_j = y_j − μ_j``) unroll in
+        closed form over a block of ``k`` arrivals:
+
+            μ_k = (1−η)^k μ₀ + η Σ_j (1−η)^{k−j} y_j
+            Σ_k = (1−η)^k Σ₀ + Dᵀ diag(η (1−η)^{k−j}) D
+
+        so the fold costs one cumulative filter plus one weighted Gram
+        product instead of ``k`` rank-one updates.  The resulting moments
+        match the sequential :meth:`update` loop to rounding.
+
+        Unlike the per-arrival loop — whose running mean drifts between
+        samples — every row is scored against the model as of the start
+        of the block; with windows much shorter than ``1/forgetting`` the
+        difference is negligible, and it is what lets the scoring itself
+        vectorize.
+
+        Parameters
+        ----------
+        measurements:
+            ``(k, m)`` window of arrivals, oldest first.
+        refresh:
+            Refresh the eigendecomposition (and SPE limit) after folding
+            the window (default).  With ``False``, refreshes keep their
+            ``refresh_interval`` cadence in units of arrivals.
+
+        Returns
+        -------
+        (spe, flags):
+            Per-row SPE under the pre-window model and the boolean
+            anomaly indicators ``spe > threshold``.
+        """
+        self._require_ready()
+        spe = self.spe_block(measurements)
+        flags = spe > self._threshold
+
+        measurements = np.asarray(measurements, dtype=np.float64)
+        eta = self.forgetting
+        decay = 1.0 - eta
+        k_total = measurements.shape[0]
+        # Chunk so the rescaled cumulative weights (1−η)^{−j} stay far
+        # from overflow even for aggressive forgetting factors:
+        # (1−η)^{−chunk} ≤ e^64 requires chunk ≤ 64 / −ln(1−η).
+        chunk = max(1, int(-64.0 / np.log(decay)))
+        for start in range(0, k_total, chunk):
+            block = measurements[start : start + chunk]
+            k = block.shape[0]
+            # Exponents j = 1..k; growth[j−1] = (1−η)^{−j}.
+            growth = decay ** -np.arange(1.0, k + 1.0)
+            # μ_j for every j via a rescaled cumulative sum.
+            weighted = np.cumsum(block * growth[:, None], axis=0)
+            means = (self._mean + eta * weighted) / growth[:, None]
+            deviations = block - means
+            fold_weights = eta * decay ** np.arange(k - 1.0, -1.0, -1.0)
+            self._cov = decay**k * self._cov + (
+                deviations.T * fold_weights
+            ) @ deviations
+            self._mean = means[-1]
+            self._arrivals += k
+            self._since_refresh += k
+
+        if refresh:
+            self._refresh()
+        elif self._since_refresh >= self.refresh_interval:
+            self._refresh()
+        return spe, flags
 
     def drift_from(self, reference_basis: np.ndarray) -> float:
         """Largest principal angle (radians) to a reference normal basis."""

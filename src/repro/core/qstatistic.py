@@ -30,7 +30,12 @@ from scipy import stats
 
 from repro.exceptions import ModelError
 
-__all__ = ["q_threshold", "box_approx_threshold", "residual_phis"]
+__all__ = [
+    "q_threshold",
+    "q_thresholds",
+    "box_approx_threshold",
+    "residual_phis",
+]
 
 
 def residual_phis(residual_eigenvalues: np.ndarray) -> tuple[float, float, float]:
@@ -95,6 +100,65 @@ def q_threshold(
     if not np.isfinite(threshold) or threshold < 0:
         return box_approx_threshold(lam, confidence)
     return float(threshold)
+
+
+def q_thresholds(
+    residual_eigenvalues: np.ndarray,
+    confidences: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`q_threshold` over an array of confidence levels.
+
+    The eigenvalue power sums ``φ₁, φ₂, φ₃`` and the exponent ``h₀``
+    depend only on the spectrum, so a sweep over confidence levels (the
+    expensive part of a threshold-sensitivity scenario grid) reduces to
+    one normal-quantile evaluation per level plus elementwise algebra.
+
+    Parameters
+    ----------
+    residual_eigenvalues:
+        Sample-covariance eigenvalues of the anomalous subspace, as for
+        :func:`q_threshold`.
+    confidences:
+        Array of ``1 − α`` levels, each in ``(0, 1)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``δ²_α`` per confidence level, identical elementwise to calling
+        :func:`q_threshold` in a loop (including the Box fallback for
+        levels where the JM bracket leaves its domain).
+    """
+    conf = np.asarray(confidences, dtype=np.float64)
+    if conf.ndim != 1:
+        raise ModelError(f"confidences must form a vector, got shape {conf.shape}")
+    if conf.size and not np.all((conf > 0.0) & (conf < 1.0)):
+        raise ModelError("every confidence must lie in (0, 1)")
+    lam = _check_eigenvalues(residual_eigenvalues)
+    if lam.size == 0 or conf.size == 0:
+        return np.zeros(conf.shape)
+    phi1, phi2, phi3 = residual_phis(lam)
+    if phi1 == 0.0 or phi2 == 0.0 or phi3 == 0.0:
+        return np.zeros(conf.shape)
+
+    g = phi2 / phi1
+    h = phi1**2 / phi2
+    box = g * stats.chi2.ppf(conf, df=h)
+
+    h0 = 1.0 - (2.0 * phi1 * phi3) / (3.0 * phi2**2)
+    if h0 <= 0.0:
+        return box
+    c_alpha = stats.norm.ppf(conf)
+    bracket = (
+        c_alpha * np.sqrt(2.0 * phi2 * h0**2) / phi1
+        + 1.0
+        + phi2 * h0 * (h0 - 1.0) / phi1**2
+    )
+    valid = bracket > 0.0
+    jm = np.full(conf.shape, np.nan)
+    with np.errstate(invalid="ignore", over="ignore"):
+        jm[valid] = phi1 * bracket[valid] ** (1.0 / h0)
+    use_jm = valid & np.isfinite(jm) & (jm >= 0.0)
+    return np.where(use_jm, jm, box)
 
 
 def box_approx_threshold(

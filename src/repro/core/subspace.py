@@ -82,24 +82,23 @@ def separate_axes(
             f"{max_normal_rank} <= {m} violated"
         )
 
+    # Vectorized over all m axes at once: normalize every projection
+    # column, then measure each column's worst deviation in units of its
+    # own standard deviation.  Zero-variance axes (projection identically
+    # zero) and zero-spread axes can never trip the rule and score 0.
     scores = pca.transform(measurements)
-    deviations = np.zeros(m)
-    first_anomalous: int | None = None
     captured = pca.captured_variance()
-    for i in range(m):
-        if captured[i] == 0:
-            # Zero-variance axis: its projection is identically zero; it
-            # can never trip the rule.
-            deviations[i] = 0.0
-            continue
-        u = scores[:, i] / np.linalg.norm(scores[:, i])
-        std = u.std()
-        if std == 0:
-            deviations[i] = 0.0
-            continue
-        deviations[i] = float(np.max(np.abs(u - u.mean())) / std)
-        if first_anomalous is None and deviations[i] >= threshold_sigma:
-            first_anomalous = i
+    norms = np.linalg.norm(scores, axis=0)
+    live = (captured > 0) & (norms > 0)
+    safe_norms = np.where(live, norms, 1.0)
+    u = scores / safe_norms
+    stds = u.std(axis=0)
+    live &= stds > 0
+    peaks = np.max(np.abs(u - u.mean(axis=0)), axis=0)
+    deviations = np.where(live, peaks / np.where(stds > 0, stds, 1.0), 0.0)
+
+    tripped = np.nonzero(deviations >= threshold_sigma)[0]
+    first_anomalous: int | None = int(tripped[0]) if tripped.size else None
 
     rank = m if first_anomalous is None else first_anomalous
     rank = int(np.clip(rank, min_normal_rank, max_normal_rank))

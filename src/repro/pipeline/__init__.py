@@ -1,0 +1,32 @@
+"""The streaming/batch detection pipeline (the library's front door).
+
+Wires the paper's stages — link measurements → traffic matrix → PCA
+subspace separation → Q-statistic detection → identification and
+quantification — into three composable entry points:
+
+* :class:`~repro.pipeline.pipeline.DetectionPipeline` — ``fit`` /
+  ``detect`` / ``stream`` over one network's measurements, fully
+  vectorized;
+* :class:`~repro.pipeline.batch.BatchRunner` — scenario grids
+  (datasets × injection sizes × confidence levels) sharing fitted
+  models and thresholds computed in one vectorized pass;
+* :class:`~repro.pipeline.streaming.StreamingDetector` — windowed
+  online detection backed by the incremental subspace tracker, never
+  refitting from scratch.
+
+See ``docs/pipeline.md`` for the guide.
+"""
+
+from repro.pipeline.batch import BatchReport, BatchRunner, ScenarioResult
+from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
+from repro.pipeline.streaming import StreamingDetector, StreamWindow
+
+__all__ = [
+    "DetectionPipeline",
+    "PipelineResult",
+    "BatchRunner",
+    "BatchReport",
+    "ScenarioResult",
+    "StreamingDetector",
+    "StreamWindow",
+]

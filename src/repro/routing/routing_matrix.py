@@ -129,6 +129,16 @@ class RoutingMatrix:
         sums = self._matrix.sum(axis=0)
         return self._matrix / sums
 
+    def quantification_ratios(self) -> np.ndarray:
+        """``‖A_i‖ / ΣA_i`` per flow: converts magnitudes ``f̂`` to bytes.
+
+        The vectorized closed form of §5.3 quantification (see
+        :func:`~repro.core.quantification.quantify_from_magnitude`);
+        one shared definition for the batch, streaming, and injection
+        drivers.
+        """
+        return np.linalg.norm(self._matrix, axis=0) / self._matrix.sum(axis=0)
+
     def anomaly_direction(self, flow_index: int) -> np.ndarray:
         """``θ_i`` for a single flow (unit-norm link signature)."""
         if not 0 <= flow_index < self.num_flows:

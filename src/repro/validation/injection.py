@@ -24,7 +24,7 @@ The PCA model is fitted once on the unmodified week (DESIGN.md §5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -58,6 +58,10 @@ class InjectionResult:
         conditional metric.)
     estimated_bytes:
         Quantification estimate for the *identified* flow.
+    spe_after:
+        The post-injection ``SPE′(t, i)`` grid the detections came from;
+        kept so threshold sweeps (e.g. the pipeline ``BatchRunner``) can
+        re-threshold without recomputing it.
     """
 
     size_bytes: float
@@ -66,6 +70,7 @@ class InjectionResult:
     detected: np.ndarray
     identified: np.ndarray
     estimated_bytes: np.ndarray
+    spe_after: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +119,11 @@ class InjectionStudy:
         Q-statistic confidence level (paper: 0.999).
     normal_rank:
         Optional explicit subspace rank (ablations).
+    detector:
+        An already-fitted :class:`~repro.core.detection.SPEDetector` to
+        reuse instead of fitting a fresh one (``confidence`` and
+        ``normal_rank`` are then ignored).  Lets scenario drivers share
+        one model between their baseline and injection passes.
     """
 
     def __init__(
@@ -121,11 +131,14 @@ class InjectionStudy:
         dataset: Dataset,
         confidence: float = 0.999,
         normal_rank: int | None = None,
+        detector: SPEDetector | None = None,
     ) -> None:
         self.dataset = dataset
-        self.detector = SPEDetector(
-            confidence=confidence, normal_rank=normal_rank
-        ).fit(dataset.link_traffic)
+        if detector is None:
+            detector = SPEDetector(
+                confidence=confidence, normal_rank=normal_rank
+            ).fit(dataset.link_traffic)
+        self.detector = detector
         model = self.detector.model
         routing = dataset.routing
 
@@ -137,7 +150,7 @@ class InjectionStudy:
             "ij,ij->j", c_tilde @ self._theta, c_tilde @ self._theta
         )  # d_j = ‖C̃ θ_j‖²
         self._m_mat = self._theta.T @ self._b_mat  # M = Θᵀ C̃ A  (n, n)
-        self._quant_ratio = np.linalg.norm(self._a, axis=0) / self._a.sum(axis=0)
+        self._quant_ratio = routing.quantification_ratios()
         self._residuals = model.residual(dataset.link_traffic)  # (t, m)
         self._spe = np.einsum("ij,ij->i", self._residuals, self._residuals)
 
@@ -146,6 +159,22 @@ class InjectionStudy:
     def threshold(self) -> float:
         """The fitted SPE limit."""
         return self.detector.threshold
+
+    def spe_after(
+        self, size_bytes: float, time_bins: np.ndarray, flow_indices: np.ndarray
+    ) -> np.ndarray:
+        """``SPE′(t, i)`` after injecting ``size_bytes`` into each cell.
+
+        The closed form of the module docstring, vectorized over the
+        whole ``times × flows`` grid.  Exposed so threshold sweeps (e.g.
+        the pipeline :class:`~repro.pipeline.batch.BatchRunner`) can
+        compare one grid against many limits without re-deriving it.
+        """
+        b = float(size_bytes)
+        b_sel = self._b_mat[:, flow_indices]  # (m, n_sel)
+        cross = self._residuals[time_bins] @ b_sel  # (T, n_sel)
+        energy = np.einsum("ij,ij->j", b_sel, b_sel)  # (n_sel,)
+        return self._spe[time_bins, None] + 2.0 * b * cross + b * b * energy
 
     def run(
         self,
@@ -196,11 +225,8 @@ class InjectionStudy:
         n_sel = flow_indices.size
 
         # Detection: SPE'(t, i) for the selected flows.
-        b_sel = self._b_mat[:, flow_indices]  # (m, n_sel)
-        cross = self._residuals[time_bins] @ b_sel  # (T, n_sel)
-        energy = np.einsum("ij,ij->j", b_sel, b_sel)  # (n_sel,)
-        spe_after = self._spe[time_bins, None] + 2.0 * b * cross + b * b * energy
-        detected = spe_after > threshold
+        spe_grid = self.spe_after(b, time_bins, flow_indices)
+        detected = spe_grid > threshold
 
         # Identification + quantification, chunked over time.
         d = self._theta_tilde_energy  # (n,)
@@ -231,6 +257,7 @@ class InjectionStudy:
             detected=detected,
             identified=identified,
             estimated_bytes=estimated,
+            spe_after=spe_grid,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,143 @@
+"""Regression: batched hot paths match their per-timestep references.
+
+The pipeline rides on vectorized versions of the Q-statistic, the axis
+separation, and identification; each must agree with the scalar
+implementation it replaced, element for element.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PCA,
+    SPEDetector,
+    identify_block,
+    identify_single_flow,
+    q_threshold,
+    q_thresholds,
+)
+from repro.core.subspace import separate_axes
+from repro.exceptions import ModelError
+
+
+@pytest.fixture(scope="module")
+def fitted_world(small_dataset):
+    detector = SPEDetector(confidence=0.999).fit(small_dataset.link_traffic)
+    directions = small_dataset.routing.normalized_columns()
+    return small_dataset, detector, directions
+
+
+class TestQThresholdsBatch:
+    CONFIDENCES = np.array([0.5, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9999])
+
+    def test_matches_scalar_loop_exactly(self, fitted_world):
+        _, detector, _ = fitted_world
+        lam = detector.model.residual_eigenvalues()
+        batched = q_thresholds(lam, self.CONFIDENCES)
+        looped = np.array([q_threshold(lam, c) for c in self.CONFIDENCES])
+        assert np.array_equal(batched, looped)
+
+    def test_matches_scalar_on_box_fallback_spectrum(self):
+        # One dominant residual eigenvalue pushes h0 <= 0: the JM form
+        # leaves its domain and both paths must take Box's chi-square.
+        lam = np.array([10.0, 1e-4, 1e-5])
+        batched = q_thresholds(lam, self.CONFIDENCES)
+        looped = np.array([q_threshold(lam, c) for c in self.CONFIDENCES])
+        assert np.array_equal(batched, looped)
+
+    def test_empty_residual_subspace_gives_zeros(self):
+        assert np.array_equal(
+            q_thresholds(np.array([]), self.CONFIDENCES),
+            np.zeros(self.CONFIDENCES.size),
+        )
+
+    def test_rejects_bad_confidences(self):
+        with pytest.raises(ModelError):
+            q_thresholds(np.array([1.0, 0.5]), np.array([0.9, 1.0]))
+        with pytest.raises(ModelError):
+            q_thresholds(np.array([1.0]), np.array([[0.9]]))
+
+    def test_thresholds_increase_with_confidence(self, fitted_world):
+        _, detector, _ = fitted_world
+        lam = detector.model.residual_eigenvalues()
+        batched = q_thresholds(lam, self.CONFIDENCES)
+        assert np.all(np.diff(batched) > 0)
+
+
+class TestIdentifyBlockRegression:
+    def test_every_row_matches_scalar_identification(self, fitted_world):
+        dataset, detector, directions = fitted_world
+        block = identify_block(
+            detector.model, directions, dataset.link_traffic
+        )
+        assert len(block) == dataset.num_bins
+        for time_bin in range(0, dataset.num_bins, 17):
+            single = identify_single_flow(
+                detector.model, directions, dataset.link_traffic[time_bin]
+            )
+            assert block.flow_indices[time_bin] == single.flow_index
+            assert block.magnitudes[time_bin] == pytest.approx(
+                single.magnitude, rel=1e-9
+            )
+            assert block.residual_spe[time_bin] == pytest.approx(
+                single.residual_spe, rel=1e-6, abs=1e-3
+            )
+            assert np.allclose(
+                block.scores[time_bin], single.scores, rtol=1e-9, atol=1e-6
+            )
+
+    def test_single_vector_promotes_to_one_row(self, fitted_world):
+        dataset, detector, directions = fitted_world
+        block = identify_block(
+            detector.model, directions, dataset.link_traffic[5]
+        )
+        assert len(block) == 1
+
+    def test_shape_mismatch_rejected(self, fitted_world):
+        _, detector, directions = fitted_world
+        with pytest.raises(ModelError):
+            identify_block(detector.model, directions, np.zeros((4, 3)))
+
+    def test_invisible_candidates_rejected(self, fitted_world):
+        dataset, detector, _ = fitted_world
+        # A candidate lying entirely inside the normal subspace has no
+        # residual signature; with only such candidates the block call
+        # must refuse, like the scalar path.
+        basis = detector.model.normal_basis
+        inside = basis[:, :1] / np.linalg.norm(basis[:, :1])
+        with pytest.raises(ModelError):
+            identify_block(detector.model, inside, dataset.link_traffic[:4])
+
+
+class TestSeparationVectorized:
+    def test_matches_naive_reference(self, fitted_world):
+        dataset, _, _ = fitted_world
+        pca = PCA().fit(dataset.link_traffic)
+        result = separate_axes(pca, dataset.link_traffic)
+
+        # Naive per-axis reference (the pre-vectorization algorithm).
+        scores = pca.transform(dataset.link_traffic)
+        captured = pca.captured_variance()
+        expected = np.zeros(pca.num_components)
+        first = None
+        for i in range(pca.num_components):
+            if captured[i] == 0:
+                continue
+            u = scores[:, i] / np.linalg.norm(scores[:, i])
+            std = u.std()
+            if std == 0:
+                continue
+            expected[i] = np.max(np.abs(u - u.mean())) / std
+            if first is None and expected[i] >= 3.0:
+                first = i
+
+        assert np.allclose(result.max_deviations, expected, rtol=1e-12)
+        assert result.first_anomalous_axis == first
+
+    def test_zero_variance_axes_never_trip(self, rng):
+        # Rank-deficient data: trailing axes capture nothing.
+        base = rng.normal(size=(60, 2))
+        data = np.hstack([base, base @ rng.normal(size=(2, 3))])
+        pca = PCA().fit(data)
+        result = separate_axes(pca, data, min_normal_rank=0)
+        assert np.all(result.max_deviations[pca.captured_variance() == 0] == 0)

@@ -1,0 +1,104 @@
+"""BatchRunner: scenario grids share models yet match per-module runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import SPEDetector
+from repro.exceptions import ValidationError
+from repro.pipeline import BatchRunner
+from repro.validation import InjectionStudy
+
+
+CONFIDENCES = (0.995, 0.999)
+
+
+@pytest.fixture(scope="module")
+def report(small_dataset):
+    runner = BatchRunner(
+        [small_dataset],
+        confidences=CONFIDENCES,
+        injection_sizes=(4e7,),
+        injection_bins=24,
+    )
+    return runner.run()
+
+
+class TestBaselineParity:
+    """Identical detections to fitting SPEDetector per confidence."""
+
+    @pytest.mark.parametrize("confidence", CONFIDENCES)
+    def test_flags_and_threshold_match(self, small_dataset, report, confidence):
+        detector = SPEDetector(confidence=confidence).fit(
+            small_dataset.link_traffic
+        )
+        expected = detector.detect(small_dataset.link_traffic)
+        baseline = report.baseline(small_dataset.name, confidence)
+        assert baseline.threshold == expected.threshold
+        assert np.array_equal(baseline.flags, expected.flags)
+        assert baseline.num_alarms == expected.num_alarms
+
+    def test_unknown_baseline_raises(self, report):
+        with pytest.raises(ValidationError):
+            report.baseline("no-such-world", 0.999)
+
+
+class TestInjectionScenarios:
+    def test_matches_injection_study_at_fitted_confidence(
+        self, small_dataset, report
+    ):
+        study = InjectionStudy(small_dataset, confidence=CONFIDENCES[0])
+        expected = study.run(4e7, time_bins=np.arange(24))
+        scenario = next(
+            s
+            for s in report
+            if s.injection_size == 4e7 and s.confidence == CONFIDENCES[0]
+        )
+        assert scenario.detection_rate == pytest.approx(
+            expected.detection_rate, abs=1e-12
+        )
+        assert scenario.identification_rate == pytest.approx(
+            expected.identification_rate, abs=1e-12
+        )
+
+    def test_higher_confidence_never_detects_more(self, report):
+        rates = {
+            s.confidence: s.detection_rate
+            for s in report
+            if s.injection_size is not None
+        }
+        assert rates[0.999] <= rates[0.995]
+
+    def test_grid_is_complete(self, small_dataset, report):
+        # one baseline + one injection scenario per confidence level
+        assert len(report) == 2 * len(CONFIDENCES)
+        names = {s.dataset for s in report}
+        assert names == {small_dataset.name}
+
+
+class TestReportRendering:
+    def test_table_lists_every_scenario(self, small_dataset, report):
+        table = report.table()
+        assert small_dataset.name in table
+        assert "0.9990" in table and "0.9950" in table
+        assert "4.00e+07" in table
+        # header + rule + one line per scenario
+        assert len(table.splitlines()) == 2 + len(report)
+
+
+class TestValidation:
+    def test_rejects_empty_inputs(self, small_dataset):
+        with pytest.raises(ValidationError):
+            BatchRunner([], confidences=(0.999,))
+        with pytest.raises(ValidationError):
+            BatchRunner([small_dataset], confidences=())
+
+    def test_rejects_bad_confidence_and_size(self, small_dataset):
+        with pytest.raises(ValidationError):
+            BatchRunner([small_dataset], confidences=(1.5,))
+        with pytest.raises(ValidationError):
+            BatchRunner([small_dataset], injection_sizes=(0.0,))
+
+    def test_pipeline_cache_reused(self, small_dataset):
+        runner = BatchRunner([small_dataset])
+        first = runner.pipeline_for(small_dataset)
+        assert runner.pipeline_for(small_dataset) is first

@@ -1,0 +1,123 @@
+"""Streaming pipeline: windowed scoring, folds, and live alarms."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalSubspaceTracker
+from repro.exceptions import ModelError
+from repro.pipeline import DetectionPipeline, StreamingDetector
+
+
+@pytest.fixture(scope="module")
+def fitted(small_dataset):
+    warmup = 144
+    pipeline = DetectionPipeline(confidence=0.999).fit(
+        small_dataset.link_traffic[:warmup], routing=small_dataset.routing
+    )
+    return small_dataset, warmup, pipeline
+
+
+class TestStreamWindows:
+    def test_windows_cover_every_bin_once(self, fitted):
+        dataset, warmup, pipeline = fitted
+        stream = dataset.link_traffic[warmup:]
+        windows = list(pipeline.stream(stream, window_bins=40))
+        sizes = [w.flags.size for w in windows]
+        assert sum(sizes) == stream.shape[0]
+        starts = [w.start_index for w in windows]
+        assert starts == list(np.cumsum([0] + sizes[:-1]))
+
+    def test_live_injection_is_caught_and_identified(self, fitted):
+        dataset, warmup, pipeline = fitted
+        stream = dataset.link_traffic[warmup:].copy()
+        flow = dataset.routing.od_index("lon", "zur")
+        stream[30] += 2.0e8 * dataset.routing.column(flow)
+        alarm_bins, alarm_flows = [], []
+        for window in pipeline.stream(stream, window_bins=24):
+            alarm_bins.extend(int(i) for i in window.anomalous_bins)
+            alarm_flows.extend(int(i) for i in window.flow_indices)
+        assert 30 in alarm_bins
+        assert alarm_flows[alarm_bins.index(30)] == flow
+
+    def test_model_follows_drift_across_windows(self, fitted):
+        dataset, warmup, pipeline = fitted
+        detector = pipeline.streaming(forgetting=1.0 / 72.0)
+        before = detector.tracker.normal_basis
+        for _ in detector.stream(dataset.link_traffic[warmup:], window_bins=36):
+            pass
+        assert detector.arrivals == dataset.num_bins - warmup
+        # The exponentially weighted model must actually have moved.
+        assert not np.allclose(before, detector.tracker.normal_basis)
+
+    def test_detection_only_without_routing(self, fitted):
+        dataset, warmup, _ = fitted
+        detector = StreamingDetector.from_history(
+            dataset.link_traffic[:warmup], normal_rank=3
+        )
+        window = detector.process_window(dataset.link_traffic[warmup : warmup + 12])
+        assert window.flow_indices.size == 0
+        assert window.od_pairs == ()
+
+    def test_invalid_window_shapes_rejected(self, fitted):
+        dataset, warmup, pipeline = fitted
+        with pytest.raises(ModelError):
+            list(pipeline.stream(dataset.link_traffic[warmup], window_bins=4))
+        with pytest.raises(ModelError):
+            list(pipeline.stream(dataset.link_traffic[warmup:], window_bins=0))
+
+
+class TestBlockUpdateParity:
+    """The vectorized fold must reproduce the per-arrival recursion."""
+
+    def test_update_block_matches_sequential_updates(self, small_dataset):
+        traffic = small_dataset.link_traffic
+        loop = IncrementalSubspaceTracker(
+            normal_rank=4, forgetting=1.0 / 200.0, refresh_interval=10**9
+        ).warm_up(traffic[:100])
+        block = IncrementalSubspaceTracker(
+            normal_rank=4, forgetting=1.0 / 200.0, refresh_interval=10**9
+        ).warm_up(traffic[:100])
+
+        for row in traffic[100:250]:
+            loop.update(row)
+        block.update_block(traffic[100:250], refresh=False)
+
+        assert np.allclose(loop.mean, block.mean, rtol=1e-10)
+        assert np.allclose(loop._cov, block._cov, rtol=1e-8)
+
+    def test_block_scores_match_pre_window_model(self, small_dataset):
+        traffic = small_dataset.link_traffic
+        tracker = IncrementalSubspaceTracker(normal_rank=4).warm_up(traffic[:100])
+        threshold = tracker.threshold  # pre-fold limit; refresh moves it
+        expected = np.array([tracker.spe(row) for row in traffic[100:130]])
+        spe, flags = tracker.update_block(traffic[100:130])
+        assert np.allclose(spe, expected, rtol=1e-12)
+        assert np.array_equal(flags, expected > threshold)
+
+    def test_warm_up_from_moments_matches_warm_up(self, small_dataset):
+        traffic = small_dataset.link_traffic[:200]
+        direct = IncrementalSubspaceTracker(normal_rank=3).warm_up(traffic)
+        mean = traffic.mean(axis=0)
+        centered = traffic - mean
+        cov = (centered.T @ centered) / (traffic.shape[0] - 1)
+        seeded = IncrementalSubspaceTracker(normal_rank=3).warm_up_from_moments(
+            mean, cov
+        )
+        assert np.allclose(direct.threshold, seeded.threshold, rtol=1e-9)
+        assert np.allclose(
+            np.abs(direct.normal_basis.T @ seeded.normal_basis),
+            np.eye(3),
+            atol=1e-7,
+        )
+
+    def test_streaming_seed_equals_batch_model(self, fitted):
+        dataset, warmup, pipeline = fitted
+        detector = pipeline.streaming()
+        batch_spe = np.asarray(
+            pipeline.detector.model.spe(dataset.link_traffic[warmup : warmup + 20])
+        )
+        stream_spe = detector.tracker.spe_block(
+            dataset.link_traffic[warmup : warmup + 20]
+        )
+        assert np.allclose(stream_spe, batch_spe, rtol=1e-6)
+        assert detector.threshold == pytest.approx(pipeline.threshold, rel=1e-9)

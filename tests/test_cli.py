@@ -74,6 +74,43 @@ class TestBuildDiagnoseInject:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPipelineCommand:
+    def test_run_on_saved_dataset(self, tmp_path, capsys, small_dataset):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(["pipeline", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sprint-small" in out
+        assert "threshold" in out
+        assert "confidence" in out
+
+    def test_stream_on_saved_dataset(self, tmp_path, capsys, small_dataset):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(
+            ["pipeline", "stream", str(path), "--warmup-bins", "144",
+             "--window", "36"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warmed up on 144 bins" in out
+        assert "streamed 144 bins in windows of 36" in out
+
+    def test_stream_rejects_bad_warmup(self, tmp_path, capsys, small_dataset):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(
+            ["pipeline", "stream", str(path), "--warmup-bins", "100000"]
+        ) == 2
+        assert "warmup-bins" in capsys.readouterr().err
+
+    def test_mode_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
