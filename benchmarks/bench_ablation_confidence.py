@@ -5,7 +5,6 @@ traces the detection / false-alarm tradeoff, plus the Box-approximation
 alternative to the Jackson-Mudholkar limit.
 """
 
-import numpy as np
 
 from repro.core import SPEDetector
 from repro.core.qstatistic import box_approx_threshold, q_threshold

@@ -1,0 +1,242 @@
+"""Detector comparison grid: vectorized baselines + end-to-end wall clock.
+
+The detector layer's performance contract has two halves:
+
+* **Vectorized hot paths** — the AR forecast collapses its per-column,
+  per-timestep Python loops into whole-array multiply-adds, and the
+  Holt-Winters recursion carries all columns through one batched state
+  update instead of one recursion per column.  Both must be
+  *bit-identical* to the per-column application (the contract suite
+  asserts it; this bench re-checks before timing) and at least **5x**
+  faster on a wide OD-flow-sized block.
+* **The comparison grid** — a ``ComparisonRunner`` pass (detectors ×
+  scenarios over a synthetic world) is timed end to end so the cost of
+  the ``repro compare`` workload stays visible across PRs.
+
+Artifacts: ``results/detector_comparison.txt`` (human-readable) and
+``results/BENCH_detector_comparison.json`` (machine-readable: speedups,
+wall-clock, grid size).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_detector_comparison.py
+CI smoke:        PYTHONPATH=src python benchmarks/bench_detector_comparison.py --smoke
+(the smoke run shrinks every dimension and only checks that the JSON
+artifact is produced).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.autoregressive import ARModel
+from repro.baselines.holt_winters import HoltWintersModel
+
+MIN_SPEEDUP = 5.0
+
+
+def _bench_block(num_bins: int, num_series: int, seed: int = 31337) -> np.ndarray:
+    """A positive, diurnal, noisy (t, k) block shaped like OD flows."""
+    rng = np.random.default_rng(seed)
+    base = 1e7 * (1.5 + np.sin(2.0 * np.pi * np.arange(num_bins) / 144.0))
+    scale = rng.uniform(0.2, 2.0, size=num_series)
+    noise = 1.0 + 0.08 * rng.standard_normal((num_bins, num_series))
+    return np.abs(base[:, None] * scale * noise)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_vectorization(
+    num_bins: int = 1008, num_series: int = 121, repeats: int = 3
+) -> dict[str, float]:
+    """Vectorized vs per-column AR and Holt-Winters on one block."""
+    block = _bench_block(num_bins, num_series)
+    columns = range(num_series)
+
+    ar = ARModel(order=4, differencing=1)
+    hw = HoltWintersModel(season_bins=144)
+
+    def ar_vectorized():
+        return ar.predict(block)
+
+    def ar_per_column():
+        return np.column_stack([ar._predict_column(block[:, j]) for j in columns])
+
+    def hw_batched():
+        return hw.predict(block)
+
+    def hw_per_column():
+        return np.column_stack([hw.predict(block[:, j]) for j in columns])
+
+    # Equal-work (and equal-answer) check before timing anything.
+    if not np.array_equal(ar_vectorized(), ar_per_column()):
+        raise AssertionError("vectorized AR diverged from the column loop")
+    if not np.array_equal(hw_batched(), hw_per_column()):
+        raise AssertionError("batched Holt-Winters diverged from the column loop")
+
+    ar_loop_time = _time(ar_per_column, repeats)
+    ar_vec_time = _time(ar_vectorized, repeats)
+    hw_loop_time = _time(hw_per_column, repeats)
+    hw_batch_time = _time(hw_batched, repeats)
+    return {
+        "num_bins": float(num_bins),
+        "num_series": float(num_series),
+        "ar_loop_seconds": ar_loop_time,
+        "ar_vectorized_seconds": ar_vec_time,
+        "ar_speedup": ar_loop_time / ar_vec_time,
+        "hw_loop_seconds": hw_loop_time,
+        "hw_batched_seconds": hw_batch_time,
+        "hw_speedup": hw_loop_time / hw_batch_time,
+    }
+
+
+def measure_grid(
+    num_bins: int = 432,
+    detectors: tuple[str, ...] = ("subspace", "ewma", "fourier", "ar"),
+    injection_sizes: tuple[float, ...] = (3.0e7, 1.5e7),
+    num_injections: int = 16,
+) -> dict:
+    """One end-to-end ComparisonRunner pass over a synthetic world."""
+    from repro.datasets.synthetic import dataset_from_config
+    from repro.pipeline import ComparisonRunner
+    from repro.traffic.workloads import workload_for
+
+    config = workload_for("sprint-1").with_overrides(
+        name="bench-compare",
+        num_bins=num_bins,
+        num_anomalies=16,
+        traffic_seed=90310,
+        anomaly_seed=90311,
+    )
+    dataset = dataset_from_config(config)
+    report = ComparisonRunner(
+        [dataset],
+        detectors=detectors,
+        injection_sizes=injection_sizes,
+        num_injections=num_injections,
+        workers=1,
+    ).run()
+    return {
+        "num_bins": num_bins,
+        "detectors": list(report.detectors),
+        "scenarios": list(report.scenarios),
+        "num_cells": len(report),
+        "elapsed_seconds": report.elapsed_seconds,
+        "cells_per_second": len(report) / report.elapsed_seconds,
+        "mean_auc": {d: report.mean_auc(d) for d in report.detectors},
+        "winner": report.ranking()[0],
+    }
+
+
+def measure(smoke: bool = False) -> dict:
+    """The full benchmark record (shrunk in smoke mode)."""
+    if smoke:
+        vectorization = measure_vectorization(
+            num_bins=433, num_series=24, repeats=1
+        )
+        grid = measure_grid(
+            num_bins=288,
+            detectors=("subspace", "fourier"),
+            injection_sizes=(3.0e7,),
+            num_injections=6,
+        )
+    else:
+        vectorization = measure_vectorization()
+        grid = measure_grid()
+    return {
+        "benchmark": "detector_comparison",
+        "floor_speedup": MIN_SPEEDUP,
+        "smoke": smoke,
+        "grid": grid,
+        "speedup": {
+            "ar": vectorization["ar_speedup"],
+            "holt_winters": vectorization["hw_speedup"],
+        },
+        "wall_clock_seconds": {
+            "ar_loop": vectorization["ar_loop_seconds"],
+            "ar_vectorized": vectorization["ar_vectorized_seconds"],
+            "hw_loop": vectorization["hw_loop_seconds"],
+            "hw_batched": vectorization["hw_batched_seconds"],
+            "comparison_grid": grid["elapsed_seconds"],
+        },
+        "vectorization_block": {
+            "num_bins": int(vectorization["num_bins"]),
+            "num_series": int(vectorization["num_series"]),
+        },
+    }
+
+
+def render(stats: dict) -> str:
+    block = stats["vectorization_block"]
+    grid = stats["grid"]
+    wall = stats["wall_clock_seconds"]
+    auc = ", ".join(
+        f"{name}={value:.4f}" for name, value in grid["mean_auc"].items()
+    )
+    return "\n".join(
+        [
+            f"vectorization block: {block['num_bins']} bins x "
+            f"{block['num_series']} series",
+            f"AR per-column loop:      {wall['ar_loop']:>8.3f} s",
+            f"AR vectorized:           {wall['ar_vectorized']:>8.3f} s  "
+            f"({stats['speedup']['ar']:.1f}x, floor {MIN_SPEEDUP:.0f}x)",
+            f"HW per-column loop:      {wall['hw_loop']:>8.3f} s",
+            f"HW batched recursion:    {wall['hw_batched']:>8.3f} s  "
+            f"({stats['speedup']['holt_winters']:.1f}x, floor "
+            f"{MIN_SPEEDUP:.0f}x)",
+            f"comparison grid: {grid['num_cells']} cells "
+            f"({' x '.join(grid['detectors'])} over "
+            f"{len(grid['scenarios'])} scenarios, {grid['num_bins']} bins) "
+            f"in {grid['elapsed_seconds']:.2f} s "
+            f"({grid['cells_per_second']:.1f} cells/s)",
+            f"grid winner by mean AUC: {grid['winner']} ({auc})",
+        ]
+    )
+
+
+def test_detector_comparison(results_dir):
+    from conftest import write_json_result, write_result
+
+    stats = measure()
+    write_result(results_dir, "detector_comparison", render(stats))
+    write_json_result(results_dir, "detector_comparison", stats)
+    assert stats["speedup"]["ar"] >= MIN_SPEEDUP
+    assert stats["speedup"]["holt_winters"] >= MIN_SPEEDUP
+    # The subspace method must win its own comparison grid.
+    assert stats["grid"]["winner"] == "subspace"
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import RESULTS_DIR, write_json_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny dimensions; checks artifact production, not the floors",
+    )
+    arguments = parser.parse_args()
+    results = measure(smoke=arguments.smoke)
+    print(render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_json_result(RESULTS_DIR, "detector_comparison", results)
+    if not path.exists():
+        raise SystemExit("FAIL: JSON artifact missing")
+    if not arguments.smoke:
+        for name, speedup in results["speedup"].items():
+            if speedup < MIN_SPEEDUP:
+                raise SystemExit(
+                    f"FAIL: {name} speedup {speedup:.1f}x below "
+                    f"{MIN_SPEEDUP:.0f}x"
+                )
+    print("OK")

@@ -33,7 +33,7 @@ def test_ext_incremental_tracking(benchmark, sprint1, results_dir):
     )
     lines = [
         f"one streamed day (144 arrivals, refresh every 36): {alarms} alarms",
-        f"half-week vs half-week principal angles (deg): "
+        "half-week vs half-week principal angles (deg): "
         + ", ".join(f"{a:.1f}" for a in angles),
         f"tracker drift after one day vs warm-up basis: {drift:.1f} deg",
     ]

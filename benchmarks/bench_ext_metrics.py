@@ -13,7 +13,7 @@ shows the metric choice decides visibility:
 import numpy as np
 
 from repro.core import SPEDetector
-from repro.traffic import inject_small_packet_flood, packet_count_links
+from repro.traffic import inject_small_packet_flood
 
 from conftest import write_result
 

@@ -7,7 +7,6 @@ plus the Q-statistic's chosen operating point on that curve.
 
 import numpy as np
 
-from repro.core import SPEDetector
 from repro.validation import fig10_series, operating_point, roc_curve
 
 from conftest import write_result

@@ -5,7 +5,6 @@ paper's claim: despite 40+ links, the vast majority of the variance is
 captured by 3-4 principal components.
 """
 
-import numpy as np
 
 from repro.core import PCA
 

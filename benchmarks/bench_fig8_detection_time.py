@@ -5,7 +5,6 @@ anomaly is injected — the method is not thrown off by the diurnal
 nonstationarity of traffic.
 """
 
-import numpy as np
 
 from repro.validation import InjectionStudy
 

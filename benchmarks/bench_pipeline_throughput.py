@@ -25,8 +25,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.core.identification import identify_single_flow
 from repro.core.quantification import quantify
 from repro.pipeline import DetectionPipeline
@@ -112,8 +110,35 @@ def measure_throughput(dataset=None) -> dict[str, float]:
         "pipeline_tps": num_bins / batch_time,
         "stream_tps": num_bins / stream_time,
         "arrival_tps": num_bins / arrival_time,
+        "naive_seconds": naive_time,
+        "pipeline_seconds": batch_time,
+        "stream_seconds": stream_time,
+        "arrival_seconds": arrival_time,
         "speedup": naive_time / batch_time,
         "stream_speedup": arrival_time / stream_time,
+    }
+
+
+def json_payload(stats: dict[str, float]) -> dict:
+    """The machine-readable ``BENCH_pipeline_throughput.json`` record."""
+    return {
+        "benchmark": "pipeline_throughput",
+        "floor_speedup": MIN_SPEEDUP,
+        "grid": {"num_bins": int(stats["num_bins"])},
+        "speedup": stats["speedup"],
+        "stream_speedup": stats["stream_speedup"],
+        "throughput_timesteps_per_second": {
+            "naive_loop": stats["naive_tps"],
+            "pipeline_batch": stats["pipeline_tps"],
+            "stream_windowed": stats["stream_tps"],
+            "stream_per_arrival": stats["arrival_tps"],
+        },
+        "wall_clock_seconds": {
+            "naive_loop": stats["naive_seconds"],
+            "pipeline_batch": stats["pipeline_seconds"],
+            "stream_windowed": stats["stream_seconds"],
+            "stream_per_arrival": stats["arrival_seconds"],
+        },
     }
 
 
@@ -134,18 +159,23 @@ def render(stats: dict[str, float]) -> str:
 
 
 def test_pipeline_throughput(results_dir):
-    from conftest import write_result
+    from conftest import write_json_result, write_result
 
     stats = measure_throughput()
     write_result(results_dir, "pipeline_throughput", render(stats))
+    write_json_result(results_dir, "pipeline_throughput", json_payload(stats))
     assert stats["speedup"] >= MIN_SPEEDUP
     # The windowed fold must beat folding the same arrivals one by one.
     assert stats["stream_speedup"] > 1.0
 
 
 if __name__ == "__main__":
+    from conftest import RESULTS_DIR, write_json_result
+
     results = measure_throughput()
     print(render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json_result(RESULTS_DIR, "pipeline_throughput", json_payload(results))
     if results["speedup"] < MIN_SPEEDUP:
         raise SystemExit(
             f"FAIL: speedup {results['speedup']:.1f}x below {MIN_SPEEDUP:.0f}x"

@@ -8,6 +8,7 @@ the run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -48,3 +49,16 @@ def write_result(results_dir: Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
+
+
+def write_json_result(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist a machine-readable ``BENCH_<name>.json`` artifact.
+
+    Performance benchmarks emit these so speedups, wall-clock times and
+    grid sizes stay diffable across PRs (the txt artifacts are for
+    humans).
+    """
+    path = Path(results_dir) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[{name}] wrote {path}")
+    return path

@@ -20,6 +20,7 @@ See ``examples/quickstart.py`` for a narrated walk-through and DESIGN.md
 for the experiment index.
 """
 
+from repro import detectors
 from repro.core import (
     PCA,
     AnomalyDiagnoser,
@@ -39,6 +40,8 @@ from repro.datasets import Dataset, build_dataset, load_dataset, save_dataset
 from repro.exceptions import ReproError
 from repro.pipeline import (
     BatchRunner,
+    ComparisonReport,
+    ComparisonRunner,
     DetectionPipeline,
     PipelineResult,
     StreamingDetector,
@@ -69,7 +72,11 @@ __all__ = [
     "DetectionPipeline",
     "PipelineResult",
     "BatchRunner",
+    "ComparisonRunner",
+    "ComparisonReport",
     "StreamingDetector",
+    # detectors
+    "detectors",
     # data layer
     "Dataset",
     "build_dataset",

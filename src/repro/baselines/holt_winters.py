@@ -22,6 +22,21 @@ from repro.exceptions import ModelError
 __all__ = ["HoltWintersModel"]
 
 
+def _sequential_mean(block: np.ndarray) -> np.ndarray:
+    """Column means via strictly sequential row accumulation.
+
+    ``block.mean(axis=0)`` changes its floating-point grouping with the
+    column count, so a wide matrix and a single extracted column round
+    differently in the last bit.  Summing row by row gives the same
+    result for every column layout, which is what keeps the batched
+    Holt-Winters recursion bit-identical to its per-column application.
+    """
+    total = np.zeros(block.shape[1], dtype=np.float64)
+    for row in block:
+        total += row
+    return total / block.shape[0]
+
+
 class HoltWintersModel(TimeseriesModel):
     """Additive Holt-Winters forecaster.
 
@@ -64,9 +79,13 @@ class HoltWintersModel(TimeseriesModel):
 
         # Classical initialization: first-season mean as level, mean
         # first-to-second-season increment as trend, first-season
-        # deviations as the seasonal profile.
-        level = matrix[:s].mean(axis=0)
-        trend = (matrix[s : 2 * s].mean(axis=0) - matrix[:s].mean(axis=0)) / s
+        # deviations as the seasonal profile.  The means accumulate rows
+        # sequentially so the recursion is bit-identical whether columns
+        # are processed together or one at a time (numpy's pairwise mean
+        # groups differently per shape); the contract suite relies on it.
+        first_mean = _sequential_mean(matrix[:s])
+        level = first_mean
+        trend = (_sequential_mean(matrix[s : 2 * s]) - first_mean) / s
         season = matrix[:s] - level  # (s, k)
 
         forecasts = np.empty_like(matrix)

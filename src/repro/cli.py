@@ -11,6 +11,7 @@ topology  render a backbone topology (paper Fig. 2)
 build     build a preset dataset and save it as ``.npz``
 diagnose  run detect -> identify -> quantify over a saved dataset
 pipeline  run the vectorized DetectionPipeline (batch or streaming)
+compare   rank detectors by AUC over an injection grid (Fig. 10++)
 inject    run a §6.3 injection sweep on a saved or preset dataset
 table2    regenerate the paper's Table 2
 table3    regenerate the paper's Table 3
@@ -106,6 +107,53 @@ def build_parser() -> argparse.ArgumentParser:
     pipe_stream.add_argument(
         "--forgetting", type=float, default=1.0 / 1008.0,
         help="exponential forgetting factor (default 1/1008, one week)",
+    )
+
+    compare = commands.add_parser(
+        "compare",
+        help="compare detectors on an injection grid (paper Fig. 10, "
+        "generalized)",
+    )
+    compare.add_argument(
+        "datasets", nargs="*", default=["sprint-1"],
+        help="preset names or saved .npz paths (default: sprint-1)",
+    )
+    compare.add_argument(
+        "--detectors", default="subspace,ewma,fourier",
+        help="comma-separated registry names "
+        "(default: subspace,ewma,fourier)",
+    )
+    compare.add_argument(
+        "--sizes", default=None,
+        help="comma-separated injection sizes in bytes (default: the "
+        "paper's Table-3 sizes for preset datasets)",
+    )
+    compare.add_argument(
+        "--injections", type=int, default=24,
+        help="spikes per injection scenario (default 24)",
+    )
+    compare.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="confidence level for each detector's own threshold "
+        "(default 0.999)",
+    )
+    compare.add_argument(
+        "--min-event-bytes", type=float, default=0.0,
+        help="ground-truth ledger cutoff for the baseline truth set "
+        "(default 0 = every event)",
+    )
+    compare.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per grid cell, capped at "
+        "the CPU count)",
+    )
+    compare.add_argument(
+        "--seed", type=int, default=20040830,
+        help="base seed for deterministic injection placement",
+    )
+    compare.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the full report as JSON to this path",
     )
 
     inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
@@ -245,6 +293,70 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_compare(args) -> int:
+    import json
+
+    from repro.pipeline import ComparisonRunner
+    from repro.validation.experiments import PAPER_INJECTION_SIZES
+
+    datasets = [_load_dataset(name) for name in args.datasets]
+    detectors = [name for name in args.detectors.split(",") if name.strip()]
+    if args.sizes is not None:
+        try:
+            sizes = [
+                float(size) for size in args.sizes.split(",") if size.strip()
+            ]
+        except ValueError:
+            print(
+                f"error: --sizes must be comma-separated numbers, got "
+                f"{args.sizes!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        sizes = sorted(
+            {
+                size
+                for dataset in datasets
+                if dataset.name in PAPER_INJECTION_SIZES
+                for size in PAPER_INJECTION_SIZES[dataset.name]
+            },
+            reverse=True,
+        )
+        if not sizes:
+            print(
+                "error: no paper injection sizes known for "
+                f"{[d.name for d in datasets]}; pass --sizes explicitly",
+                file=sys.stderr,
+            )
+            return 2
+    report = ComparisonRunner(
+        datasets,
+        detectors=detectors,
+        injection_sizes=sizes,
+        num_injections=args.injections,
+        confidence=args.confidence,
+        min_event_bytes=args.min_event_bytes,
+        workers=args.workers,
+        seed=args.seed,
+    ).run()
+    print(report.table())
+    print()
+    print(report.operating_table())
+    ranking = report.ranking()
+    print()
+    print(
+        f"winner: {ranking[0]} "
+        f"(mean AUC {report.mean_auc(ranking[0]):.4f}) over "
+        f"{len(report)} cells in {report.elapsed_seconds:.1f}s"
+    )
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"wrote JSON report to {args.json_path}")
+    return 0
+
+
 def _cmd_inject(args) -> int:
     import numpy as np
 
@@ -298,6 +410,7 @@ _HANDLERS = {
     "build": _cmd_build,
     "diagnose": _cmd_diagnose,
     "pipeline": _cmd_pipeline,
+    "compare": _cmd_compare,
     "inject": _cmd_inject,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

@@ -163,7 +163,7 @@ class AnomalyDiagnoser:
         order.  Identification is only attempted on detected timesteps,
         matching the paper's evaluation protocol (§6.2).
         """
-        routing = self._require_fitted()
+        self._require_fitted()
         measurements = np.asarray(measurements, dtype=np.float64)
         if measurements.ndim == 1:
             measurements = measurements[None, :]

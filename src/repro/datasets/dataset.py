@@ -10,7 +10,7 @@ via the routing matrix (§3, following [31]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

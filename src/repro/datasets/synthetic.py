@@ -9,7 +9,6 @@ ground-truth anomalies, and the link measurement matrix.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError

@@ -1,0 +1,42 @@
+"""Unified detector layer.
+
+One protocol — ``fit(X)``, ``score(X) → per-timestep residual energy``,
+``detect(X, confidence) → alarms`` — covers the paper's subspace method
+and all five temporal baselines, each reachable by name through the
+registry:
+
+>>> from repro import detectors
+>>> det = detectors.get("subspace", confidence=0.999)
+>>> det = detectors.get("ewma")
+
+The layer exists to make the paper's central *comparative* claim (§6.2,
+Fig. 10) a first-class workload: anything that can rank detectors —
+the :class:`~repro.pipeline.compare.ComparisonRunner` grid, the ROC
+harness, the CLI — talks to this interface and never to a concrete
+model class.  See ``docs/detectors.md`` for the guide and the registry
+recipe for adding detectors.
+"""
+
+from repro.detectors.base import Detector, DetectorAlarms, ResidualEnergyDetector
+from repro.detectors.registry import (
+    available,
+    get,
+    get_factory,
+    register,
+    resolve_names,
+)
+from repro.detectors.subspace import SubspaceDetector
+from repro.detectors.temporal import TemporalDetector
+
+__all__ = [
+    "Detector",
+    "DetectorAlarms",
+    "ResidualEnergyDetector",
+    "SubspaceDetector",
+    "TemporalDetector",
+    "available",
+    "get",
+    "get_factory",
+    "register",
+    "resolve_names",
+]

@@ -1,0 +1,195 @@
+"""The unified detector contract.
+
+Every anomaly detector in this library — the paper's subspace method and
+all five temporal baselines — reduces a ``(t, m)`` measurement block to a
+per-timestep **residual energy** series and flags the timesteps whose
+energy clears a confidence-calibrated threshold.  :class:`Detector` pins
+that shape down as a protocol:
+
+``fit(X)``
+    Train on a measurement block; returns the fitted detector.
+``score(X)``
+    Per-timestep residual energy, shape ``(t,)``, finite and
+    non-negative.
+``detect(X, confidence)``
+    Threshold the scores at a confidence level; returns
+    :class:`DetectorAlarms`.  Raising the confidence never adds alarms
+    (monotonicity) — the contract test suite asserts this for every
+    registered detector.
+
+:class:`ResidualEnergyDetector` is the shared base: subclasses supply
+``score`` and a ``threshold_at(confidence)`` rule, and inherit a
+consistent ``detect``.  The subspace adapter derives its threshold from
+the Q-statistic; the temporal adapters calibrate an empirical quantile
+of their training scores (the paper gives no analytic limit for them —
+§6.2 compares the methods by threshold sweeps, which is exactly what
+:mod:`repro.validation.roc` does downstream).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+__all__ = ["Detector", "DetectorAlarms", "ResidualEnergyDetector"]
+
+
+@dataclass(frozen=True)
+class DetectorAlarms:
+    """Thresholded detection output of one :meth:`Detector.detect` call.
+
+    Attributes
+    ----------
+    scores:
+        Per-timestep residual energy the flags were derived from.
+    threshold:
+        The energy limit applied (``scores > threshold`` ⇒ alarm).
+    flags:
+        Boolean per-timestep alarm indicators.
+    confidence:
+        The confidence level the threshold corresponds to.
+    """
+
+    scores: np.ndarray
+    threshold: float
+    flags: np.ndarray
+    confidence: float
+
+    @property
+    def anomalous_bins(self) -> np.ndarray:
+        """Indices of flagged timesteps, ascending."""
+        return np.nonzero(self.flags)[0]
+
+    @property
+    def num_alarms(self) -> int:
+        """Number of flagged timesteps."""
+        return int(np.count_nonzero(self.flags))
+
+    @property
+    def alarm_rate(self) -> float:
+        """Fraction of timesteps flagged."""
+        if self.flags.size == 0:
+            return 0.0
+        return self.num_alarms / self.flags.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DetectorAlarms({self.flags.size} bins, {self.num_alarms} "
+            f"alarms at {self.confidence:.4f} confidence)"
+        )
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Structural interface every registered detector satisfies.
+
+    Implementations are free-standing classes — they need not inherit
+    from anything in this module — as long as they expose ``name``,
+    ``fit``, ``score`` and ``detect`` with these signatures.
+    """
+
+    name: str
+
+    def fit(self, measurements: np.ndarray) -> "Detector":
+        """Train on a ``(t, m)`` measurement block; returns ``self``."""
+        ...  # pragma: no cover - protocol stub
+
+    def score(self, measurements: np.ndarray) -> np.ndarray:
+        """Per-timestep residual energy of a measurement block."""
+        ...  # pragma: no cover - protocol stub
+
+    def detect(
+        self,
+        measurements: np.ndarray,
+        confidence: float | None = None,
+    ) -> DetectorAlarms:
+        """Score and threshold a block at a confidence level."""
+        ...  # pragma: no cover - protocol stub
+
+
+class ResidualEnergyDetector(abc.ABC):
+    """Shared skeleton: ``detect`` = ``score`` + ``threshold_at``.
+
+    Parameters
+    ----------
+    name:
+        Registry key / display name.
+    confidence:
+        Default confidence level used when :meth:`detect` is called
+        without one.
+    """
+
+    def __init__(self, name: str, confidence: float = 0.999) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ModelError(
+                f"confidence must lie in (0, 1), got {confidence}"
+            )
+        self.name = name
+        self.confidence = confidence
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+
+    @abc.abstractmethod
+    def fit(self, measurements: np.ndarray) -> "ResidualEnergyDetector":
+        """Train on a ``(t, m)`` block; must return ``self``."""
+
+    @abc.abstractmethod
+    def score(self, measurements: np.ndarray) -> np.ndarray:
+        """Per-timestep residual energy, shape ``(t,)``."""
+
+    @abc.abstractmethod
+    def threshold_at(self, confidence: float) -> float:
+        """The energy limit at a confidence level (fitted model)."""
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(f"{self.name} detector is not fitted")
+
+    @property
+    def threshold(self) -> float:
+        """The energy limit at the default confidence level."""
+        return self.threshold_at(self.confidence)
+
+    def detect(
+        self,
+        measurements: np.ndarray,
+        confidence: float | None = None,
+    ) -> DetectorAlarms:
+        """Score ``measurements`` and flag bins above the threshold."""
+        level = self.confidence if confidence is None else confidence
+        if not 0.0 < level < 1.0:
+            raise ModelError(f"confidence must lie in (0, 1), got {level}")
+        scores = self.score(measurements)
+        threshold = float(self.threshold_at(level))
+        return DetectorAlarms(
+            scores=scores,
+            threshold=threshold,
+            flags=scores > threshold,
+            confidence=level,
+        )
+
+    @staticmethod
+    def _as_block(measurements: np.ndarray) -> np.ndarray:
+        """Coerce input to a ``(t, m)`` float matrix."""
+        block = np.asarray(measurements, dtype=np.float64)
+        if block.ndim == 1:
+            block = block[None, :]
+        if block.ndim != 2:
+            raise ModelError(
+                f"measurements must be (t, m), got shape {block.shape}"
+            )
+        return block
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}({self.name!r}, {state})"

@@ -1,0 +1,109 @@
+"""The subspace method behind the :class:`~repro.detectors.base.Detector`
+contract.
+
+:class:`SubspaceDetector` adapts :class:`~repro.core.detection.SPEDetector`
+(PCA + 3σ separation + Q-statistic limit): ``score`` is the squared
+prediction error ``‖ỹ‖²`` and ``threshold_at`` is the analytic
+Jackson–Mudholkar limit ``δ²_α``, so alarms match
+:class:`~repro.pipeline.pipeline.DetectionPipeline` bin for bin.
+
+When a routing matrix is bound at construction, :meth:`diagnose` also
+exposes the full identify/quantify pipeline for flagged bins — the
+comparison engine only needs detection, but operators dropping down from
+``repro compare`` to ``repro diagnose`` should see the same model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detection import SPEDetector
+from repro.detectors.base import ResidualEnergyDetector
+from repro.exceptions import ModelError
+from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
+from repro.routing.routing_matrix import RoutingMatrix
+
+__all__ = ["SubspaceDetector"]
+
+
+class SubspaceDetector(ResidualEnergyDetector):
+    """PCA subspace detector (the paper's method) as a :class:`Detector`.
+
+    Parameters
+    ----------
+    confidence:
+        Default Q-statistic confidence level (paper: 0.995 / 0.999).
+    threshold_sigma, normal_rank:
+        Forwarded to :class:`~repro.core.detection.SPEDetector`.
+    routing:
+        Optional routing matrix; when given, :meth:`diagnose` identifies
+        and quantifies flagged bins.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        routing: RoutingMatrix | None = None,
+    ) -> None:
+        super().__init__(name="subspace", confidence=confidence)
+        self._pipeline = DetectionPipeline(
+            confidence=confidence,
+            threshold_sigma=threshold_sigma,
+            normal_rank=normal_rank,
+        )
+        self._routing = routing
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._pipeline.is_fitted
+
+    @property
+    def detector(self) -> SPEDetector:
+        """The underlying fitted :class:`SPEDetector`."""
+        return self._pipeline.detector
+
+    @property
+    def normal_rank(self) -> int:
+        """The fitted normal-subspace rank ``r``."""
+        self._require_fitted()
+        return self._pipeline.normal_rank
+
+    def fit(self, measurements: np.ndarray) -> "SubspaceDetector":
+        self._pipeline.fit(self._as_block(measurements), routing=self._routing)
+        return self
+
+    def score(self, measurements: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        block = self._as_block(measurements)
+        return np.atleast_1d(
+            np.asarray(self.detector.model.spe(block), dtype=np.float64)
+        )
+
+    def threshold_at(self, confidence: float) -> float:
+        self._require_fitted()
+        return float(self.detector.threshold_at(confidence))
+
+    # ------------------------------------------------------------------
+    def diagnose(
+        self,
+        measurements: np.ndarray,
+        confidence: float | None = None,
+    ) -> PipelineResult:
+        """Full detect → identify → quantify over a block.
+
+        Requires a routing matrix bound at construction; see
+        :meth:`DetectionPipeline.detect
+        <repro.pipeline.pipeline.DetectionPipeline.detect>`.
+        """
+        self._require_fitted()
+        if self._routing is None:
+            raise ModelError(
+                "SubspaceDetector has no routing matrix bound; construct "
+                "with routing=... to diagnose"
+            )
+        return self._pipeline.detect(
+            self._as_block(measurements), confidence=confidence
+        )

@@ -1,0 +1,195 @@
+"""Temporal baselines behind the :class:`~repro.detectors.base.Detector`
+contract.
+
+:class:`TemporalDetector` adapts any
+:class:`~repro.baselines.base.TimeseriesModel`:
+
+* ``score`` is the model's per-timestep residual energy
+  ``‖z_t − ẑ_t‖²`` summed over the measurement ensemble — the quantity
+  the paper plots for the EWMA and Fourier link-data baselines in
+  Fig. 10;
+* ``fit`` calibrates the alarm threshold as an empirical quantile of
+  the *training* scores.  The temporal methods have no analytic false-
+  alarm limit (that asymmetry is one of the paper's §6.2 points), so a
+  confidence level ``c`` maps to the ``c``-quantile of the energy the
+  model produced on the data it was calibrated on.  Raising ``c`` can
+  only raise the quantile, which keeps :meth:`detect` monotone — the
+  property the contract suite asserts for every registered detector.
+
+The concrete model classes stay where they are (:mod:`repro.baselines`);
+this module only supplies the adapter and the per-model default
+configurations the registry exposes under ``"ewma"``, ``"fourier"``,
+``"ar"``, ``"holt-winters"`` and ``"wavelet"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.autoregressive import ARModel
+from repro.baselines.base import TimeseriesModel
+from repro.baselines.ewma import EWMAModel
+from repro.baselines.fourier import FourierModel
+from repro.baselines.holt_winters import HoltWintersModel
+from repro.baselines.wavelet import WaveletModel
+from repro.detectors.base import ResidualEnergyDetector
+from repro.exceptions import ModelError
+
+__all__ = [
+    "TemporalDetector",
+    "ewma_detector",
+    "fourier_detector",
+    "ar_detector",
+    "holt_winters_detector",
+    "wavelet_detector",
+]
+
+
+class TemporalDetector(ResidualEnergyDetector):
+    """A :class:`TimeseriesModel` adapted to the detector contract.
+
+    Parameters
+    ----------
+    name:
+        Registry key (e.g. ``"ewma"``).
+    model:
+        The wrapped timeseries model; exposed as :attr:`model` so the
+        ground-truth extraction protocol can reuse exactly the
+        configuration the registry serves.
+    confidence:
+        Default confidence level for :meth:`detect`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: TimeseriesModel,
+        confidence: float = 0.999,
+    ) -> None:
+        super().__init__(name=name, confidence=confidence)
+        if not isinstance(model, TimeseriesModel):
+            raise ModelError(
+                f"model must be a TimeseriesModel, got {type(model).__name__}"
+            )
+        self.model = model
+        self._train_energy: np.ndarray | None = None
+        self._fit_block: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_energy is not None
+
+    def fit(self, measurements: np.ndarray) -> "TemporalDetector":
+        """Calibrate the threshold quantiles on a training block."""
+        block = self._as_block(measurements)
+        self._train_energy = np.atleast_1d(self.model.residual_energy(block))
+        self._fit_block = block.copy()
+        return self
+
+    def score(self, measurements: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        block = self._as_block(measurements)
+        # Scoring the block the detector was calibrated on reuses the
+        # energies computed at fit time — fig10_series and the
+        # comparison grid's baseline scenario hit this path, so the
+        # (t, k) model recursion runs once, not twice.  The guard is a
+        # value comparison (far cheaper than any model recursion), so
+        # in-place mutation of the caller's array cannot serve stale
+        # scores.
+        if (
+            block.shape == self._fit_block.shape
+            and np.array_equal(block, self._fit_block)
+        ):
+            return self._train_energy.copy()
+        return np.atleast_1d(self.model.residual_energy(block))
+
+    def threshold_at(self, confidence: float) -> float:
+        self._require_fitted()
+        if not 0.0 < confidence < 1.0:
+            raise ModelError(
+                f"confidence must lie in (0, 1), got {confidence}"
+            )
+        return float(np.quantile(self._train_energy, confidence))
+
+
+# ----------------------------------------------------------------------
+# Registry factories.  Defaults mirror the paper's protocol settings
+# (EWMA α = 0.25 with footnote 4's bidirectional correction, the eight
+# Fourier periods, AR(4) on one difference, daily Holt-Winters season,
+# 4-level Haar wavelet).
+
+
+def ewma_detector(
+    confidence: float = 0.999,
+    bin_seconds: float = 600.0,
+    alpha: float | None = 0.25,
+    bidirectional: bool = True,
+) -> TemporalDetector:
+    """EWMA forecasting detector (§6.2; footnote 4 correction on)."""
+    del bin_seconds  # EWMA is bin-width agnostic.
+    return TemporalDetector(
+        "ewma",
+        EWMAModel(alpha=alpha, bidirectional=bidirectional),
+        confidence=confidence,
+    )
+
+
+def fourier_detector(
+    confidence: float = 0.999,
+    bin_seconds: float = 600.0,
+    periods_hours: tuple[float, ...] | None = None,
+) -> TemporalDetector:
+    """Eight-period Fourier filtering detector (§6.2)."""
+    return TemporalDetector(
+        "fourier",
+        FourierModel(bin_seconds=bin_seconds, periods_hours=periods_hours),
+        confidence=confidence,
+    )
+
+
+def ar_detector(
+    confidence: float = 0.999,
+    bin_seconds: float = 600.0,
+    order: int = 4,
+    differencing: int = 1,
+) -> TemporalDetector:
+    """AR(p) Box-Jenkins-class detector (§6.2, refs [19, 26])."""
+    del bin_seconds  # the AR fit is bin-width agnostic.
+    return TemporalDetector(
+        "ar",
+        ARModel(order=order, differencing=differencing),
+        confidence=confidence,
+    )
+
+
+def holt_winters_detector(
+    confidence: float = 0.999,
+    bin_seconds: float = 600.0,
+    season_bins: int | None = None,
+    alpha: float = 0.25,
+    beta: float = 0.01,
+    gamma: float = 0.30,
+) -> TemporalDetector:
+    """Additive Holt-Winters detector with a one-day default season."""
+    if season_bins is None:
+        season_bins = max(int(round(86_400.0 / bin_seconds)), 1)
+    return TemporalDetector(
+        "holt-winters",
+        HoltWintersModel(
+            season_bins=season_bins, alpha=alpha, beta=beta, gamma=gamma
+        ),
+        confidence=confidence,
+    )
+
+
+def wavelet_detector(
+    confidence: float = 0.999,
+    bin_seconds: float = 600.0,
+    levels: int = 4,
+) -> TemporalDetector:
+    """Haar-wavelet low-frequency detector (§6.2, signal-analysis class)."""
+    del bin_seconds  # levels are expressed directly in bins.
+    return TemporalDetector(
+        "wavelet", WaveletModel(levels=levels), confidence=confidence
+    )

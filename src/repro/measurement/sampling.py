@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import check_positive, check_probability, rng_from
+from repro._util import check_probability
 from repro.exceptions import MeasurementError
 
 __all__ = ["PacketSizeModel", "PacketSampler", "PeriodicSampler", "RandomSampler"]

@@ -10,14 +10,24 @@ quantification — into three composable entry points:
 * :class:`~repro.pipeline.batch.BatchRunner` — scenario grids
   (datasets × injection sizes × confidence levels) sharing fitted
   models and thresholds computed in one vectorized pass;
+* :class:`~repro.pipeline.compare.ComparisonRunner` — multi-detector
+  comparison grids (detectors × datasets × injection scenarios) fanned
+  out over worker processes and folded through the ROC harness into an
+  AUC comparison table (the paper's Fig. 10, generalized);
 * :class:`~repro.pipeline.streaming.StreamingDetector` — windowed
   online detection backed by the incremental subspace tracker, never
   refitting from scratch.
 
-See ``docs/pipeline.md`` for the guide.
+See ``docs/pipeline.md`` and ``docs/detectors.md`` for the guides.
 """
 
 from repro.pipeline.batch import BatchReport, BatchRunner, ScenarioResult
+from repro.pipeline.compare import (
+    ComparisonCell,
+    ComparisonReport,
+    ComparisonRunner,
+    ComparisonScenario,
+)
 from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
 from repro.pipeline.streaming import StreamingDetector, StreamWindow
 
@@ -27,6 +37,10 @@ __all__ = [
     "BatchRunner",
     "BatchReport",
     "ScenarioResult",
+    "ComparisonRunner",
+    "ComparisonReport",
+    "ComparisonCell",
+    "ComparisonScenario",
     "StreamingDetector",
     "StreamWindow",
 ]

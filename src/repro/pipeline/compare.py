@@ -1,0 +1,591 @@
+"""Parallel multi-detector comparison grids (Fig. 10, generalized).
+
+The paper's central claim is comparative: the subspace method separates
+network-wide anomalies from normal traffic better than temporal
+detectors applied to the same link measurements (§6.2, Fig. 10).
+:class:`ComparisonRunner` turns that one-figure comparison into a
+general workload over the :mod:`repro.detectors` registry:
+
+* a grid of **detectors × datasets × injection scenarios** is fanned
+  out over ``multiprocessing`` workers, one task per
+  (detector, dataset) cell;
+* each cell fits its detector **once** on the clean trace (the same
+  model-reuse discipline :class:`~repro.pipeline.batch.BatchRunner`
+  applies to the subspace method) and scores every scenario trace with
+  that fitted model;
+* every (cell, scenario) pair is folded through
+  :mod:`repro.validation.roc` into an AUC and operating points, so the
+  comparison is quantitative rather than visual.
+
+Scenario traces are derived deterministically from the scenario seed:
+all detectors see byte-identical injected traces, and a serial run
+(``workers=1``) produces exactly the same report as a parallel one —
+tests assert both.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import ValidationError
+from repro.validation.roc import operating_point, roc_curve
+
+__all__ = [
+    "ComparisonRunner",
+    "ComparisonReport",
+    "ComparisonCell",
+    "ComparisonScenario",
+]
+
+
+@dataclass(frozen=True)
+class ComparisonScenario:
+    """One column of the comparison grid.
+
+    ``injection_size is None`` marks the baseline scenario: the
+    unmodified trace scored against the dataset's ground-truth event
+    ledger.  Otherwise ``num_injections`` spikes of ``injection_size``
+    bytes are added to the trace at deterministically drawn
+    (bin, flow) cells, and the truth set is the union of those bins
+    with the ledger bins.
+    """
+
+    label: str
+    injection_size: float | None
+    num_injections: int = 0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """Outcome of one (detector, dataset, scenario) grid cell.
+
+    Attributes
+    ----------
+    detector, dataset, scenario:
+        Grid coordinates (``scenario`` is the scenario label).
+    injection_size:
+        Injected spike size in bytes; None for the baseline scenario.
+    auc:
+        Area under the ROC of the detector's residual energy against
+        the scenario's truth bins.
+    detection_at_budgets:
+        ``((fa_budget, detection_rate), ...)`` operating points read
+        off the ROC curve.
+    op_detection, op_false_alarm, op_threshold:
+        The detector's *own* operating point: rates at the threshold
+        its confidence calibration chose.
+    num_truth_bins:
+        Size of the scenario's truth set.
+    """
+
+    detector: str
+    dataset: str
+    scenario: str
+    injection_size: float | None
+    auc: float
+    detection_at_budgets: tuple[tuple[float, float], ...]
+    op_detection: float
+    op_false_alarm: float
+    op_threshold: float
+    num_truth_bins: int
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for the no-injection scenario."""
+        return self.injection_size is None
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All grid cells of one :meth:`ComparisonRunner.run` pass.
+
+    Attributes
+    ----------
+    cells:
+        One :class:`ComparisonCell` per (detector, dataset, scenario).
+    confidence:
+        The confidence level every detector's own operating point used.
+    elapsed_seconds:
+        Wall-clock time of the grid run.
+    cell_seconds:
+        ``((detector, dataset, seconds), ...)`` per-cell work time
+        (fit + all scenario scoring), as measured inside the workers.
+    """
+
+    cells: tuple[ComparisonCell, ...]
+    confidence: float
+    elapsed_seconds: float = 0.0
+    cell_seconds: tuple[tuple[str, str, float], ...] = field(
+        default=(), repr=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    @property
+    def detectors(self) -> tuple[str, ...]:
+        """Detector names, first-seen order."""
+        return _unique(c.detector for c in self.cells)
+
+    @property
+    def datasets(self) -> tuple[str, ...]:
+        """Dataset names, first-seen order."""
+        return _unique(c.dataset for c in self.cells)
+
+    @property
+    def scenarios(self) -> tuple[str, ...]:
+        """Scenario labels, first-seen order."""
+        return _unique(c.scenario for c in self.cells)
+
+    def cell(self, detector: str, dataset: str, scenario: str) -> ComparisonCell:
+        """Look one grid cell up by coordinates."""
+        for c in self.cells:
+            if (
+                c.detector == detector
+                and c.dataset == dataset
+                and c.scenario == scenario
+            ):
+                return c
+        raise ValidationError(
+            f"no cell for ({detector!r}, {dataset!r}, {scenario!r})"
+        )
+
+    def auc(self, detector: str, dataset: str, scenario: str) -> float:
+        """The AUC of one grid cell."""
+        return self.cell(detector, dataset, scenario).auc
+
+    def mean_auc(self, detector: str, injected_only: bool = True) -> float:
+        """Mean AUC of one detector across the grid.
+
+        ``injected_only`` restricts to injection scenarios (the
+        controlled part of the grid) when any exist.
+        """
+        values = [
+            c.auc
+            for c in self.cells
+            if c.detector == detector
+            and (not injected_only or not c.is_baseline)
+        ]
+        if not values:  # baseline-only grids
+            values = [c.auc for c in self.cells if c.detector == detector]
+        if not values:
+            raise ValidationError(f"no cells for detector {detector!r}")
+        return float(np.mean(values))
+
+    def ranking(self, injected_only: bool = True) -> tuple[str, ...]:
+        """Detectors ordered by mean AUC, best first."""
+        return tuple(
+            sorted(
+                self.detectors,
+                key=lambda d: -self.mean_auc(d, injected_only=injected_only),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """The AUC comparison table: one row per (dataset, scenario),
+        one column per detector, winner starred."""
+        detectors = self.detectors
+        label_width = max(
+            [len("dataset/scenario")]
+            + [len(f"{d}/{s}") for d in self.datasets for s in self.scenarios]
+        )
+        header = f"{'dataset/scenario':<{label_width}}"
+        for name in detectors:
+            header += f" {name:>14}"
+        lines = [header, "-" * len(header)]
+        for dataset in self.datasets:
+            for scenario in self.scenarios:
+                row_cells = {
+                    c.detector: c
+                    for c in self.cells
+                    if c.dataset == dataset and c.scenario == scenario
+                }
+                if not row_cells:
+                    continue
+                best = max(row_cells.values(), key=lambda c: c.auc).detector
+                line = f"{dataset + '/' + scenario:<{label_width}}"
+                for name in detectors:
+                    c = row_cells.get(name)
+                    if c is None:
+                        line += f" {'-':>14}"
+                    else:
+                        star = "*" if name == best else " "
+                        line += f" {c.auc:>12.4f} {star}"
+                lines.append(line)
+        lines.append("")
+        ranking = self.ranking()
+        injected = any(not c.is_baseline for c in self.cells)
+        scope = "injection scenarios" if injected else "baseline scenarios"
+        lines.append(
+            f"mean AUC over {scope}: "
+            + ", ".join(f"{d}={self.mean_auc(d):.4f}" for d in ranking)
+        )
+        return "\n".join(lines)
+
+    def operating_table(self) -> str:
+        """Per-cell operating points at the calibrated thresholds."""
+        header = (
+            f"{'detector':<13} {'dataset':<10} {'scenario':<16} "
+            f"{'AUC':>8} {'det@thr':>8} {'FA@thr':>8} {'truth':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.cells:
+            lines.append(
+                f"{c.detector:<13} {c.dataset:<10} {c.scenario:<16} "
+                f"{c.auc:>8.4f} {c.op_detection:>8.3f} "
+                f"{c.op_false_alarm:>8.4f} {c.num_truth_bins:>6}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """A machine-readable summary (the ``BENCH_*.json`` payload)."""
+        return {
+            "confidence": self.confidence,
+            "elapsed_seconds": self.elapsed_seconds,
+            "grid": {
+                "detectors": list(self.detectors),
+                "datasets": list(self.datasets),
+                "scenarios": list(self.scenarios),
+                "num_cells": len(self.cells),
+            },
+            "mean_auc": {d: self.mean_auc(d) for d in self.detectors},
+            "ranking": list(self.ranking()),
+            "cells": [
+                {
+                    "detector": c.detector,
+                    "dataset": c.dataset,
+                    "scenario": c.scenario,
+                    "injection_size": c.injection_size,
+                    "auc": c.auc,
+                    "detection_at_budgets": [
+                        list(pair) for pair in c.detection_at_budgets
+                    ],
+                    "op_detection": c.op_detection,
+                    "op_false_alarm": c.op_false_alarm,
+                    "op_threshold": c.op_threshold,
+                    "num_truth_bins": c.num_truth_bins,
+                }
+                for c in self.cells
+            ],
+            "cell_seconds": [
+                {"detector": d, "dataset": ds, "seconds": s}
+                for d, ds, s in self.cell_seconds
+            ],
+        }
+
+
+class ComparisonRunner:
+    """Fan a detector-comparison grid out over worker processes.
+
+    Parameters
+    ----------
+    datasets:
+        Evaluation worlds; each (detector, dataset) cell fits once on
+        the clean ``link_traffic`` and scores every scenario with that
+        model.
+    detectors:
+        Registry names (see :func:`repro.detectors.available`).
+    injection_sizes:
+        Spike sizes (bytes); each adds one injection scenario.  Empty
+        means baseline-only.
+    num_injections:
+        Spikes per injection scenario (drawn at distinct time bins).
+    confidence:
+        Confidence level for each detector's own operating point.
+    fa_budgets:
+        False-alarm budgets at which ROC detection rates are read off.
+    min_event_bytes:
+        Ground-truth ledger cutoff: events at least this large form the
+        baseline truth set.
+    workers:
+        Process count; ``None`` picks ``min(cells, cpu_count)``; ``1``
+        runs serially in-process (identical results — tests assert it).
+    seed:
+        Base seed for the deterministic injection placement.
+    detector_kwargs:
+        Optional per-detector factory overrides,
+        e.g. ``{"ewma": {"alpha": 0.3}}``.
+    """
+
+    def __init__(
+        self,
+        datasets: Sequence[Dataset],
+        detectors: Sequence[str] = ("subspace", "ewma", "fourier"),
+        injection_sizes: Sequence[float] = (),
+        num_injections: int = 24,
+        confidence: float = 0.999,
+        fa_budgets: Sequence[float] = (0.001, 0.01),
+        min_event_bytes: float = 0.0,
+        workers: int | None = None,
+        seed: int = 20040830,
+        detector_kwargs: dict[str, dict] | None = None,
+    ) -> None:
+        from repro import detectors as registry
+
+        if not datasets:
+            raise ValidationError("at least one dataset is required")
+        names = {d.name for d in datasets}
+        if len(names) != len(datasets):
+            raise ValidationError("dataset names must be unique")
+        if num_injections < 1:
+            raise ValidationError(
+                f"num_injections must be >= 1, got {num_injections}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(
+                f"confidence must lie in (0, 1), got {confidence}"
+            )
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.datasets = list(datasets)
+        self.detector_names = registry.resolve_names(detectors)
+        self.injection_sizes = [float(s) for s in injection_sizes]
+        if any(s == 0.0 for s in self.injection_sizes):
+            raise ValidationError("injection sizes must be non-zero")
+        if len(set(self.injection_sizes)) != len(self.injection_sizes):
+            raise ValidationError(
+                "injection sizes must be distinct (duplicates would "
+                "produce identically labeled scenarios)"
+            )
+        self.num_injections = int(num_injections)
+        self.confidence = float(confidence)
+        self.fa_budgets = tuple(float(b) for b in fa_budgets)
+        self.min_event_bytes = float(min_event_bytes)
+        self.workers = workers
+        self.seed = int(seed)
+        self.detector_kwargs = dict(detector_kwargs or {})
+        unknown = set(self.detector_kwargs) - set(self.detector_names)
+        if unknown:
+            raise ValidationError(
+                f"detector_kwargs for unselected detectors: {sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------
+    def scenarios_for(self, dataset: Dataset) -> tuple[ComparisonScenario, ...]:
+        """The scenario columns evaluated for one dataset.
+
+        The baseline scenario is included only when the dataset's
+        ground-truth ledger has events at or above ``min_event_bytes``
+        (an empty truth set has no ROC).
+        """
+        scenarios: list[ComparisonScenario] = []
+        if _ledger_bins(dataset, self.min_event_bytes).size:
+            scenarios.append(
+                ComparisonScenario(label="baseline", injection_size=None)
+            )
+        for index, size in enumerate(self.injection_sizes):
+            scenarios.append(
+                ComparisonScenario(
+                    label=f"inject-{size:.2e}",
+                    injection_size=size,
+                    num_injections=self.num_injections,
+                    seed=self.seed + index,
+                )
+            )
+        labels = [s.label for s in scenarios]
+        if len(set(labels)) != len(labels):
+            raise ValidationError(
+                "injection sizes collide at the scenario-label precision "
+                f"({labels}); pass more widely spaced sizes"
+            )
+        if not scenarios:
+            raise ValidationError(
+                f"dataset {dataset.name!r} has no ground-truth events and no "
+                "injection sizes were given; nothing to evaluate"
+            )
+        return tuple(scenarios)
+
+    def run(self) -> ComparisonReport:
+        """Evaluate the whole grid; one :class:`ComparisonCell` per cell.
+
+        Cells are ordered datasets-outermost, then detectors (the order
+        given at construction), then scenarios — independent of the
+        worker count.
+        """
+        from repro import detectors as registry
+
+        start = time.perf_counter()
+        tasks = [
+            _CellTask(
+                detector=name,
+                # The factory travels with the task so detectors
+                # registered at runtime survive spawn-start workers,
+                # which re-import a registry holding only the built-ins.
+                factory=registry.get_factory(name),
+                detector_kwargs=self.detector_kwargs.get(name, {}),
+                dataset=dataset,
+                scenarios=self.scenarios_for(dataset),
+                confidence=self.confidence,
+                fa_budgets=self.fa_budgets,
+                min_event_bytes=self.min_event_bytes,
+            )
+            for dataset in self.datasets
+            for name in self.detector_names
+        ]
+        workers = self.workers
+        if workers is None:
+            workers = min(len(tasks), os.cpu_count() or 1)
+        if workers <= 1 or len(tasks) == 1:
+            outputs = [_run_cell(task) for task in tasks]
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=workers) as pool:
+                outputs = pool.map(_run_cell, tasks)
+        cells: list[ComparisonCell] = []
+        timings: list[tuple[str, str, float]] = []
+        for task, output in zip(tasks, outputs):
+            cells.extend(output.rows)
+            timings.append((task.detector, task.dataset.name, output.seconds))
+        return ComparisonReport(
+            cells=tuple(cells),
+            confidence=self.confidence,
+            elapsed_seconds=time.perf_counter() - start,
+            cell_seconds=tuple(timings),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Everything below must stay module-level and picklable.
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    detector: str
+    factory: Callable
+    detector_kwargs: dict
+    dataset: Dataset
+    scenarios: tuple[ComparisonScenario, ...]
+    confidence: float
+    fa_budgets: tuple[float, ...]
+    min_event_bytes: float
+
+
+@dataclass(frozen=True)
+class _CellOutput:
+    rows: tuple[ComparisonCell, ...]
+    seconds: float
+
+
+def _unique(items) -> tuple[str, ...]:
+    seen: list[str] = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return tuple(seen)
+
+
+def _ledger_bins(dataset: Dataset, min_event_bytes: float) -> np.ndarray:
+    """Ground-truth anomaly bins at or above the ledger cutoff.
+
+    Every bin an event covers counts — a SQUARE or RAMP anomaly of
+    ``duration_bins`` marks its whole span, so detectors flagging the
+    later bins of an ongoing anomaly are not charged false alarms (and
+    injections are never drawn inside one).
+    """
+    bins: set[int] = set()
+    for event in dataset.true_events:
+        if abs(event.amplitude_bytes) >= min_event_bytes:
+            bins.update(range(event.time_bin, event.last_bin + 1))
+    return np.asarray(sorted(bins), dtype=np.int64)
+
+
+def scenario_trace(
+    dataset: Dataset,
+    scenario: ComparisonScenario,
+    min_event_bytes: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize one scenario: ``(link_trace, truth_bins)``.
+
+    Deterministic in the scenario seed — every detector (and every
+    worker layout) sees byte-identical traces.  Injection cells are
+    drawn at distinct time bins outside the ledger truth set, each
+    adding ``injection_size`` bytes to one OD flow's links.
+    """
+    truth = _ledger_bins(dataset, min_event_bytes)
+    if scenario.injection_size is None:
+        if truth.size == 0:
+            raise ValidationError(
+                f"dataset {dataset.name!r} has no ground-truth events at or "
+                f"above {min_event_bytes:.3g} bytes; baseline scenario is "
+                "undefined"
+            )
+        return dataset.link_traffic, truth
+
+    candidates = np.setdiff1d(
+        np.arange(dataset.num_bins, dtype=np.int64), truth
+    )
+    if candidates.size < scenario.num_injections:
+        raise ValidationError(
+            f"dataset {dataset.name!r} has only {candidates.size} "
+            f"injectable bins but {scenario.num_injections} were requested"
+        )
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [scenario.seed, zlib.crc32(dataset.name.encode("utf-8"))]
+        )
+    )
+    bins = np.sort(
+        rng.choice(candidates, size=scenario.num_injections, replace=False)
+    )
+    flows = rng.integers(0, dataset.num_flows, size=scenario.num_injections)
+    trace = dataset.link_traffic.copy()
+    trace[bins] += (
+        scenario.injection_size * dataset.routing.matrix[:, flows].T
+    )
+    return trace, np.union1d(truth, bins)
+
+
+def _run_cell(task: _CellTask) -> _CellOutput:
+    """Fit one detector on one dataset, score every scenario trace."""
+    start = time.perf_counter()
+    kwargs = {
+        "confidence": task.confidence,
+        "bin_seconds": task.dataset.bin_seconds,
+    }
+    kwargs.update(task.detector_kwargs)
+    detector = task.factory(**kwargs)
+    detector.fit(task.dataset.link_traffic)
+
+    rows: list[ComparisonCell] = []
+    for scenario in task.scenarios:
+        trace, truth = scenario_trace(
+            task.dataset, scenario, task.min_event_bytes
+        )
+        alarms = detector.detect(trace, confidence=task.confidence)
+        scores = alarms.scores
+        curve = roc_curve(scores, truth)
+        op_det, op_fa = operating_point(scores, truth, alarms.threshold)
+        rows.append(
+            ComparisonCell(
+                detector=task.detector,
+                dataset=task.dataset.name,
+                scenario=scenario.label,
+                injection_size=scenario.injection_size,
+                auc=curve.auc,
+                detection_at_budgets=tuple(
+                    (budget, curve.detection_at(budget))
+                    for budget in task.fa_budgets
+                ),
+                op_detection=op_det,
+                op_false_alarm=op_fa,
+                op_threshold=alarms.threshold,
+                num_truth_bins=int(truth.size),
+            )
+        )
+    return _CellOutput(
+        rows=tuple(rows), seconds=time.perf_counter() - start
+    )

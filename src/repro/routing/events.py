@@ -10,7 +10,7 @@ reroute signatures.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import RoutingError

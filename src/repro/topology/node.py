@@ -7,7 +7,7 @@ may carry descriptive metadata used only for display and plotting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import TopologyError
 

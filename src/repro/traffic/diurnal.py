@@ -10,7 +10,7 @@ periods the paper uses for its baseline analysis (7d, 5d, 3d, 24h, 12h,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

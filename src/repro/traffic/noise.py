@@ -15,7 +15,7 @@ import abc
 
 import numpy as np
 
-from repro._util import check_nonnegative, rng_from
+from repro._util import check_nonnegative
 from repro.exceptions import TrafficError
 
 __all__ = ["NoiseModel", "GaussianNoise", "LognormalNoise", "NoNoise"]

@@ -17,7 +17,7 @@ are calibrated to the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.exceptions import TrafficError
 from repro.traffic.diurnal import DiurnalProfile

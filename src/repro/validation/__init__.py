@@ -23,7 +23,12 @@ from repro.validation.metrics import (
 )
 from repro.validation.injection import InjectionResult, InjectionStudy
 from repro.validation.multiflow import MultiFlowResult, MultiFlowStudy
-from repro.validation.roc import RocCurve, operating_point, roc_curve
+from repro.validation.roc import (
+    RocCurve,
+    detector_roc,
+    operating_point,
+    roc_curve,
+)
 from repro.validation.sensitivity import SensitivityPoint, sweep_workload_knob
 from repro.validation.experiments import (
     ActualAnomalyRow,
@@ -53,6 +58,7 @@ __all__ = [
     "RocCurve",
     "roc_curve",
     "operating_point",
+    "detector_roc",
     "SensitivityPoint",
     "sweep_workload_knob",
     "ActualAnomalyRow",

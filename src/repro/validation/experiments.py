@@ -21,8 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.ewma import EWMAModel
-from repro.baselines.fourier import FourierModel
 from repro.core.diagnosis import AnomalyDiagnoser, Diagnosis
 from repro.datasets.dataset import Dataset
 from repro.exceptions import ValidationError
@@ -222,30 +220,35 @@ def run_synthetic_experiment(
 def fig10_series(
     dataset: Dataset,
     confidence: float = 0.999,
+    methods: tuple[str, ...] = ("subspace", "fourier", "ewma"),
 ) -> dict[str, np.ndarray | float]:
-    """Residual-energy timeseries of Fig. 10.
+    """Residual-energy timeseries of Fig. 10, for any detector set.
 
-    Applies three decompositions to the *link* data and returns each
-    method's per-timestep squared residual magnitude:
+    Every method name is resolved through the :mod:`repro.detectors`
+    registry, fitted on the *link* data, and contributes its
+    per-timestep residual energy under its own key.  The defaults
+    reproduce the paper's figure:
 
     * ``subspace`` — ``‖ỹ‖²`` from the fitted subspace model;
     * ``fourier`` — squared residual of the 8-period Fourier fit, summed
       over links;
     * ``ewma`` — squared bidirectional EWMA deviation, summed over links.
 
-    Also includes the subspace threshold for reference.
+    When the subspace method is included, its Q-statistic limit is
+    returned under ``"threshold"`` for reference.
     """
-    from repro.core.detection import SPEDetector
+    from repro import detectors as registry
 
-    detector = SPEDetector(confidence=confidence).fit(dataset.link_traffic)
-    fourier = FourierModel(bin_seconds=dataset.bin_seconds)
-    ewma = EWMAModel(alpha=0.25, bidirectional=True)
-    return {
-        "subspace": np.asarray(detector.spe(dataset.link_traffic)),
-        "fourier": fourier.residual_energy(dataset.link_traffic),
-        "ewma": ewma.residual_energy(dataset.link_traffic),
-        "threshold": detector.threshold,
-    }
+    series: dict[str, np.ndarray | float] = {}
+    for name in registry.resolve_names(methods):
+        detector = registry.get(
+            name, confidence=confidence, bin_seconds=dataset.bin_seconds
+        )
+        detector.fit(dataset.link_traffic)
+        series[name] = detector.score(dataset.link_traffic)
+        if name == "subspace":
+            series["threshold"] = detector.threshold
+    return series
 
 
 def separability(

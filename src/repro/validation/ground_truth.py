@@ -20,8 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.base import TimeseriesModel
-from repro.baselines.ewma import EWMAModel
-from repro.baselines.fourier import FourierModel
 from repro.exceptions import ValidationError
 from repro.traffic.matrix import TrafficMatrix
 
@@ -52,29 +50,27 @@ def method_for(name: str, bin_seconds: float = 600.0) -> TimeseriesModel:
     """The extraction model for ``"ewma"``, ``"fourier"``, ``"ar"``,
     ``"holt-winters"`` or ``"wavelet"``.
 
-    The paper's protocol uses EWMA and Fourier; the others are the
-    further members of the two §6.2 method classes (forecasting and
-    signal analysis) and slot into the same extraction pipeline.
+    Resolved through the :mod:`repro.detectors` registry, so the
+    extraction protocol and the comparison engine always agree on each
+    method's configuration (EWMA α = 0.25 bidirectional, the paper's
+    eight Fourier periods, a one-day Holt-Winters season, …).  Only
+    column-wise timeseries detectors qualify — the subspace method has
+    no per-flow model and is rejected.
     """
-    name = name.lower()
-    if name == "ewma":
-        return EWMAModel(alpha=0.25, bidirectional=True)
-    if name == "fourier":
-        return FourierModel(bin_seconds=bin_seconds)
-    if name == "ar":
-        from repro.baselines.autoregressive import ARModel
+    from repro import detectors as registry
+    from repro.exceptions import ModelError
 
-        return ARModel(order=4, differencing=1)
-    if name in ("holt-winters", "holtwinters"):
-        from repro.baselines.holt_winters import HoltWintersModel
-
-        season = max(int(round(86_400.0 / bin_seconds)), 1)
-        return HoltWintersModel(season_bins=season)
-    if name == "wavelet":
-        from repro.baselines.wavelet import WaveletModel
-
-        return WaveletModel(levels=4)
-    raise ValidationError(f"unknown extraction method: {name!r}")
+    try:
+        detector = registry.get(name, bin_seconds=bin_seconds)
+    except ModelError as error:
+        raise ValidationError(str(error)) from None
+    model = getattr(detector, "model", None)
+    if not isinstance(model, TimeseriesModel):
+        raise ValidationError(
+            f"detector {name!r} has no column-wise timeseries model and "
+            "cannot extract per-flow anomalies"
+        )
+    return model
 
 
 def extract_true_anomalies(
@@ -114,7 +110,6 @@ def extract_true_anomalies(
     sizes = model.anomaly_sizes(od_traffic.values)  # (t, n)
 
     candidates: list[TrueAnomaly] = []
-    t = sizes.shape[0]
     for j in range(sizes.shape[1]):
         column = sizes[:, j]
         for time_bin in _local_maxima(column, local_window):

@@ -6,6 +6,11 @@ detection threshold over a residual-energy series and trace the
 bins.  The area under that curve summarizes separability in one number,
 letting the subspace method be compared against the temporal baselines
 quantitatively.
+
+The harness is detector-agnostic: :func:`roc_curve` consumes any
+per-timestep energy series, and :func:`detector_roc` accepts anything
+satisfying the :class:`~repro.detectors.base.Detector` protocol — or a
+registry name — so new detectors get ROC evaluation for free.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 
-__all__ = ["RocCurve", "roc_curve", "operating_point"]
+__all__ = ["RocCurve", "roc_curve", "operating_point", "detector_roc"]
 
 
 @dataclass(frozen=True)
@@ -53,21 +58,26 @@ class RocCurve:
         return float(self.detection_rates[eligible].max())
 
 
-def roc_curve(
+def _split_energy(
     residual_energy: np.ndarray,
     anomaly_bins: np.ndarray,
-) -> RocCurve:
-    """Sweep thresholds over a residual-energy series.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate inputs and split into (energy, anomalous, normal).
 
-    Every distinct energy value is a candidate threshold, so the curve is
-    exact rather than sampled.
+    The first element is the float64-coerced energy vector so callers
+    need not convert again.  The truth set must be non-empty (an empty
+    truth set has no detection rate) and must not cover every bin (an
+    all-anomalous series has no false-alarm rate) — both degenerate
+    cases raise.
     """
     residual_energy = np.asarray(residual_energy, dtype=np.float64)
     anomaly_bins = np.asarray(anomaly_bins, dtype=np.int64)
     if residual_energy.ndim != 1:
         raise ValidationError("residual_energy must be a vector")
     if anomaly_bins.size == 0:
-        raise ValidationError("anomaly_bins is empty")
+        raise ValidationError(
+            "anomaly_bins is empty: an empty truth set has no ROC"
+        )
     if anomaly_bins.min() < 0 or anomaly_bins.max() >= residual_energy.size:
         raise ValidationError("anomaly_bins outside the series")
 
@@ -76,11 +86,41 @@ def roc_curve(
     anomalous = residual_energy[mask]
     normal = residual_energy[~mask]
     if normal.size == 0:
-        raise ValidationError("no normal bins")
+        raise ValidationError(
+            "no normal bins: every bin is anomalous, so false-alarm "
+            "rates are undefined"
+        )
+    return residual_energy, anomalous, normal
+
+
+def roc_curve(
+    residual_energy: np.ndarray,
+    anomaly_bins: np.ndarray,
+) -> RocCurve:
+    """Sweep thresholds over a residual-energy series.
+
+    Every *distinct* energy value is a candidate threshold — tied
+    energies are deduplicated so each curve point is unique — making
+    the curve exact rather than sampled.  Both rate vectors come from
+    one sorted pass (``searchsorted``), so the sweep is
+    ``O(t log t)`` instead of the naive ``O(t²)`` per-threshold scan.
+    """
+    residual_energy, anomalous, normal = _split_energy(
+        residual_energy, anomaly_bins
+    )
 
     thresholds = np.unique(residual_energy)[::-1]
-    detection = np.array([np.mean(anomalous > t) for t in thresholds])
-    false_alarm = np.array([np.mean(normal > t) for t in thresholds])
+    # mean(x > threshold) for every threshold at once: count the values
+    # strictly above each threshold in the sorted array.
+    sorted_anomalous = np.sort(anomalous)
+    sorted_normal = np.sort(normal)
+    detection = (
+        anomalous.size
+        - np.searchsorted(sorted_anomalous, thresholds, side="right")
+    ) / anomalous.size
+    false_alarm = (
+        normal.size - np.searchsorted(sorted_normal, thresholds, side="right")
+    ) / normal.size
     return RocCurve(
         thresholds=thresholds,
         detection_rates=detection,
@@ -95,14 +135,52 @@ def operating_point(
 ) -> tuple[float, float]:
     """(detection rate, false alarm rate) at one specific threshold.
 
-    Evaluates the Q-statistic's chosen operating point on the ROC plane.
+    Evaluates a detector's chosen operating point (e.g. the
+    Q-statistic limit) on the ROC plane.
     """
-    residual_energy = np.asarray(residual_energy, dtype=np.float64)
-    anomaly_bins = np.asarray(anomaly_bins, dtype=np.int64)
-    mask = np.zeros(residual_energy.size, dtype=bool)
-    mask[anomaly_bins] = True
-    anomalous = residual_energy[mask]
-    normal = residual_energy[~mask]
-    if anomalous.size == 0 or normal.size == 0:
-        raise ValidationError("need both anomalous and normal bins")
+    _, anomalous, normal = _split_energy(residual_energy, anomaly_bins)
     return float(np.mean(anomalous > threshold)), float(np.mean(normal > threshold))
+
+
+def detector_roc(
+    detector,
+    measurements: np.ndarray,
+    anomaly_bins: np.ndarray,
+    train: np.ndarray | None = None,
+    **detector_kwargs,
+) -> RocCurve:
+    """The ROC of one detector's residual energy over a block.
+
+    Parameters
+    ----------
+    detector:
+        A registry name (``"subspace"``, ``"ewma"``, …) or any object
+        satisfying the :class:`~repro.detectors.base.Detector`
+        protocol.
+    measurements:
+        The ``(t, m)`` block to score.
+    anomaly_bins:
+        Known anomalous timesteps within the block.
+    train:
+        Optional training block to fit on.  When omitted, a detector
+        given *by name* is fitted on ``measurements``; a detector given
+        as an *instance* is used exactly as passed — never silently
+        refitted — so pre-fitted calibrations stay intact (an unfitted
+        instance surfaces its own ``NotFittedError`` from ``score``).
+    detector_kwargs:
+        Forwarded to the registry factory when ``detector`` is a name.
+    """
+    if isinstance(detector, str):
+        # Local import: the registry layer depends on this module's
+        # package, so resolve names at call time.
+        from repro import detectors as registry
+
+        detector = registry.get(detector, **detector_kwargs)
+        detector.fit(measurements if train is None else train)
+    elif detector_kwargs:
+        raise ValidationError(
+            "detector_kwargs apply only when detector is a registry name"
+        )
+    elif train is not None:
+        detector.fit(train)
+    return roc_curve(detector.score(measurements), anomaly_bins)

@@ -38,8 +38,8 @@ class TestRoundTrip:
         path = save_dataset(small_dataset, tmp_path / "w.npz")
         loaded = load_dataset(path)
         assert loaded.network.pop_names == small_dataset.network.pop_names
-        assert [l.name for l in loaded.network.links] == [
-            l.name for l in small_dataset.network.links
+        assert [link.name for link in loaded.network.links] == [
+            link.name for link in small_dataset.network.links
         ]
 
 

@@ -23,6 +23,6 @@ class TestSummary:
     def test_paper_table1_values(self, sprint1, abilene_ds):
         text = summary_table([sprint1, abilene_ds])
         lines = text.splitlines()
-        assert any("sprint-1" in l and "13" in l and "49" in l for l in lines)
-        assert any("abilene" in l and "11" in l and "41" in l for l in lines)
-        assert all("7.0 d" in l for l in lines[1:])
+        assert any("sprint-1" in row and "13" in row and "49" in row for row in lines)
+        assert any("abilene" in row and "11" in row and "41" in row for row in lines)
+        assert all("7.0 d" in row for row in lines[1:])

@@ -1,0 +1,187 @@
+"""Detector-contract property suite.
+
+Every detector the registry serves must satisfy the
+:class:`~repro.detectors.base.Detector` protocol *behaviorally*:
+shape-preserving finite scores, monotone alarms in confidence, and
+fit-before-use discipline.  The suite is parametrized over the registry
+itself, so a newly registered detector is contract-checked with zero
+test changes.
+
+The vectorized AR / Holt-Winters hot paths are additionally pinned
+bit-for-bit against their per-column scalar application — the
+refactoring guarantee the detector adapters rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import detectors
+from repro.detectors import Detector, DetectorAlarms
+from repro.exceptions import ModelError, NotFittedError
+
+ALL_DETECTORS = detectors.available()
+
+#: Confidence ladder for the monotonicity contract.
+CONFIDENCES = (0.90, 0.97, 0.999)
+
+
+@pytest.fixture(scope="module")
+def block():
+    """A (320, 8) link-like block: diurnal structure, noise, two spikes."""
+    rng = np.random.default_rng(4242)
+    t, m = 320, 8
+    base = 1e7 * (1.2 + np.sin(2 * np.pi * np.arange(t) / 144.0))[:, None]
+    block = np.abs(base * rng.uniform(0.5, 1.5, size=m) * (
+        1.0 + 0.05 * rng.standard_normal((t, m))
+    ))
+    block[200] *= 3.0
+    block[295, :4] *= 4.0
+    return block
+
+
+def make(name: str) -> Detector:
+    return detectors.get(name, bin_seconds=600.0)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+class TestDetectorContract:
+    def test_satisfies_protocol(self, name):
+        assert isinstance(make(name), Detector)
+
+    def test_fit_returns_self(self, name, block):
+        detector = make(name)
+        assert detector.fit(block) is detector
+
+    def test_requires_fit(self, name, block):
+        detector = make(name)
+        with pytest.raises(NotFittedError):
+            detector.score(block)
+        with pytest.raises(NotFittedError):
+            detector.detect(block)
+
+    def test_score_shape_and_finiteness(self, name, block):
+        scores = make(name).fit(block).score(block)
+        assert scores.shape == (block.shape[0],)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0.0)
+
+    def test_score_is_deterministic(self, name, block):
+        detector = make(name).fit(block)
+        assert np.array_equal(detector.score(block), detector.score(block))
+
+    def test_scoring_fit_block_matches_fresh_block(self, name, block):
+        """The fit-block fast path returns the same energies as a fresh
+        compute, and the returned array is caller-owned."""
+        detector = make(name).fit(block)
+        cached = detector.score(block)
+        cached[:] = -1.0  # mutate the returned array
+        fresh = detector.score(block.copy())
+        assert np.array_equal(detector.score(block), fresh)
+
+    def test_score_reflects_inplace_mutation(self, name, block):
+        """Mutating the training array in place must not serve stale
+        fit-time scores."""
+        mutable = block.copy()
+        detector = make(name).fit(mutable)
+        before = detector.score(mutable)
+        mutable[150:160] *= 5.0
+        after = detector.score(mutable)
+        assert not np.array_equal(before, after)
+
+    def test_detect_returns_alarms(self, name, block):
+        alarms = make(name).fit(block).detect(block)
+        assert isinstance(alarms, DetectorAlarms)
+        assert alarms.flags.shape == (block.shape[0],)
+        assert alarms.flags.dtype == bool
+        assert np.array_equal(
+            alarms.flags, alarms.scores > alarms.threshold
+        )
+        assert alarms.num_alarms == alarms.anomalous_bins.size
+
+    def test_alarms_monotone_in_confidence(self, name, block):
+        detector = make(name).fit(block)
+        flag_sets = [
+            detector.detect(block, confidence=c).flags for c in CONFIDENCES
+        ]
+        for looser, stricter in zip(flag_sets, flag_sets[1:]):
+            # Raising the confidence can only remove alarms.
+            assert not np.any(stricter & ~looser)
+
+    def test_default_confidence_is_constructor_confidence(self, name, block):
+        detector = detectors.get(name, bin_seconds=600.0, confidence=0.97)
+        alarms = detector.fit(block).detect(block)
+        assert alarms.confidence == 0.97
+
+    def test_rejects_bad_confidence(self, name, block):
+        detector = make(name).fit(block)
+        with pytest.raises(ModelError):
+            detector.detect(block, confidence=1.5)
+
+
+class TestVectorizedBitIdentity:
+    """The refactored AR / Holt-Winters paths, pinned bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def wide_block(self):
+        rng = np.random.default_rng(99)
+        t, k = 400, 23
+        base = 1e6 * (2.0 + np.sin(2 * np.pi * np.arange(t) / 144.0))
+        return np.abs(
+            base[:, None]
+            * rng.uniform(0.5, 2.0, size=k)
+            * (1.0 + 0.1 * rng.standard_normal((t, k)))
+        )
+
+    @pytest.mark.parametrize("order,differencing", [(4, 1), (2, 0), (6, 2)])
+    def test_ar_matrix_matches_column_loop(
+        self, wide_block, order, differencing
+    ):
+        from repro.baselines.autoregressive import ARModel
+
+        model = ARModel(order=order, differencing=differencing)
+        vectorized = model.predict(wide_block)
+        reference = np.column_stack(
+            [
+                model._predict_column(wide_block[:, j])
+                for j in range(wide_block.shape[1])
+            ]
+        )
+        assert np.array_equal(vectorized, reference)
+
+    @pytest.mark.parametrize("order,differencing", [(4, 1), (3, 2)])
+    def test_ar_single_series_matches_column_loop(
+        self, wide_block, order, differencing
+    ):
+        from repro.baselines.autoregressive import ARModel
+
+        model = ARModel(order=order, differencing=differencing)
+        column = wide_block[:, 5]
+        assert np.array_equal(
+            model.predict(column), model._predict_column(column)
+        )
+
+    @pytest.mark.parametrize("season_bins", [48, 144])
+    def test_holt_winters_batch_matches_per_column(
+        self, wide_block, season_bins
+    ):
+        from repro.baselines.holt_winters import HoltWintersModel
+
+        model = HoltWintersModel(season_bins=season_bins)
+        batched = model.predict(wide_block)
+        reference = np.column_stack(
+            [
+                model.predict(wide_block[:, j])
+                for j in range(wide_block.shape[1])
+            ]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_adapter_scores_match_model_energy(self, wide_block):
+        """The detector adapters add nothing to the residual algebra."""
+        from repro.baselines.autoregressive import ARModel
+
+        detector = detectors.get("ar").fit(wide_block)
+        assert np.array_equal(
+            detector.score(wide_block),
+            ARModel(order=4, differencing=1).residual_energy(wide_block),
+        )

@@ -1,0 +1,119 @@
+"""Tests for the detector registry."""
+
+import numpy as np
+import pytest
+
+from repro import detectors
+from repro.detectors import SubspaceDetector, TemporalDetector
+from repro.exceptions import ModelError
+
+
+class TestGet:
+    def test_builtin_names(self):
+        assert set(detectors.available()) >= {
+            "subspace",
+            "ewma",
+            "fourier",
+            "ar",
+            "holt-winters",
+            "wavelet",
+        }
+
+    def test_returns_fresh_unfitted_instances(self):
+        first = detectors.get("ewma")
+        second = detectors.get("ewma")
+        assert first is not second
+        assert not first.is_fitted
+
+    def test_subspace_type(self):
+        assert isinstance(detectors.get("subspace"), SubspaceDetector)
+
+    def test_temporal_types(self):
+        for name in ("ewma", "fourier", "ar", "holt-winters", "wavelet"):
+            detector = detectors.get(name)
+            assert isinstance(detector, TemporalDetector)
+            assert detector.name == name
+
+    def test_case_and_whitespace_insensitive(self):
+        assert detectors.get(" EWMA ").name == "ewma"
+
+    def test_aliases(self):
+        assert detectors.get("holtwinters").name == "holt-winters"
+        assert detectors.get("spe").name == "subspace"
+        assert detectors.get("pca").name == "subspace"
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelError, match="unknown detector"):
+            detectors.get("prophet")
+
+    def test_empty_name(self):
+        with pytest.raises(ModelError):
+            detectors.get("  ")
+
+    def test_kwargs_forwarded(self):
+        detector = detectors.get("holt-winters", bin_seconds=300.0)
+        assert detector.model.season_bins == 288
+        detector = detectors.get("ewma", alpha=0.4)
+        assert detector.model.alpha == 0.4
+
+    def test_uniform_kwargs_accepted_everywhere(self):
+        for name in (
+            "subspace", "ewma", "fourier", "ar", "holt-winters", "wavelet"
+        ):
+            detector = detectors.get(
+                name, confidence=0.95, bin_seconds=600.0
+            )
+            assert detector.confidence == 0.95
+
+
+class TestResolveNames:
+    def test_orders_and_dedups(self):
+        assert detectors.resolve_names(
+            ["EWMA", "subspace", "ewma", "spe"]
+        ) == ("ewma", "subspace")
+
+    def test_unknown_raises(self):
+        with pytest.raises(ModelError, match="unknown detector"):
+            detectors.resolve_names(["subspace", "lstm"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError):
+            detectors.resolve_names([])
+
+
+class TestRegister:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ModelError, match="already registered"):
+            detectors.register("ewma", lambda **kw: None)
+
+    def test_custom_detector_round_trip(self):
+        class Constant:
+            name = "constant"
+
+            def __init__(self, **kwargs):
+                self._fitted = False
+
+            def fit(self, measurements):
+                self._fitted = True
+                return self
+
+            def score(self, measurements):
+                return np.zeros(np.asarray(measurements).shape[0])
+
+            def detect(self, measurements, confidence=None):
+                from repro.detectors import DetectorAlarms
+
+                scores = self.score(measurements)
+                return DetectorAlarms(
+                    scores=scores,
+                    threshold=0.0,
+                    flags=scores > 0.0,
+                    confidence=confidence or 0.999,
+                )
+
+        detectors.register(
+            "test-constant", lambda **kw: Constant(**kw), overwrite=True
+        )
+        detector = detectors.get("test-constant")
+        assert isinstance(detector, detectors.Detector)
+        assert detector.fit(np.ones((4, 2))).score(np.ones((4, 2))).shape == (4,)

@@ -1,7 +1,6 @@
 """Integration tests: topology -> routing -> traffic -> measurement ->
 diagnosis, end to end on small seeded worlds."""
 
-import numpy as np
 import pytest
 
 from repro.core import AnomalyDiagnoser, SPEDetector

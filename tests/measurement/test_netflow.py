@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import MeasurementError
-from repro.measurement import FlowCollector, PacketSizeModel, PeriodicSampler, RandomSampler
+from repro.measurement import FlowCollector, PeriodicSampler, RandomSampler
 
 
 @pytest.fixture

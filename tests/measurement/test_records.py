@@ -1,6 +1,5 @@
 """Tests for repro.measurement.records."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import MeasurementError

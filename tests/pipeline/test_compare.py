@@ -1,0 +1,260 @@
+"""Tests for the multi-detector comparison engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline import ComparisonRunner
+from repro.pipeline.compare import ComparisonScenario, scenario_trace
+
+FAST_GRID = dict(
+    detectors=("subspace", "fourier"),
+    injection_sizes=(3.0e7,),
+    num_injections=8,
+    workers=1,
+)
+
+
+class TestScenarioTrace:
+    def test_baseline_is_the_unmodified_trace(self, small_dataset):
+        scenario = ComparisonScenario(label="baseline", injection_size=None)
+        trace, truth = scenario_trace(small_dataset, scenario)
+        assert trace is small_dataset.link_traffic
+        assert truth.size == len(
+            {e.time_bin for e in small_dataset.true_events}
+        )
+
+    def test_injection_is_deterministic(self, small_dataset):
+        scenario = ComparisonScenario(
+            label="inject", injection_size=2.0e7, num_injections=6, seed=3
+        )
+        trace_a, truth_a = scenario_trace(small_dataset, scenario)
+        trace_b, truth_b = scenario_trace(small_dataset, scenario)
+        assert np.array_equal(trace_a, trace_b)
+        assert np.array_equal(truth_a, truth_b)
+
+    def test_different_seeds_differ(self, small_dataset):
+        first = ComparisonScenario(
+            label="a", injection_size=2.0e7, num_injections=6, seed=3
+        )
+        second = ComparisonScenario(
+            label="b", injection_size=2.0e7, num_injections=6, seed=4
+        )
+        assert not np.array_equal(
+            scenario_trace(small_dataset, first)[0],
+            scenario_trace(small_dataset, second)[0],
+        )
+
+    def test_injection_adds_routed_bytes(self, small_dataset):
+        scenario = ComparisonScenario(
+            label="inject", injection_size=2.0e7, num_injections=6, seed=0
+        )
+        trace, truth = scenario_trace(small_dataset, scenario)
+        delta = trace - small_dataset.link_traffic
+        changed = np.nonzero(np.any(delta != 0.0, axis=1))[0]
+        assert changed.size == 6
+        assert set(changed) <= set(truth.tolist())
+        # Each spike adds size * A_i bytes; the column sums of A are >= 1.
+        assert np.all(delta[changed].sum(axis=1) >= 2.0e7 * (1 - 1e-9))
+
+    def test_truth_is_union_of_ledger_and_injections(self, small_dataset):
+        scenario = ComparisonScenario(
+            label="inject", injection_size=2.0e7, num_injections=6, seed=0
+        )
+        _, truth = scenario_trace(small_dataset, scenario)
+        ledger = {e.time_bin for e in small_dataset.true_events}
+        assert ledger <= set(truth.tolist())
+        assert truth.size == len(ledger) + 6
+
+    def test_baseline_without_events_raises(self, small_dataset):
+        scenario = ComparisonScenario(label="baseline", injection_size=None)
+        with pytest.raises(ValidationError, match="baseline"):
+            scenario_trace(small_dataset, scenario, min_event_bytes=1e18)
+
+    def test_multi_bin_events_mark_their_whole_span(self):
+        from types import SimpleNamespace
+
+        from repro.pipeline.compare import _ledger_bins
+        from repro.traffic.anomalies import AnomalyEvent, AnomalyShape
+
+        dataset = SimpleNamespace(
+            true_events=(
+                AnomalyEvent(
+                    time_bin=10,
+                    flow_index=0,
+                    amplitude_bytes=5e7,
+                    shape=AnomalyShape.SQUARE,
+                    duration_bins=4,
+                ),
+                AnomalyEvent(
+                    time_bin=30, flow_index=1, amplitude_bytes=5e7
+                ),
+            )
+        )
+        assert _ledger_bins(dataset, 0.0).tolist() == [10, 11, 12, 13, 30]
+
+
+class TestComparisonRunner:
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return ComparisonRunner([small_dataset], **FAST_GRID).run()
+
+    def test_grid_shape(self, report, small_dataset):
+        # 2 detectors x (baseline + 1 injection) = 4 cells.
+        assert len(report) == 4
+        assert report.detectors == ("subspace", "fourier")
+        assert report.datasets == (small_dataset.name,)
+        assert report.scenarios == ("baseline", "inject-3.00e+07")
+
+    def test_cell_lookup(self, report, small_dataset):
+        cell = report.cell("subspace", small_dataset.name, "baseline")
+        assert cell.is_baseline
+        assert 0.0 <= cell.auc <= 1.0
+        assert 0.0 <= cell.op_detection <= 1.0
+        assert 0.0 <= cell.op_false_alarm <= 1.0
+        with pytest.raises(ValidationError):
+            report.cell("subspace", small_dataset.name, "nope")
+
+    def test_budgets_are_recorded(self, report):
+        for cell in report:
+            budgets = dict(cell.detection_at_budgets)
+            assert set(budgets) == {0.001, 0.01}
+            assert all(0.0 <= rate <= 1.0 for rate in budgets.values())
+
+    def test_ranking_and_mean_auc(self, report):
+        ranking = report.ranking()
+        assert set(ranking) == {"subspace", "fourier"}
+        aucs = [report.mean_auc(d) for d in ranking]
+        assert aucs == sorted(aucs, reverse=True)
+        with pytest.raises(ValidationError):
+            report.mean_auc("ewma")
+
+    def test_table_renders_every_cell(self, report, small_dataset):
+        table = report.table()
+        assert "subspace" in table and "fourier" in table
+        assert f"{small_dataset.name}/baseline" in table
+        operating = report.operating_table()
+        assert operating.count("\n") >= len(report)
+
+    def test_to_json_round_trips(self, report):
+        import json
+
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["grid"]["num_cells"] == len(report)
+        assert set(payload["mean_auc"]) == {"subspace", "fourier"}
+        assert len(payload["cells"]) == len(report)
+        assert payload["ranking"][0] in {"subspace", "fourier"}
+
+    def test_parallel_matches_serial(self, small_dataset, report):
+        parallel = ComparisonRunner(
+            [small_dataset], **{**FAST_GRID, "workers": 2}
+        ).run()
+        assert parallel.cells == report.cells
+
+    def test_detector_kwargs_override(self, small_dataset):
+        report = ComparisonRunner(
+            [small_dataset],
+            detectors=("ewma",),
+            injection_sizes=(3.0e7,),
+            num_injections=4,
+            workers=1,
+            detector_kwargs={"ewma": {"alpha": 0.5}},
+        ).run()
+        assert len(report) == 2
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValidationError):
+            ComparisonRunner([])
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset, small_dataset])
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], injection_sizes=(0.0,))
+        with pytest.raises(ValidationError, match="distinct"):
+            ComparisonRunner([small_dataset], injection_sizes=(3e7, 3e7))
+        # Distinct sizes that format to the same scenario label are
+        # rejected loudly rather than silently collapsing rows.
+        with pytest.raises(ValidationError, match="collide"):
+            ComparisonRunner(
+                [small_dataset], injection_sizes=(3.000e7, 3.001e7)
+            ).scenarios_for(small_dataset)
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], num_injections=0)
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], workers=0)
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], confidence=1.2)
+        with pytest.raises(ValidationError):
+            ComparisonRunner(
+                [small_dataset], detector_kwargs={"wavelet": {}}
+            )
+
+    def test_no_events_and_no_injections_rejected(self, small_dataset):
+        runner = ComparisonRunner(
+            [small_dataset], min_event_bytes=1e18, workers=1
+        )
+        with pytest.raises(ValidationError, match="nothing to evaluate"):
+            runner.run()
+
+    def test_injections_only_grid(self, small_dataset):
+        report = ComparisonRunner(
+            [small_dataset],
+            detectors=("fourier",),
+            injection_sizes=(3.0e7,),
+            num_injections=4,
+            min_event_bytes=1e18,
+            workers=1,
+        ).run()
+        # The baseline scenario is dropped; the injected bins alone form
+        # the truth set.
+        assert report.scenarios == ("inject-3.00e+07",)
+        assert report.cells[0].num_truth_bins == 4
+
+
+class TestRuntimeRegisteredDetector:
+    def test_factory_travels_to_workers(self, small_dataset):
+        """A detector registered at runtime works across worker
+        processes: the factory is shipped with each cell task instead of
+        being re-resolved from the (possibly re-imported) registry."""
+        from repro import detectors
+
+        detectors.register(
+            "test-compare-fourier", _fourier_factory, overwrite=True
+        )
+        report = ComparisonRunner(
+            [small_dataset],
+            detectors=("test-compare-fourier",),
+            injection_sizes=(3.0e7,),
+            num_injections=4,
+            workers=2,
+        ).run()
+        assert report.detectors == ("test-compare-fourier",)
+        assert len(report) == 2
+
+
+def _fourier_factory(**kwargs):
+    # Module-level so it pickles under any multiprocessing start method.
+    from repro.detectors.temporal import fourier_detector
+
+    detector = fourier_detector(
+        confidence=kwargs.get("confidence", 0.999),
+        bin_seconds=kwargs.get("bin_seconds", 600.0),
+    )
+    detector.name = "test-compare-fourier"
+    return detector
+
+
+class TestPaperOrdering:
+    def test_subspace_beats_temporal_baselines(self, sprint1):
+        """The §6.2 / Fig. 10 claim, quantified over the injection grid."""
+        report = ComparisonRunner(
+            [sprint1],
+            detectors=("subspace", "ewma", "fourier"),
+            injection_sizes=(3.0e7, 1.5e7),
+            num_injections=24,
+            workers=1,
+        ).run()
+        assert report.ranking()[0] == "subspace"
+        for scenario in report.scenarios:
+            subspace = report.auc("subspace", sprint1.name, scenario)
+            for baseline in ("ewma", "fourier"):
+                assert subspace > report.auc(baseline, sprint1.name, scenario)

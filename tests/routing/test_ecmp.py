@@ -1,6 +1,5 @@
 """Tests for repro.routing.ecmp."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import RoutingError
@@ -49,7 +48,7 @@ class TestECMPLinkFractions:
         # Construct: s-u1, s-u2, u1-t, u2-t, u1-w, w-t with weights making
         # u1->w->t equal cost to u1->t (2 hops vs 1? no) - use weights.
         net = Network("diamond")
-        from repro.topology import PoP, Link
+        from repro.topology import PoP
 
         for name in ("s", "u1", "u2", "w", "t"):
             net.add_pop(PoP(name))

@@ -12,7 +12,6 @@ from repro.routing import (
     build_routing_matrix,
 )
 from repro.routing.events import reroute_delta
-from repro.topology import toy_network
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import RoutingError
 from repro.routing import RoutingMatrix, SPFRouting, build_routing_matrix
-from repro.topology import abilene, sprint_europe, toy_network
+from repro.topology import abilene, sprint_europe
 
 
 def routing_for(network):

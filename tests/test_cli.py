@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -109,6 +108,50 @@ class TestPipelineCommand:
     def test_mode_is_required(self):
         with pytest.raises(SystemExit):
             main(["pipeline"])
+
+
+class TestCompare:
+    def test_compare_on_saved_dataset(self, tmp_path, capsys, small_dataset):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        json_path = tmp_path / "report.json"
+        assert main([
+            "compare", str(path),
+            "--detectors", "subspace,fourier",
+            "--sizes", "3e7",
+            "--injections", "6",
+            "--workers", "1",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sprint-small/baseline" in out
+        assert "winner:" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["grid"]["detectors"] == ["subspace", "fourier"]
+        assert payload["grid"]["num_cells"] == 4
+
+    def test_compare_requires_sizes_for_custom_dataset(
+        self, tmp_path, capsys, small_dataset
+    ):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(["compare", str(path)]) == 2
+        assert "--sizes" in capsys.readouterr().err
+
+    def test_compare_rejects_unknown_detector(
+        self, tmp_path, capsys, small_dataset
+    ):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        assert main(
+            ["compare", str(path), "--detectors", "lstm", "--sizes", "3e7"]
+        ) == 2
+        assert "unknown detector" in capsys.readouterr().err
 
 
 class TestParser:

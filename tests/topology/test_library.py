@@ -1,7 +1,5 @@
 """Tests for the library topologies (paper Table 1 / Fig. 2)."""
 
-import pytest
-
 from repro.topology import abilene, sprint_europe, toy_network
 from repro.topology.validation import check_network
 

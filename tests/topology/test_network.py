@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import TopologyError
-from repro.topology import Link, LinkKind, Network, PoP
+from repro.topology import Link, Network, PoP
 
 
 def two_pop_net() -> Network:

@@ -20,7 +20,9 @@ class TestRenderTopology:
     def test_adjacency_shown(self):
         text = render_topology(abilene())
         # Seattle's neighbors on the canonical map.
-        line = next(l for l in text.splitlines() if l.strip().startswith("sttl"))
+        line = next(
+            row for row in text.splitlines() if row.strip().startswith("sttl")
+        )
         assert "dnvr" in line and "snva" in line
 
 

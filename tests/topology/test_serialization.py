@@ -19,7 +19,9 @@ class TestRoundTrip:
         rebuilt = network_from_dict(network_to_dict(original))
         assert rebuilt.name == original.name
         assert rebuilt.pop_names == original.pop_names
-        assert [l.name for l in rebuilt.links] == [l.name for l in original.links]
+        assert [link.name for link in rebuilt.links] == [
+            link.name for link in original.links
+        ]
 
     def test_dict_round_trip_preserves_attributes(self):
         original = abilene()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import TrafficError
 from repro.traffic.gravity import flow_size_spread, gravity_means
-from repro.topology import sprint_europe, toy_network
+from repro.topology import sprint_europe
 
 
 class TestGravityMeans:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import SPEDetector
 from repro.exceptions import TrafficError
-from repro.measurement.sampling import PacketSizeModel
 from repro.traffic import (
     average_packet_size_links,
     inject_small_packet_flood,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.diagnosis import Diagnosis
 from repro.exceptions import ValidationError
-from repro.validation import DiagnosisScore, match_diagnoses, score_against_truth
+from repro.validation import match_diagnoses, score_against_truth
 from repro.validation.ground_truth import TrueAnomaly
 
 

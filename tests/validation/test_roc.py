@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.validation import operating_point, roc_curve
+from repro.validation import detector_roc, operating_point, roc_curve
 
 
 class TestRocCurve:
@@ -55,6 +55,120 @@ class TestRocCurve:
             roc_curve(np.ones(5), np.array([], dtype=int))
         with pytest.raises(ValidationError):
             roc_curve(np.ones(5), np.array([99]))
+
+
+class TestRocEdgeCases:
+    def test_empty_truth_set_raises(self):
+        with pytest.raises(ValidationError, match="empty truth set"):
+            roc_curve(np.arange(10.0), np.array([], dtype=np.int64))
+
+    def test_all_anomalous_bins_raise(self):
+        # Every bin anomalous: no normal bins, so FA rates are undefined.
+        with pytest.raises(ValidationError, match="no normal bins"):
+            roc_curve(np.arange(5.0), np.arange(5))
+
+    def test_all_anomalous_via_duplicate_bins(self):
+        # Duplicate truth indices must not mask the degenerate case.
+        with pytest.raises(ValidationError, match="no normal bins"):
+            roc_curve(np.arange(3.0), np.array([0, 0, 1, 1, 2, 2]))
+
+    def test_tied_energies_are_deduplicated(self):
+        energy = np.array([1.0, 5.0, 5.0, 5.0, 1.0, 9.0])
+        curve = roc_curve(energy, np.array([1, 5]))
+        # One threshold per *distinct* energy, strictly descending.
+        assert curve.thresholds.tolist() == [9.0, 5.0, 1.0]
+        assert np.all(np.diff(curve.thresholds) < 0)
+        # 9 > 5: one of two anomalies; 5.0 keeps both ties un-flagged
+        # under the strict > rule.
+        assert curve.detection_rates.tolist() == [0.0, 0.5, 1.0]
+        assert curve.false_alarm_rates.tolist() == [0.0, 0.0, 0.5]
+
+    def test_constant_energy_is_a_single_point(self):
+        curve = roc_curve(np.ones(8), np.array([2, 3]))
+        assert curve.thresholds.tolist() == [1.0]
+        assert curve.detection_rates.tolist() == [0.0]
+        assert curve.false_alarm_rates.tolist() == [0.0]
+        assert curve.auc == pytest.approx(0.5)
+
+    def test_matches_naive_per_threshold_scan(self, rng):
+        """The sorted sweep equals the O(t²) definition, bit for bit."""
+        energy = rng.exponential(size=400)
+        energy[::7] = energy[::6][: energy[::7].size]  # force ties
+        anomaly_bins = rng.choice(400, size=37, replace=False)
+        curve = roc_curve(energy, anomaly_bins)
+
+        mask = np.zeros(energy.size, dtype=bool)
+        mask[anomaly_bins] = True
+        anomalous, normal = energy[mask], energy[~mask]
+        thresholds = np.unique(energy)[::-1]
+        detection = np.array([np.mean(anomalous > t) for t in thresholds])
+        false_alarm = np.array([np.mean(normal > t) for t in thresholds])
+        assert np.array_equal(curve.thresholds, thresholds)
+        assert np.array_equal(curve.detection_rates, detection)
+        assert np.array_equal(curve.false_alarm_rates, false_alarm)
+
+    def test_operating_point_rejects_degenerate_truth(self):
+        with pytest.raises(ValidationError):
+            operating_point(np.ones(5), np.array([], dtype=int), 0.5)
+        with pytest.raises(ValidationError):
+            operating_point(np.ones(5), np.arange(5), 0.5)
+
+
+class TestDetectorRoc:
+    @pytest.fixture(scope="class")
+    def spiky_block(self):
+        rng = np.random.default_rng(7)
+        block = np.abs(rng.normal(100.0, 5.0, size=(300, 6)))
+        block[[40, 120, 250]] *= 6.0
+        return block
+
+    def test_by_registry_name(self, spiky_block):
+        curve = detector_roc(
+            "fourier", spiky_block, np.array([40, 120, 250])
+        )
+        assert curve.auc > 0.9
+
+    def test_with_detector_instance_and_train_split(self, spiky_block):
+        from repro import detectors
+
+        detector = detectors.get("subspace")
+        curve = detector_roc(
+            detector,
+            spiky_block,
+            np.array([40, 120, 250]),
+            train=spiky_block[:200],
+        )
+        assert detector.is_fitted
+        assert 0.0 <= curve.auc <= 1.0
+
+    def test_kwargs_require_registry_name(self, spiky_block):
+        from repro import detectors
+
+        with pytest.raises(ValidationError):
+            detector_roc(
+                detectors.get("fourier"),
+                spiky_block,
+                np.array([40]),
+                alpha=0.3,
+            )
+
+    def test_fitted_instance_is_never_silently_refit(self, spiky_block):
+        from repro import detectors
+
+        detector = detectors.get("ewma").fit(spiky_block[:150])
+        threshold_before = detector.threshold_at(0.99)
+        detector_roc(detector, spiky_block, np.array([40, 120, 250]))
+        # Scoring must not have touched the calibration.
+        assert detector.threshold_at(0.99) == threshold_before
+
+    def test_unfitted_instance_without_train_raises(self, spiky_block):
+        from repro import detectors
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            detector_roc(
+                detectors.get("ewma"), spiky_block, np.array([40])
+            )
 
 
 class TestOperatingPoint:
