@@ -1,0 +1,351 @@
+"""Comparison-grid scale: fit-once engine + economy eigensolver wall clock.
+
+PR 3's performance contract has two halves:
+
+* **The fit-once engine** — the pre-PR-3 comparison engine evaluated a
+  single confidence level per run, so a grid over C confidence levels
+  meant C full passes, each refitting every (detector, dataset) pair
+  (with the legacy ``full_matrices=True`` SVD inside the subspace fit)
+  and re-scoring every scenario.  The rebuilt
+  :class:`~repro.pipeline.compare.ComparisonRunner` fits each pair
+  exactly once and reuses the fitted state and the per-scenario scores
+  across all scenarios *and* confidence levels.  This bench replays the
+  legacy discipline faithfully — one fit per (pair, confidence), one
+  score pass per (pair, scenario, confidence) — against the new engine
+  on a grid at least 4x the sprint-1 comparison grid and gates a
+  **>=3x** end-to-end wall-clock floor.  AUCs from both paths are
+  cross-checked before any timing.
+* **The economy eigensolver** — ``PCA.fit`` no longer materializes the
+  ``(t, t)`` left singular basis it immediately discards; on tall
+  matrices the ``method="auto"`` route eigendecomposes the ``(m, m)``
+  Gram matrix instead.  Gated at **>=5x** against the legacy
+  ``method="svd-full"`` reference on a tall block.
+
+Artifacts: ``results/compare_scale.txt`` (human-readable) and
+``results/BENCH_compare_scale.json`` (machine-readable: speedups,
+wall-clock, grid size, fit counts, thread environment).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_compare_scale.py
+CI smoke:        PYTHONPATH=src python benchmarks/bench_compare_scale.py --smoke
+(the smoke run shrinks every dimension but still enforces both floors —
+the speedups are structural, not load-dependent).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+MIN_END_TO_END_SPEEDUP = 3.0
+MIN_PCA_FIT_SPEEDUP = 5.0
+
+
+def _time(fn, repeats: int = 1) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Half 1: PCA.fit economy eigensolver on a tall matrix.
+
+
+def measure_pca_fit(
+    num_bins: int = 4096, num_links: int = 64, repeats: int = 2
+) -> dict:
+    """Legacy full-SVD fit vs the auto economy route, tall matrix."""
+    from repro.core.pca import PCA
+
+    rng = np.random.default_rng(20040830)
+    base = 1e7 * (1.5 + np.sin(2.0 * np.pi * np.arange(num_bins) / 144.0))
+    scale = rng.uniform(0.2, 2.0, size=num_links)
+    block = np.abs(
+        base[:, None] * scale
+        * (1.0 + 0.08 * rng.standard_normal((num_bins, num_links)))
+    )
+
+    legacy = PCA(method="svd-full").fit(block)
+    economy = PCA(method="auto").fit(block)
+    # Equal-answer check before timing anything: same eigenvalues, same
+    # axes up to numerical precision (signs are pinned by construction).
+    if not np.allclose(
+        legacy.eigenvalues(), economy.eigenvalues(), rtol=1e-8, atol=1e-6
+    ):
+        raise AssertionError("economy eigensolver diverged on eigenvalues")
+    if not np.allclose(
+        np.abs(np.diag(legacy.components.T @ economy.components)),
+        1.0,
+        atol=1e-6,
+    ):
+        raise AssertionError("economy eigensolver diverged on components")
+
+    legacy_seconds = _time(
+        lambda: PCA(method="svd-full").fit(block), repeats
+    )
+    auto_seconds = _time(lambda: PCA(method="auto").fit(block), repeats)
+    return {
+        "num_bins": num_bins,
+        "num_links": num_links,
+        "solver": economy.solver,
+        "legacy_seconds": legacy_seconds,
+        "auto_seconds": auto_seconds,
+        "speedup": legacy_seconds / auto_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Half 2: the comparison grid, legacy per-cell path vs fit-once engine.
+
+
+def _bench_datasets(num_bins: int, count: int):
+    from repro.datasets.synthetic import dataset_from_config
+    from repro.traffic.workloads import workload_for
+
+    datasets = []
+    for index in range(count):
+        config = workload_for("sprint-1").with_overrides(
+            name=f"bench-scale-{index}",
+            num_bins=num_bins,
+            num_anomalies=16,
+            traffic_seed=51000 + index,
+            anomaly_seed=52000 + index,
+        )
+        datasets.append(dataset_from_config(config))
+    return datasets
+
+
+def _legacy_per_cell_grid(runner, datasets) -> tuple[list, int]:
+    """The pre-PR-3 discipline, replayed faithfully.
+
+    The old engine supported one confidence level per run, so C levels
+    meant C full passes; within each pass every (detector, dataset)
+    pair fitted once (the subspace detector with the legacy full-SVD
+    eigensolver) and scored every scenario with its own fresh model.
+    Scenario traces, scoring and the ROC fold are identical to the new
+    engine's — the timed difference is exactly the per-(pair,
+    confidence) refits, the per-(scenario, confidence) re-scoring and
+    the eigensolver, which are the costs the fit-once engine removes.
+    """
+    from repro import detectors as registry
+    from repro.pipeline.compare import scenario_trace
+    from repro.validation.roc import operating_point, roc_curve
+
+    cells = []
+    num_fits = 0
+    for level in runner.confidences:  # one legacy run per level
+        for dataset in datasets:
+            scenarios = runner.scenarios_for(dataset)
+            for name in runner.detector_names:
+                factory = registry.get_factory(name)
+                kwargs = {
+                    "confidence": level,
+                    "bin_seconds": dataset.bin_seconds,
+                }
+                if name == "subspace":
+                    kwargs["svd_method"] = "svd-full"
+                detector = factory(**kwargs)
+                detector.fit(dataset.link_traffic)
+                num_fits += 1
+                for scenario in scenarios:
+                    trace, truth = scenario_trace(
+                        dataset, scenario, runner.min_event_bytes
+                    )
+                    alarms = detector.detect(trace, confidence=level)
+                    curve = roc_curve(alarms.scores, truth)
+                    op_det, op_fa = operating_point(
+                        alarms.scores, truth, alarms.threshold
+                    )
+                    cells.append(
+                        (
+                            name,
+                            dataset.name,
+                            scenario.label,
+                            level,
+                            curve.auc,
+                            op_det,
+                            op_fa,
+                        )
+                    )
+    return cells, num_fits
+
+
+def measure_grid(
+    num_bins: int = 864,
+    num_datasets: int = 2,
+    detectors: tuple[str, ...] = ("subspace", "ewma", "fourier", "ar"),
+    injection_sizes: tuple[float, ...] = (4.0e7, 2.5e7, 1.5e7),
+    num_injections: int = 16,
+    confidences: tuple[float, ...] = (0.999, 0.995, 0.99),
+) -> dict:
+    """Time the legacy per-cell path against the fit-once engine.
+
+    Both paths run serially (``workers=1``) so the measured ratio is the
+    structural fit-amortization + eigensolver win, not multiprocessing.
+    """
+    from repro.pipeline import ComparisonRunner
+
+    datasets = _bench_datasets(num_bins, num_datasets)
+    runner = ComparisonRunner(
+        datasets,
+        detectors=detectors,
+        injection_sizes=injection_sizes,
+        num_injections=num_injections,
+        confidences=confidences,
+        workers=1,
+    )
+
+    # Equal-answer check before timing: the legacy path must reproduce
+    # the engine's AUCs and operating points (the subspace eigensolver
+    # change moves them by strictly numerical-noise amounts).
+    report = runner.run()
+    legacy_cells, legacy_fits = _legacy_per_cell_grid(runner, datasets)
+    if len(legacy_cells) != len(report.cells):
+        raise AssertionError(
+            f"grid shape mismatch: legacy {len(legacy_cells)} cells, "
+            f"engine {len(report.cells)}"
+        )
+    by_key = {
+        (c.detector, c.dataset, c.scenario, c.confidence): c
+        for c in report.cells
+    }
+    for name, ds_name, label, level, auc, op_det, op_fa in legacy_cells:
+        cell = by_key[(name, ds_name, label, level)]
+        if not np.isclose(cell.auc, auc, rtol=1e-6, atol=1e-9):
+            raise AssertionError(
+                f"AUC diverged for {(name, ds_name, label, level)}: "
+                f"engine {cell.auc} vs legacy {auc}"
+            )
+
+    legacy_seconds = _time(
+        lambda: _legacy_per_cell_grid(runner, datasets)
+    )
+    engine_seconds = _time(lambda: runner.run())
+    return {
+        "num_bins": num_bins,
+        "num_datasets": num_datasets,
+        "detectors": list(detectors),
+        "num_scenarios": len(runner.scenarios_for(datasets[0])),
+        "confidences": list(confidences),
+        "num_cells": len(report.cells),
+        "num_fits_legacy": legacy_fits,
+        "num_fits_engine": report.num_fits,
+        "legacy_seconds": legacy_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": legacy_seconds / engine_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+def measure(smoke: bool = False) -> dict:
+    """The full benchmark record (shrunk in smoke mode)."""
+    if smoke:
+        pca = measure_pca_fit(num_bins=1024, num_links=32, repeats=1)
+        grid = measure_grid(
+            num_bins=576,
+            num_datasets=1,
+            detectors=("subspace", "ewma"),
+            injection_sizes=(3.0e7,),
+            num_injections=8,
+            confidences=(0.999, 0.995, 0.99),
+        )
+    else:
+        pca = measure_pca_fit()
+        grid = measure_grid()
+    return {
+        "benchmark": "compare_scale",
+        "smoke": smoke,
+        "floors": {
+            "end_to_end": MIN_END_TO_END_SPEEDUP,
+            "pca_fit_tall": MIN_PCA_FIT_SPEEDUP,
+        },
+        "speedup": {
+            "end_to_end": grid["speedup"],
+            "pca_fit_tall": pca["speedup"],
+        },
+        "wall_clock_seconds": {
+            "grid_legacy_per_cell": grid["legacy_seconds"],
+            "grid_fit_once": grid["engine_seconds"],
+            "pca_fit_legacy": pca["legacy_seconds"],
+            "pca_fit_auto": pca["auto_seconds"],
+        },
+        "grid": grid,
+        "pca": pca,
+    }
+
+
+def check_floors(stats: dict) -> list[str]:
+    """Floor violations (empty = pass); enforced even in smoke mode."""
+    failures = []
+    for key, floor in stats["floors"].items():
+        speedup = stats["speedup"][key]
+        if speedup < floor:
+            failures.append(
+                f"{key} speedup {speedup:.2f}x below the {floor:.0f}x floor"
+            )
+    return failures
+
+
+def render(stats: dict) -> str:
+    grid = stats["grid"]
+    pca = stats["pca"]
+    return "\n".join(
+        [
+            f"comparison grid: {grid['num_cells']} cells "
+            f"({grid['num_datasets']} datasets x "
+            f"{len(grid['detectors'])} detectors x "
+            f"{grid['num_scenarios']} scenarios x "
+            f"{len(grid['confidences'])} confidences, "
+            f"{grid['num_bins']} bins)",
+            f"legacy per-cell path:    {grid['legacy_seconds']:>8.3f} s  "
+            f"({grid['num_fits_legacy']} fits)",
+            f"fit-once engine:         {grid['engine_seconds']:>8.3f} s  "
+            f"({grid['num_fits_engine']} fits; "
+            f"{grid['speedup']:.1f}x, floor "
+            f"{MIN_END_TO_END_SPEEDUP:.0f}x)",
+            f"PCA.fit tall block: {pca['num_bins']} bins x "
+            f"{pca['num_links']} links (auto -> {pca['solver']})",
+            f"legacy svd-full:         {pca['legacy_seconds']:>8.3f} s",
+            f"economy auto:            {pca['auto_seconds']:>8.3f} s  "
+            f"({pca['speedup']:.1f}x, floor {MIN_PCA_FIT_SPEEDUP:.0f}x)",
+        ]
+    )
+
+
+def test_compare_scale(results_dir):
+    from conftest import write_json_result, write_result
+
+    stats = measure()
+    write_result(results_dir, "compare_scale", render(stats))
+    write_json_result(results_dir, "compare_scale", stats)
+    assert not check_floors(stats)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import RESULTS_DIR, write_json_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny dimensions; the speedup floors are still enforced",
+    )
+    arguments = parser.parse_args()
+    results = measure(smoke=arguments.smoke)
+    print(render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_json_result(RESULTS_DIR, "compare_scale", results)
+    if not path.exists():
+        raise SystemExit("FAIL: JSON artifact missing")
+    failures = check_floors(results)
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+    print("OK")

@@ -9,6 +9,8 @@ the run.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -16,6 +18,43 @@ import pytest
 from repro.datasets import build_dataset
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: BLAS/OpenMP thread-pool variables that change measured wall-clocks.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def runtime_environment() -> dict:
+    """Library versions and thread configuration behind a measurement.
+
+    Recorded into every ``BENCH_*.json`` artifact so performance
+    trajectories across PRs stay interpretable: a 2x "regression" that
+    coincides with ``OMP_NUM_THREADS`` dropping from 8 to 1 is not a
+    regression.
+    """
+    import numpy
+
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        scipy_version = None
+    return {
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+        "scipy_version": scipy_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "thread_env": {
+            name: os.environ.get(name) for name in _THREAD_ENV_VARS
+        },
+    }
 
 
 @pytest.fixture(scope="session")
@@ -56,8 +95,12 @@ def write_json_result(results_dir: Path, name: str, payload: dict) -> Path:
 
     Performance benchmarks emit these so speedups, wall-clock times and
     grid sizes stay diffable across PRs (the txt artifacts are for
-    humans).
+    humans).  Every artifact also records the numpy/BLAS thread
+    configuration it was measured under (see
+    :func:`runtime_environment`).
     """
+    payload = dict(payload)
+    payload.setdefault("environment", runtime_environment())
     path = Path(results_dir) / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[{name}] wrote {path}")

@@ -17,6 +17,7 @@ the two deviation estimates suppresses this echo.
 from __future__ import annotations
 
 import numpy as np
+from scipy.signal import lfilter
 
 from repro.baselines.base import TimeseriesModel
 from repro.exceptions import ModelError
@@ -29,6 +30,39 @@ def ewma_forecast(series: np.ndarray, alpha: float) -> np.ndarray:
 
     ``ẑ_0`` is seeded with ``z_0`` (zero initial surprise); thereafter
     ``ẑ_{t+1} = α·z_t + (1 − α)·ẑ_t``.  Works column-wise on matrices.
+
+    The recursion is an order-1 IIR filter, so it runs as one
+    :func:`scipy.signal.lfilter` call instead of a per-bin Python loop.
+    The filter's direct-form update performs the same two products and
+    one sum per bin as the loop, so the output is bit-identical to
+    :func:`_ewma_forecast_loop` (the regression suite pins this).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ModelError(f"alpha must lie in [0, 1], got {alpha}")
+    series = np.asarray(series, dtype=np.float64)
+    squeeze = series.ndim == 1
+    if squeeze:
+        series = series[:, None]
+    forecasts = np.empty_like(series)
+    forecasts[0] = series[0]
+    if series.shape[0] > 1:
+        # ẑ_{t+1} = α·z_t + (1−α)·ẑ_t  ⇔  y = lfilter([α], [1, −(1−α)], z)
+        # with the filter state seeded so that y[0] = α·z_0 + (1−α)·ẑ_0.
+        forecasts[1:], _ = lfilter(
+            np.array([alpha]),
+            np.array([1.0, -(1.0 - alpha)]),
+            series[:-1],
+            axis=0,
+            zi=((1.0 - alpha) * forecasts[0])[None, :],
+        )
+    return forecasts[:, 0] if squeeze else forecasts
+
+
+def _ewma_forecast_loop(series: np.ndarray, alpha: float) -> np.ndarray:
+    """Reference per-bin recursion (pre-vectorization implementation).
+
+    Kept for the bit-identity regression tests and benchmarks; do not
+    use on hot paths.
     """
     if not 0.0 <= alpha <= 1.0:
         raise ModelError(f"alpha must lie in [0, 1], got {alpha}")

@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.999)",
     )
     compare.add_argument(
+        "--confidences", default=None,
+        help="comma-separated confidence levels; every level reads its "
+        "operating point off the same fitted model and scores "
+        "(overrides --confidence)",
+    )
+    compare.add_argument(
         "--min-event-bytes", type=float, default=0.0,
         help="ground-truth ledger cutoff for the baseline truth set "
         "(default 0 = every event)",
@@ -330,12 +336,28 @@ def _cmd_compare(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    confidences = None
+    if args.confidences is not None:
+        try:
+            confidences = [
+                float(level)
+                for level in args.confidences.split(",")
+                if level.strip()
+            ]
+        except ValueError:
+            print(
+                f"error: --confidences must be comma-separated numbers, "
+                f"got {args.confidences!r}",
+                file=sys.stderr,
+            )
+            return 2
     report = ComparisonRunner(
         datasets,
         detectors=detectors,
         injection_sizes=sizes,
         num_injections=args.injections,
         confidence=args.confidence,
+        confidences=confidences,
         min_event_bytes=args.min_event_bytes,
         workers=args.workers,
         seed=args.seed,

@@ -28,6 +28,7 @@ from repro.core.identification import (
     identify_block,
     identify_single_flow,
     identify_multi_flow,
+    identify_multi_flow_block,
     BlockIdentification,
     IdentificationResult,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "identify_block",
     "identify_single_flow",
     "identify_multi_flow",
+    "identify_multi_flow_block",
     "BlockIdentification",
     "IdentificationResult",
     "quantify",

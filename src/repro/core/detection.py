@@ -76,6 +76,9 @@ class SPEDetector:
         separation rule.
     min_normal_rank, max_normal_rank:
         Clamps forwarded to the separation rule.
+    svd_method:
+        Eigensolver route forwarded to :class:`~repro.core.pca.PCA`
+        (``"auto"`` picks the economy path for the matrix shape).
 
     Examples
     --------
@@ -94,6 +97,7 @@ class SPEDetector:
         normal_rank: int | None = None,
         min_normal_rank: int = 1,
         max_normal_rank: int | None = None,
+        svd_method: str = "auto",
     ) -> None:
         if not 0.0 < confidence < 1.0:
             raise ModelError(f"confidence must lie in (0, 1), got {confidence}")
@@ -102,13 +106,14 @@ class SPEDetector:
         self.requested_rank = normal_rank
         self.min_normal_rank = min_normal_rank
         self.max_normal_rank = max_normal_rank
+        self.svd_method = svd_method
         self._model: SubspaceModel | None = None
         self._threshold: float | None = None
 
     # ------------------------------------------------------------------
     def fit(self, measurements: np.ndarray) -> "SPEDetector":
         """Fit PCA, separate subspaces, and compute the SPE limit."""
-        pca = PCA().fit(measurements)
+        pca = PCA(method=self.svd_method).fit(measurements)
         if self.requested_rank is not None:
             model = SubspaceModel.with_rank(pca, self.requested_rank)
         else:

@@ -30,11 +30,13 @@ from repro.exceptions import ModelError
 __all__ = [
     "BlockIdentification",
     "IdentificationResult",
+    "MultiFlowBlockIdentification",
     "identify_block",
     "identify_from_residuals",
     "identify_single_flow",
     "identify_single_flow_naive",
     "identify_multi_flow",
+    "identify_multi_flow_block",
     "residual_scores",
 ]
 
@@ -317,6 +319,147 @@ class MultiFlowIdentification:
     residual_spe: float
 
 
+@dataclass(frozen=True)
+class MultiFlowBlockIdentification:
+    """Vectorized multi-flow identification over a block of timesteps.
+
+    Row ``t`` describes the same quantities
+    :class:`MultiFlowIdentification` holds for one timestep; tests verify
+    row-for-row agreement with the per-measurement greedy loop.
+
+    Attributes
+    ----------
+    hypothesis_indices:
+        ``(t,)`` winning hypothesis per timestep.
+    magnitudes:
+        Per-timestep intensity vectors ``f̂`` of each winner (ragged —
+        hypotheses may span different flow counts — hence a tuple).
+    residual_spe:
+        ``(t,)`` residual energy left after removing each winner.
+    spe_after:
+        ``(t, h)`` residual energy under every hypothesis.
+    """
+
+    hypothesis_indices: np.ndarray
+    magnitudes: tuple[np.ndarray, ...]
+    residual_spe: np.ndarray
+    spe_after: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.hypothesis_indices.shape[0])
+
+
+#: The greedy hypothesis scan only dethrones the incumbent when the
+#: challenger improves residual energy by more than this (absolute).
+_SPE_TIEBREAK = 1e-12
+
+
+def _check_hypotheses(
+    hypotheses: Sequence[np.ndarray], num_links: int
+) -> list[np.ndarray]:
+    """Validate and normalize hypothesis matrices to ``(m, k_i)``."""
+    if not hypotheses:
+        raise ModelError("at least one hypothesis is required")
+    matrices: list[np.ndarray] = []
+    for index, theta in enumerate(hypotheses):
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.ndim == 1:
+            theta = theta[:, None]
+        if theta.ndim != 2 or theta.shape[0] != num_links:
+            raise ModelError(
+                f"hypothesis {index} has shape {theta.shape}, expected "
+                f"({num_links}, k)"
+            )
+        matrices.append(theta)
+    return matrices
+
+
+def _greedy_winner(spe_row: np.ndarray) -> int:
+    """The index the sequential greedy scan would pick on these energies.
+
+    A later hypothesis only dethrones the incumbent when it improves by
+    more than ``_SPE_TIEBREAK`` — scalar comparisons over precomputed
+    energies, so the scan costs O(h) flops, not O(h·m²).  Returns ``-1``
+    when no hypothesis produced a finite energy (non-finite values never
+    beat the ``inf`` incumbent), mirroring the greedy loop.
+    """
+    best_index = -1
+    best_spe = np.inf
+    for index in range(spe_row.shape[0]):
+        if spe_row[index] < best_spe - _SPE_TIEBREAK:
+            best_index = index
+            best_spe = spe_row[index]
+    return best_index
+
+
+def identify_multi_flow_block(
+    model: SubspaceModel,
+    hypotheses: Sequence[np.ndarray],
+    measurements: np.ndarray,
+) -> MultiFlowBlockIdentification:
+    """Identify the best multi-flow hypothesis at every timestep at once.
+
+    The batched form of :func:`identify_multi_flow`: hypotheses are
+    grouped by flow count and each group's projection, least-squares
+    solve (batched pseudoinverse — rank-deficient hypotheses degrade
+    exactly as ``lstsq`` does) and leftover energy run as stacked BLAS
+    calls over all timesteps and hypotheses simultaneously.  Only the
+    final greedy scan — scalar comparisons per timestep — stays a loop,
+    preserving the sequential tie-break bit for bit.
+    """
+    matrices = _check_hypotheses(hypotheses, model.num_links)
+    measurements = np.asarray(measurements, dtype=np.float64)
+    if measurements.ndim == 1:
+        measurements = measurements[None, :]
+    if measurements.ndim != 2 or measurements.shape[1] != model.num_links:
+        raise ModelError(
+            f"measurements must be (t, {model.num_links}), got shape "
+            f"{measurements.shape}"
+        )
+    residuals = model.residual(measurements)  # (t, m)
+    c_tilde = model.anomalous_projector
+    num_steps = residuals.shape[0]
+    num_hypotheses = len(matrices)
+
+    groups: dict[int, list[int]] = {}
+    for index, theta in enumerate(matrices):
+        groups.setdefault(theta.shape[1], []).append(index)
+
+    spe_after = np.empty((num_steps, num_hypotheses))
+    intensities: list[np.ndarray | None] = [None] * num_hypotheses
+    for width, indices in groups.items():
+        stack = np.stack([matrices[i] for i in indices])  # (g, m, k)
+        tilde = c_tilde @ stack  # batched (g, m, k)
+        # Least-squares intensities via the batched pseudoinverse; pinv
+        # handles rank deficiency (e.g. two flows with identical paths).
+        pinv = np.linalg.pinv(tilde)  # (g, k, m)
+        f_hat = np.einsum("gkm,tm->tgk", pinv, residuals)  # (t, g, k)
+        fitted = np.einsum("gmk,tgk->tgm", tilde, f_hat)  # (t, g, m)
+        leftover = residuals[:, None, :] - fitted
+        spe_after[:, indices] = np.einsum("tgm,tgm->tg", leftover, leftover)
+        for position, index in enumerate(indices):
+            intensities[index] = f_hat[:, position, :]
+
+    winners = np.fromiter(
+        (_greedy_winner(spe_after[t]) for t in range(num_steps)),
+        dtype=np.int64,
+        count=num_steps,
+    )
+    if np.any(winners < 0):
+        raise ModelError(
+            "all hypotheses degenerate in the residual subspace"
+        )
+    magnitudes = tuple(
+        intensities[winner][t] for t, winner in enumerate(winners)
+    )
+    return MultiFlowBlockIdentification(
+        hypothesis_indices=winners,
+        magnitudes=magnitudes,
+        residual_spe=spe_after[np.arange(num_steps), winners],
+        spe_after=spe_after,
+    )
+
+
 def identify_multi_flow(
     model: SubspaceModel,
     hypotheses: Sequence[np.ndarray],
@@ -329,9 +472,37 @@ def identify_multi_flow(
     the anomaly intensity becomes a vector ``f_i`` estimated by least
     squares in the residual subspace.  The winner minimizes the remaining
     residual energy, exactly as in the single-flow case.
+
+    The per-hypothesis algebra is batched (see
+    :func:`identify_multi_flow_block`); tests pin agreement with the
+    literal greedy loop over ``lstsq`` solves.
     """
-    if not hypotheses:
-        raise ModelError("at least one hypothesis is required")
+    measurement = np.asarray(measurement, dtype=np.float64)
+    if measurement.ndim != 1:
+        raise ModelError(
+            f"measurement must be one vector of shape ({model.num_links},), "
+            f"got shape {measurement.shape}; use identify_multi_flow_block "
+            "for a block of timesteps"
+        )
+    block = identify_multi_flow_block(model, hypotheses, measurement)
+    return MultiFlowIdentification(
+        hypothesis_index=int(block.hypothesis_indices[0]),
+        magnitudes=np.asarray(block.magnitudes[0]),
+        residual_spe=float(block.residual_spe[0]),
+    )
+
+
+def _identify_multi_flow_loop(
+    model: SubspaceModel,
+    hypotheses: Sequence[np.ndarray],
+    measurement: np.ndarray,
+) -> MultiFlowIdentification:
+    """Reference greedy loop (pre-vectorization implementation).
+
+    One projection and one ``lstsq`` per hypothesis; kept for the
+    equivalence regression tests and benchmarks.
+    """
+    matrices = _check_hypotheses(hypotheses, model.num_links)
     measurement = np.asarray(measurement, dtype=np.float64)
     residual = model.residual(measurement)
     c_tilde = model.anomalous_projector
@@ -339,22 +510,12 @@ def identify_multi_flow(
     best_index = -1
     best_spe = np.inf
     best_f: np.ndarray | None = None
-    for index, theta in enumerate(hypotheses):
-        theta = np.asarray(theta, dtype=np.float64)
-        if theta.ndim == 1:
-            theta = theta[:, None]
-        if theta.shape[0] != model.num_links:
-            raise ModelError(
-                f"hypothesis {index} has {theta.shape[0]} rows, expected "
-                f"{model.num_links}"
-            )
+    for index, theta in enumerate(matrices):
         theta_tilde = c_tilde @ theta
-        # Least-squares anomaly intensities; pinv handles rank deficiency
-        # (e.g. two flows with identical paths).
         f_hat, *_ = np.linalg.lstsq(theta_tilde, residual, rcond=None)
         leftover = residual - theta_tilde @ f_hat
         spe = float(leftover @ leftover)
-        if spe < best_spe - 1e-12:
+        if spe < best_spe - _SPE_TIEBREAK:
             best_index = index
             best_spe = spe
             best_f = f_hat

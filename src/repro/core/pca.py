@@ -6,10 +6,30 @@ point in ``R^m``, centers the columns, and extracts principal axes
 projections ``u_i = Y v_i / ‖Y v_i‖`` are the common temporal patterns of
 the link ensemble (paper Fig. 4).
 
-Implementation: thin SVD of the centered matrix (the standard route to the
-symmetric eigenproblem of ``YᵀY``; paper §7.1 cites the same procedure).
+Implementation: the decomposition only ever needs the *right* singular
+basis and the singular values, so :meth:`PCA.fit` picks the cheapest
+economy route for the matrix shape (``method="auto"``):
+
+``gram-covariance``
+    ``t ≫ m`` (the paper's regime: a week of bins over tens of links).
+    Eigendecomposition of the ``(m, m)`` Gram matrix ``YᵀY`` — one BLAS-3
+    ``syrk`` plus an ``m × m`` symmetric eigensolve, so the cost scales
+    with ``min(t, m)`` instead of ``max(t, m)``.
+``gram-sample``
+    ``m ≫ t``.  Eigendecomposition of the ``(t, t)`` Gram ``YYᵀ``; the
+    right singular vectors are recovered as ``Yᵀu_i/σ_i`` and the basis
+    is completed deterministically for the null directions.
+``svd``
+    Balanced shapes.  Thin SVD (``full_matrices=False``) of the centered
+    matrix — never materializes the ``(t, t)`` left basis the detection
+    pipeline immediately discards.
+
+``method="svd-full"`` keeps the pre-economy reference path
+(``full_matrices=True``) for equivalence tests and benchmarks.
+
 Sign convention: each component's largest-magnitude coordinate is made
-positive, so results are deterministic across SVD backends.
+positive, so results are deterministic across solver routes and SVD
+backends.
 """
 
 from __future__ import annotations
@@ -20,6 +40,45 @@ from repro.exceptions import ModelError, NotFittedError
 
 __all__ = ["PCA"]
 
+#: ``method="auto"`` switches from thin SVD to a Gram eigensolve once the
+#: long side is at least this many times the short side.  The crossover
+#: is flat in practice — ``syrk`` + ``eigh`` already wins slightly at 2:1
+#: and wins by an order of magnitude at the paper's ~20:1 aspect.
+_GRAM_ASPECT_RATIO = 4
+
+_METHODS = ("auto", "svd", "gram", "svd-full")
+
+
+def _deterministic_signs(components: np.ndarray) -> np.ndarray:
+    """Flip columns so each one's largest-|coordinate| entry is positive.
+
+    One vectorized ``argmax``/fancy-index pass over all columns; negation
+    is exact in IEEE-754, so the result is bit-identical to flipping the
+    columns one at a time (the regression suite pins this).
+    """
+    if components.size == 0:
+        return components
+    pivots = np.argmax(np.abs(components), axis=0)
+    columns = np.arange(components.shape[1])
+    flip = components[pivots, columns] < 0
+    components[:, flip] = -components[:, flip]
+    return components
+
+
+def _complete_basis(partial: np.ndarray) -> np.ndarray:
+    """Extend ``(m, k)`` orthonormal columns to a full ``(m, m)`` basis.
+
+    The added columns span the orthogonal complement (the zero-variance
+    directions of a short-and-wide matrix); they are computed with a
+    deterministic complete QR, so repeated fits agree bit for bit.
+    """
+    m, k = partial.shape
+    if k >= m:
+        return partial
+    q, _ = np.linalg.qr(partial, mode="complete")
+    tail = _deterministic_signs(np.ascontiguousarray(q[:, k:]))
+    return np.concatenate([partial, tail], axis=1)
+
 
 class PCA:
     """PCA of a timeseries matrix with the paper's conventions.
@@ -29,6 +88,11 @@ class PCA:
     center:
         Subtract per-column means before decomposing (the paper always
         does; disabling is for tests only).
+    method:
+        Eigensolver route: ``"auto"`` (default) picks by aspect ratio,
+        ``"svd"`` forces the thin SVD, ``"gram"`` forces the Gram
+        eigensolve on the cheaper side, and ``"svd-full"`` keeps the
+        legacy ``full_matrices=True`` reference path.
 
     Examples
     --------
@@ -40,12 +104,18 @@ class PCA:
     True
     """
 
-    def __init__(self, center: bool = True) -> None:
+    def __init__(self, center: bool = True, method: str = "auto") -> None:
+        if method not in _METHODS:
+            raise ModelError(
+                f"unknown PCA method {method!r}; choose from {_METHODS}"
+            )
         self.center = center
+        self.method = method
         self._mean: np.ndarray | None = None
         self._components: np.ndarray | None = None  # (m, m): columns are v_i
         self._singular_values: np.ndarray | None = None
         self._num_samples: int = 0
+        self._solver: str | None = None
 
     # ------------------------------------------------------------------
     def fit(self, measurements: np.ndarray) -> "PCA":
@@ -71,21 +141,34 @@ class PCA:
             measurements.mean(axis=0) if self.center else np.zeros(m)
         )
         centered = measurements - self._mean
-        # Thin SVD: centered = U S V^T with V's columns the principal axes.
-        _, singular_values, vt = np.linalg.svd(centered, full_matrices=True)
-        components = vt.T
-        # SVD only returns min(t, m) singular values; pad with exact zeros
-        # for the degenerate directions of a short-and-wide matrix.
+
+        solver = self.method
+        if solver == "auto":
+            if t >= _GRAM_ASPECT_RATIO * m or m >= _GRAM_ASPECT_RATIO * t:
+                solver = "gram"
+            else:
+                solver = "svd"
+        if solver == "gram":
+            components, singular_values, self._solver = _fit_gram(centered)
+        elif solver == "svd":
+            components, singular_values, self._solver = _fit_svd(
+                centered, full_matrices=False
+            )
+        else:  # svd-full: the legacy reference route
+            components, singular_values, self._solver = _fit_svd(
+                centered, full_matrices=True
+            )
+
+        # The decomposition only determines min(t, m) directions; pad with
+        # exact zeros for the degenerate directions of a short-and-wide
+        # matrix and complete the basis deterministically.
         if singular_values.size < m:
             padded = np.zeros(m)
             padded[: singular_values.size] = singular_values
             singular_values = padded
+        components = _complete_basis(components)
         # Deterministic sign: largest-|coordinate| entry of each v_i > 0.
-        for i in range(components.shape[1]):
-            pivot = np.argmax(np.abs(components[:, i]))
-            if components[pivot, i] < 0:
-                components[:, i] = -components[:, i]
-        self._components = components
+        self._components = _deterministic_signs(components)
         self._singular_values = singular_values
         return self
 
@@ -93,6 +176,16 @@ class PCA:
     def _require_fitted(self) -> None:
         if self._components is None:
             raise NotFittedError("PCA.fit must be called first")
+
+    @property
+    def solver(self) -> str:
+        """The eigensolver route the last fit actually took.
+
+        One of ``"svd"``, ``"svd-full"``, ``"gram-covariance"`` (``(m, m)``
+        Gram) or ``"gram-sample"`` (``(t, t)`` Gram).
+        """
+        self._require_fitted()
+        return self._solver
 
     @property
     def num_components(self) -> int:
@@ -181,3 +274,52 @@ class PCA:
         self._require_fitted()
         scores = np.asarray(scores, dtype=np.float64)
         return scores @ self._components.T + self._mean
+
+
+# ----------------------------------------------------------------------
+# Solver routes.  Each returns (components, singular_values, solver_tag)
+# with components ``(m, k)`` orthonormal (k = number of determined
+# directions) and singular values descending.
+
+
+def _fit_svd(
+    centered: np.ndarray, full_matrices: bool
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Thin (or legacy full) SVD of the centered matrix."""
+    _, singular_values, vt = np.linalg.svd(
+        centered, full_matrices=full_matrices
+    )
+    return vt.T, singular_values, "svd-full" if full_matrices else "svd"
+
+
+def _fit_gram(centered: np.ndarray) -> tuple[np.ndarray, np.ndarray, str]:
+    """Symmetric eigensolve of the cheaper-side Gram matrix.
+
+    ``t >= m``: eigendecompose ``YᵀY`` — its eigenvectors *are* the
+    principal axes.  ``t < m``: eigendecompose ``YYᵀ`` and recover the
+    axes as ``Yᵀ u_i / σ_i`` (directions with σ ≈ 0 are indeterminate and
+    left to deterministic basis completion).
+    """
+    t, m = centered.shape
+    if t >= m:
+        gram = centered.T @ centered  # (m, m)
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        order = np.argsort(eigenvalues)[::-1]
+        singular_values = np.sqrt(np.clip(eigenvalues[order], 0.0, None))
+        return eigenvectors[:, order], singular_values, "gram-covariance"
+
+    gram = centered @ centered.T  # (t, t)
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1]
+    singular_values = np.sqrt(np.clip(eigenvalues[order], 0.0, None))
+    left = eigenvectors[:, order]
+    # Recover right singular vectors where σ is numerically nonzero.
+    cutoff = singular_values[0] * max(t, m) * np.finfo(np.float64).eps
+    rank = int(np.count_nonzero(singular_values > cutoff))
+    components = (centered.T @ left[:, :rank]) / singular_values[:rank]
+    # Re-orthonormalize: dividing by σ amplifies rounding in the small-σ
+    # columns; one thin QR restores orthogonality without changing the
+    # spanned subspace (R is upper-triangular and near-identity).
+    components, r = np.linalg.qr(components)
+    components *= np.sign(np.diag(r))
+    return components, singular_values[:rank], "gram-sample"

@@ -33,8 +33,10 @@ class SubspaceDetector(ResidualEnergyDetector):
     ----------
     confidence:
         Default Q-statistic confidence level (paper: 0.995 / 0.999).
-    threshold_sigma, normal_rank:
-        Forwarded to :class:`~repro.core.detection.SPEDetector`.
+    threshold_sigma, normal_rank, svd_method:
+        Forwarded to :class:`~repro.core.detection.SPEDetector`
+        (``svd_method`` selects the PCA eigensolver route; the default
+        ``"auto"`` picks the economy path for the matrix shape).
     routing:
         Optional routing matrix; when given, :meth:`diagnose` identifies
         and quantifies flagged bins.
@@ -46,12 +48,14 @@ class SubspaceDetector(ResidualEnergyDetector):
         threshold_sigma: float = 3.0,
         normal_rank: int | None = None,
         routing: RoutingMatrix | None = None,
+        svd_method: str = "auto",
     ) -> None:
         super().__init__(name="subspace", confidence=confidence)
         self._pipeline = DetectionPipeline(
             confidence=confidence,
             threshold_sigma=threshold_sigma,
             normal_rank=normal_rank,
+            svd_method=svd_method,
         )
         self._routing = routing
 

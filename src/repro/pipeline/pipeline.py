@@ -168,6 +168,7 @@ class DetectionPipeline:
         normal_rank: int | None = None,
         min_normal_rank: int = 1,
         max_normal_rank: int | None = None,
+        svd_method: str = "auto",
     ) -> None:
         self._detector = SPEDetector(
             confidence=confidence,
@@ -175,6 +176,7 @@ class DetectionPipeline:
             normal_rank=normal_rank,
             min_normal_rank=min_normal_rank,
             max_normal_rank=max_normal_rank,
+            svd_method=svd_method,
         )
         self._routing: RoutingMatrix | None = None
         self._directions: np.ndarray | None = None

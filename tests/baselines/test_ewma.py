@@ -4,8 +4,43 @@ import numpy as np
 import pytest
 
 from repro.baselines import EWMAModel
-from repro.baselines.ewma import ewma_forecast, grid_search_alpha
+from repro.baselines.ewma import (
+    _ewma_forecast_loop,
+    ewma_forecast,
+    grid_search_alpha,
+)
 from repro.exceptions import ModelError
+
+
+class TestVectorizedRecurrence:
+    """The lfilter recurrence must be bit-identical to the per-bin loop
+    (satellite regression)."""
+
+    @pytest.mark.parametrize(
+        "shape", [(1,), (2,), (500,), (1, 3), (2, 3), (500, 49)]
+    )
+    @pytest.mark.parametrize("alpha", [0.0, 0.25, 0.5, 0.93, 1.0])
+    def test_bit_identical_to_loop(self, rng, shape, alpha):
+        series = rng.uniform(0.0, 1e8, size=shape)
+        assert np.array_equal(
+            ewma_forecast(series, alpha), _ewma_forecast_loop(series, alpha)
+        )
+
+    def test_loop_reference_validates_alpha(self):
+        with pytest.raises(ModelError):
+            _ewma_forecast_loop(np.ones(3), alpha=-0.1)
+
+    def test_model_sizes_bit_identical_to_loop(self, rng):
+        """End to end through the bidirectional footnote-4 path."""
+        series = rng.uniform(0.0, 1e8, size=(200, 7))
+        model = EWMAModel(alpha=0.25)
+        forward = np.abs(series - _ewma_forecast_loop(series, 0.25))
+        backward = np.abs(
+            series[::-1] - _ewma_forecast_loop(series[::-1], 0.25)
+        )[::-1]
+        assert np.array_equal(
+            model.anomaly_sizes(series), np.minimum(forward, backward)
+        )
 
 
 class TestForecast:

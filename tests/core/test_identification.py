@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core import SPEDetector, identify_multi_flow, identify_single_flow
+from repro.core import (
+    SPEDetector,
+    identify_multi_flow,
+    identify_multi_flow_block,
+    identify_single_flow,
+)
 from repro.core.identification import (
+    _identify_multi_flow_loop,
     identify_single_flow_naive,
     residual_scores,
 )
@@ -132,3 +138,99 @@ class TestMultiFlow:
         model, _ = fitted
         with pytest.raises(ModelError):
             identify_multi_flow(model, [np.ones((3, 1))], sprint1.link_traffic[0])
+
+    def test_non_finite_measurement_degenerates_loudly(self, fitted):
+        """Non-finite energies never dethrone the greedy incumbent; the
+        rewrite must keep raising rather than return hypothesis 0."""
+        model, theta = fitted
+        bad = np.full(model.num_links, np.inf)
+        with np.errstate(invalid="ignore"):  # inf - inf inside residual
+            with pytest.raises(ModelError, match="degenerate"):
+                identify_multi_flow(
+                    model, [theta[:, [0]], theta[:, [1, 2]]], bad
+                )
+
+    def test_block_measurement_rejected(self, fitted, sprint1):
+        """A (t, m) block must not be silently truncated to its first
+        row — that is identify_multi_flow_block's job."""
+        model, theta = fitted
+        with pytest.raises(ModelError, match="block"):
+            identify_multi_flow(
+                model, [theta[:, [0]]], sprint1.link_traffic[:5]
+            )
+
+
+class TestMultiFlowVectorized:
+    """The batched hypothesis algebra must agree with the greedy
+    loop-over-lstsq reference (per-hypothesis, mixed widths, rank
+    deficiency)."""
+
+    @staticmethod
+    def _hypotheses(theta, rng, num_singles=30, num_pairs=15, num_triples=5):
+        n = theta.shape[1]
+        hyps = [theta[:, [j]] for j in rng.choice(n, num_singles, replace=False)]
+        for _ in range(num_pairs):
+            i, j = rng.choice(n, 2, replace=False)
+            hyps.append(theta[:, [i, j]])
+        for _ in range(num_triples):
+            hyps.append(theta[:, rng.choice(n, 3, replace=False)])
+        return hyps
+
+    def test_matches_loop_reference(self, fitted, sprint1, rng):
+        model, theta = fitted
+        hyps = self._hypotheses(theta, rng)
+        for time_bin in (120, 480, 840):
+            y = sprint1.link_traffic[time_bin] + 4e7 * sprint1.routing.column(
+                int(rng.integers(sprint1.num_flows))
+            )
+            fast = identify_multi_flow(model, hyps, y)
+            slow = _identify_multi_flow_loop(model, hyps, y)
+            assert fast.hypothesis_index == slow.hypothesis_index
+            assert fast.magnitudes == pytest.approx(
+                slow.magnitudes, rel=1e-8, abs=1e-6
+            )
+            assert fast.residual_spe == pytest.approx(
+                slow.residual_spe, rel=1e-6
+            )
+
+    def test_rank_deficient_hypothesis_matches_loop(self, fitted, sprint1):
+        """Two identical columns: the pseudoinverse must degrade exactly
+        as lstsq does (minimum-norm solution)."""
+        model, theta = fitted
+        degenerate = theta[:, [7, 7]]
+        hyps = [theta[:, [7]], degenerate, theta[:, [7, 12]]]
+        y = sprint1.link_traffic[300] + 3e7 * sprint1.routing.column(7)
+        fast = identify_multi_flow(model, hyps, y)
+        slow = _identify_multi_flow_loop(model, hyps, y)
+        assert fast.hypothesis_index == slow.hypothesis_index
+        assert fast.residual_spe == pytest.approx(slow.residual_spe, rel=1e-6)
+
+    def test_block_matches_per_timestep(self, fitted, sprint1, rng):
+        model, theta = fitted
+        hyps = self._hypotheses(theta, rng, num_singles=12, num_pairs=6,
+                                num_triples=3)
+        block = sprint1.link_traffic[250:280]
+        result = identify_multi_flow_block(model, hyps, block)
+        assert len(result) == 30
+        assert result.spe_after.shape == (30, len(hyps))
+        for t in range(len(result)):
+            single = identify_multi_flow(model, hyps, block[t])
+            assert single.hypothesis_index == result.hypothesis_indices[t]
+            assert single.residual_spe == pytest.approx(
+                float(result.residual_spe[t])
+            )
+            assert single.magnitudes == pytest.approx(result.magnitudes[t])
+
+    def test_block_single_vector_input(self, fitted, sprint1):
+        model, theta = fitted
+        result = identify_multi_flow_block(
+            model, [theta[:, [3]]], sprint1.link_traffic[10]
+        )
+        assert len(result) == 1
+
+    def test_block_wrong_width_rejected(self, fitted, sprint1):
+        model, theta = fitted
+        with pytest.raises(ModelError):
+            identify_multi_flow_block(
+                model, [theta[:, [0]]], sprint1.link_traffic[:5, :7]
+            )

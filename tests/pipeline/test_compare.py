@@ -210,6 +210,231 @@ class TestComparisonRunner:
         assert report.cells[0].num_truth_bins == 4
 
 
+class TestFitOnceEngine:
+    """PR-3 acceptance: each (detector, dataset) pair fits exactly once,
+    and serial vs parallel (shared-memory) reports are byte-identical."""
+
+    def test_num_fits_is_one_per_pair(self, small_dataset):
+        report = ComparisonRunner(
+            [small_dataset],
+            detectors=("subspace", "ewma", "fourier"),
+            injection_sizes=(3.0e7, 1.5e7),
+            num_injections=6,
+            confidences=(0.999, 0.995),
+            workers=1,
+        ).run()
+        # 3 detectors x 1 dataset -> 3 fits, even though the grid has
+        # 3 detectors x 3 scenarios x 2 confidences = 18 cells.
+        assert report.num_fits == 3
+        assert len(report) == 18
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fit_called_exactly_once_per_pair(
+        self, small_dataset, tmp_path, workers
+    ):
+        """A counting detector proves the exactly-once discipline in
+        process (workers=1) and across worker processes (workers=2 with
+        two (detector, dataset) pairs, so the shared-memory fit/score
+        split actually runs)."""
+        from repro import detectors
+
+        counter = tmp_path / f"fits-{workers}.log"
+        detectors.register(
+            "counting-fourier", _counting_factory, overwrite=True
+        )
+        report = ComparisonRunner(
+            [small_dataset],
+            detectors=("counting-fourier", "ewma"),
+            injection_sizes=(3.0e7, 1.5e7),
+            num_injections=4,
+            confidences=(0.999, 0.995),
+            workers=workers,
+            detector_kwargs={
+                "counting-fourier": {"counter_path": str(counter)}
+            },
+        ).run()
+        # 2 detectors x 3 scenarios x 2 confidences = 12 cells; one fit
+        # per (detector, dataset) pair, of which the counter sees its
+        # own exactly once.
+        assert len(report) == 12
+        assert report.num_fits == 2
+        assert counter.read_text().count("fit\n") == 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_mutating_detector_fails_loudly(self, small_dataset, workers):
+        """Traffic views are read-only under every worker layout: a
+        detector that mutates its input raises identically instead of
+        silently corrupting later cells (serial) or the shared segment
+        (parallel)."""
+        from repro import detectors
+
+        detectors.register(
+            "mutating-fourier", _mutating_factory, overwrite=True
+        )
+        runner = ComparisonRunner(
+            [small_dataset],
+            detectors=("mutating-fourier", "ewma"),
+            injection_sizes=(3.0e7,),
+            num_injections=4,
+            workers=workers,
+        )
+        with pytest.raises(ValueError, match="read-only"):
+            runner.run()
+
+    def test_serial_and_parallel_json_byte_identical(self, small_dataset):
+        import json
+
+        kwargs = dict(
+            detectors=("subspace", "ewma", "fourier"),
+            injection_sizes=(3.0e7, 1.5e7),
+            num_injections=6,
+            confidences=(0.999, 0.995),
+        )
+        serial = ComparisonRunner(
+            [small_dataset], workers=1, **kwargs
+        ).run()
+        parallel = ComparisonRunner(
+            [small_dataset], workers=4, **kwargs
+        ).run()
+        assert serial.cells == parallel.cells
+        a = json.dumps(serial.to_json(include_timings=False), sort_keys=True)
+        b = json.dumps(
+            parallel.to_json(include_timings=False), sort_keys=True
+        )
+        assert a.encode() == b.encode()
+
+    def test_timings_are_reported_but_excluded_on_request(
+        self, small_dataset
+    ):
+        report = ComparisonRunner(
+            [small_dataset], **FAST_GRID
+        ).run()
+        full = report.to_json()
+        assert "elapsed_seconds" in full and "cell_seconds" in full
+        bare = report.to_json(include_timings=False)
+        assert "elapsed_seconds" not in bare and "cell_seconds" not in bare
+        assert bare["num_fits"] == report.num_fits
+
+
+class TestConfidenceLevels:
+    """Multiple confidence levels share one fitted model and one score
+    pass per scenario."""
+
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return ComparisonRunner(
+            [small_dataset],
+            detectors=("subspace", "fourier"),
+            injection_sizes=(3.0e7,),
+            num_injections=8,
+            confidences=(0.995, 0.999),
+            workers=1,
+        ).run()
+
+    def test_grid_multiplies_by_confidences(self, report):
+        # 2 detectors x 2 scenarios x 2 confidences.
+        assert len(report) == 8
+        assert report.confidences == (0.995, 0.999)
+        assert report.confidence == 0.995
+
+    def test_auc_is_confidence_independent(self, report, small_dataset):
+        for detector in report.detectors:
+            for scenario in report.scenarios:
+                low = report.cell(
+                    detector, small_dataset.name, scenario, confidence=0.995
+                )
+                high = report.cell(
+                    detector, small_dataset.name, scenario, confidence=0.999
+                )
+                assert low.auc == high.auc
+                assert low.op_threshold <= high.op_threshold
+
+    def test_ambiguous_cell_lookup_requires_confidence(
+        self, report, small_dataset
+    ):
+        with pytest.raises(ValidationError, match="confidence"):
+            report.cell("subspace", small_dataset.name, "baseline")
+        cell = report.cell(
+            "subspace", small_dataset.name, "baseline", confidence=0.999
+        )
+        assert cell.confidence == 0.999
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], confidences=())
+        with pytest.raises(ValidationError, match="distinct"):
+            ComparisonRunner([small_dataset], confidences=(0.99, 0.99))
+        with pytest.raises(ValidationError):
+            ComparisonRunner([small_dataset], confidences=(0.99, 1.5))
+
+
+def _counting_factory(**kwargs):
+    # Module-level so it pickles under any multiprocessing start method.
+    return _CountingFourier(**kwargs)
+
+
+def _mutating_factory(**kwargs):
+    from repro.detectors.temporal import fourier_detector
+
+    detector = fourier_detector(
+        confidence=kwargs.get("confidence", 0.999),
+        bin_seconds=kwargs.get("bin_seconds", 600.0),
+    )
+
+    class _Mutating:
+        name = "mutating-fourier"
+
+        def fit(self, measurements):
+            # In-place normalization: the anti-pattern the read-only
+            # shared views are there to catch.
+            measurements -= measurements.mean(axis=0)
+            detector.fit(measurements)
+            return self
+
+        def score(self, measurements):
+            return detector.score(measurements)
+
+        def threshold_at(self, confidence):
+            return detector.threshold_at(confidence)
+
+        def detect(self, measurements, confidence=None):
+            return detector.detect(measurements, confidence=confidence)
+
+    return _Mutating()
+
+
+class _CountingFourier:
+    """A fourier detector that appends a line to a file on every fit.
+
+    The file lives on disk so fits are counted across worker processes;
+    O_APPEND keeps concurrent writes intact.
+    """
+
+    def __init__(self, counter_path, confidence=0.999, bin_seconds=600.0):
+        from repro.detectors.temporal import fourier_detector
+
+        self.name = "counting-fourier"
+        self._counter_path = counter_path
+        self._inner = fourier_detector(
+            confidence=confidence, bin_seconds=bin_seconds
+        )
+
+    def fit(self, measurements):
+        with open(self._counter_path, "a") as handle:
+            handle.write("fit\n")
+        self._inner.fit(measurements)
+        return self
+
+    def score(self, measurements):
+        return self._inner.score(measurements)
+
+    def threshold_at(self, confidence):
+        return self._inner.threshold_at(confidence)
+
+    def detect(self, measurements, confidence=None):
+        return self._inner.detect(measurements, confidence=confidence)
+
+
 class TestRuntimeRegisteredDetector:
     def test_factory_travels_to_workers(self, small_dataset):
         """A detector registered at runtime works across worker
