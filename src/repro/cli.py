@@ -12,6 +12,7 @@ build     build a preset dataset and save it as ``.npz``
 diagnose  run detect -> identify -> quantify over a saved dataset
 pipeline  run the vectorized DetectionPipeline (batch or streaming)
 compare   rank detectors by AUC over an injection grid (Fig. 10++)
+scenarios list or run declarative anomaly-taxonomy scenario suites
 inject    run a §6.3 injection sweep on a saved or preset dataset
 table2    regenerate the paper's Table 2
 table3    regenerate the paper's Table 3
@@ -160,6 +161,40 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the full report as JSON to this path",
+    )
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="declarative anomaly-taxonomy scenario suites",
+    )
+    scenario_modes = scenarios.add_subparsers(dest="mode", required=True)
+
+    scenario_modes.add_parser(
+        "list", help="list registered suites, scenarios and families"
+    )
+
+    scenario_run = scenario_modes.add_parser(
+        "run", help="compile a suite and diagnose every scenario"
+    )
+    scenario_run.add_argument(
+        "--suite", default="core",
+        help="registered suite name (default: core)",
+    )
+    scenario_run.add_argument(
+        "--spec", default=None,
+        help="run a single scenario by name instead of a whole suite",
+    )
+    scenario_run.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="Q-statistic confidence level (default 0.999)",
+    )
+    scenario_run.add_argument(
+        "--no-streaming-check", action="store_true",
+        help="skip the streaming-vs-batch alarm parity check",
+    )
+    scenario_run.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the canonical suite report as JSON to this path",
     )
 
     inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
@@ -379,6 +414,55 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    from repro import scenarios
+
+    if args.mode == "list":
+        print(f"families: {', '.join(scenarios.FAMILIES)}")
+        print()
+        for suite in scenarios.suite_names():
+            specs = scenarios.get_suite(suite)
+            print(f"suite {suite!r} ({len(specs)} scenarios):")
+            for spec in specs:
+                families = ",".join(spec.families())
+                print(
+                    f"  {spec.name:<22} {spec.topology:<13} "
+                    f"[{families}]  {spec.description}"
+                )
+        return 0
+
+    runner = scenarios.ScenarioRunner(
+        confidence=args.confidence,
+        check_streaming=not args.no_streaming_check,
+    )
+    if args.spec is not None:
+        specs = (scenarios.get_spec(args.spec),)
+        # A single spec is resolved across every registered suite, so
+        # the report must not claim membership in --suite's grouping.
+        report = runner.run(specs, suite=f"spec:{args.spec}")
+    else:
+        report = runner.run(scenarios.get_suite(args.suite), suite=args.suite)
+    print(report.table())
+    families = report.families()
+    detected = sum(o.num_detected_events for o in report)
+    total = sum(len(o.events) for o in report)
+    print()
+    print(
+        f"{len(report)} scenarios, {len(families)} anomaly families "
+        f"({', '.join(families)}), {detected}/{total} events detected"
+    )
+    # Write the report before the parity gate: on a violation the JSON
+    # artifact is exactly what one needs to diagnose the divergence.
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(scenarios.canonical_json(report.to_json()))
+        print(f"wrote JSON report to {args.json_path}")
+    if not all(o.streaming_parity for o in report):
+        print("error: streaming/batch alarm parity violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inject(args) -> int:
     import numpy as np
 
@@ -433,6 +517,7 @@ _HANDLERS = {
     "diagnose": _cmd_diagnose,
     "pipeline": _cmd_pipeline,
     "compare": _cmd_compare,
+    "scenarios": _cmd_scenarios,
     "inject": _cmd_inject,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

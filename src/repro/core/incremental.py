@@ -192,6 +192,8 @@ class IncrementalSubspaceTracker:
                 f"measurement has shape {measurement.shape}, expected "
                 f"{self._mean.shape}"
             )
+        if self.normal_rank == self._mean.shape[0]:
+            return 0.0  # full normal subspace: the residual is exactly 0
         centered = measurement - self._mean
         residual = centered - self._basis @ (self._basis.T @ centered)
         return float(residual @ residual)
@@ -229,6 +231,10 @@ class IncrementalSubspaceTracker:
                 f"block must be (t, {self._mean.shape[0]}), got shape "
                 f"{measurements.shape}"
             )
+        if self.normal_rank == self._mean.shape[0]:
+            # Full normal subspace: the residual is exactly 0, not the
+            # numerical dust of the projection arithmetic.
+            return np.zeros(measurements.shape[0])
         centered = measurements - self._mean
         residual = centered - (centered @ self._basis) @ self._basis.T
         return np.einsum("ij,ij->i", residual, residual)

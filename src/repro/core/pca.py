@@ -314,7 +314,14 @@ def _fit_gram(centered: np.ndarray) -> tuple[np.ndarray, np.ndarray, str]:
     singular_values = np.sqrt(np.clip(eigenvalues[order], 0.0, None))
     left = eigenvectors[:, order]
     # Recover right singular vectors where σ is numerically nonzero.
-    cutoff = singular_values[0] * max(t, m) * np.finfo(np.float64).eps
+    # The spectrum was squared through the Gram matrix, so eigenvalue
+    # rounding dust of order λ₀·t·eps surfaces as σ ≈ σ₀·√(t·eps) — the
+    # cutoff must live on that scale, not the σ₀·t·eps of a direct SVD
+    # (else dust columns pass as real and their "recovered" axes are
+    # garbage that breaks basis orthonormality on rank-deficient data).
+    cutoff = singular_values[0] * np.sqrt(
+        max(t, m) * np.finfo(np.float64).eps
+    )
     rank = int(np.count_nonzero(singular_values > cutoff))
     components = (centered.T @ left[:, :rank]) / singular_values[:rank]
     # Re-orthonormalize: dividing by σ amplifies rounding in the small-σ

@@ -126,8 +126,17 @@ class SubspaceModel:
         self.normal_rank = normal_rank
         components = pca.components
         self._p = components[:, :normal_rank]  # (m, r)
-        self._c = self._p @ self._p.T
-        self._c_tilde = np.eye(m) - self._c
+        if normal_rank == m:
+            # A full normal subspace leaves no residual: the projectors
+            # are exactly I and 0, not the numerical dust of P Pᵀ for an
+            # (orthonormal) full basis.  Without this, SPE ≈ 1e-16 noise
+            # sits above the degenerate threshold δ²_α = 0 and every bin
+            # raises a false alarm.
+            self._c = np.eye(m)
+            self._c_tilde = np.zeros((m, m))
+        else:
+            self._c = self._p @ self._p.T
+            self._c_tilde = np.eye(m) - self._c
 
     # ------------------------------------------------------------------
     @classmethod

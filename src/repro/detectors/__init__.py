@@ -19,6 +19,7 @@ recipe for adding detectors.
 
 from repro.detectors.base import Detector, DetectorAlarms, ResidualEnergyDetector
 from repro.detectors.registry import (
+    aliases,
     available,
     get,
     get_factory,
@@ -34,6 +35,7 @@ __all__ = [
     "ResidualEnergyDetector",
     "SubspaceDetector",
     "TemporalDetector",
+    "aliases",
     "available",
     "get",
     "get_factory",

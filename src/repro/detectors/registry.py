@@ -30,7 +30,14 @@ from repro.detectors.temporal import (
 )
 from repro.exceptions import ModelError
 
-__all__ = ["register", "get", "get_factory", "available", "resolve_names"]
+__all__ = [
+    "register",
+    "get",
+    "get_factory",
+    "available",
+    "aliases",
+    "resolve_names",
+]
 
 DetectorFactory = Callable[..., Detector]
 
@@ -83,6 +90,15 @@ def get_factory(name: str) -> DetectorFactory:
 def available() -> tuple[str, ...]:
     """Canonical names of all registered detectors, sorted."""
     return tuple(sorted(_REGISTRY))
+
+
+def aliases() -> dict[str, str]:
+    """Every registered alias mapped to its canonical detector name.
+
+    Contract tests iterate this to assert each alias actually resolves
+    to a registered factory.
+    """
+    return dict(sorted(_ALIASES.items()))
 
 
 def resolve_names(names: Iterable[str]) -> tuple[str, ...]:

@@ -50,7 +50,14 @@ __all__ = [
     "ComparisonReport",
     "ComparisonCell",
     "ComparisonScenario",
+    "REPORT_SCHEMA_VERSION",
 ]
+
+#: Version of the :meth:`ComparisonReport.to_json` payload layout.
+#: BENCH/report consumers key on it; bump on any structural change and
+#: refresh the pinned schema golden
+#: (``tests/pipeline/goldens/comparison_report.schema.json``).
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -306,6 +313,7 @@ class ComparisonReport:
         of the same grid — the determinism tests dump exactly that.
         """
         payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "confidence": self.confidence,
             "confidences": list(self.confidences),
             "num_fits": self.num_fits,

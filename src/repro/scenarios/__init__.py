@@ -1,0 +1,75 @@
+"""Declarative scenario suites with exact, machine-checked ground truth.
+
+The subsystem compiles named :class:`ScenarioSpec` descriptions —
+topology, traffic model, anomaly taxonomy, seed — into fully
+materialized datasets and diagnoses them end-to-end:
+
+>>> from repro import scenarios
+>>> spec = scenarios.get_spec("spike-classic")
+>>> compiled = scenarios.compile_scenario(spec)
+>>> compiled.dataset.num_flows
+16
+
+See ``docs/scenarios.md`` for the taxonomy, the spec format and the
+golden-file refresh workflow.
+"""
+
+from repro.scenarios.runner import (
+    EventOutcome,
+    ScenarioOutcome,
+    ScenarioRunner,
+    SuiteReport,
+    canonical_json,
+    run_suite,
+    streaming_matches_batch,
+    suite_datasets,
+)
+from repro.scenarios.spec import (
+    TOPOLOGY_NAMES,
+    CompiledScenario,
+    ScenarioSpec,
+    TrafficModel,
+    compile_scenario,
+    resolve_topology,
+)
+from repro.scenarios.suite import (
+    CORE_SUITE,
+    get_spec,
+    get_suite,
+    register_suite,
+    spec_names,
+    suite_names,
+)
+from repro.scenarios.taxonomy import (
+    FAMILIES,
+    FamilySpec,
+    ScenarioEvent,
+    compile_family,
+)
+
+__all__ = [
+    "CORE_SUITE",
+    "FAMILIES",
+    "TOPOLOGY_NAMES",
+    "CompiledScenario",
+    "EventOutcome",
+    "FamilySpec",
+    "ScenarioEvent",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SuiteReport",
+    "TrafficModel",
+    "canonical_json",
+    "compile_family",
+    "compile_scenario",
+    "get_spec",
+    "get_suite",
+    "register_suite",
+    "resolve_topology",
+    "run_suite",
+    "spec_names",
+    "streaming_matches_batch",
+    "suite_datasets",
+    "suite_names",
+]

@@ -1,0 +1,468 @@
+"""Run scenario suites end-to-end and report machine-checkable outcomes.
+
+:class:`ScenarioRunner` drives the full diagnosis loop of the paper —
+detect (Q-statistic on the SPE), identify (best-explaining OD flow),
+quantify — over compiled scenarios, then scores the outcome against the
+scenario's exact ground truth: per-event detection, identification of
+the true member flows, bin-level recall and false-alarm rate, and a
+streaming-vs-batch parity check on the same trace.
+
+The resulting :class:`SuiteReport` serializes to a canonical, versioned
+JSON payload (floats rounded to a fixed number of significant digits)
+— the unit the golden-file regression tests pin byte-for-byte.
+
+Compiled scenarios are ordinary :class:`~repro.datasets.dataset.Dataset`
+objects, so a suite also feeds the grid engines directly::
+
+    from repro.pipeline import BatchRunner, ComparisonRunner
+    from repro.scenarios import suite_datasets
+    BatchRunner(suite_datasets("core")).run()
+    ComparisonRunner(suite_datasets("core"), workers=1).run()
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.exceptions import ValidationError
+from repro.pipeline.pipeline import DetectionPipeline
+from repro.scenarios.spec import (
+    CompiledScenario,
+    ScenarioSpec,
+    compile_scenario,
+)
+from repro.scenarios.suite import get_suite
+
+__all__ = [
+    "EventOutcome",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "SuiteReport",
+    "canonical_json",
+    "run_suite",
+    "streaming_matches_batch",
+    "suite_datasets",
+]
+
+#: Version of the :meth:`SuiteReport.to_json` payload layout.  Bump on
+#: any structural change and regenerate the golden files.
+SCHEMA_VERSION = 1
+
+#: Significant digits kept for floats in golden payloads — enough to
+#: catch real behavioral drift, coarse enough to absorb last-ulp noise.
+_GOLDEN_SIG_DIGITS = 10
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """Ground-truth scoring of one scenario event.
+
+    Attributes
+    ----------
+    family:
+        The anomaly family of the event.
+    flow_indices:
+        The true member flows.
+    start_bin, end_bin:
+        The event's overall span (inclusive).
+    detected:
+        Did any bin inside the span raise an alarm?
+    detected_bins:
+        How many bins inside the span raised alarms.
+    identified:
+        Did single-flow identification pick a true member flow at any
+        flagged bin inside the span?
+    multi_flow_identified:
+        For detected events, did the true member set win
+        :func:`~repro.core.identification.identify_multi_flow` at the
+        peak-SPE flagged bin, against every single-flow hypothesis?
+        Note this is evaluated at that one bin only, while
+        ``identified`` scans every flagged bin in the span — the two
+        may disagree even for one-flow events.
+    """
+
+    family: str
+    flow_indices: tuple[int, ...]
+    start_bin: int
+    end_bin: int
+    detected: bool
+    detected_bins: int
+    identified: bool
+    multi_flow_identified: bool
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Full diagnosis outcome of one compiled scenario."""
+
+    name: str
+    topology: str
+    families: tuple[str, ...]
+    num_bins: int
+    num_links: int
+    num_flows: int
+    normal_rank: int
+    threshold: float
+    num_alarms: int
+    alarm_rate: float
+    recall: float
+    false_alarm_rate: float
+    streaming_parity: bool
+    anomalous_bins: tuple[int, ...]
+    identified_flows: tuple[int, ...]
+    events: tuple[EventOutcome, ...]
+
+    @property
+    def num_detected_events(self) -> int:
+        """Events with at least one alarm inside their span."""
+        return sum(1 for event in self.events if event.detected)
+
+    def to_json(self) -> dict:
+        """A canonical, golden-stable dict of this outcome."""
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "families": list(self.families),
+            "shape": {
+                "num_bins": self.num_bins,
+                "num_links": self.num_links,
+                "num_flows": self.num_flows,
+            },
+            "normal_rank": self.normal_rank,
+            "threshold": _rounded(self.threshold),
+            "num_alarms": self.num_alarms,
+            "alarm_rate": _rounded(self.alarm_rate),
+            "recall": _rounded(self.recall),
+            "false_alarm_rate": _rounded(self.false_alarm_rate),
+            "streaming_parity": self.streaming_parity,
+            "anomalous_bins": list(self.anomalous_bins),
+            "identified_flows": list(self.identified_flows),
+            "events": [
+                {
+                    "family": event.family,
+                    "flow_indices": list(event.flow_indices),
+                    "start_bin": event.start_bin,
+                    "end_bin": event.end_bin,
+                    "detected": event.detected,
+                    "detected_bins": event.detected_bins,
+                    "identified": event.identified,
+                    "multi_flow_identified": event.multi_flow_identified,
+                }
+                for event in self.events
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """All scenario outcomes of one :meth:`ScenarioRunner.run` pass."""
+
+    suite: str
+    confidence: float
+    outcomes: tuple[ScenarioOutcome, ...]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def outcome(self, name: str) -> ScenarioOutcome:
+        """Look one scenario's outcome up by name."""
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise ValidationError(f"no outcome for scenario {name!r}")
+
+    def families(self) -> tuple[str, ...]:
+        """Distinct anomaly families the suite exercised, first-seen order."""
+        seen: list[str] = []
+        for outcome in self.outcomes:
+            for family in outcome.families:
+                if family not in seen:
+                    seen.append(family)
+        return tuple(seen)
+
+    def to_json(self) -> dict:
+        """The canonical, versioned report payload (golden-file unit)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite,
+            "confidence": _rounded(self.confidence),
+            "families": list(self.families()),
+            "scenarios": [outcome.to_json() for outcome in self.outcomes],
+        }
+
+    def table(self) -> str:
+        """A fixed-width text table, one row per scenario."""
+        header = (
+            f"{'scenario':<22} {'topology':<13} {'families':<26} "
+            f"{'alarms':>6} {'recall':>7} {'FA rate':>8} "
+            f"{'events':>7} {'ident':>6} {'mf-id':>6} {'parity':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for outcome in self.outcomes:
+            identified = sum(1 for e in outcome.events if e.identified)
+            multi = sum(1 for e in outcome.events if e.multi_flow_identified)
+            lines.append(
+                f"{outcome.name:<22} {outcome.topology:<13} "
+                f"{','.join(outcome.families):<26} "
+                f"{outcome.num_alarms:>6} {outcome.recall * 100:>6.1f}% "
+                f"{outcome.false_alarm_rate * 100:>7.2f}% "
+                f"{outcome.num_detected_events:>3}/{len(outcome.events):<3} "
+                f"{identified:>6} {multi:>6} "
+                f"{'ok' if outcome.streaming_parity else 'FAIL':>6}"
+            )
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Compile and diagnose scenarios against their exact ground truth.
+
+    Parameters
+    ----------
+    confidence:
+        Q-statistic confidence level for detection.
+    svd_method:
+        Eigensolver route forwarded to the subspace model.
+    check_streaming:
+        Also score every trace through the streaming detector (seeded
+        from the batch moments, one window) and record whether its
+        alarms match the batch pass.  Disable to halve the runtime of
+        large suites.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        svd_method: str = "auto",
+        check_streaming: bool = True,
+    ) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(
+                f"confidence must lie in (0, 1), got {confidence}"
+            )
+        self.confidence = confidence
+        self.svd_method = svd_method
+        self.check_streaming = check_streaming
+
+    # ------------------------------------------------------------------
+    def run_compiled(self, compiled: CompiledScenario) -> ScenarioOutcome:
+        """Diagnose one already-compiled scenario."""
+        dataset = compiled.dataset
+        pipeline = DetectionPipeline(
+            confidence=self.confidence, svd_method=self.svd_method
+        ).fit(dataset.link_traffic, routing=dataset.routing)
+        result = pipeline.detect(dataset.link_traffic)
+
+        flags = result.flags
+        truth = compiled.truth_bins()
+        truth_mask = np.zeros(dataset.num_bins, dtype=bool)
+        truth_mask[truth] = True
+        recall = (
+            float(flags[truth_mask].mean()) if truth.size else 0.0
+        )
+        normal = ~truth_mask
+        false_alarm_rate = (
+            float(flags[normal].mean()) if normal.any() else 0.0
+        )
+
+        flagged_bins = result.anomalous_bins
+        winner_by_bin = dict(
+            zip(
+                (int(b) for b in flagged_bins),
+                (int(f) for f in result.flow_indices),
+            )
+        )
+        spe = np.atleast_1d(np.asarray(result.spe))
+        theta = dataset.routing.normalized_columns()
+        events = tuple(
+            _score_event(
+                event,
+                flags,
+                winner_by_bin,
+                spe,
+                pipeline.detector.model,
+                theta,
+                dataset.link_traffic,
+            )
+            for event in compiled.events
+        )
+        parity = (
+            streaming_matches_batch(pipeline, dataset.link_traffic, spe=spe)
+            if self.check_streaming
+            else True
+        )
+        return ScenarioOutcome(
+            name=compiled.name,
+            topology=compiled.spec.topology,
+            families=compiled.spec.families(),
+            num_bins=dataset.num_bins,
+            num_links=dataset.num_links,
+            num_flows=dataset.num_flows,
+            normal_rank=pipeline.normal_rank,
+            threshold=float(pipeline.threshold),
+            num_alarms=int(result.num_alarms),
+            alarm_rate=float(flags.mean()) if flags.size else 0.0,
+            recall=recall,
+            false_alarm_rate=false_alarm_rate,
+            streaming_parity=parity,
+            anomalous_bins=tuple(int(b) for b in flagged_bins),
+            identified_flows=tuple(int(f) for f in result.flow_indices),
+            events=events,
+        )
+
+    def run_spec(self, spec: ScenarioSpec) -> ScenarioOutcome:
+        """Compile and diagnose one scenario spec."""
+        return self.run_compiled(compile_scenario(spec))
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        suite: str = "custom",
+    ) -> SuiteReport:
+        """Diagnose a sequence of specs into one report."""
+        if not specs:
+            raise ValidationError("at least one scenario spec is required")
+        return SuiteReport(
+            suite=suite,
+            confidence=self.confidence,
+            outcomes=tuple(self.run_spec(spec) for spec in specs),
+        )
+
+
+def run_suite(
+    suite: str = "core",
+    confidence: float = 0.999,
+    check_streaming: bool = True,
+) -> SuiteReport:
+    """Run one registered suite end-to-end."""
+    return ScenarioRunner(
+        confidence=confidence, check_streaming=check_streaming
+    ).run(get_suite(suite), suite=suite)
+
+
+def suite_datasets(suite: str = "core") -> list[Dataset]:
+    """Compile one suite into plain datasets.
+
+    The result drops straight into
+    :class:`~repro.pipeline.batch.BatchRunner` and
+    :class:`~repro.pipeline.compare.ComparisonRunner` — scenario worlds
+    as a first-class dataset source.
+    """
+    return [compile_scenario(spec).dataset for spec in get_suite(suite)]
+
+
+def streaming_matches_batch(
+    pipeline: DetectionPipeline,
+    trace: np.ndarray,
+    rel_tolerance: float = 1e-9,
+    spe: np.ndarray | None = None,
+) -> bool:
+    """Do streaming alarms over ``trace`` match the batch alarms?
+
+    The streaming detector is seeded from the batch moments and scores
+    the whole trace as one window, so its model is mathematically the
+    batch model; the only legitimate divergence is last-ulp noise from
+    the moment-reconstruction eigendecomposition.  Bins whose SPE sits
+    within ``rel_tolerance`` of either threshold are therefore excused;
+    any other disagreement returns False.
+
+    ``spe`` lets callers that already scored the trace under the batch
+    model skip that pass.
+    """
+    detector = pipeline.detector
+    if spe is None:
+        spe = np.asarray(detector.spe(trace), dtype=np.float64)
+    spe = np.atleast_1d(spe)
+    batch_flags = spe > detector.threshold
+
+    window = pipeline.streaming().process_window(trace)
+    if window.flags.shape != batch_flags.shape:
+        return False
+    disagree = window.flags != batch_flags
+    if not disagree.any():
+        return True
+    margin = rel_tolerance * max(detector.threshold, window.threshold)
+    borderline = (
+        np.abs(spe - detector.threshold) <= margin
+    ) | (np.abs(window.spe - window.threshold) <= margin)
+    return bool(np.all(borderline[disagree]))
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical text form golden files store (sorted keys, LF)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _rounded(value: float, sig_digits: int = _GOLDEN_SIG_DIGITS) -> float:
+    """Round to ``sig_digits`` significant digits (golden stability)."""
+    value = float(value)
+    if value == 0.0 or not np.isfinite(value):
+        return value
+    from math import floor, log10
+
+    return round(value, sig_digits - 1 - floor(log10(abs(value))))
+
+
+def _score_event(
+    event,
+    flags: np.ndarray,
+    winner_by_bin: dict,
+    spe: np.ndarray,
+    model,
+    theta: np.ndarray,
+    trace: np.ndarray,
+) -> EventOutcome:
+    span = event.bins
+    in_span = flags[span]
+    detected_bins = int(np.count_nonzero(in_span))
+    members = set(event.flow_indices)
+    identified = any(
+        winner_by_bin.get(int(time_bin)) in members for time_bin in span
+    )
+    multi = False
+    if detected_bins:
+        flagged_span = span[in_span]
+        peak = int(flagged_span[np.argmax(spe[flagged_span])])
+        multi = _true_set_wins_multi_flow(
+            model, theta, trace[peak], event.flow_indices
+        )
+    return EventOutcome(
+        family=event.family,
+        flow_indices=tuple(event.flow_indices),
+        start_bin=int(event.start_bin),
+        end_bin=int(event.end_bin),
+        detected=detected_bins > 0,
+        detected_bins=detected_bins,
+        identified=bool(identified),
+        multi_flow_identified=bool(multi),
+    )
+
+
+def _true_set_wins_multi_flow(
+    model, theta: np.ndarray, measurement: np.ndarray, flows: tuple[int, ...]
+) -> bool:
+    """Does the true member set beat every single-flow hypothesis?
+
+    The hypothesis list offers each OD flow alone plus the true member
+    set (§7.2's generalized identification); the event counts as
+    recovered when the set hypothesis wins.  One-flow events reduce to
+    single-flow identification.
+    """
+    from repro.core.identification import identify_multi_flow
+
+    num_flows = theta.shape[1]
+    hypotheses = [theta[:, [j]] for j in range(num_flows)]
+    if len(flows) > 1:
+        true_index = len(hypotheses)
+        hypotheses.append(theta[:, list(flows)])
+    else:
+        true_index = int(flows[0])
+    outcome = identify_multi_flow(model, hypotheses, measurement)
+    return outcome.hypothesis_index == true_index

@@ -1,0 +1,240 @@
+"""Named scenario suites.
+
+A suite is an ordered tuple of :class:`~repro.scenarios.spec.ScenarioSpec`
+with unique names.  The built-in ``core`` suite covers every family of
+the anomaly taxonomy at least once, on a mix of topologies, and is the
+surface the golden-file regression tests, the CI smoke step and
+``repro scenarios run --suite core`` all pin.
+
+Suites are extensible at runtime::
+
+    from repro.scenarios import register_suite, ScenarioSpec
+    register_suite("mine", (ScenarioSpec(name="my-world", ...),))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.scenarios.spec import ScenarioSpec, TrafficModel
+from repro.scenarios.taxonomy import FamilySpec
+
+__all__ = [
+    "CORE_SUITE",
+    "get_spec",
+    "get_suite",
+    "register_suite",
+    "spec_names",
+    "suite_names",
+]
+
+#: Two days of 10-minute bins — long enough for diurnal structure and
+#: event margins, short enough that the whole suite runs in seconds.
+_TWO_DAYS = 288
+
+_SMALL = TrafficModel(num_bins=_TWO_DAYS)
+
+#: The built-in suite: one scenario per taxonomy family, plus one
+#: everything-at-once stress world.
+CORE_SUITE: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="spike-classic",
+        topology="toy",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(family="spike", magnitude=10.0),
+            FamilySpec(family="spike", magnitude=6.0),
+            FamilySpec(family="spike", magnitude=14.0),
+        ),
+        seed=101,
+        description="The paper's dominant case: single-bin spikes.",
+    ),
+    ScenarioSpec(
+        name="ddos-ramp-victim",
+        topology="abilene",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="ddos-ramp",
+                magnitude=9.0,
+                duration_bins=9,
+                num_flows=4,
+                stagger_bins=2,
+            ),
+        ),
+        seed=202,
+        description="Flood converging on one PoP, attackers joining "
+        "at staggered onsets with queue-buildup ramps.",
+    ),
+    ScenarioSpec(
+        name="flash-crowd-rush",
+        topology="toy",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="flash-crowd",
+                magnitude=8.0,
+                duration_bins=12,
+                num_flows=3,
+            ),
+        ),
+        seed=303,
+        description="Legitimate rush to one destination: sharp rise, "
+        "geometric decay.",
+    ),
+    ScenarioSpec(
+        name="ingress-outage-dark",
+        topology="star-4",
+        # Removed traffic is bounded by the flows' own volume (unlike
+        # additive floods), so the outage must stay short and the noise
+        # floor tight — a long total outage would hijack the first
+        # principal axis and hide inside the normal subspace.
+        traffic_model=TrafficModel(
+            num_bins=_TWO_DAYS,
+            diurnal_strength=0.35,
+            noise_relative=180.0,
+        ),
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="ingress-outage",
+                magnitude=0.85,
+                duration_bins=4,
+                num_flows=3,
+            ),
+        ),
+        seed=404,
+        description="A leaf PoP goes dark: its flows lose 85% of "
+        "their traffic for four bins.",
+    ),
+    ScenarioSpec(
+        name="routing-shift-exodus",
+        topology="ring-6",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="routing-shift",
+                magnitude=0.8,
+                duration_bins=10,
+            ),
+        ),
+        seed=505,
+        description="Mass exodus: one flow's bytes move onto a "
+        "sibling flow for ten bins.",
+    ),
+    ScenarioSpec(
+        name="port-scan-whisper",
+        topology="toy",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="port-scan",
+                magnitude=0.04,
+                duration_bins=24,
+            ),
+        ),
+        seed=606,
+        description="Low-rate long-duration probe near the "
+        "detectability floor.",
+    ),
+    ScenarioSpec(
+        name="multi-flow-overlap",
+        topology="abilene",
+        traffic_model=_SMALL,
+        anomaly_taxonomy=(
+            FamilySpec(
+                family="multi-flow",
+                magnitude=8.0,
+                duration_bins=6,
+                num_flows=3,
+                stagger_bins=3,
+            ),
+            FamilySpec(family="spike", magnitude=9.0),
+        ),
+        seed=707,
+        description="Independent co-occurring anomalies with "
+        "staggered, overlapping spans.",
+    ),
+)
+
+
+_SUITES: dict[str, tuple[ScenarioSpec, ...]] = {}
+
+
+def register_suite(
+    name: str, specs: Sequence[ScenarioSpec], overwrite: bool = False
+) -> None:
+    """Register a scenario suite under ``name``.
+
+    Spec names must be unique within the suite (reports and golden
+    files key on them).
+    """
+    if not name or not name.strip():
+        raise ValidationError("suite name must be non-empty")
+    key = name.strip().lower()
+    if not overwrite and key in _SUITES:
+        raise ValidationError(f"suite {name!r} is already registered")
+    specs = tuple(specs)
+    if not specs:
+        raise ValidationError(f"suite {name!r} must contain at least one spec")
+    seen = {spec.name for spec in specs}
+    if len(seen) != len(specs):
+        raise ValidationError(
+            f"suite {name!r} has duplicate scenario names"
+        )
+    _SUITES[key] = specs
+
+
+def get_suite(name: str) -> tuple[ScenarioSpec, ...]:
+    """The specs of one registered suite."""
+    key = name.strip().lower() if isinstance(name, str) else name
+    try:
+        return _SUITES[key]
+    except (KeyError, AttributeError):
+        raise ValidationError(
+            f"unknown suite {name!r}; registered: {', '.join(suite_names())}"
+        ) from None
+
+
+def suite_names() -> tuple[str, ...]:
+    """Names of every registered suite, sorted."""
+    return tuple(sorted(_SUITES))
+
+
+def spec_names(suite: str | Iterable[ScenarioSpec] = "core") -> tuple[str, ...]:
+    """Scenario names of one suite, suite order."""
+    specs = get_suite(suite) if isinstance(suite, str) else tuple(suite)
+    return tuple(spec.name for spec in specs)
+
+
+def get_spec(name: str) -> ScenarioSpec:
+    """Look a scenario spec up by name across every registered suite.
+
+    A name carried by several suites resolves only when every carrier
+    holds the identical spec — conflicting duplicates raise instead of
+    silently shadowing one another.
+    """
+    matches = [
+        (suite, spec)
+        for suite, specs in _SUITES.items()
+        for spec in specs
+        if spec.name == name
+    ]
+    if not matches:
+        known = sorted(
+            {spec.name for specs in _SUITES.values() for spec in specs}
+        )
+        raise ValidationError(
+            f"unknown scenario {name!r}; known: {', '.join(known)}"
+        )
+    distinct = {spec for _, spec in matches}
+    if len(distinct) > 1:
+        suites = ", ".join(sorted(suite for suite, _ in matches))
+        raise ValidationError(
+            f"scenario name {name!r} is ambiguous: suites {suites} define "
+            "different specs under it; fetch via get_suite(...) instead"
+        )
+    return matches[0][1]
+
+
+register_suite("core", CORE_SUITE)

@@ -1,0 +1,341 @@
+"""The anomaly taxonomy: named families of network-wide traffic events.
+
+The paper's evaluation injects single-flow spikes (§6.3).  Operational
+anomalies are richer — the related DoS-queueing and SENATUS lines of
+work catalogue floods with ramp-up phases, flash crowds, outages, and
+routing shifts that touch many OD flows at once.  This module expresses
+that space declaratively: a :class:`FamilySpec` names a family and its
+knobs, and :func:`compile_family` turns it into concrete per-flow
+:class:`~repro.traffic.anomalies.AnomalyEvent` deltas plus a grouped
+:class:`ScenarioEvent` ground-truth record.
+
+Families
+--------
+``spike``
+    The paper's dominant case: all extra bytes in one bin of one flow.
+``ddos-ramp``
+    A flood converging on one victim PoP: several flows toward the same
+    destination ramp up linearly (queue-buildup footprint), attackers
+    joining at staggered onsets.
+``flash-crowd``
+    Legitimate rush to one destination: a sharp rise then a geometric
+    decay (``BURST`` shape) on several flows simultaneously.
+``ingress-outage``
+    A PoP (or its ingress links) goes dark: every flow originating
+    there *loses* a fraction of its traffic for the duration.
+``routing-shift``
+    Mass exodus: one flow's bytes move onto a sibling flow (same
+    origin, different destination) — a matched negative/positive pair.
+``port-scan``
+    Low-rate, long-duration extra bytes on one flow; sits near or
+    below the detectability floor by design (§5.4).
+``multi-flow``
+    Independent co-occurring anomalies on several unrelated flows with
+    staggered onsets and overlapping spans.
+
+Magnitudes are *relative*: ``magnitude`` scales the mean byte volume of
+each affected flow, so one spec compiles sensibly on any topology and
+traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.traffic.anomalies import AnomalyEvent, AnomalyShape
+
+__all__ = [
+    "FAMILIES",
+    "FamilySpec",
+    "ScenarioEvent",
+    "compile_family",
+]
+
+#: Every anomaly family the taxonomy knows, in canonical order.
+FAMILIES: tuple[str, ...] = (
+    "spike",
+    "ddos-ramp",
+    "flash-crowd",
+    "ingress-outage",
+    "routing-shift",
+    "port-scan",
+    "multi-flow",
+)
+
+#: Families whose member flows all share one destination PoP.
+_DESTINATION_FAMILIES = frozenset({"ddos-ramp", "flash-crowd"})
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Declarative description of one anomaly-family occurrence.
+
+    Parameters
+    ----------
+    family:
+        One of :data:`FAMILIES`.
+    magnitude:
+        Peak per-bin delta as a multiple of each affected flow's mean
+        byte volume.  Always positive; outage/shift families negate it
+        internally where traffic is removed.
+    duration_bins:
+        Bins each member flow is perturbed for (1 for ``spike``).
+    num_flows:
+        Member flows for the multi-flow families (``ddos-ramp``,
+        ``flash-crowd``, ``ingress-outage``, ``multi-flow``).
+    stagger_bins:
+        Onset offset between successive member flows (overlapping
+        events with staggered starts).
+    start:
+        Fractional position of the first onset in the trace, in
+        ``[0, 1)``; ``None`` draws it from the scenario RNG.
+    """
+
+    family: str
+    magnitude: float = 8.0
+    duration_bins: int = 1
+    num_flows: int = 1
+    stagger_bins: int = 0
+    start: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValidationError(
+                f"unknown anomaly family {self.family!r}; "
+                f"known: {', '.join(FAMILIES)}"
+            )
+        if self.magnitude <= 0:
+            raise ValidationError(
+                f"magnitude must be > 0, got {self.magnitude}"
+            )
+        if self.duration_bins < 1:
+            raise ValidationError(
+                f"duration_bins must be >= 1, got {self.duration_bins}"
+            )
+        if self.family == "spike" and self.duration_bins != 1:
+            raise ValidationError("spike anomalies occupy exactly one bin")
+        if self.family in ("flash-crowd",) and self.duration_bins < 2:
+            raise ValidationError(
+                f"{self.family} needs duration_bins >= 2, "
+                f"got {self.duration_bins}"
+            )
+        if self.num_flows < 1:
+            raise ValidationError(
+                f"num_flows must be >= 1, got {self.num_flows}"
+            )
+        if self.family == "routing-shift" and self.num_flows != 1:
+            raise ValidationError(
+                "routing-shift always moves one donor flow onto one "
+                "sibling; leave num_flows at 1"
+            )
+        if self.stagger_bins < 0:
+            raise ValidationError(
+                f"stagger_bins must be >= 0, got {self.stagger_bins}"
+            )
+        if self.start is not None and not 0.0 <= self.start < 1.0:
+            raise ValidationError(
+                f"start must lie in [0, 1), got {self.start}"
+            )
+
+    @property
+    def span_bins(self) -> int:
+        """Bins from the first onset to the last affected bin."""
+        members = self.num_flows if self.family != "routing-shift" else 2
+        return self.duration_bins + self.stagger_bins * (members - 1)
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """Grouped ground truth for one compiled family occurrence.
+
+    Attributes
+    ----------
+    family:
+        The anomaly family.
+    flow_indices:
+        Every OD flow the event touches, onset order.
+    onsets:
+        First affected bin per member flow.
+    duration_bins:
+        Bins each member flow is perturbed for.
+    amplitudes:
+        Requested (pre-clipping) signed peak byte delta per member flow.
+    """
+
+    family: str
+    flow_indices: tuple[int, ...]
+    onsets: tuple[int, ...]
+    duration_bins: int
+    amplitudes: tuple[float, ...]
+
+    @property
+    def start_bin(self) -> int:
+        """First affected bin across all member flows."""
+        return min(self.onsets)
+
+    @property
+    def end_bin(self) -> int:
+        """Last affected bin across all member flows (inclusive)."""
+        return max(self.onsets) + self.duration_bins - 1
+
+    @property
+    def bins(self) -> np.ndarray:
+        """Every bin some member flow actually perturbs.
+
+        The union of per-member spans, not the overall envelope: with
+        onsets staggered further apart than ``duration_bins`` the
+        envelope would count untouched gap bins as anomalous truth and
+        corrupt recall/false-alarm accounting.
+        """
+        spans = [
+            np.arange(onset, onset + self.duration_bins, dtype=np.int64)
+            for onset in self.onsets
+        ]
+        return np.unique(np.concatenate(spans))
+
+
+def compile_family(
+    spec: FamilySpec,
+    routing: RoutingMatrix,
+    flow_means: np.ndarray,
+    num_bins: int,
+    rng: np.random.Generator,
+    margin_bins: int = 8,
+) -> tuple[list[AnomalyEvent], ScenarioEvent]:
+    """Compile one family spec into per-flow events plus grouped truth.
+
+    Flow choices and (when ``spec.start`` is None) the onset are drawn
+    from ``rng``; everything else is a pure function of the spec, so
+    compilation is deterministic under a seeded generator.
+    """
+    span = spec.span_bins
+    usable = num_bins - 2 * margin_bins - span
+    if usable < 1:
+        raise ValidationError(
+            f"trace of {num_bins} bins cannot host a {spec.family} event "
+            f"spanning {span} bins with margin {margin_bins}"
+        )
+    if spec.start is None:
+        start = margin_bins + int(rng.integers(0, usable))
+    else:
+        start = margin_bins + int(round(spec.start * (usable - 1)))
+
+    flows = _member_flows(spec, routing, rng)
+    onsets = tuple(
+        start + spec.stagger_bins * position
+        for position in range(len(flows))
+    )
+    amplitudes = _member_amplitudes(spec, flows, flow_means)
+    shape = _FAMILY_SHAPES[spec.family]
+    events = [
+        AnomalyEvent(
+            time_bin=onset,
+            flow_index=flow,
+            amplitude_bytes=amplitude,
+            shape=shape,
+            duration_bins=spec.duration_bins,
+        )
+        for flow, onset, amplitude in zip(flows, onsets, amplitudes)
+    ]
+    truth = ScenarioEvent(
+        family=spec.family,
+        flow_indices=tuple(flows),
+        onsets=onsets,
+        duration_bins=spec.duration_bins,
+        amplitudes=amplitudes,
+    )
+    return events, truth
+
+
+_FAMILY_SHAPES: dict[str, AnomalyShape] = {
+    "spike": AnomalyShape.SPIKE,
+    "ddos-ramp": AnomalyShape.RAMP,
+    "flash-crowd": AnomalyShape.BURST,
+    "ingress-outage": AnomalyShape.SQUARE,
+    "routing-shift": AnomalyShape.SQUARE,
+    "port-scan": AnomalyShape.SQUARE,
+    "multi-flow": AnomalyShape.SQUARE,
+}
+
+
+def _member_flows(
+    spec: FamilySpec, routing: RoutingMatrix, rng: np.random.Generator
+) -> list[int]:
+    """Draw the affected flow indices for one family occurrence."""
+    od_pairs = routing.od_pairs
+    if spec.family in _DESTINATION_FAMILIES:
+        victim = _draw_pop(routing, rng, role="destination")
+        candidates = [
+            index
+            for index, (origin, destination) in enumerate(od_pairs)
+            if destination == victim and origin != victim
+        ]
+        return _sample(candidates, spec.num_flows, rng, spec.family)
+    if spec.family == "ingress-outage":
+        origin = _draw_pop(routing, rng, role="origin")
+        candidates = [
+            index
+            for index, (source, destination) in enumerate(od_pairs)
+            if source == origin and destination != origin
+        ]
+        return _sample(candidates, spec.num_flows, rng, spec.family)
+    if spec.family == "routing-shift":
+        donor = int(rng.integers(0, routing.num_flows))
+        origin, destination = od_pairs[donor]
+        siblings = [
+            index
+            for index, (source, target) in enumerate(od_pairs)
+            if source == origin and target != destination and index != donor
+        ]
+        if not siblings:
+            raise ValidationError(
+                f"flow {donor} ({origin}->{destination}) has no sibling "
+                "flow to shift traffic onto"
+            )
+        return [donor, int(rng.choice(np.asarray(siblings)))]
+    # spike / port-scan / multi-flow: unconstrained distinct flows.
+    return _sample(
+        list(range(routing.num_flows)), spec.num_flows, rng, spec.family
+    )
+
+
+def _member_amplitudes(
+    spec: FamilySpec, flows: list[int], flow_means: np.ndarray
+) -> tuple[float, ...]:
+    """Signed peak byte delta per member flow."""
+    if spec.family == "ingress-outage":
+        return tuple(
+            -spec.magnitude * float(flow_means[flow]) for flow in flows
+        )
+    if spec.family == "routing-shift":
+        moved = spec.magnitude * float(flow_means[flows[0]])
+        return (-moved, moved)
+    return tuple(spec.magnitude * float(flow_means[flow]) for flow in flows)
+
+
+def _draw_pop(
+    routing: RoutingMatrix, rng: np.random.Generator, role: str
+) -> str:
+    """A uniformly drawn PoP name (origin or destination column)."""
+    position = 0 if role == "origin" else 1
+    names = sorted({pair[position] for pair in routing.od_pairs})
+    return names[int(rng.integers(0, len(names)))]
+
+
+def _sample(
+    candidates: list[int],
+    count: int,
+    rng: np.random.Generator,
+    family: str,
+) -> list[int]:
+    if len(candidates) < count:
+        raise ValidationError(
+            f"{family} wants {count} member flows but only "
+            f"{len(candidates)} are eligible"
+        )
+    chosen = rng.choice(np.asarray(candidates), size=count, replace=False)
+    return [int(flow) for flow in chosen]

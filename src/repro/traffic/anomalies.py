@@ -35,6 +35,9 @@ class AnomalyShape(enum.Enum):
     SQUARE = "square"
     #: Linear rise from zero to the peak over ``duration_bins`` bins.
     RAMP = "ramp"
+    #: Linear rise to the peak over the first third, then a geometric
+    #: decay (halving per bin) — the flash-crowd footprint.
+    BURST = "burst"
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +80,8 @@ class AnomalyEvent:
             )
         if self.shape is AnomalyShape.SPIKE and self.duration_bins != 1:
             raise TrafficError("SPIKE anomalies occupy exactly one bin")
+        if self.shape is AnomalyShape.BURST and self.duration_bins < 2:
+            raise TrafficError("BURST anomalies need at least two bins")
 
     def deltas(self) -> np.ndarray:
         """Per-bin byte deltas of length ``duration_bins``."""
@@ -87,6 +92,11 @@ class AnomalyEvent:
         if self.shape is AnomalyShape.RAMP:
             steps = np.arange(1, self.duration_bins + 1, dtype=np.float64)
             return self.amplitude_bytes * steps / self.duration_bins
+        if self.shape is AnomalyShape.BURST:
+            rise = max(1, self.duration_bins // 3)
+            up = np.arange(1, rise + 1, dtype=np.float64) / rise
+            down = 0.5 ** np.arange(1, self.duration_bins - rise + 1)
+            return self.amplitude_bytes * np.concatenate([up, down])
         raise TrafficError(f"unhandled shape: {self.shape!r}")  # pragma: no cover
 
     @property

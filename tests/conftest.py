@@ -7,6 +7,8 @@ mutate them freely.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,53 @@ from repro.datasets.synthetic import dataset_from_config
 from repro.routing import SPFRouting, build_routing_matrix
 from repro.topology import line_network, toy_network
 from repro.traffic.workloads import workload_for
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files from the current outputs instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def golden_check(request):
+    """Compare a JSON payload against a pinned golden file.
+
+    ``golden_check(path, payload)`` canonicalizes the payload (sorted
+    keys, two-space indent, trailing newline) and asserts the file
+    matches byte-for-byte.  Under ``pytest --update-goldens`` it
+    rewrites the file instead — the refresh path after an intentional
+    behavior change.  Regeneration on an unchanged tree is
+    byte-identical because every producer is fully seeded and floats
+    are rounded to a fixed number of significant digits upstream.
+    """
+    from repro.scenarios import canonical_json
+
+    update = request.config.getoption("--update-goldens")
+
+    def check(path: Path, payload: dict) -> None:
+        path = Path(path)
+        text = canonical_json(payload)
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; create it with "
+            f"`pytest {path.parent} --update-goldens`"
+        )
+        on_disk = path.read_text()
+        assert on_disk == text, (
+            f"golden drift in {path.name}: the current output no longer "
+            "matches the pinned file. If the change is intentional, "
+            "refresh with `pytest --update-goldens` and review the diff."
+        )
+
+    return check
 
 
 @pytest.fixture

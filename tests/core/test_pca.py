@@ -261,3 +261,30 @@ class TestValidation:
         pca = PCA().fit(anisotropic_data)
         with pytest.raises(ModelError):
             pca.component(99)
+
+
+class TestGramRankDeficient:
+    """Regression: the (t, t) Gram route on rank-deficient data.
+
+    Squaring the spectrum surfaces eigenvalue rounding dust as
+    σ ≈ σ₀·√(t·eps); with the old σ₀·t·eps cutoff those dust columns
+    passed as real and their "recovered" axes broke orthonormality.
+    """
+
+    def test_rank_one_short_and_wide_stays_orthonormal(self):
+        data = np.ones((4, 5))
+        data[0, 0] = 0.0  # centered rank 1, t < m -> gram-sample route
+        pca = PCA(method="gram").fit(data)
+        assert pca.solver == "gram-sample"
+        v = pca.components
+        assert np.allclose(v.T @ v, np.eye(5), atol=1e-12)
+        reference = PCA(method="svd-full").fit(data)
+        assert np.allclose(
+            pca.eigenvalues(), reference.eigenvalues(), atol=1e-12
+        )
+
+    def test_dust_directions_report_zero_variance(self):
+        data = np.ones((4, 5))
+        data[0, 0] = 0.0
+        pca = PCA(method="gram").fit(data)
+        assert np.count_nonzero(pca.eigenvalues() > 1e-12) == 1

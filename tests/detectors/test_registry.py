@@ -117,3 +117,50 @@ class TestRegister:
         detector = detectors.get("test-constant")
         assert isinstance(detector, detectors.Detector)
         assert detector.fit(np.ones((4, 2))).score(np.ones((4, 2))).shape == (4,)
+
+
+class TestRegistryContracts:
+    """Registry-wide guarantees the grid engines rely on."""
+
+    def test_every_alias_resolves_to_a_registered_factory(self):
+        alias_map = detectors.aliases()
+        assert alias_map  # the built-ins ship aliases
+        for alias, canonical in alias_map.items():
+            assert canonical in detectors.available()
+            assert detectors.get_factory(alias) is detectors.get_factory(
+                canonical
+            )
+            assert detectors.resolve_names([alias]) == (canonical,)
+
+    def test_aliases_never_shadow_canonical_names(self):
+        assert not set(detectors.aliases()) & set(detectors.available())
+
+    def test_alias_and_canonical_build_equivalent_detectors(self):
+        for alias, canonical in detectors.aliases().items():
+            assert detectors.get(alias).name == canonical
+
+
+class TestRegistryScenarioSmoke:
+    """Every registered detector completes fit/score/detect on a
+    scenario-suite world (the suite is the canonical smoke dataset)."""
+
+    @pytest.fixture(scope="class")
+    def scenario_trace(self):
+        from repro.scenarios import compile_scenario, get_spec
+
+        dataset = compile_scenario(get_spec("spike-classic")).dataset
+        return dataset
+
+    @pytest.mark.parametrize("name", sorted(detectors.available()))
+    def test_fit_score_detect_on_scenario_world(self, name, scenario_trace):
+        trace = scenario_trace.link_traffic
+        detector = detectors.get(
+            name, bin_seconds=scenario_trace.bin_seconds
+        )
+        assert detector.fit(trace) is detector
+        scores = detector.score(trace)
+        assert scores.shape == (trace.shape[0],)
+        assert np.all(np.isfinite(scores))
+        alarms = detector.detect(trace, confidence=0.999)
+        assert alarms.flags.shape == (trace.shape[0],)
+        assert alarms.threshold >= 0.0

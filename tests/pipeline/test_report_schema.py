@@ -1,0 +1,97 @@
+"""Golden-file schema contract for ``ComparisonReport.to_json``.
+
+BENCH artifacts, the CI assertions and any downstream report consumer
+key on this payload's structure.  The test derives a *schema* — key
+names and JSON types, not values — from a real report and pins it as a
+golden file, so adding, removing, renaming or retyping a field is an
+explicit, reviewed change (bump ``REPORT_SCHEMA_VERSION`` and refresh
+with ``pytest --update-goldens``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import ComparisonRunner
+from repro.pipeline.compare import REPORT_SCHEMA_VERSION
+from repro.scenarios import compile_scenario, get_spec
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def json_schema(value, max_list_items: int = 1):
+    """A structural summary of a JSON payload: key names + type names.
+
+    Lists are summarized by their first element (reports are
+    homogeneous); scalars map to their JSON type name.
+    """
+    if isinstance(value, dict):
+        return {key: json_schema(item) for key, item in sorted(value.items())}
+    if isinstance(value, list):
+        if not value:
+            return ["<empty>"]
+        return [json_schema(item) for item in value[:max_list_items]]
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if value is None:
+        return "null"
+    raise TypeError(f"non-JSON value in report payload: {type(value)}")
+
+
+@pytest.fixture(scope="module")
+def report():
+    """A tiny but fully featured grid: injections + multi-confidence."""
+    dataset = compile_scenario(get_spec("spike-classic")).dataset
+    return ComparisonRunner(
+        [dataset],
+        detectors=("subspace", "ewma"),
+        injection_sizes=(2.0e9,),
+        num_injections=4,
+        confidences=(0.995, 0.999),
+        workers=1,
+    ).run()
+
+
+def test_payload_schema_matches_golden(report, golden_check):
+    payload = report.to_json()
+    golden_check(
+        GOLDEN_DIR / "comparison_report.schema.json", json_schema(payload)
+    )
+
+
+def test_schema_version_field(report):
+    payload = report.to_json()
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+    assert isinstance(payload["schema_version"], int)
+
+
+def test_dtypes_of_cell_fields(report):
+    cell = report.to_json()["cells"][0]
+    assert isinstance(cell["detector"], str)
+    assert isinstance(cell["dataset"], str)
+    assert isinstance(cell["scenario"], str)
+    assert isinstance(cell["confidence"], float)
+    assert isinstance(cell["auc"], float)
+    assert isinstance(cell["op_detection"], float)
+    assert isinstance(cell["op_false_alarm"], float)
+    assert isinstance(cell["op_threshold"], float)
+    assert isinstance(cell["num_truth_bins"], int)
+    for budget, rate in cell["detection_at_budgets"]:
+        assert isinstance(budget, float)
+        assert isinstance(rate, float)
+
+
+def test_timings_are_optional_and_additive(report):
+    bare = report.to_json(include_timings=False)
+    timed = report.to_json(include_timings=True)
+    assert "elapsed_seconds" not in bare
+    assert "cell_seconds" not in bare
+    assert set(timed) - set(bare) == {"elapsed_seconds", "cell_seconds"}
+    # Everything except the timing fields is identical.
+    assert {k: v for k, v in timed.items() if k in bare} == bare

@@ -121,3 +121,82 @@ class TestBlockUpdateParity:
         )
         assert np.allclose(stream_spe, batch_spe, rtol=1e-6)
         assert detector.threshold == pytest.approx(pipeline.threshold, rel=1e-9)
+
+
+class TestStreamingEdgeCases:
+    """Boundary behavior: tiny windows, straddling anomalies, empty
+    streams, and the degenerate full-rank model."""
+
+    def test_window_smaller_than_anomaly_duration(self, fitted):
+        """A long square anomaly chopped into several windows is
+        flagged in every window it touches."""
+        dataset, warmup, pipeline = fitted
+        stream = dataset.link_traffic[warmup:].copy()
+        flow = dataset.routing.od_index("lon", "zur")
+        span = np.arange(30, 42)  # 12 bins, window is 5
+        stream[span] += 3.0e8 * dataset.routing.column(flow)
+        alarm_bins = []
+        touched_windows = set()
+        # Near-zero forgetting pins the model, so the test isolates the
+        # windowing mechanics from adaptive absorption of the anomaly.
+        stream_iter = pipeline.stream(stream, window_bins=5, forgetting=1e-9)
+        for index, window in enumerate(stream_iter):
+            alarm_bins.extend(int(b) for b in window.anomalous_bins)
+            if window.num_alarms:
+                touched_windows.add(index)
+        assert set(span) <= set(alarm_bins)
+        assert len(touched_windows) >= 3  # 12 bins / 5-bin windows
+
+    def test_anomaly_straddles_a_window_boundary(self, fitted):
+        """Both fragments of an anomaly split by a window boundary are
+        flagged — scoring is per-row, not per-window."""
+        dataset, warmup, pipeline = fitted
+        stream = dataset.link_traffic[warmup:].copy()
+        flow = dataset.routing.od_index("lon", "zur")
+        span = np.arange(21, 27)  # straddles the 24-bin boundary
+        stream[span] += 3.0e8 * dataset.routing.column(flow)
+        windows = list(pipeline.stream(stream, window_bins=24))
+        first, second = windows[0], windows[1]
+        assert {21, 22, 23} <= set(int(b) for b in first.anomalous_bins)
+        assert {24, 25, 26} <= set(int(b) for b in second.anomalous_bins)
+
+    def test_empty_stream_yields_no_windows(self, fitted):
+        dataset, _, pipeline = fitted
+        detector = pipeline.streaming()
+        empty = np.empty((0, dataset.num_links))
+        assert list(detector.stream(empty)) == []
+        assert detector.arrivals == 0
+
+    def test_empty_window_is_a_noop(self, fitted):
+        dataset, _, pipeline = fitted
+        detector = pipeline.streaming()
+        before = detector.tracker.mean.copy()
+        window = detector.process_window(np.empty((0, dataset.num_links)))
+        assert window.num_alarms == 0
+        assert window.spe.shape == (0,)
+        assert window.anomalous_bins.size == 0
+        assert detector.arrivals == 0
+        assert np.array_equal(detector.tracker.mean, before)
+
+    def test_window_larger_than_stream(self, fitted):
+        """A single short final window covers the whole stream."""
+        dataset, warmup, pipeline = fitted
+        stream = dataset.link_traffic[warmup : warmup + 7]
+        windows = list(pipeline.stream(stream, window_bins=50))
+        assert len(windows) == 1
+        assert windows[0].flags.size == 7
+
+    def test_full_rank_model_raises_no_dust_alarms(self, fitted):
+        """With every axis in the normal subspace the residual is
+        exactly zero: no alarms from 1e-16 numerical dust (regression
+        for the degenerate-rank fix)."""
+        dataset, warmup, _ = fitted
+        detector = StreamingDetector.from_history(
+            dataset.link_traffic[:warmup],
+            normal_rank=dataset.num_links,
+            routing=dataset.routing,
+        )
+        window = detector.process_window(dataset.link_traffic[warmup:])
+        assert window.threshold == 0.0
+        assert np.array_equal(window.spe, np.zeros(window.spe.shape))
+        assert window.num_alarms == 0

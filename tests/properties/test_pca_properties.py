@@ -101,3 +101,27 @@ def test_spe_scale_equivariance(data, scale):
     spe_b = np.asarray(model_b.spe(data * scale))
     ref = max(float(spe_a.max()), 1e-9)
     assert np.allclose(spe_b, spe_a * scale**2, atol=1e-5 * ref * scale**2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(min_rows=4, max_rows=60, min_cols=2, max_cols=10))
+def test_fit_methods_agree_on_random_shapes(data):
+    """`svd`, `gram` and the legacy `svd-full` reference produce the
+    same model on arbitrary shapes: equal spectra and an identical
+    reconstructed covariance (the basis itself may differ by sign or
+    by rotation inside degenerate eigenspaces)."""
+    reference = PCA(method="svd-full").fit(data)
+    ref_eigenvalues = reference.eigenvalues()
+    ref_cov = (
+        reference.components * ref_eigenvalues
+    ) @ reference.components.T
+    scale = max(float(ref_eigenvalues.max(initial=0.0)), 1.0)
+    for method in ("svd", "gram", "auto"):
+        pca = PCA(method=method).fit(data)
+        assert np.allclose(
+            pca.eigenvalues(), ref_eigenvalues, atol=1e-8 * scale
+        )
+        cov = (pca.components * pca.eigenvalues()) @ pca.components.T
+        assert np.allclose(cov, ref_cov, atol=1e-7 * scale)
+        v = pca.components
+        assert np.allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-8)

@@ -1,0 +1,69 @@
+"""Property-based tests for the vectorized Q-statistic threshold sweep.
+
+``q_thresholds`` powers every confidence grid in the pipeline layer;
+these properties pin the two contracts grid drivers rely on: loop
+consistency with the scalar :func:`~repro.core.qstatistic.q_threshold`
+(including the Box fallback) and monotonicity in the confidence level.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.qstatistic import q_threshold, q_thresholds
+from repro.exceptions import ModelError
+
+
+def eigen_spectra(min_size=1, max_size=12):
+    """Random positive residual spectra."""
+    sizes = st.integers(min_size, max_size)
+    return sizes.flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(1e-6, 1e6, allow_nan=False),
+        )
+    )
+
+
+def confidence_ladders(min_size=2, max_size=6):
+    """Strictly increasing confidence grids inside (0, 1)."""
+    return st.lists(
+        st.floats(0.9, 0.99999), min_size=min_size, max_size=max_size,
+        unique=True,
+    ).map(sorted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(eigen_spectra(), confidence_ladders())
+def test_q_thresholds_matches_scalar_loop(spectrum, confidences):
+    vectorized = q_thresholds(spectrum, np.asarray(confidences))
+    looped = np.array([q_threshold(spectrum, c) for c in confidences])
+    assert np.allclose(vectorized, looped, rtol=1e-12, atol=0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(eigen_spectra(), confidence_ladders())
+def test_q_thresholds_monotone_in_confidence(spectrum, confidences):
+    """A stricter confidence level can never lower the SPE limit."""
+    thresholds = q_thresholds(spectrum, np.asarray(confidences))
+    assert np.all(np.diff(thresholds) >= -1e-9 * np.abs(thresholds[:-1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(eigen_spectra(), st.floats(0.9, 0.9999))
+def test_singleton_grid_equals_scalar(spectrum, confidence):
+    grid = q_thresholds(spectrum, np.asarray([confidence]))
+    assert grid.shape == (1,)
+    assert grid[0] == pytest.approx(
+        q_threshold(spectrum, confidence), rel=1e-12
+    )
+
+
+def test_rejects_out_of_range_levels():
+    spectrum = np.array([3.0, 2.0, 1.0])
+    with pytest.raises(ModelError, match="confidence"):
+        q_thresholds(spectrum, np.array([0.5, 1.0]))
+    with pytest.raises(ModelError, match="vector"):
+        q_thresholds(spectrum, np.array([[0.9]]))

@@ -104,3 +104,29 @@ def test_ecmp_fractions_conserve_flow(network):
             if name.endswith(f"->{destination}")
         ]
         assert routing.matrix[incoming, j].sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_networks())
+def test_column_sums_count_path_hops(network):
+    """Every binary routing-matrix column sums to the hop count of its
+    flow's route (self-flows traverse exactly their intra-PoP link)."""
+    table = SPFRouting(network).compute()
+    routing = build_routing_matrix(network, table)
+    column_sums = routing.matrix.sum(axis=0)
+    for j, (origin, destination) in enumerate(routing.od_pairs):
+        route = table.route(origin, destination)
+        assert column_sums[j] == pytest.approx(len(route.links))
+        assert column_sums[j] >= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_networks())
+def test_unit_sum_columns_are_distributions(network):
+    """``unit_sum_columns`` rescales every flow's link weights into a
+    probability-style distribution over its path."""
+    table = SPFRouting(network).compute()
+    routing = build_routing_matrix(network, table)
+    normalized = routing.unit_sum_columns()
+    assert np.allclose(normalized.sum(axis=0), 1.0)
+    assert np.all(normalized >= 0.0)

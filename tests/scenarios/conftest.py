@@ -1,0 +1,23 @@
+"""Shared scenario-suite fixtures.
+
+Compiling and diagnosing the core suite is cheap (< 1 s) but every
+golden test wants the same outcomes, so both are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import CORE_SUITE, compile_scenario, run_suite
+
+
+@pytest.fixture(scope="session")
+def core_report():
+    """One diagnosis pass over the whole core suite."""
+    return run_suite("core")
+
+
+@pytest.fixture(scope="session")
+def compiled_core():
+    """Every core-suite scenario compiled, keyed by name."""
+    return {spec.name: compile_scenario(spec) for spec in CORE_SUITE}

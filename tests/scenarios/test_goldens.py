@@ -1,0 +1,76 @@
+"""Golden-file regression over the core scenario suite.
+
+Each core-suite scenario pins its full diagnosis outcome — alarms,
+thresholds, recall, identified flows, per-event recovery — as a
+canonical JSON file under ``goldens/``.  Any behavioral drift in the
+data layer, the subspace model, detection, identification or the
+streaming fold shows up as a byte diff here.
+
+Refresh after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/scenarios --update-goldens
+
+and review the resulting diff like any other code change.  On an
+unchanged tree the refresh is byte-identical (a test below locks that
+in), so accidental reruns never dirty the working copy.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import CORE_SUITE, ScenarioRunner, canonical_json
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+SPEC_NAMES = [spec.name for spec in CORE_SUITE]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_scenario_outcome_matches_golden(name, core_report, golden_check):
+    golden_check(
+        GOLDEN_DIR / f"{name}.json", core_report.outcome(name).to_json()
+    )
+
+
+def test_suite_report_matches_golden(core_report, golden_check):
+    golden_check(GOLDEN_DIR / "core-suite.json", core_report.to_json())
+
+
+def test_every_family_has_a_golden(core_report):
+    """Each taxonomy family exercised by the suite is pinned by at
+    least one golden file."""
+    from repro.scenarios import FAMILIES
+
+    covered = {
+        family
+        for outcome in core_report
+        for family in outcome.families
+        if (GOLDEN_DIR / f"{outcome.name}.json").exists()
+    }
+    assert covered == set(FAMILIES)
+
+
+def test_regeneration_is_byte_identical(core_report):
+    """A second independent run serializes to the exact same bytes —
+    the property that makes ``--update-goldens`` safe on an unchanged
+    tree."""
+    rerun = ScenarioRunner(confidence=core_report.confidence).run(
+        CORE_SUITE, suite="core"
+    )
+    assert canonical_json(rerun.to_json()) == canonical_json(
+        core_report.to_json()
+    )
+
+
+def test_goldens_are_canonical_on_disk(core_report):
+    """Golden files store the canonical serialization (sorted keys,
+    two-space indent, trailing LF) so refreshes never produce
+    formatting-only diffs."""
+    import json
+
+    for name in SPEC_NAMES:
+        path = GOLDEN_DIR / f"{name}.json"
+        assert path.exists(), f"missing golden {path.name}"
+        text = path.read_text()
+        assert canonical_json(json.loads(text)) == text

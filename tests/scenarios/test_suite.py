@@ -1,0 +1,92 @@
+"""Suite registry contracts and the core suite's coverage guarantees."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios import (
+    CORE_SUITE,
+    ScenarioSpec,
+    get_spec,
+    get_suite,
+    register_suite,
+    spec_names,
+    suite_names,
+)
+
+
+class TestCoreSuite:
+    def test_core_is_registered(self):
+        assert "core" in suite_names()
+        assert get_suite("core") == CORE_SUITE
+
+    def test_covers_at_least_six_families(self):
+        families = {
+            family for spec in CORE_SUITE for family in spec.families()
+        }
+        assert len(families) >= 6
+
+    def test_covers_every_taxonomy_family(self):
+        from repro.scenarios import FAMILIES
+
+        families = {
+            family for spec in CORE_SUITE for family in spec.families()
+        }
+        assert families == set(FAMILIES)
+
+    def test_names_are_unique(self):
+        names = spec_names("core")
+        assert len(set(names)) == len(names)
+
+    def test_topology_diversity(self):
+        assert len({spec.topology for spec in CORE_SUITE}) >= 4
+
+    def test_every_spec_compiles(self, compiled_core):
+        for spec in CORE_SUITE:
+            compiled = compiled_core[spec.name]
+            assert compiled.dataset.num_bins == spec.traffic_model.num_bins
+            assert len(compiled.events) == len(spec.anomaly_taxonomy)
+
+
+class TestRegistry:
+    def test_get_spec_by_name(self):
+        spec = get_spec("spike-classic")
+        assert spec.families() == ("spike",)
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            get_spec("nope")
+
+    def test_get_suite_unknown(self):
+        with pytest.raises(ValidationError, match="unknown suite"):
+            get_suite("nope")
+
+    def test_register_requires_unique_spec_names(self):
+        spec = ScenarioSpec(name="dup")
+        with pytest.raises(ValidationError, match="duplicate"):
+            register_suite("broken", (spec, spec))
+
+    def test_register_rejects_empty(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            register_suite("empty", ())
+
+    def test_register_rejects_collisions_without_overwrite(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_suite("core", CORE_SUITE)
+
+    def test_register_and_lookup_roundtrip(self):
+        name = "test-roundtrip-suite"
+        specs = (ScenarioSpec(name="roundtrip-world"),)
+        register_suite(name, specs, overwrite=True)
+        assert get_suite(name) == specs
+        assert get_spec("roundtrip-world") == specs[0]
+
+    def test_conflicting_cross_suite_names_are_ambiguous(self):
+        shadow = ScenarioSpec(name="spike-classic", topology="ring-6")
+        register_suite("test-shadow-suite", (shadow,), overwrite=True)
+        with pytest.raises(ValidationError, match="ambiguous"):
+            get_spec("spike-classic")
+        # Identical specs shared across suites still resolve.
+        register_suite(
+            "test-shadow-suite", (get_suite("core")[0],), overwrite=True
+        )
+        assert get_spec("spike-classic") == get_suite("core")[0]

@@ -1,0 +1,261 @@
+"""Anomaly-taxonomy compilation: families, shapes, and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError, ValidationError
+from repro.scenarios import FAMILIES, FamilySpec, compile_family
+from repro.traffic.anomalies import AnomalyEvent, AnomalyShape
+
+
+@pytest.fixture
+def world(toy_routing):
+    """Routing + synthetic flow means for a 4-PoP world."""
+    rng = np.random.default_rng(99)
+    means = rng.uniform(5e7, 2e8, size=toy_routing.num_flows)
+    return toy_routing, means
+
+
+def compile_on(world, spec, seed=7, num_bins=288):
+    routing, means = world
+    rng = np.random.default_rng(seed)
+    return compile_family(spec, routing, means, num_bins, rng)
+
+
+class TestFamilySpecValidation:
+    def test_taxonomy_has_all_families(self):
+        assert set(FAMILIES) == {
+            "spike",
+            "ddos-ramp",
+            "flash-crowd",
+            "ingress-outage",
+            "routing-shift",
+            "port-scan",
+            "multi-flow",
+        }
+
+    def test_unknown_family(self):
+        with pytest.raises(ValidationError, match="unknown anomaly family"):
+            FamilySpec(family="earthquake")
+
+    def test_nonpositive_magnitude(self):
+        with pytest.raises(ValidationError, match="magnitude"):
+            FamilySpec(family="spike", magnitude=0.0)
+
+    def test_spike_is_single_bin(self):
+        with pytest.raises(ValidationError, match="exactly one bin"):
+            FamilySpec(family="spike", duration_bins=3)
+
+    def test_flash_crowd_needs_two_bins(self):
+        with pytest.raises(ValidationError, match="duration_bins >= 2"):
+            FamilySpec(family="flash-crowd", duration_bins=1)
+
+    def test_start_range(self):
+        with pytest.raises(ValidationError, match="start"):
+            FamilySpec(family="spike", start=1.0)
+
+    def test_span_accounts_for_stagger(self):
+        spec = FamilySpec(
+            family="multi-flow", duration_bins=4, num_flows=3, stagger_bins=2
+        )
+        assert spec.span_bins == 4 + 2 * 2
+
+    def test_routing_shift_span_uses_two_members(self):
+        spec = FamilySpec(
+            family="routing-shift", duration_bins=5, stagger_bins=3
+        )
+        assert spec.span_bins == 5 + 3
+
+    def test_routing_shift_rejects_extra_flows(self):
+        with pytest.raises(ValidationError, match="num_flows"):
+            FamilySpec(family="routing-shift", num_flows=3)
+
+
+class TestFamilyCompilation:
+    def test_spike_compiles_to_single_spike_event(self, world):
+        events, truth = compile_on(
+            world, FamilySpec(family="spike", magnitude=10.0)
+        )
+        assert len(events) == 1
+        assert events[0].shape is AnomalyShape.SPIKE
+        assert events[0].duration_bins == 1
+        assert truth.family == "spike"
+        assert truth.start_bin == events[0].time_bin
+
+    def test_magnitude_scales_the_flow_mean(self, world):
+        _, means = world
+        events, _ = compile_on(
+            world, FamilySpec(family="spike", magnitude=10.0)
+        )
+        flow = events[0].flow_index
+        assert events[0].amplitude_bytes == pytest.approx(10.0 * means[flow])
+
+    def test_ddos_ramp_converges_on_one_destination(self, world):
+        routing, _ = world
+        events, truth = compile_on(
+            world,
+            FamilySpec(
+                family="ddos-ramp",
+                duration_bins=6,
+                num_flows=3,
+                stagger_bins=2,
+            ),
+        )
+        assert len(events) == 3
+        destinations = {
+            routing.od_pairs[e.flow_index][1] for e in events
+        }
+        assert len(destinations) == 1
+        assert all(e.shape is AnomalyShape.RAMP for e in events)
+        assert truth.onsets == (
+            truth.onsets[0],
+            truth.onsets[0] + 2,
+            truth.onsets[0] + 4,
+        )
+
+    def test_flash_crowd_bursts_simultaneously(self, world):
+        routing, _ = world
+        events, truth = compile_on(
+            world,
+            FamilySpec(family="flash-crowd", duration_bins=8, num_flows=3),
+        )
+        assert all(e.shape is AnomalyShape.BURST for e in events)
+        assert len(set(truth.onsets)) == 1
+        destinations = {routing.od_pairs[e.flow_index][1] for e in events}
+        assert len(destinations) == 1
+
+    def test_ingress_outage_removes_traffic_from_one_origin(self, world):
+        routing, means = world
+        events, _ = compile_on(
+            world,
+            FamilySpec(
+                family="ingress-outage",
+                magnitude=0.9,
+                duration_bins=4,
+                num_flows=3,
+            ),
+        )
+        origins = {routing.od_pairs[e.flow_index][0] for e in events}
+        assert len(origins) == 1
+        for event in events:
+            assert event.amplitude_bytes < 0
+            assert event.amplitude_bytes == pytest.approx(
+                -0.9 * means[event.flow_index]
+            )
+
+    def test_routing_shift_moves_matched_bytes(self, world):
+        routing, means = world
+        events, truth = compile_on(
+            world,
+            FamilySpec(
+                family="routing-shift", magnitude=0.7, duration_bins=5
+            ),
+        )
+        assert len(events) == 2
+        donor, recipient = events
+        assert donor.amplitude_bytes == -recipient.amplitude_bytes
+        assert donor.amplitude_bytes == pytest.approx(
+            -0.7 * means[donor.flow_index]
+        )
+        # Same origin, different destination.
+        assert (
+            routing.od_pairs[donor.flow_index][0]
+            == routing.od_pairs[recipient.flow_index][0]
+        )
+        assert (
+            routing.od_pairs[donor.flow_index][1]
+            != routing.od_pairs[recipient.flow_index][1]
+        )
+        assert sum(truth.amplitudes) == pytest.approx(0.0)
+
+    def test_multi_flow_touches_distinct_flows(self, world):
+        events, truth = compile_on(
+            world,
+            FamilySpec(
+                family="multi-flow",
+                duration_bins=4,
+                num_flows=3,
+                stagger_bins=3,
+            ),
+        )
+        assert len({e.flow_index for e in events}) == 3
+        # Staggered but overlapping spans.
+        assert truth.end_bin - truth.start_bin + 1 == 4 + 2 * 3
+        first, second = events[0], events[1]
+        assert second.time_bin <= first.last_bin + 1
+
+    def test_gap_bins_between_staggered_onsets_are_not_truth(self, world):
+        """With onsets staggered wider than the duration, the untouched
+        gap bins must not count as anomalous ground truth."""
+        events, truth = compile_on(
+            world,
+            FamilySpec(
+                family="multi-flow",
+                duration_bins=1,
+                num_flows=3,
+                stagger_bins=10,
+            ),
+        )
+        perturbed = {e.time_bin for e in events}
+        assert set(truth.bins.tolist()) == perturbed
+        assert truth.bins.size == 3  # not the 21-bin envelope
+
+    def test_compilation_is_deterministic(self, world):
+        spec = FamilySpec(family="multi-flow", duration_bins=3, num_flows=2)
+        assert compile_on(world, spec, seed=5) == compile_on(
+            world, spec, seed=5
+        )
+        events_a, _ = compile_on(world, spec, seed=5)
+        events_b, _ = compile_on(world, spec, seed=6)
+        assert events_a != events_b
+
+    def test_explicit_start_pins_the_onset(self, world):
+        spec = FamilySpec(family="spike", start=0.5)
+        events_a, _ = compile_on(world, spec, seed=1)
+        events_b, _ = compile_on(world, spec, seed=2)
+        assert events_a[0].time_bin == events_b[0].time_bin
+
+    def test_trace_too_short_for_span(self, world):
+        spec = FamilySpec(
+            family="multi-flow", duration_bins=40, num_flows=3,
+            stagger_bins=40,
+        )
+        with pytest.raises(ValidationError, match="cannot host"):
+            compile_on(world, spec, num_bins=64)
+
+    def test_too_many_member_flows(self, world):
+        with pytest.raises(ValidationError, match="eligible"):
+            compile_on(
+                world,
+                FamilySpec(
+                    family="ingress-outage", duration_bins=2, num_flows=9
+                ),
+            )
+
+
+class TestBurstShape:
+    def test_burst_rises_then_decays(self):
+        event = AnomalyEvent(
+            time_bin=0,
+            flow_index=0,
+            amplitude_bytes=1e8,
+            shape=AnomalyShape.BURST,
+            duration_bins=9,
+        )
+        deltas = event.deltas()
+        assert deltas.shape == (9,)
+        peak = int(np.argmax(deltas))
+        assert deltas[peak] == pytest.approx(1e8)
+        # Monotone rise to the peak, halving decay afterwards.
+        assert np.all(np.diff(deltas[: peak + 1]) > 0)
+        assert np.allclose(deltas[peak + 1 :] * 2, deltas[peak:-1])
+
+    def test_burst_needs_two_bins(self):
+        with pytest.raises(TrafficError, match="at least two bins"):
+            AnomalyEvent(
+                time_bin=0,
+                flow_index=0,
+                amplitude_bytes=1e8,
+                shape=AnomalyShape.BURST,
+                duration_bins=1,
+            )

@@ -165,3 +165,42 @@ class TestParser:
         out = capsys.readouterr().out
         for command in ("info", "topology", "build", "diagnose", "inject"):
             assert command in out
+
+
+class TestScenarios:
+    def test_list_shows_suites_and_families(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "suite 'core'" in out
+        assert "ddos-ramp" in out
+        assert "ingress-outage" in out
+        assert "spike-classic" in out
+
+    def test_run_core_suite_end_to_end(self, capsys, tmp_path):
+        target = tmp_path / "core.json"
+        assert main(["scenarios", "run", "--suite", "core",
+                     "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        # The acceptance bar: >= 6 distinct families run end-to-end.
+        assert "7 anomaly families" in out
+        assert target.exists()
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["schema_version"] == 1
+        assert len(payload["scenarios"]) == 7
+
+    def test_run_single_spec(self, capsys):
+        assert main(["scenarios", "run", "--spec", "flash-crowd-rush",
+                     "--no-streaming-check"]) == 0
+        out = capsys.readouterr().out
+        assert "flash-crowd-rush" in out
+        assert "1 scenarios" in out
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "--suite", "galaxy"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_spec_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "--spec", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
