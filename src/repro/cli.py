@@ -12,6 +12,7 @@ build     build a preset dataset and save it as ``.npz``
 diagnose  run detect -> identify -> quantify over a saved dataset
 pipeline  run the vectorized DetectionPipeline (batch or streaming)
 compare   rank detectors by AUC over an injection grid (Fig. 10++)
+shard     sharded detection plane: temporal (exact) / spatial (fusion)
 scenarios list or run declarative anomaly-taxonomy scenario suites
 inject    run a §6.3 injection sweep on a saved or preset dataset
 table2    regenerate the paper's Table 2
@@ -161,6 +162,63 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the full report as JSON to this path",
+    )
+
+    shard = commands.add_parser(
+        "shard",
+        help="sharded detection plane (coordinator/worker fit fan-out)",
+    )
+    shard_modes = shard.add_subparsers(dest="mode", required=True)
+    shard_run = shard_modes.add_parser(
+        "run",
+        help="temporal: sharded fit + exactness check; spatial: fusion "
+        "modes vs the monolithic detector over a scenario suite",
+    )
+    shard_run.add_argument(
+        "dataset", nargs="?", default="sprint-1",
+        help="preset name or saved .npz path for the temporal fit "
+        "(default: sprint-1)",
+    )
+    shard_run.add_argument(
+        "--mode", dest="shard_mode", default="both",
+        choices=["temporal", "spatial", "both"],
+        help="which sharding plane to exercise (default: both)",
+    )
+    shard_run.add_argument(
+        "--shards", type=int, default=4,
+        help="temporal time chunks (default 4)",
+    )
+    shard_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per shard, capped at the "
+        "CPU count; 1 = serial, identical results)",
+    )
+    shard_run.add_argument(
+        "--zones", type=int, default=2,
+        help="spatial link zones (default 2)",
+    )
+    shard_run.add_argument(
+        "--scheme", default="contiguous",
+        choices=["contiguous", "round-robin"],
+        help="spatial link partition scheme (default contiguous)",
+    )
+    shard_run.add_argument(
+        "--suite", default="core",
+        help="scenario suite for the spatial fusion comparison "
+        "(default: core)",
+    )
+    shard_run.add_argument(
+        "--fa-budget", type=float, default=0.01,
+        help="shared false-alarm budget of the fusion comparison "
+        "(default 0.01)",
+    )
+    shard_run.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="Q-statistic confidence level (default 0.999)",
+    )
+    shard_run.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the shard/fusion reports as JSON to this path",
     )
 
     scenarios = commands.add_parser(
@@ -414,6 +472,76 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    import json
+
+    from repro.pipeline.sharded import (
+        TemporalCoordinator,
+        temporal_fit_matches_monolithic,
+    )
+    from repro.scenarios.fusion import run_fusion_suite
+
+    payload: dict = {}
+    exit_status = 0
+
+    if args.shard_mode in ("temporal", "both"):
+        dataset = _load_dataset(args.dataset)
+        fit = TemporalCoordinator(
+            num_shards=args.shards,
+            workers=args.workers,
+            confidence=args.confidence,
+        ).fit(dataset.link_traffic)
+        exact = temporal_fit_matches_monolithic(fit, dataset.link_traffic)
+        report = fit.report
+        print(
+            f"temporal: {dataset.name} ({report.num_rows} bins x "
+            f"{report.num_links} links) over {report.num_shards} shards, "
+            f"{report.workers} workers"
+        )
+        print(
+            f"  rank {fit.detector.normal_rank}, threshold "
+            f"{fit.detector.threshold:.3e}, fitted in "
+            f"{report.elapsed_seconds:.3f}s (merge {report.merge_seconds:.3f}s, "
+            f"fit {report.fit_seconds:.3f}s, separation "
+            f"{report.separation_seconds:.3f}s)"
+        )
+        print(
+            "  bit-identical to the monolithic gram fit: "
+            + ("yes" if exact else "NO")
+        )
+        payload["temporal"] = report.to_json()
+        payload["temporal"]["exact_match_monolithic"] = bool(exact)
+        if not exact:
+            exit_status = 1
+
+    if args.shard_mode in ("spatial", "both"):
+        fusion = run_fusion_suite(
+            args.suite,
+            num_zones=args.zones,
+            scheme=args.scheme,
+            confidence=args.confidence,
+            fa_budget=args.fa_budget,
+        )
+        if args.shard_mode == "both":
+            print()
+        print(fusion.table())
+        within = fusion.modes_within(0.05)
+        print(
+            "fusion modes within 5% of monolithic recall at equal "
+            f"false-alarm budget: {', '.join(within) if within else 'NONE'}"
+        )
+        payload["spatial"] = fusion.to_json()
+        if not within:
+            exit_status = 1
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote JSON report to {args.json_path}")
+    return exit_status
+
+
 def _cmd_scenarios(args) -> int:
     from repro import scenarios
 
@@ -517,6 +645,7 @@ _HANDLERS = {
     "diagnose": _cmd_diagnose,
     "pipeline": _cmd_pipeline,
     "compare": _cmd_compare,
+    "shard": _cmd_shard,
     "scenarios": _cmd_scenarios,
     "inject": _cmd_inject,
     "table2": _cmd_table2,

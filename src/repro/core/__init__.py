@@ -21,7 +21,15 @@ Pipeline:
 """
 
 from repro.core.pca import PCA
-from repro.core.subspace import SubspaceModel, SeparationResult
+from repro.core.suffstats import FinalizedStats, SufficientStats
+from repro.core.subspace import (
+    ScoreMoments,
+    SeparationResult,
+    SubspaceModel,
+    score_moments,
+    separate_axes,
+    separate_axes_from_moments,
+)
 from repro.core.qstatistic import q_threshold, q_thresholds, box_approx_threshold
 from repro.core.detection import SPEDetector, DetectionResult
 from repro.core.identification import (
@@ -46,8 +54,14 @@ from repro.core.routing_anomalies import (
 
 __all__ = [
     "PCA",
+    "SufficientStats",
+    "FinalizedStats",
     "SubspaceModel",
     "SeparationResult",
+    "ScoreMoments",
+    "score_moments",
+    "separate_axes",
+    "separate_axes_from_moments",
     "q_threshold",
     "q_thresholds",
     "box_approx_threshold",

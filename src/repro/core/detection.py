@@ -111,6 +111,35 @@ class SPEDetector:
         self._threshold: float | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model: SubspaceModel,
+        confidence: float = 0.999,
+        **kwargs,
+    ) -> "SPEDetector":
+        """A fitted detector wrapped around an existing subspace model.
+
+        The sharded engine fits its model from merged sufficient
+        statistics and distributed separation moments, then packages it
+        through here so downstream consumers (pipelines, comparison
+        grids) see an ordinary fitted :class:`SPEDetector`.
+
+        ``kwargs`` (``threshold_sigma``, ``normal_rank``,
+        ``min_normal_rank``, ``max_normal_rank``) record the
+        *configuration the model was fitted under* — in particular
+        ``normal_rank`` stays ``None`` when a separation rule chose the
+        rank — so refitting a fresh detector from this one's parameters
+        reproduces an equivalently configured fit rather than pinning
+        the already-computed rank.
+        """
+        detector = cls(confidence=confidence, **kwargs)
+        detector._model = model
+        detector._threshold = q_threshold(
+            model.residual_eigenvalues(), confidence=confidence
+        )
+        return detector
+
     def fit(self, measurements: np.ndarray) -> "SPEDetector":
         """Fit PCA, separate subspaces, and compute the SPE limit."""
         pca = PCA(method=self.svd_method).fit(measurements)

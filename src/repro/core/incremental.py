@@ -60,7 +60,9 @@ class IncrementalSubspaceTracker:
         ``1/η`` is the effective memory in samples; the default (1/1008)
         remembers about one week of 10-minute bins.
     refresh_interval:
-        Arrivals between eigendecomposition refreshes (1 = every sample).
+        Arrivals between eigendecomposition refreshes (1 = every sample,
+        ``None`` = never refresh automatically — the model stays at its
+        warm-up basis until a block fold asks for a refresh explicitly).
     confidence:
         Confidence level for the Q-statistic limit.
     """
@@ -69,16 +71,16 @@ class IncrementalSubspaceTracker:
         self,
         normal_rank: int,
         forgetting: float = 1.0 / 1008.0,
-        refresh_interval: int = 36,
+        refresh_interval: int | None = 36,
         confidence: float = 0.999,
     ) -> None:
         if normal_rank < 0:
             raise ModelError(f"normal_rank must be >= 0, got {normal_rank}")
         if not 0.0 < forgetting < 1.0:
             raise ModelError(f"forgetting must lie in (0, 1), got {forgetting}")
-        if refresh_interval < 1:
+        if refresh_interval is not None and refresh_interval < 1:
             raise ModelError(
-                f"refresh_interval must be >= 1, got {refresh_interval}"
+                f"refresh_interval must be >= 1 or None, got {refresh_interval}"
             )
         if not 0.0 < confidence < 1.0:
             raise ModelError(f"confidence must lie in (0, 1), got {confidence}")
@@ -182,6 +184,18 @@ class IncrementalSubspaceTracker:
         self._require_ready()
         return self._threshold
 
+    @property
+    def since_refresh(self) -> int:
+        """Arrivals folded since the eigendecomposition last refreshed."""
+        self._require_ready()
+        return self._since_refresh
+
+    def _refresh_due(self) -> bool:
+        return (
+            self.refresh_interval is not None
+            and self._since_refresh >= self.refresh_interval
+        )
+
     # ------------------------------------------------------------------
     def spe(self, measurement: np.ndarray) -> float:
         """SPE of one vector under the current model (no state update)."""
@@ -214,7 +228,7 @@ class IncrementalSubspaceTracker:
 
         self._arrivals += 1
         self._since_refresh += 1
-        if self._since_refresh >= self.refresh_interval:
+        if self._refresh_due():
             self._refresh()
         return spe, is_anomalous
 
@@ -305,9 +319,7 @@ class IncrementalSubspaceTracker:
             self._arrivals += k
             self._since_refresh += k
 
-        if refresh:
-            self._refresh()
-        elif self._since_refresh >= self.refresh_interval:
+        if refresh or self._refresh_due():
             self._refresh()
         return spe, flags
 

@@ -1,26 +1,31 @@
 """Online (streaming) application of the subspace method (§7.1).
 
 The paper envisions the method as a first-level online monitoring tool:
-the expensive part — the SVD — runs occasionally (the projection matrix
-``P Pᵀ`` is stable week to week), while each arriving measurement vector
-costs only one matrix-vector product.
+the expensive part — the decomposition — runs occasionally (the
+projection matrix ``P Pᵀ`` is stable week to week), while each arriving
+measurement vector costs only one matrix-vector product.
 
-:class:`OnlineSubspaceDetector` implements exactly that: it keeps a
-sliding window of recent measurements, refits PCA / subspaces / threshold
-every ``refit_interval`` arrivals, and scores each arrival against the
-*current* model.
+:class:`OnlineSubspaceDetector` is the **per-arrival adapter** over the
+library's single streaming engine — the exponentially weighted
+incremental tracker behind
+:class:`~repro.pipeline.streaming.StreamingDetector`.  It used to carry
+its own sliding-window refit loop (a second, drift-prone streaming
+implementation); it now warms up a batch model, seeds the tracker from
+the batch moments, and feeds each arrival through the identical
+score → identify → fold path the windowed pipeline uses, one-row
+windows at a time.  ``window_bins`` sets the effective memory (the
+exponential forgetting factor is ``1 / window_bins``) and
+``refit_interval`` the eigendecomposition refresh cadence.  Contract
+tests pin the two surfaces to each other so they cannot drift apart
+again.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.detection import SPEDetector
-from repro.core.identification import identify_single_flow
-from repro.core.quantification import quantify
 from repro.exceptions import ModelError, NotFittedError
 from repro.routing.routing_matrix import RoutingMatrix
 
@@ -43,7 +48,7 @@ class StreamDiagnosis:
         Identification/quantification results — only populated when
         detection fired and a routing matrix was supplied.
     model_age:
-        Arrivals processed since the model was last (re)fitted.
+        Arrivals processed since the eigendecomposition last refreshed.
     """
 
     index: int
@@ -57,21 +62,26 @@ class StreamDiagnosis:
 
 
 class OnlineSubspaceDetector:
-    """Streaming anomaly diagnosis with periodic refits.
+    """Per-arrival streaming diagnosis on the incremental tracker.
 
     Parameters
     ----------
     window_bins:
-        Sliding-window length used for (re)fitting — one week of
-        10-minute bins (1008) in the paper's setting.
+        Effective model memory in arrivals — one week of 10-minute bins
+        (1008) in the paper's setting.  The warm-up model is fitted on
+        the trailing ``window_bins`` rows of the warm-up block, and the
+        tracker forgets with factor ``1 / window_bins``.
     refit_interval:
-        Refit the PCA/threshold every this many arrivals (None = never
-        refit after the initial fit; §7.1 notes weekly stability).
+        Refresh the tracked eigendecomposition every this many arrivals
+        (None = keep the warm-up basis forever; §7.1 notes weekly
+        stability).  The refresh is an ``m × m`` eigensolve of the
+        tracked moments — the streaming analog of the old full refit.
     confidence, threshold_sigma, normal_rank:
-        Forwarded to :class:`~repro.core.detection.SPEDetector`.
+        Forwarded to the warm-up batch fit
+        (:class:`~repro.core.detection.SPEDetector` parameters).
     routing:
-        Optional routing matrix enabling identification/quantification of
-        flagged arrivals.
+        Optional routing matrix enabling identification/quantification
+        of flagged arrivals.
     """
 
     def __init__(
@@ -92,20 +102,17 @@ class OnlineSubspaceDetector:
         self.window_bins = window_bins
         self.refit_interval = refit_interval
         self.routing = routing
-        self._detector_kwargs = {
-            "confidence": confidence,
-            "threshold_sigma": threshold_sigma,
-            "normal_rank": normal_rank,
-        }
-        self._window: deque[np.ndarray] = deque(maxlen=window_bins)
-        self._detector: SPEDetector | None = None
-        self._directions: np.ndarray | None = None
+        self.confidence = confidence
+        self.threshold_sigma = threshold_sigma
+        self.normal_rank = normal_rank
+        self._streaming = None  # StreamingDetector once warmed up
         self._arrivals = 0
-        self._model_age = 0
 
     # ------------------------------------------------------------------
     def warm_up(self, measurements: np.ndarray) -> "OnlineSubspaceDetector":
-        """Seed the window with historical data and fit the initial model."""
+        """Fit the batch model and seed the tracker from its moments."""
+        from repro.pipeline.pipeline import DetectionPipeline
+
         measurements = np.asarray(measurements, dtype=np.float64)
         if measurements.ndim != 2:
             raise ModelError(
@@ -113,91 +120,71 @@ class OnlineSubspaceDetector:
             )
         if measurements.shape[0] < 2:
             raise ModelError("warm-up needs at least 2 measurement vectors")
-        for row in measurements[-self.window_bins :]:
-            self._window.append(row.copy())
-        self._refit()
+        window = measurements[-self.window_bins :]
+        pipeline = DetectionPipeline(
+            confidence=self.confidence,
+            threshold_sigma=self.threshold_sigma,
+            normal_rank=self.normal_rank,
+        ).fit(window, routing=self.routing)
+        self._streaming = pipeline.streaming(
+            forgetting=1.0 / self.window_bins,
+            refresh_interval=self.refit_interval,
+        )
         return self
-
-    def _refit(self) -> None:
-        window = np.vstack(self._window)
-        detector = SPEDetector(**self._detector_kwargs)
-        detector.fit(window)
-        self._detector = detector
-        self._model_age = 0
-        if self.routing is not None:
-            if self.routing.num_links != window.shape[1]:
-                raise ModelError(
-                    f"routing matrix covers {self.routing.num_links} links "
-                    f"but measurements have {window.shape[1]}"
-                )
-            self._directions = self.routing.normalized_columns()
 
     # ------------------------------------------------------------------
     @property
     def is_fitted(self) -> bool:
         """True once :meth:`warm_up` has run."""
-        return self._detector is not None
+        return self._streaming is not None
 
     @property
     def threshold(self) -> float:
         """Current SPE limit."""
-        if self._detector is None:
+        if self._streaming is None:
             raise NotFittedError("warm_up must be called before streaming")
-        return self._detector.threshold
+        return self._streaming.threshold
 
     def process(self, measurement: np.ndarray) -> StreamDiagnosis:
-        """Score one arriving measurement vector and update the window.
+        """Score one arriving measurement vector and fold it in.
 
-        The vector is scored against the *pre-arrival* model, then pushed
-        into the window; a refit triggers afterwards when due.  Anomalous
-        arrivals are still admitted to the window — with a week of history
-        a single spike barely perturbs the eigenstructure, and excluding
-        flagged bins would make the model blind to slow drifts.
+        The vector is scored against the *pre-arrival* model — a one-row
+        window through the shared streaming engine — then folded into
+        the exponentially weighted statistics.  Anomalous arrivals are
+        still admitted: with a week of effective memory a single spike
+        barely perturbs the eigenstructure, and excluding flagged bins
+        would make the model blind to slow drifts.
         """
-        if self._detector is None:
+        if self._streaming is None:
             raise NotFittedError("warm_up must be called before streaming")
         measurement = np.asarray(measurement, dtype=np.float64)
         if measurement.ndim != 1:
             raise ModelError(
                 f"streamed measurements must be vectors, got {measurement.shape}"
             )
-
-        spe = float(self._detector.spe(measurement))
-        threshold = self._detector.threshold
-        is_anomalous = spe > threshold
-
+        model_age = self._streaming.tracker.since_refresh
+        window = self._streaming.process_window(
+            measurement[None, :], refresh=False
+        )
+        flagged = bool(window.flags[0])
         flow_index: int | None = None
         od_pair: tuple[str, str] | None = None
         estimated: float | None = None
-        if is_anomalous and self._directions is not None:
-            model = self._detector.model
-            identification = identify_single_flow(
-                model, self._directions, measurement
-            )
-            flow_index = identification.flow_index
-            od_pair = self.routing.od_pairs[flow_index]
-            estimated = quantify(model, self.routing, measurement, identification)
-
+        if flagged and window.od_pairs:
+            flow_index = int(window.flow_indices[0])
+            od_pair = window.od_pairs[0]
+            estimated = float(window.estimated_bytes[0])
         outcome = StreamDiagnosis(
             index=self._arrivals,
-            spe=spe,
-            threshold=threshold,
-            is_anomalous=is_anomalous,
+            spe=float(window.spe[0]),
+            threshold=window.threshold,
+            is_anomalous=flagged,
             flow_index=flow_index,
             od_pair=od_pair,
             estimated_bytes=estimated,
-            model_age=self._model_age,
+            model_age=model_age,
         )
-
-        self._window.append(measurement.copy())
         self._arrivals += 1
-        self._model_age += 1
-        if (
-            self.refit_interval is not None
-            and self._model_age >= self.refit_interval
-            and len(self._window) >= 2
-        ):
-            self._refit()
         return outcome
 
     def process_block(self, measurements: np.ndarray) -> list[StreamDiagnosis]:

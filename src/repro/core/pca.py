@@ -14,7 +14,13 @@ economy route for the matrix shape (``method="auto"``):
     ``t ≫ m`` (the paper's regime: a week of bins over tens of links).
     Eigendecomposition of the ``(m, m)`` Gram matrix ``YᵀY`` — one BLAS-3
     ``syrk`` plus an ``m × m`` symmetric eigensolve, so the cost scales
-    with ``min(t, m)`` instead of ``max(t, m)``.
+    with ``min(t, m)`` instead of ``max(t, m)``.  This route is computed
+    through the mergeable sufficient statistics of
+    :mod:`repro.core.suffstats` (canonical row tiles, uncentered moments
+    with a rank-one centering correction), so :meth:`PCA.fit_from_stats`
+    on merged per-chunk statistics is *bit-identical* to the monolithic
+    fit — the exactness contract the sharded engine
+    (:mod:`repro.pipeline.sharded`) is built on.
 ``gram-sample``
     ``m ≫ t``.  Eigendecomposition of the ``(t, t)`` Gram ``YYᵀ``; the
     right singular vectors are recovered as ``Yᵀu_i/σ_i`` and the basis
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.suffstats import FinalizedStats, SufficientStats
 from repro.exceptions import ModelError, NotFittedError
 
 __all__ = ["PCA"]
@@ -136,20 +143,34 @@ class PCA:
         if not np.all(np.isfinite(measurements)):
             raise ModelError("measurement matrix contains non-finite values")
 
-        self._num_samples = t
-        self._mean = (
-            measurements.mean(axis=0) if self.center else np.zeros(m)
-        )
-        centered = measurements - self._mean
-
         solver = self.method
         if solver == "auto":
             if t >= _GRAM_ASPECT_RATIO * m or m >= _GRAM_ASPECT_RATIO * t:
                 solver = "gram"
             else:
                 solver = "svd"
+        if solver == "gram" and t >= m:
+            # The tall gram-covariance route *is* the sufficient-stats
+            # fit on one chunk — by construction, so that a fit from
+            # merged per-shard statistics reproduces this one bit for
+            # bit (see repro.core.suffstats).  Finiteness was checked
+            # above; skip the second full-matrix scan.
+            return self._fit_finalized(
+                SufficientStats.from_block(
+                    measurements, validate=False
+                ).finalize()
+            )
+
+        self._num_samples = t
+        self._mean = (
+            measurements.mean(axis=0) if self.center else np.zeros(m)
+        )
+        centered = measurements - self._mean
+
         if solver == "gram":
-            components, singular_values, self._solver = _fit_gram(centered)
+            components, singular_values, self._solver = _fit_gram_sample(
+                centered
+            )
         elif solver == "svd":
             components, singular_values, self._solver = _fit_svd(
                 centered, full_matrices=False
@@ -170,6 +191,51 @@ class PCA:
         # Deterministic sign: largest-|coordinate| entry of each v_i > 0.
         self._components = _deterministic_signs(components)
         self._singular_values = singular_values
+        return self
+
+    # ------------------------------------------------------------------
+    def fit_from_stats(
+        self, stats: SufficientStats | FinalizedStats
+    ) -> "PCA":
+        """Fit from mergeable sufficient statistics instead of raw rows.
+
+        ``stats`` may be a (merged) :class:`~repro.core.suffstats.
+        SufficientStats` or an already-finalized reduction.  The fit
+        always takes the gram-covariance route — the only one expressible
+        in ``(t, S, G)`` — and is bit-identical to
+        ``PCA(method="gram").fit(Y)`` whenever ``t >= m``, for *any*
+        chunking of ``Y`` into per-shard statistics (the sharded
+        engine's exactness contract; pinned by the property suite).
+        """
+        if self.method not in ("auto", "gram"):
+            raise ModelError(
+                f"method {self.method!r} cannot fit from sufficient "
+                "statistics; use method='auto' or 'gram'"
+            )
+        if isinstance(stats, SufficientStats):
+            stats = stats.finalize()
+        if not isinstance(stats, FinalizedStats):
+            raise ModelError(
+                "fit_from_stats expects SufficientStats or FinalizedStats, "
+                f"got {type(stats).__name__}"
+            )
+        return self._fit_finalized(stats)
+
+    def _fit_finalized(self, stats: FinalizedStats) -> "PCA":
+        """The gram-covariance eigensolve over finalized statistics."""
+        t, m = stats.count, stats.num_columns
+        if t < 2:
+            raise ModelError(f"need at least 2 time samples, got {t}")
+        self._num_samples = t
+        self._mean = stats.mean if self.center else np.zeros(m)
+        gram = stats.centered_gram() if self.center else stats.uncentered_gram()
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        order = np.argsort(eigenvalues)[::-1]
+        self._singular_values = np.sqrt(
+            np.clip(eigenvalues[order], 0.0, None)
+        )
+        self._components = _deterministic_signs(eigenvectors[:, order])
+        self._solver = "gram-covariance"
         return self
 
     # ------------------------------------------------------------------
@@ -292,22 +358,17 @@ def _fit_svd(
     return vt.T, singular_values, "svd-full" if full_matrices else "svd"
 
 
-def _fit_gram(centered: np.ndarray) -> tuple[np.ndarray, np.ndarray, str]:
-    """Symmetric eigensolve of the cheaper-side Gram matrix.
+def _fit_gram_sample(
+    centered: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Symmetric eigensolve of the ``(t, t)`` sample Gram (``t < m``).
 
-    ``t >= m``: eigendecompose ``YᵀY`` — its eigenvectors *are* the
-    principal axes.  ``t < m``: eigendecompose ``YYᵀ`` and recover the
-    axes as ``Yᵀ u_i / σ_i`` (directions with σ ≈ 0 are indeterminate and
-    left to deterministic basis completion).
+    Eigendecompose ``YYᵀ`` and recover the axes as ``Yᵀ u_i / σ_i``
+    (directions with σ ≈ 0 are indeterminate and left to deterministic
+    basis completion).  The ``t >= m`` Gram route lives on the
+    sufficient-statistics path (:meth:`PCA._fit_finalized`).
     """
     t, m = centered.shape
-    if t >= m:
-        gram = centered.T @ centered  # (m, m)
-        eigenvalues, eigenvectors = np.linalg.eigh(gram)
-        order = np.argsort(eigenvalues)[::-1]
-        singular_values = np.sqrt(np.clip(eigenvalues[order], 0.0, None))
-        return eigenvectors[:, order], singular_values, "gram-covariance"
-
     gram = centered @ centered.T  # (t, t)
     eigenvalues, eigenvectors = np.linalg.eigh(gram)
     order = np.argsort(eigenvalues)[::-1]

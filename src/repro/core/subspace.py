@@ -21,7 +21,14 @@ import numpy as np
 from repro.core.pca import PCA
 from repro.exceptions import ModelError
 
-__all__ = ["SeparationResult", "SubspaceModel", "separate_axes"]
+__all__ = [
+    "ScoreMoments",
+    "SeparationResult",
+    "SubspaceModel",
+    "score_moments",
+    "separate_axes",
+    "separate_axes_from_moments",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,19 @@ def separate_axes(
     peaks = np.max(np.abs(u - u.mean(axis=0)), axis=0)
     deviations = np.where(live, peaks / np.where(stds > 0, stds, 1.0), 0.0)
 
+    return _separation_from_deviations(
+        deviations, m, threshold_sigma, min_normal_rank, max_normal_rank
+    )
+
+
+def _separation_from_deviations(
+    deviations: np.ndarray,
+    m: int,
+    threshold_sigma: float,
+    min_normal_rank: int,
+    max_normal_rank: int,
+) -> SeparationResult:
+    """Apply the trip rule and rank clamps to per-axis deviations."""
     tripped = np.nonzero(deviations >= threshold_sigma)[0]
     first_anomalous: int | None = int(tripped[0]) if tripped.size else None
 
@@ -106,6 +126,104 @@ def separate_axes(
         normal_rank=rank,
         first_anomalous_axis=first_anomalous,
         max_deviations=deviations,
+    )
+
+
+@dataclass(frozen=True)
+class ScoreMoments:
+    """Mergeable per-axis moments of the projection scores ``s = (Y−μ)V``.
+
+    The four aggregates are everything the 3σ separation rule needs, and
+    each is mergeable across row chunks: sums add, extrema take
+    elementwise min/max.  Workers of the sharded engine compute one
+    :class:`ScoreMoments` per time chunk; the coordinator folds them in
+    chunk order and applies :func:`separate_axes_from_moments` — no
+    worker ever holds the whole score matrix.
+    """
+
+    count: int
+    sums: np.ndarray  # Σ_t s_ti per axis
+    squares: np.ndarray  # Σ_t s_ti² per axis
+    minima: np.ndarray  # min_t s_ti per axis
+    maxima: np.ndarray  # max_t s_ti per axis
+
+    def merge(self, other: "ScoreMoments") -> "ScoreMoments":
+        """Fold another chunk's moments into these (left-to-right)."""
+        return ScoreMoments(
+            count=self.count + other.count,
+            sums=self.sums + other.sums,
+            squares=self.squares + other.squares,
+            minima=np.minimum(self.minima, other.minima),
+            maxima=np.maximum(self.maxima, other.maxima),
+        )
+
+
+def score_moments(
+    measurements: np.ndarray, mean: np.ndarray, components: np.ndarray
+) -> ScoreMoments:
+    """Per-axis score moments of one row chunk under a fitted basis."""
+    measurements = np.asarray(measurements, dtype=np.float64)
+    scores = (measurements - mean) @ components
+    return ScoreMoments(
+        count=scores.shape[0],
+        sums=scores.sum(axis=0),
+        squares=np.einsum("ij,ij->j", scores, scores),
+        minima=scores.min(axis=0),
+        maxima=scores.max(axis=0),
+    )
+
+
+def separate_axes_from_moments(
+    pca: PCA,
+    moments: ScoreMoments,
+    threshold_sigma: float = 3.0,
+    min_normal_rank: int = 1,
+    max_normal_rank: int | None = None,
+) -> SeparationResult:
+    """The 3σ separation rule evaluated from distributed score moments.
+
+    Mathematically identical to :func:`separate_axes` on the full
+    matrix: with ``u = s/‖s‖`` the rule needs only ``ū``, the standard
+    deviation ``√(E[u²] − ū²)`` (with ``E[u²] = 1/t`` exactly) and the
+    peak ``max(max u − ū, ū − min u)`` — all functions of the four
+    mergeable aggregates.  The variance is taken in moment form rather
+    than numpy's two-pass form, so deviations can differ from
+    :func:`separate_axes` in the last few ulps; the resulting integer
+    rank agrees unless an axis sits within rounding of the 3σ boundary.
+    """
+    if threshold_sigma <= 0:
+        raise ModelError(f"threshold_sigma must be positive, got {threshold_sigma}")
+    m = pca.num_components
+    if max_normal_rank is None:
+        max_normal_rank = m
+    if not 0 <= min_normal_rank <= max_normal_rank <= m:
+        raise ModelError(
+            f"invalid rank clamps: 0 <= {min_normal_rank} <= "
+            f"{max_normal_rank} <= {m} violated"
+        )
+    if moments.sums.shape != (m,):
+        raise ModelError(
+            f"moments cover {moments.sums.shape[0]} axes, model has {m}"
+        )
+
+    t = moments.count
+    captured = pca.captured_variance()
+    norms = np.sqrt(moments.squares)
+    live = (captured > 0) & (norms > 0)
+    safe_norms = np.where(live, norms, 1.0)
+    u_mean = moments.sums / (t * safe_norms)
+    # E[u²] = Σs²/(t·‖s‖²) = 1/t exactly for live axes.
+    stds = np.sqrt(np.maximum(1.0 / t - u_mean**2, 0.0))
+    live &= stds > 0
+    peaks = np.maximum(
+        moments.maxima / safe_norms - u_mean,
+        u_mean - moments.minima / safe_norms,
+    )
+    deviations = np.where(
+        live, peaks / np.where(stds > 0, stds, 1.0), 0.0
+    )
+    return _separation_from_deviations(
+        deviations, m, threshold_sigma, min_normal_rank, max_normal_rank
     )
 
 

@@ -26,6 +26,8 @@ from repro.detectors.registry import (
     register,
     resolve_names,
 )
+from repro.detectors.sharded import ShardedSubspaceDetector
+from repro.detectors.streaming import StreamingSubspaceDetector
 from repro.detectors.subspace import SubspaceDetector
 from repro.detectors.temporal import TemporalDetector
 
@@ -33,6 +35,8 @@ __all__ = [
     "Detector",
     "DetectorAlarms",
     "ResidualEnergyDetector",
+    "ShardedSubspaceDetector",
+    "StreamingSubspaceDetector",
     "SubspaceDetector",
     "TemporalDetector",
     "aliases",

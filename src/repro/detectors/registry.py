@@ -139,7 +139,31 @@ def _subspace_factory(**kwargs) -> Detector:
     return SubspaceDetector(**kwargs)
 
 
+def _sharded_subspace_factory(**kwargs) -> Detector:
+    from repro.detectors.sharded import ShardedSubspaceDetector
+
+    kwargs.pop("bin_seconds", None)  # bin-agnostic, like the subspace method
+    return ShardedSubspaceDetector(**kwargs)
+
+
+def _streaming_subspace_factory(**kwargs) -> Detector:
+    from repro.detectors.streaming import StreamingSubspaceDetector
+
+    kwargs.pop("bin_seconds", None)  # bin-agnostic, like the subspace method
+    return StreamingSubspaceDetector(**kwargs)
+
+
 register("subspace", _subspace_factory, aliases=("spe", "pca"))
+register(
+    "sharded-subspace",
+    _sharded_subspace_factory,
+    aliases=("spatial-subspace", "zoned-subspace"),
+)
+register(
+    "streaming-subspace",
+    _streaming_subspace_factory,
+    aliases=("online-subspace", "incremental-subspace"),
+)
 register("ewma", ewma_detector)
 register("fourier", fourier_detector)
 register("ar", ar_detector)

@@ -1,0 +1,123 @@
+"""The spatial sharded detection plane as a registry detector.
+
+:class:`ShardedSubspaceDetector` wraps the per-zone subspace models and
+alarm-fusion stage of :mod:`repro.pipeline.sharded` in the unified
+:class:`~repro.detectors.base.Detector` contract, so the comparison
+engine can rank fusion modes head-to-head against the monolithic
+``subspace`` detector over the same grids and scenario suites.
+
+``score`` is the fused continuous statistic of the configured fusion
+mode; ``threshold_at`` is analytic for ``rescore`` (the pooled-spectrum
+Jackson–Mudholkar limit) and an empirical training-score quantile for
+``union`` / ``vote`` (whose ratio statistics have no closed-form limit
+— the same calibration the temporal baselines use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import ResidualEnergyDetector
+from repro.exceptions import ModelError
+from repro.pipeline.sharded import (
+    FUSION_MODES,
+    SpatialCoordinator,
+    SpatialShardedModel,
+)
+
+__all__ = ["ShardedSubspaceDetector"]
+
+
+class ShardedSubspaceDetector(ResidualEnergyDetector):
+    """Per-zone subspace detectors plus pluggable alarm fusion.
+
+    Parameters
+    ----------
+    confidence:
+        Default confidence level (per-zone limits and operating point).
+    num_zones:
+        Link zones (clamped to the link count at fit time).
+    fusion:
+        Fusion stage: ``"rescore"`` (default), ``"union"`` or
+        ``"vote"`` — see :class:`~repro.pipeline.sharded.
+        SpatialShardedModel`.
+    scheme:
+        Link partition scheme (``"contiguous"`` or ``"round-robin"``).
+    votes:
+        ``k`` of the k-of-n vote fusion (None = majority).
+    threshold_sigma, normal_rank:
+        Per-zone model parameters.
+    workers:
+        Worker processes for the zone fits (1 = in-process; the fitted
+        model is identical either way).
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        num_zones: int = 2,
+        fusion: str = "rescore",
+        scheme: str = "contiguous",
+        votes: int | None = None,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        workers: int = 1,
+    ) -> None:
+        super().__init__(name="sharded-subspace", confidence=confidence)
+        if fusion not in FUSION_MODES:
+            raise ModelError(
+                f"unknown fusion mode {fusion!r}; choose from {FUSION_MODES}"
+            )
+        self.num_zones = num_zones
+        self.fusion = fusion
+        self.scheme = scheme
+        self.votes = votes
+        self.threshold_sigma = threshold_sigma
+        self.normal_rank = normal_rank
+        self.workers = workers
+        self._model: SpatialShardedModel | None = None
+        self._train_scores: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def model(self) -> SpatialShardedModel:
+        """The fitted spatial plane (zones, detectors, fusion)."""
+        self._require_fitted()
+        return self._model
+
+    def fit(self, measurements: np.ndarray) -> "ShardedSubspaceDetector":
+        block = self._as_block(measurements)
+        fit = SpatialCoordinator(
+            num_zones=min(self.num_zones, block.shape[1]),
+            scheme=self.scheme,
+            votes=self.votes,
+            workers=self.workers,
+            confidence=self.confidence,
+            threshold_sigma=self.threshold_sigma,
+            normal_rank=self.normal_rank,
+        ).fit(block)
+        self._model = fit.model
+        self.report = fit.report
+        # union/vote have no analytic limit: calibrate their quantile
+        # thresholds on the training scores, temporal-baseline style.
+        if self.fusion in ("union", "vote"):
+            self._train_scores = self._model.fused_score(block, self.fusion)
+        else:
+            self._train_scores = None
+        return self
+
+    def score(self, measurements: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return self._model.fused_score(
+            self._as_block(measurements), self.fusion
+        )
+
+    def threshold_at(self, confidence: float) -> float:
+        self._require_fitted()
+        if self.fusion == "rescore":
+            return float(self._model.rescore_threshold(confidence))
+        return float(np.quantile(self._train_scores, confidence))

@@ -2,7 +2,7 @@
 
 Wires the paper's stages — link measurements → traffic matrix → PCA
 subspace separation → Q-statistic detection → identification and
-quantification — into three composable entry points:
+quantification — into composable entry points:
 
 * :class:`~repro.pipeline.pipeline.DetectionPipeline` — ``fit`` /
   ``detect`` / ``stream`` over one network's measurements, fully
@@ -15,10 +15,31 @@ quantification — into three composable entry points:
   out over worker processes and folded through the ROC harness into an
   AUC comparison table (the paper's Fig. 10, generalized);
 * :class:`~repro.pipeline.streaming.StreamingDetector` — windowed
-  online detection backed by the incremental subspace tracker, never
-  refitting from scratch.
+  online detection backed by the incremental subspace tracker;
+* :class:`~repro.pipeline.sharded.TemporalCoordinator` /
+  :class:`~repro.pipeline.sharded.SpatialCoordinator` — the sharded
+  detection plane: coordinator/worker fit fan-out over time chunks
+  (exact, via mergeable sufficient statistics) or link zones (with a
+  pluggable alarm-fusion stage).
 
-See ``docs/pipeline.md`` and ``docs/detectors.md`` for the guides.
+**Model lifecycles.**  The pipeline offers four ways to keep a model
+current, from cheapest to most thorough:
+
+1. *fit once* — the paper's weekly regime: one batch fit, applied as a
+   fixed projection (``DetectionPipeline.fit`` + ``detect``);
+2. *exponential fold* — ``stream`` / ``StreamingDetector`` fold each
+   window into exponentially weighted moments and refresh the ``m × m``
+   eigendecomposition per window (or on an arrival cadence) — the model
+   follows drift without ever refitting from scratch;
+3. *periodic refit* — :class:`~repro.core.online.OnlineSubspaceDetector`
+   exposes the same engine per-arrival with a configurable refresh
+   cadence;
+4. *sharded refit* — ``TemporalCoordinator.fit`` rebuilds the model
+   from per-chunk sufficient statistics (bit-identical to a monolithic
+   fit), out-of-core or fanned out over workers.
+
+See ``docs/pipeline.md``, ``docs/detectors.md`` and ``docs/sharding.md``
+for the guides.
 """
 
 from repro.pipeline.batch import BatchReport, BatchRunner, ScenarioResult
@@ -29,6 +50,17 @@ from repro.pipeline.compare import (
     ComparisonScenario,
 )
 from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
+from repro.pipeline.sharded import (
+    FUSION_MODES,
+    ShardReport,
+    SpatialCoordinator,
+    SpatialShardedModel,
+    SpatialShardFit,
+    TemporalCoordinator,
+    TemporalShardFit,
+    partition_links,
+    temporal_fit_matches_monolithic,
+)
 from repro.pipeline.streaming import StreamingDetector, StreamWindow
 
 __all__ = [
@@ -43,4 +75,13 @@ __all__ = [
     "ComparisonScenario",
     "StreamingDetector",
     "StreamWindow",
+    "FUSION_MODES",
+    "ShardReport",
+    "SpatialCoordinator",
+    "SpatialShardedModel",
+    "SpatialShardFit",
+    "TemporalCoordinator",
+    "TemporalShardFit",
+    "partition_links",
+    "temporal_fit_matches_monolithic",
 ]

@@ -17,8 +17,16 @@ wires those stages into one object with three entry points:
 ``stream``
     Process arrivals window by window against an exponentially weighted
     model backed by
-    :class:`~repro.core.incremental.IncrementalSubspaceTracker`, so the
-    model follows traffic drift without ever refitting from scratch.
+    :class:`~repro.core.incremental.IncrementalSubspaceTracker`.
+
+Those entry points cover one model lifecycle each; the pipeline package
+supports four (see :mod:`repro.pipeline`): fit-once batch application,
+the exponential fold of ``stream`` (drift-tracking refreshes, no
+from-scratch refit inside the stream), the periodic refresh cadence of
+:class:`~repro.core.online.OnlineSubspaceDetector`, and full sharded
+refits via :class:`~repro.pipeline.sharded.TemporalCoordinator`, whose
+merged-statistics fit is bit-identical to refitting here on the
+concatenated history.
 
 The batch path is numerically identical to running the per-module
 sequence (:class:`~repro.core.detection.SPEDetector` →
@@ -311,6 +319,7 @@ class DetectionPipeline:
         self,
         forgetting: float = 1.0 / 1008.0,
         confidence: float | None = None,
+        refresh_interval: int | None = 36,
     ) -> StreamingDetector:
         """A streaming detector seeded from the fitted batch model.
 
@@ -318,7 +327,12 @@ class DetectionPipeline:
         ``V diag(λ) Vᵀ`` from the PCA) warm-start an
         :class:`~repro.core.incremental.IncrementalSubspaceTracker`, so
         streaming begins from exactly the batch model and then tracks
-        drift with exponential forgetting — no refit from scratch, ever.
+        drift with exponential forgetting; ``refresh_interval`` sets the
+        eigendecomposition refresh cadence in arrivals (block folds may
+        also refresh explicitly).  When drift outgrows what the fold can
+        track, refit — monolithically via :meth:`fit` or shard-parallel
+        via :class:`~repro.pipeline.sharded.TemporalCoordinator` — and
+        seed a fresh streaming detector from the new model.
         """
         model = self._detector.model
         pca = model.pca
@@ -332,6 +346,7 @@ class DetectionPipeline:
                 self._detector.confidence if confidence is None else confidence
             ),
             routing=self._routing,
+            refresh_interval=refresh_interval,
         )
 
     def stream(

@@ -1,0 +1,1100 @@
+"""The sharded detection plane: coordinator/worker fit fan-out.
+
+The paper's method is network-wide — one subspace model over all link
+measurements — but nothing about *fitting* it requires one process to
+hold the whole ``(t, m)`` matrix.  This module decomposes the fit along
+both axes of the matrix:
+
+**Temporal sharding** (:class:`TemporalCoordinator`) partitions the
+*rows* (time bins).  Workers compute mergeable sufficient statistics
+(:mod:`repro.core.suffstats`) over their chunks — reading the traffic
+matrix from :mod:`multiprocessing.shared_memory`, never pickling it —
+and the coordinator merges the statistics and fits **once**.  Because
+the statistics merge exactly (canonical tiles; see the suffstats module
+docs), the fitted PCA is *bit-identical* to the monolithic
+``PCA(method="gram")`` fit for any shard layout, worker count, or merge
+order; the 3σ separation runs as a second distributed pass over
+mergeable score moments.  The same machinery drives
+:meth:`TemporalCoordinator.fit_stream`, an out-of-core fit over a chunk
+iterator for matrices that never fully materialize.
+
+**Spatial sharding** (:class:`SpatialCoordinator`) partitions the
+*columns* (links) into zones.  Each zone fits its own local subspace
+detector — an ``O(t·(m/z)²)`` problem instead of ``O(t·m²)`` — and a
+pluggable **alarm-fusion stage** combines the per-zone alarms into a
+network-wide decision:
+
+``union``
+    Alarm when any zone's SPE clears its own Q-statistic limit.  Fused
+    score: ``max_z SPE_z / δ_z``.
+``vote``
+    Alarm when at least ``votes`` zones clear their limits (k-of-n).
+    Fused score: the ``votes``-th largest ``SPE_z / δ_z`` ratio.
+``rescore``
+    Global-residual rescore: the total residual energy ``Σ_z SPE_z``
+    against the Jackson–Mudholkar limit of the pooled residual spectrum
+    (exactly the global Q-statistic if the link covariance were
+    block-diagonal by zone).
+
+Spatial sharding is an approximation — zone models cannot see
+cross-zone correlations — so it is evaluated head-to-head against the
+monolithic detector over the scenario suite
+(:mod:`repro.scenarios.fusion`) rather than claimed exact.
+
+Both coordinators emit a :class:`ShardReport` with per-worker timing
+breakdowns (stats / merge / separation / fuse seconds);
+``to_json(include_timings=False)`` drops every wall-clock field and is
+byte-stable across worker layouts, the same contract
+:class:`~repro.pipeline.compare.ComparisonReport` keeps for goldens.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detection import SPEDetector
+from repro.core.pca import PCA
+from repro.core.qstatistic import q_threshold
+from repro.core.subspace import (
+    ScoreMoments,
+    SeparationResult,
+    SubspaceModel,
+    score_moments,
+    separate_axes_from_moments,
+)
+from repro.core.suffstats import DEFAULT_TILE_ROWS, SufficientStats
+from repro.exceptions import ModelError, ValidationError
+from repro.pipeline.compare import _attach_array, _share_array, _SharedArray
+
+__all__ = [
+    "FUSION_MODES",
+    "SHARD_SCHEMA_VERSION",
+    "ShardReport",
+    "SpatialCoordinator",
+    "SpatialShardedModel",
+    "TemporalCoordinator",
+    "TemporalShardFit",
+    "SpatialShardFit",
+    "WorkerTiming",
+    "partition_links",
+    "temporal_fit_matches_monolithic",
+]
+
+#: Version of the :meth:`ShardReport.to_json` payload layout.  Bump on
+#: any structural change.
+SHARD_SCHEMA_VERSION = 1
+
+#: The pluggable alarm-fusion stages of the spatial plane.
+FUSION_MODES = ("union", "vote", "rescore")
+
+
+# ----------------------------------------------------------------------
+# Reports.
+
+
+@dataclass(frozen=True)
+class WorkerTiming:
+    """Wall-clock breakdown of one worker's share of a sharded fit.
+
+    For temporal shards ``size`` is the chunk's row count and
+    ``stats_seconds`` / ``moments_seconds`` time the two distributed
+    passes; for spatial zones ``size`` is the zone's link count and
+    ``stats_seconds`` is the zone fit.
+    """
+
+    worker: int
+    start: int
+    size: int
+    stats_seconds: float
+    moments_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Structured outcome of one sharded fit (both modes).
+
+    ``to_json(include_timings=False)`` is byte-stable across worker
+    layouts: every wall-clock field is dropped and the remaining payload
+    is a pure function of the inputs.
+    """
+
+    mode: str  # "temporal" | "spatial"
+    num_shards: int
+    workers: int
+    num_rows: int
+    num_links: int
+    confidence: float
+    normal_rank: int | tuple[int, ...]
+    threshold: float | tuple[float, ...]
+    tile_rows: int | None = None
+    fusion_thresholds: dict[str, float] = field(default_factory=dict)
+    merge_seconds: float = 0.0
+    fit_seconds: float = 0.0
+    separation_seconds: float = 0.0
+    fuse_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    worker_timings: tuple[WorkerTiming, ...] = ()
+
+    def to_json(self, include_timings: bool = True) -> dict:
+        """The machine-readable payload (``BENCH_*.json`` shape)."""
+        rank = self.normal_rank
+        threshold = self.threshold
+        payload = {
+            "schema_version": SHARD_SCHEMA_VERSION,
+            "mode": self.mode,
+            "grid": {
+                "num_shards": self.num_shards,
+                "num_rows": self.num_rows,
+                "num_links": self.num_links,
+                "tile_rows": self.tile_rows,
+            },
+            "model": {
+                "confidence": self.confidence,
+                "normal_rank": (
+                    list(rank) if isinstance(rank, tuple) else rank
+                ),
+                "threshold": (
+                    list(threshold)
+                    if isinstance(threshold, tuple)
+                    else threshold
+                ),
+            },
+        }
+        if self.fusion_thresholds:
+            payload["fusion_thresholds"] = dict(
+                sorted(self.fusion_thresholds.items())
+            )
+        if include_timings:
+            payload["workers"] = self.workers
+            payload["elapsed_seconds"] = self.elapsed_seconds
+            payload["merge_seconds"] = self.merge_seconds
+            payload["fit_seconds"] = self.fit_seconds
+            payload["separation_seconds"] = self.separation_seconds
+            payload["fuse_seconds"] = self.fuse_seconds
+            payload["worker_timings"] = [
+                {
+                    "worker": timing.worker,
+                    "start": timing.start,
+                    "size": timing.size,
+                    "stats_seconds": timing.stats_seconds,
+                    "moments_seconds": timing.moments_seconds,
+                }
+                for timing in self.worker_timings
+            ]
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Temporal sharding.
+
+
+@dataclass(frozen=True)
+class TemporalShardFit:
+    """A model fitted from merged per-chunk sufficient statistics."""
+
+    detector: SPEDetector
+    separation: SeparationResult | None
+    report: ShardReport
+
+    @property
+    def pca(self) -> PCA:
+        """The fitted PCA (bit-identical to the monolithic gram fit)."""
+        return self.detector.model.pca
+
+    @property
+    def model(self) -> SubspaceModel:
+        """The fitted subspace model."""
+        return self.detector.model
+
+
+@dataclass(frozen=True)
+class _StatsTask:
+    traffic: "_SharedArray | None"  # None: fork-inherited (see below)
+    start: int
+    stop: int
+    tile_rows: int
+
+
+@dataclass(frozen=True)
+class _MomentsTask:
+    traffic: "_SharedArray | None"
+    start: int
+    stop: int
+    mean: np.ndarray
+    components: np.ndarray
+
+
+#: Fork-start pools inherit the parent's address space copy-on-write,
+#: so the traffic matrix can travel to the workers through this module
+#: global with zero copies and zero serialization — the parent parks it
+#: here immediately before creating the pool (children snapshot it at
+#: fork) and clears it afterwards.  Non-fork start methods fall back to
+#: an explicit shared-memory segment.
+_INHERITED_TRAFFIC: np.ndarray | None = None
+
+
+def _resolve_traffic(ref: "_SharedArray | None") -> np.ndarray:
+    if ref is not None:
+        return _attach_array(ref)
+    if _INHERITED_TRAFFIC is None:  # pragma: no cover - defensive
+        raise ModelError(
+            "worker has no inherited traffic matrix; the pool was not "
+            "fork-started"
+        )
+    return _INHERITED_TRAFFIC
+
+
+def _fork_start() -> bool:
+    import multiprocessing
+
+    return multiprocessing.get_start_method() == "fork"
+
+
+def _chunk_stats(
+    block: np.ndarray, start: int, tile_rows: int
+) -> SufficientStats:
+    """Pass-1 kernel: sufficient statistics of one time chunk."""
+    return SufficientStats.from_block(
+        block, start_row=start, tile_rows=tile_rows
+    )
+
+
+def _run_stats_task(task: _StatsTask) -> tuple[SufficientStats, float]:
+    begin = time.perf_counter()
+    traffic = _resolve_traffic(task.traffic)
+    stats = _chunk_stats(
+        traffic[task.start : task.stop], task.start, task.tile_rows
+    )
+    return stats, time.perf_counter() - begin
+
+
+def _run_moments_task(task: _MomentsTask) -> tuple[ScoreMoments, float]:
+    begin = time.perf_counter()
+    traffic = _resolve_traffic(task.traffic)
+    moments = score_moments(
+        traffic[task.start : task.stop], task.mean, task.components
+    )
+    return moments, time.perf_counter() - begin
+
+
+def _shard_bounds(num_rows: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal row ranges, one per shard."""
+    edges = np.linspace(0, num_rows, num_shards + 1).astype(int)
+    return [
+        (int(a), int(b)) for a, b in zip(edges, edges[1:]) if b > a
+    ]
+
+
+class TemporalCoordinator:
+    """Fit the subspace model from per-time-chunk statistics.
+
+    Parameters
+    ----------
+    num_shards:
+        Time chunks the matrix is partitioned into.
+    workers:
+        Worker processes; ``None`` uses one per shard (capped at the CPU
+        count), ``1`` runs the same kernels serially in-process.  The
+        fitted model is bit-identical under every setting — only the
+        timings move.
+    confidence, threshold_sigma, normal_rank, min_normal_rank,
+    max_normal_rank:
+        Model parameters, as for
+        :class:`~repro.core.detection.SPEDetector`.  With
+        ``normal_rank=None`` the 3σ separation runs as a second
+        distributed pass over mergeable score moments.
+    tile_rows:
+        Canonical tile height of the sufficient statistics.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        workers: int | None = None,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        min_normal_rank: int = 1,
+        max_normal_rank: int | None = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+    ) -> None:
+        if num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.num_shards = int(num_shards)
+        self.workers = workers
+        self.confidence = confidence
+        self.threshold_sigma = threshold_sigma
+        self.normal_rank = normal_rank
+        self.min_normal_rank = min_normal_rank
+        self.max_normal_rank = max_normal_rank
+        self.tile_rows = int(tile_rows)
+
+    # ------------------------------------------------------------------
+    def fit(self, measurements: np.ndarray) -> TemporalShardFit:
+        """Fan the fit out over shards; merge; fit once; separate.
+
+        The returned detector is an ordinary fitted
+        :class:`~repro.core.detection.SPEDetector` whose PCA is
+        bit-identical to ``SPEDetector(svd_method="gram")`` fitted
+        monolithically (for ``t >= m``, the sharding regime).
+        """
+        begin = time.perf_counter()
+        measurements = np.ascontiguousarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2:
+            raise ModelError(
+                f"measurements must be (t, m), got shape {measurements.shape}"
+            )
+        bounds = _shard_bounds(measurements.shape[0], self.num_shards)
+        workers = self.workers
+        if workers is None:
+            import os
+
+            workers = min(len(bounds), os.cpu_count() or 1)
+        workers = min(workers, len(bounds))
+
+        if workers <= 1:
+            outcome = self._fit_serial(measurements, bounds)
+        else:
+            outcome = self._fit_parallel(measurements, bounds, workers)
+        detector, separation, timings, merge_s, fit_s, sep_s = outcome
+        report = ShardReport(
+            mode="temporal",
+            num_shards=len(bounds),
+            workers=workers,
+            num_rows=measurements.shape[0],
+            num_links=measurements.shape[1],
+            confidence=self.confidence,
+            normal_rank=detector.normal_rank,
+            threshold=float(detector.threshold),
+            tile_rows=self.tile_rows,
+            merge_seconds=merge_s,
+            fit_seconds=fit_s,
+            separation_seconds=sep_s,
+            elapsed_seconds=time.perf_counter() - begin,
+            worker_timings=timings,
+        )
+        return TemporalShardFit(
+            detector=detector, separation=separation, report=report
+        )
+
+    def fit_stream(
+        self, chunk_source: Callable[[], Iterable[np.ndarray]]
+    ) -> TemporalShardFit:
+        """Out-of-core fit over a re-iterable chunk source.
+
+        ``chunk_source()`` must return a fresh iterator of ``(k, m)``
+        row chunks (oldest first) each time it is called; the matrix is
+        never materialized.  One pass accumulates sufficient statistics;
+        when the separation rule is needed, a second pass folds score
+        moments.  Statistics are exact, so the result matches
+        :meth:`fit` on the concatenated chunks bit for bit.
+        """
+        begin = time.perf_counter()
+        stats: SufficientStats | None = None
+        timings: list[WorkerTiming] = []
+        offset = 0
+        merge_s = 0.0
+        for chunk in chunk_source():
+            chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+            if chunk.shape[0] == 0:
+                continue  # an empty shard contributes nothing
+            pass_begin = time.perf_counter()
+            chunk_stats = _chunk_stats(chunk, offset, self.tile_rows)
+            stats_s = time.perf_counter() - pass_begin
+            merge_begin = time.perf_counter()
+            stats = (
+                chunk_stats if stats is None else stats.merge(chunk_stats)
+            )
+            merge_s += time.perf_counter() - merge_begin
+            timings.append(
+                WorkerTiming(
+                    worker=len(timings),
+                    start=offset,
+                    size=chunk.shape[0],
+                    stats_seconds=stats_s,
+                )
+            )
+            offset += chunk.shape[0]
+        if stats is None:
+            raise ModelError("chunk source yielded no chunks")
+
+        fit_begin = time.perf_counter()
+        pca = PCA(method="gram").fit_from_stats(stats)
+        fit_s = time.perf_counter() - fit_begin
+
+        separation: SeparationResult | None = None
+        sep_s = 0.0
+        if self.normal_rank is None:
+            sep_begin = time.perf_counter()
+            mean, components = pca.mean, pca.components
+            folded: ScoreMoments | None = None
+            position = 0
+            for chunk in chunk_source():
+                chunk = np.asarray(chunk, dtype=np.float64)
+                if chunk.shape[0] == 0:
+                    continue  # mirror the stats pass: empty shards skip
+                moments = score_moments(chunk, mean, components)
+                folded = (
+                    moments if folded is None else folded.merge(moments)
+                )
+                position += moments.count
+            if position != pca.num_samples:
+                raise ModelError(
+                    f"chunk source changed between passes: saw {position} "
+                    f"rows, statistics cover {pca.num_samples}"
+                )
+            separation = separate_axes_from_moments(
+                pca,
+                folded,
+                threshold_sigma=self.threshold_sigma,
+                min_normal_rank=self.min_normal_rank,
+                max_normal_rank=self.max_normal_rank,
+            )
+            rank = separation.normal_rank
+            sep_s = time.perf_counter() - sep_begin
+        else:
+            rank = self.normal_rank
+
+        model = SubspaceModel.with_rank(pca, rank)
+        if separation is not None:
+            model.separation = separation
+        detector = self._package(model)
+        report = ShardReport(
+            mode="temporal",
+            num_shards=len(timings),
+            workers=1,
+            num_rows=pca.num_samples,
+            num_links=pca.num_components,
+            confidence=self.confidence,
+            normal_rank=detector.normal_rank,
+            threshold=float(detector.threshold),
+            tile_rows=self.tile_rows,
+            merge_seconds=merge_s,
+            fit_seconds=fit_s,
+            separation_seconds=sep_s,
+            elapsed_seconds=time.perf_counter() - begin,
+            worker_timings=tuple(timings),
+        )
+        return TemporalShardFit(
+            detector=detector, separation=separation, report=report
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        stats_parts: Sequence[SufficientStats],
+        moments_for: Callable[[np.ndarray, np.ndarray], list[ScoreMoments]],
+    ):
+        """Merge statistics, fit, and (optionally) separate."""
+        merge_begin = time.perf_counter()
+        merged = stats_parts[0]
+        for part in stats_parts[1:]:
+            merged = merged.merge(part)
+        merge_s = time.perf_counter() - merge_begin
+
+        fit_begin = time.perf_counter()
+        pca = PCA(method="gram").fit_from_stats(merged)
+        fit_s = time.perf_counter() - fit_begin
+
+        separation: SeparationResult | None = None
+        sep_s = 0.0
+        if self.normal_rank is None:
+            sep_begin = time.perf_counter()
+            parts = moments_for(pca.mean, pca.components)
+            folded = parts[0]
+            for part in parts[1:]:
+                folded = folded.merge(part)
+            separation = separate_axes_from_moments(
+                pca,
+                folded,
+                threshold_sigma=self.threshold_sigma,
+                min_normal_rank=self.min_normal_rank,
+                max_normal_rank=self.max_normal_rank,
+            )
+            rank = separation.normal_rank
+            sep_s = time.perf_counter() - sep_begin
+        else:
+            rank = self.normal_rank
+
+        model = SubspaceModel.with_rank(pca, rank)
+        if separation is not None:
+            model.separation = separation
+        detector = self._package(model)
+        return detector, separation, merge_s, fit_s, sep_s
+
+    def _package(self, model: SubspaceModel) -> SPEDetector:
+        """Wrap the fitted model with this coordinator's configuration.
+
+        The detector records the *requested* parameters (rank None when
+        the separation rule ran, the coordinator's sigma and clamps), so
+        an equivalence checker refitting from them reproduces the full
+        monolithic procedure instead of pinning the computed rank.
+        """
+        return SPEDetector.from_model(
+            model,
+            confidence=self.confidence,
+            threshold_sigma=self.threshold_sigma,
+            normal_rank=self.normal_rank,
+            min_normal_rank=self.min_normal_rank,
+            max_normal_rank=self.max_normal_rank,
+        )
+
+    def _fit_serial(self, measurements: np.ndarray, bounds):
+        timings: list[WorkerTiming] = []
+        stats_parts: list[SufficientStats] = []
+        for index, (start, stop) in enumerate(bounds):
+            begin = time.perf_counter()
+            stats_parts.append(
+                _chunk_stats(
+                    measurements[start:stop], start, self.tile_rows
+                )
+            )
+            timings.append(
+                WorkerTiming(
+                    worker=index,
+                    start=start,
+                    size=stop - start,
+                    stats_seconds=time.perf_counter() - begin,
+                )
+            )
+
+        def moments_for(mean, components):
+            parts = []
+            for index, (start, stop) in enumerate(bounds):
+                begin = time.perf_counter()
+                parts.append(
+                    score_moments(
+                        measurements[start:stop], mean, components
+                    )
+                )
+                timings[index] = WorkerTiming(
+                    worker=index,
+                    start=start,
+                    size=stop - start,
+                    stats_seconds=timings[index].stats_seconds,
+                    moments_seconds=time.perf_counter() - begin,
+                )
+            return parts
+
+        detector, separation, merge_s, fit_s, sep_s = self._finish(
+            stats_parts, moments_for
+        )
+        return detector, separation, tuple(timings), merge_s, fit_s, sep_s
+
+    def _fit_parallel(self, measurements: np.ndarray, bounds, workers: int):
+        import multiprocessing
+
+        global _INHERITED_TRAFFIC
+
+        segments: list = []
+        inherited = _fork_start()
+        try:
+            if inherited:
+                shared = None
+                _INHERITED_TRAFFIC = measurements
+            else:  # pragma: no cover - non-fork platforms
+                shared = _share_array(measurements, segments)
+            with multiprocessing.Pool(processes=workers) as pool:
+                stats_tasks = [
+                    _StatsTask(shared, start, stop, self.tile_rows)
+                    for start, stop in bounds
+                ]
+                stats_outputs = pool.map(_run_stats_task, stats_tasks)
+                stats_parts = [stats for stats, _ in stats_outputs]
+                timings = [
+                    WorkerTiming(
+                        worker=index,
+                        start=start,
+                        size=stop - start,
+                        stats_seconds=seconds,
+                    )
+                    for index, ((start, stop), (_, seconds)) in enumerate(
+                        zip(bounds, stats_outputs)
+                    )
+                ]
+
+                def moments_for(mean, components):
+                    tasks = [
+                        _MomentsTask(shared, start, stop, mean, components)
+                        for start, stop in bounds
+                    ]
+                    outputs = pool.map(_run_moments_task, tasks)
+                    for index, (_, seconds) in enumerate(outputs):
+                        timings[index] = WorkerTiming(
+                            worker=index,
+                            start=timings[index].start,
+                            size=timings[index].size,
+                            stats_seconds=timings[index].stats_seconds,
+                            moments_seconds=seconds,
+                        )
+                    return [moments for moments, _ in outputs]
+
+                detector, separation, merge_s, fit_s, sep_s = self._finish(
+                    stats_parts, moments_for
+                )
+            return (
+                detector,
+                separation,
+                tuple(timings),
+                merge_s,
+                fit_s,
+                sep_s,
+            )
+        finally:
+            _INHERITED_TRAFFIC = None
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+
+def temporal_fit_matches_monolithic(
+    fit: TemporalShardFit, measurements: np.ndarray
+) -> bool:
+    """Is a sharded fit bit-identical to the monolithic gram fit?
+
+    Compares mean, components, singular values, separation rank and the
+    Q-statistic threshold against a fresh in-process
+    ``SPEDetector(svd_method="gram")`` fit built from the sharded
+    detector's *requested* configuration — rank ``None`` when the
+    separation rule chose it, so the reference genuinely re-runs the
+    monolithic 3σ procedure rather than pinning the computed rank.  The
+    PCA comparison is exact by the sufficient-statistics construction
+    (``t >= m``); the rank is computed from distributed score moments
+    and can in principle differ on exact 3σ boundary ties — any
+    mismatch returns False rather than raising, so callers can gate on
+    it.
+    """
+    reference = SPEDetector(
+        confidence=fit.detector.confidence,
+        threshold_sigma=fit.detector.threshold_sigma,
+        normal_rank=fit.detector.requested_rank,
+        min_normal_rank=fit.detector.min_normal_rank,
+        max_normal_rank=fit.detector.max_normal_rank,
+        svd_method="gram",
+    ).fit(measurements)
+    ours, theirs = fit.detector.model, reference.model
+    return (
+        np.array_equal(ours.pca.mean, theirs.pca.mean)
+        and np.array_equal(ours.pca.components, theirs.pca.components)
+        and np.array_equal(
+            ours.pca.captured_variance(), theirs.pca.captured_variance()
+        )
+        and ours.normal_rank == theirs.normal_rank
+        and fit.detector.threshold == reference.threshold
+    )
+
+
+# ----------------------------------------------------------------------
+# Spatial sharding.
+
+
+def partition_links(
+    num_links: int, num_zones: int, scheme: str = "contiguous"
+) -> tuple[np.ndarray, ...]:
+    """Partition link indices into zones.
+
+    ``"contiguous"`` keeps index runs together (matches how builders
+    emit links: per-node, so zones approximate geographic regions);
+    ``"round-robin"`` stripes them (zones see a cross-section of the
+    network).  Both are deterministic.
+    """
+    if num_zones < 1:
+        raise ValidationError(f"num_zones must be >= 1, got {num_zones}")
+    if num_zones > num_links:
+        raise ValidationError(
+            f"cannot split {num_links} links into {num_zones} zones"
+        )
+    indices = np.arange(num_links)
+    if scheme == "contiguous":
+        return tuple(np.array_split(indices, num_zones))
+    if scheme == "round-robin":
+        return tuple(indices[z::num_zones] for z in range(num_zones))
+    raise ValidationError(
+        f"unknown partition scheme {scheme!r}; "
+        "choose 'contiguous' or 'round-robin'"
+    )
+
+
+class SpatialShardedModel:
+    """Per-zone subspace detectors plus the pluggable fusion stage.
+
+    Build via :meth:`SpatialCoordinator.fit`.  All fusion modes operate
+    on the per-zone SPE matrix; :meth:`fused_score` returns the
+    continuous statistic each mode thresholds:
+
+    * ``union`` / ``vote`` score in units of per-zone threshold ratios
+      (``1.0`` is the native alarm boundary);
+    * ``rescore`` scores in residual-energy units against the pooled
+      Jackson–Mudholkar limit.
+    """
+
+    def __init__(
+        self,
+        zones: tuple[np.ndarray, ...],
+        detectors: tuple[SPEDetector, ...],
+        confidence: float,
+        votes: int,
+    ) -> None:
+        if len(zones) != len(detectors):
+            raise ModelError(
+                f"{len(zones)} zones but {len(detectors)} detectors"
+            )
+        if not 1 <= votes <= len(zones):
+            raise ModelError(
+                f"votes must lie in [1, {len(zones)}], got {votes}"
+            )
+        self.zones = zones
+        self.detectors = detectors
+        self.confidence = confidence
+        self.votes = votes
+        self.num_links = int(sum(zone.size for zone in zones))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_zones(self) -> int:
+        """Number of link zones."""
+        return len(self.zones)
+
+    @property
+    def zone_ranks(self) -> tuple[int, ...]:
+        """Fitted normal rank per zone."""
+        return tuple(det.normal_rank for det in self.detectors)
+
+    def zone_thresholds(self, confidence: float | None = None) -> np.ndarray:
+        """Per-zone Q-statistic limits at a confidence level."""
+        level = self.confidence if confidence is None else confidence
+        return np.array(
+            [det.threshold_at(level) for det in self.detectors]
+        )
+
+    def pooled_residual_eigenvalues(self) -> np.ndarray:
+        """Residual eigenvalues of every zone, concatenated.
+
+        Under a block-diagonal covariance this *is* the global residual
+        spectrum, which makes ``q_threshold`` over it the natural limit
+        for the ``rescore`` fusion's total residual energy.
+        """
+        return np.concatenate(
+            [det.model.residual_eigenvalues() for det in self.detectors]
+        )
+
+    def rescore_threshold(self, confidence: float | None = None) -> float:
+        """The pooled-spectrum limit the ``rescore`` fusion applies."""
+        level = self.confidence if confidence is None else confidence
+        return q_threshold(
+            self.pooled_residual_eigenvalues(), confidence=level
+        )
+
+    # ------------------------------------------------------------------
+    def _check_block(self, measurements: np.ndarray) -> np.ndarray:
+        measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.ndim == 1:
+            measurements = measurements[None, :]
+        if measurements.shape[1] != self.num_links:
+            raise ModelError(
+                f"measurements cover {measurements.shape[1]} links, "
+                f"model expects {self.num_links}"
+            )
+        return measurements
+
+    def zone_spe(self, measurements: np.ndarray) -> np.ndarray:
+        """Per-zone SPE of a block: shape ``(t, num_zones)``."""
+        measurements = self._check_block(measurements)
+        return np.column_stack(
+            [
+                np.atleast_1d(det.spe(measurements[:, zone]))
+                for det, zone in zip(self.detectors, self.zones)
+            ]
+        )
+
+    def fused_score(
+        self,
+        measurements: np.ndarray,
+        fusion: str = "rescore",
+        confidence: float | None = None,
+    ) -> np.ndarray:
+        """The continuous fused statistic of one fusion mode."""
+        spe = self.zone_spe(measurements)
+        return self.fuse(spe, fusion, confidence=confidence)
+
+    def fuse(
+        self,
+        zone_spe: np.ndarray,
+        fusion: str,
+        confidence: float | None = None,
+    ) -> np.ndarray:
+        """Fuse an already-computed per-zone SPE matrix."""
+        if fusion == "rescore":
+            return zone_spe.sum(axis=1)
+        thresholds = self.zone_thresholds(confidence)
+        # A zone whose normal subspace fills its whole space has an
+        # exactly-zero limit (and exactly-zero SPE on in-model data);
+        # fall back to raw energy units there so the ratio stays finite
+        # and a genuinely nonzero residual still registers.
+        safe = np.where(thresholds > 0, thresholds, 1.0)
+        ratios = zone_spe / safe
+        if fusion == "union":
+            return ratios.max(axis=1)
+        if fusion == "vote":
+            return np.sort(ratios, axis=1)[:, -self.votes]
+        raise ModelError(
+            f"unknown fusion mode {fusion!r}; choose from {FUSION_MODES}"
+        )
+
+    def fusion_threshold(
+        self, fusion: str, confidence: float | None = None
+    ) -> float:
+        """The native alarm boundary of one fusion mode."""
+        if fusion == "rescore":
+            return self.rescore_threshold(confidence)
+        if fusion in ("union", "vote"):
+            return 1.0
+        raise ModelError(
+            f"unknown fusion mode {fusion!r}; choose from {FUSION_MODES}"
+        )
+
+    def alarms(
+        self,
+        measurements: np.ndarray,
+        fusion: str = "rescore",
+        confidence: float | None = None,
+    ) -> np.ndarray:
+        """Native fused alarm flags for a block."""
+        score = self.fused_score(measurements, fusion, confidence=confidence)
+        return score > self.fusion_threshold(fusion, confidence)
+
+
+@dataclass(frozen=True)
+class SpatialShardFit:
+    """A fitted spatial plane plus its report."""
+
+    model: SpatialShardedModel
+    report: ShardReport
+
+
+@dataclass(frozen=True)
+class _ZoneFitTask:
+    traffic: "_SharedArray | None"
+    links: np.ndarray
+    confidence: float
+    threshold_sigma: float
+    normal_rank: int | None
+
+
+def _fit_zone(
+    traffic: np.ndarray, task: "_ZoneFitTask"
+) -> SPEDetector:
+    return SPEDetector(
+        confidence=task.confidence,
+        threshold_sigma=task.threshold_sigma,
+        normal_rank=task.normal_rank,
+    ).fit(np.ascontiguousarray(traffic[:, task.links]))
+
+
+def _run_zone_task(task: _ZoneFitTask) -> tuple[bytes, float]:
+    import pickle
+
+    begin = time.perf_counter()
+    detector = _fit_zone(_resolve_traffic(task.traffic), task)
+    blob = pickle.dumps(detector, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob, time.perf_counter() - begin
+
+
+class SpatialCoordinator:
+    """Fit one local subspace detector per link zone, plus fusion.
+
+    Parameters
+    ----------
+    num_zones:
+        Link zones (each fits an independent subspace model).
+    scheme:
+        Link partition scheme (see :func:`partition_links`).
+    votes:
+        ``k`` of the k-of-n ``vote`` fusion; ``None`` uses a majority
+        (``ceil(num_zones / 2)``).
+    workers:
+        Worker processes for the zone fits; ``None`` = one per zone
+        capped at the CPU count, ``1`` = serial in-process (identical
+        results).
+    confidence, threshold_sigma, normal_rank:
+        Per-zone model parameters.
+    score_training:
+        Run one fused scoring pass over the training block after the
+        zone fits (measures the fuse stage and pins every mode's native
+        threshold into the report).  Disable when only the fitted plane
+        is needed.
+    """
+
+    def __init__(
+        self,
+        num_zones: int = 2,
+        scheme: str = "contiguous",
+        votes: int | None = None,
+        workers: int | None = None,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        score_training: bool = True,
+    ) -> None:
+        if num_zones < 1:
+            raise ValidationError(f"num_zones must be >= 1, got {num_zones}")
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if votes is not None and votes < 1:
+            raise ValidationError(f"votes must be >= 1, got {votes}")
+        self.num_zones = int(num_zones)
+        self.scheme = scheme
+        self.votes = votes
+        self.workers = workers
+        self.confidence = confidence
+        self.threshold_sigma = threshold_sigma
+        self.normal_rank = normal_rank
+        self.score_training = score_training
+
+    # ------------------------------------------------------------------
+    def fit(self, measurements: np.ndarray) -> SpatialShardFit:
+        """Fit every zone (serially or fanned out over processes)."""
+        begin = time.perf_counter()
+        measurements = np.ascontiguousarray(measurements, dtype=np.float64)
+        if measurements.ndim != 2:
+            raise ModelError(
+                f"measurements must be (t, m), got shape {measurements.shape}"
+            )
+        zones = partition_links(
+            measurements.shape[1], self.num_zones, scheme=self.scheme
+        )
+        votes = self.votes
+        if votes is None:
+            votes = max(1, (len(zones) + 1) // 2)
+        if votes > len(zones):
+            raise ValidationError(
+                f"votes={votes} exceeds the {len(zones)} zones"
+            )
+        workers = self.workers
+        if workers is None:
+            import os
+
+            workers = min(len(zones), os.cpu_count() or 1)
+        workers = min(workers, len(zones))
+
+        if workers <= 1:
+            detectors: list[SPEDetector] = []
+            timings: list[WorkerTiming] = []
+            for index, zone in enumerate(zones):
+                zone_begin = time.perf_counter()
+                task = _ZoneFitTask(
+                    traffic=None,
+                    links=zone,
+                    confidence=self.confidence,
+                    threshold_sigma=self.threshold_sigma,
+                    normal_rank=self.normal_rank,
+                )
+                detectors.append(_fit_zone(measurements, task))
+                timings.append(
+                    WorkerTiming(
+                        worker=index,
+                        start=int(zone[0]),
+                        size=int(zone.size),
+                        stats_seconds=time.perf_counter() - zone_begin,
+                    )
+                )
+        else:
+            detectors, timings = self._fit_parallel(
+                measurements, zones, workers
+            )
+
+        model = SpatialShardedModel(
+            zones=zones,
+            detectors=tuple(detectors),
+            confidence=self.confidence,
+            votes=votes,
+        )
+        # One fused scoring pass over the training block: measures the
+        # fuse stage and pins every mode's native threshold into the
+        # report.
+        fuse_s = 0.0
+        fusion_thresholds: dict[str, float] = {}
+        if self.score_training:
+            fuse_begin = time.perf_counter()
+            zone_spe = model.zone_spe(measurements)
+            for fusion in FUSION_MODES:
+                model.fuse(zone_spe, fusion)
+                fusion_thresholds[fusion] = float(
+                    model.fusion_threshold(fusion)
+                )
+            fuse_s = time.perf_counter() - fuse_begin
+
+        report = ShardReport(
+            mode="spatial",
+            num_shards=len(zones),
+            workers=workers,
+            num_rows=measurements.shape[0],
+            num_links=measurements.shape[1],
+            confidence=self.confidence,
+            normal_rank=model.zone_ranks,
+            threshold=tuple(
+                float(det.threshold) for det in model.detectors
+            ),
+            fusion_thresholds=fusion_thresholds,
+            fuse_seconds=fuse_s,
+            elapsed_seconds=time.perf_counter() - begin,
+            worker_timings=tuple(timings),
+        )
+        return SpatialShardFit(model=model, report=report)
+
+    def _fit_parallel(self, measurements, zones, workers):
+        import multiprocessing
+        import pickle
+
+        global _INHERITED_TRAFFIC
+
+        segments: list = []
+        inherited = _fork_start()
+        try:
+            if inherited:
+                shared = None
+                _INHERITED_TRAFFIC = measurements
+            else:  # pragma: no cover - non-fork platforms
+                shared = _share_array(measurements, segments)
+            tasks = [
+                _ZoneFitTask(
+                    traffic=shared,
+                    links=zone,
+                    confidence=self.confidence,
+                    threshold_sigma=self.threshold_sigma,
+                    normal_rank=self.normal_rank,
+                )
+                for zone in zones
+            ]
+            with multiprocessing.Pool(processes=workers) as pool:
+                outputs = pool.map(_run_zone_task, tasks)
+            detectors = [pickle.loads(blob) for blob, _ in outputs]
+            timings = [
+                WorkerTiming(
+                    worker=index,
+                    start=int(zone[0]),
+                    size=int(zone.size),
+                    stats_seconds=seconds,
+                )
+                for index, (zone, (_, seconds)) in enumerate(
+                    zip(zones, outputs)
+                )
+            ]
+            return detectors, timings
+        finally:
+            _INHERITED_TRAFFIC = None
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass

@@ -126,12 +126,14 @@ class StreamingDetector:
         forgetting: float = 1.0 / 1008.0,
         confidence: float = 0.999,
         routing: RoutingMatrix | None = None,
+        refresh_interval: int | None = 36,
     ) -> "StreamingDetector":
         """Seed streaming from a batch-fitted mean and covariance."""
         tracker = IncrementalSubspaceTracker(
             normal_rank=normal_rank,
             forgetting=forgetting,
             confidence=confidence,
+            refresh_interval=refresh_interval,
         ).warm_up_from_moments(mean, covariance)
         return cls(tracker, routing=routing)
 
@@ -143,12 +145,14 @@ class StreamingDetector:
         forgetting: float = 1.0 / 1008.0,
         confidence: float = 0.999,
         routing: RoutingMatrix | None = None,
+        refresh_interval: int | None = 36,
     ) -> "StreamingDetector":
         """Seed streaming from a historical measurement block."""
         tracker = IncrementalSubspaceTracker(
             normal_rank=normal_rank,
             forgetting=forgetting,
             confidence=confidence,
+            refresh_interval=refresh_interval,
         ).warm_up(measurements)
         return cls(tracker, routing=routing)
 
@@ -193,12 +197,17 @@ class StreamingDetector:
             identification.magnitudes * self._quant_ratio[winners],
         )
 
-    def process_window(self, measurements: np.ndarray) -> StreamWindow:
+    def process_window(
+        self, measurements: np.ndarray, refresh: bool = True
+    ) -> StreamWindow:
         """Score one window, diagnose its alarms, fold it into the model.
 
         Scoring uses the model as of the window start; the fold updates
         the exponentially weighted moments and refreshes the
-        eigendecomposition once.
+        eigendecomposition once.  With ``refresh=False`` the refresh
+        instead keeps the tracker's own ``refresh_interval`` cadence (in
+        arrivals) — the per-arrival adapters use this to decouple window
+        size from refresh schedule.
         """
         measurements = np.asarray(measurements, dtype=np.float64)
         if measurements.ndim != 2:
@@ -212,7 +221,7 @@ class StreamingDetector:
         # the basis they were raised with, and the fold below moves it.
         mean = self._tracker.mean
         basis = self._tracker.normal_basis
-        spe, flags = self._tracker.update_block(measurements, refresh=True)
+        spe, flags = self._tracker.update_block(measurements, refresh=refresh)
         bins_in_window = np.nonzero(flags)[0]
         flow_indices = np.empty(0, dtype=np.int64)
         od_pairs: tuple[tuple[str, str], ...] = ()

@@ -46,6 +46,11 @@ from repro.scenarios.taxonomy import (
     ScenarioEvent,
     compile_family,
 )
+from repro.scenarios.fusion import (
+    FusionScenarioScore,
+    FusionSuiteReport,
+    run_fusion_suite,
+)
 
 __all__ = [
     "CORE_SUITE",
@@ -54,6 +59,9 @@ __all__ = [
     "CompiledScenario",
     "EventOutcome",
     "FamilySpec",
+    "FusionScenarioScore",
+    "FusionSuiteReport",
+    "run_fusion_suite",
     "ScenarioEvent",
     "ScenarioOutcome",
     "ScenarioRunner",

@@ -1,0 +1,290 @@
+"""Spatial alarm fusion, scored against the monolithic detector.
+
+The spatial sharded plane (:mod:`repro.pipeline.sharded`) trades the
+global subspace view for per-zone locality, so its value is an
+*empirical* question: how much recall does each fusion mode give back,
+at the same false-alarm spend, compared to the one-model-over-all-links
+detector the paper studies?  This module answers it over the scenario
+suites — every anomaly family, exact ground truth — in one pass per
+scenario:
+
+* the monolithic subspace detector and the spatial plane are fitted on
+  the same (clean-plus-anomalies) trace the suite's
+  :class:`~repro.scenarios.runner.ScenarioRunner` diagnoses;
+* every fusion mode's continuous fused score and the monolithic SPE are
+  swept through the same ROC harness, and **recall at the shared
+  false-alarm budget** is read off each curve — the equal-budget
+  comparison the acceptance gate pins;
+* native operating points (each detector thresholding at its own
+  calibration) are reported alongside, so the budget comparison can be
+  sanity-checked against what the detectors would actually alarm.
+
+:func:`run_fusion_suite` drives a whole suite and aggregates per
+anomaly family; ``repro shard run --mode spatial`` prints the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.detection import SPEDetector
+from repro.exceptions import ValidationError
+from repro.pipeline.sharded import FUSION_MODES, SpatialCoordinator
+from repro.scenarios.runner import _rounded
+from repro.scenarios.spec import compile_scenario
+from repro.scenarios.suite import get_suite
+from repro.validation.roc import operating_point, roc_curve
+
+__all__ = [
+    "FusionScenarioScore",
+    "FusionSuiteReport",
+    "run_fusion_suite",
+]
+
+#: Version of the :meth:`FusionSuiteReport.to_json` payload layout.
+FUSION_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FusionScenarioScore:
+    """Equal-budget and native scores of one scenario.
+
+    ``recall_at_budget`` maps ``"monolithic"`` and every fusion mode to
+    the best detection rate achievable with false alarms at or below
+    ``fa_budget`` (read off each score's exact ROC).  ``native`` maps
+    the same keys to ``(recall, false_alarm_rate)`` at each detector's
+    own calibrated threshold.
+    """
+
+    scenario: str
+    topology: str
+    families: tuple[str, ...]
+    num_truth_bins: int
+    fa_budget: float
+    recall_at_budget: dict[str, float]
+    native: dict[str, tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class FusionSuiteReport:
+    """All fusion-vs-monolithic scores of one suite pass."""
+
+    suite: str
+    confidence: float
+    num_zones: int
+    scheme: str
+    fa_budget: float
+    modes: tuple[str, ...]
+    scores: tuple[FusionScenarioScore, ...]
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __iter__(self):
+        return iter(self.scores)
+
+    # ------------------------------------------------------------------
+    def families(self) -> tuple[str, ...]:
+        """Distinct anomaly families scored, first-seen order."""
+        seen: list[str] = []
+        for score in self.scores:
+            for family in score.families:
+                if family not in seen:
+                    seen.append(family)
+        return tuple(seen)
+
+    def mean_recall(self, key: str) -> float:
+        """Suite-mean recall at the shared budget for one detector key."""
+        return float(
+            np.mean([score.recall_at_budget[key] for score in self.scores])
+        )
+
+    def family_recall(self, family: str, key: str) -> float:
+        """Mean recall at budget over the scenarios exercising a family."""
+        values = [
+            score.recall_at_budget[key]
+            for score in self.scores
+            if family in score.families
+        ]
+        if not values:
+            raise ValidationError(f"no scenarios exercise family {family!r}")
+        return float(np.mean(values))
+
+    def modes_within(self, tolerance: float = 0.05) -> tuple[str, ...]:
+        """Fusion modes whose suite-mean recall at the shared budget is
+        within ``tolerance`` of the monolithic detector's."""
+        floor = self.mean_recall("monolithic") - tolerance
+        return tuple(
+            mode for mode in self.modes if self.mean_recall(mode) >= floor
+        )
+
+    def best_mode(self) -> str:
+        """The fusion mode with the highest suite-mean recall at budget."""
+        return max(self.modes, key=self.mean_recall)
+
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Per-scenario and per-family recall at the shared FA budget."""
+        keys = ("monolithic",) + self.modes
+        header = f"{'scenario':<22} {'families':<26}" + "".join(
+            f" {key:>11}" for key in keys
+        )
+        lines = [
+            f"recall at false-alarm budget {self.fa_budget:.3%} "
+            f"({self.num_zones} zones, {self.scheme})",
+            header,
+            "-" * len(header),
+        ]
+        for score in self.scores:
+            lines.append(
+                f"{score.scenario:<22} {','.join(score.families):<26}"
+                + "".join(
+                    f" {score.recall_at_budget[key] * 100:>10.1f}%"
+                    for key in keys
+                )
+            )
+        lines.append("")
+        lines.append(f"{'per family':<22} {'':<26}" + "".join(
+            f" {key:>11}" for key in keys
+        ))
+        lines.append("-" * len(header))
+        for family in self.families():
+            lines.append(
+                f"{family:<22} {'':<26}"
+                + "".join(
+                    f" {self.family_recall(family, key) * 100:>10.1f}%"
+                    for key in keys
+                )
+            )
+        lines.append("")
+        lines.append(
+            "suite mean: "
+            + ", ".join(
+                f"{key}={self.mean_recall(key):.3f}" for key in keys
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """The canonical payload (golden-stable float rounding)."""
+        keys = ("monolithic",) + self.modes
+        return {
+            "schema_version": FUSION_SCHEMA_VERSION,
+            "suite": self.suite,
+            "confidence": _rounded(self.confidence),
+            "num_zones": self.num_zones,
+            "scheme": self.scheme,
+            "fa_budget": _rounded(self.fa_budget),
+            "modes": list(self.modes),
+            "mean_recall": {
+                key: _rounded(self.mean_recall(key)) for key in keys
+            },
+            "family_recall": {
+                family: {
+                    key: _rounded(self.family_recall(family, key))
+                    for key in keys
+                }
+                for family in self.families()
+            },
+            "scenarios": [
+                {
+                    "name": score.scenario,
+                    "topology": score.topology,
+                    "families": list(score.families),
+                    "num_truth_bins": score.num_truth_bins,
+                    "recall_at_budget": {
+                        key: _rounded(value)
+                        for key, value in sorted(
+                            score.recall_at_budget.items()
+                        )
+                    },
+                    "native": {
+                        key: [_rounded(recall), _rounded(fa)]
+                        for key, (recall, fa) in sorted(
+                            score.native.items()
+                        )
+                    },
+                }
+                for score in self.scores
+            ],
+        }
+
+
+def run_fusion_suite(
+    suite: str = "core",
+    num_zones: int = 2,
+    scheme: str = "contiguous",
+    votes: int | None = None,
+    confidence: float = 0.999,
+    fa_budget: float = 0.01,
+    modes: tuple[str, ...] = FUSION_MODES,
+) -> FusionSuiteReport:
+    """Score every fusion mode against the monolithic detector.
+
+    Each scenario of the suite is compiled once; the monolithic
+    subspace detector and the spatial plane fit the same trace, and
+    recalls are read off exact ROCs at the shared ``fa_budget``.
+    """
+    if not 0.0 < fa_budget < 1.0:
+        raise ValidationError(
+            f"fa_budget must lie in (0, 1), got {fa_budget}"
+        )
+    unknown = set(modes) - set(FUSION_MODES)
+    if unknown:
+        raise ValidationError(
+            f"unknown fusion modes {sorted(unknown)}; "
+            f"choose from {FUSION_MODES}"
+        )
+    specs = get_suite(suite) if isinstance(suite, str) else tuple(suite)
+    suite_name = suite if isinstance(suite, str) else "custom"
+    scores: list[FusionScenarioScore] = []
+    for spec in specs:
+        compiled = compile_scenario(spec)
+        traffic = compiled.dataset.link_traffic
+        truth = compiled.truth_bins()
+
+        monolithic = SPEDetector(confidence=confidence).fit(traffic)
+        spe = np.atleast_1d(np.asarray(monolithic.spe(traffic)))
+        recall_at = {
+            "monolithic": roc_curve(spe, truth).detection_at(fa_budget)
+        }
+        native = {
+            "monolithic": operating_point(spe, truth, monolithic.threshold)
+        }
+
+        plane = SpatialCoordinator(
+            num_zones=min(num_zones, compiled.dataset.num_links),
+            scheme=scheme,
+            votes=votes,
+            workers=1,
+            confidence=confidence,
+        ).fit(traffic)
+        zone_spe = plane.model.zone_spe(traffic)
+        for mode in modes:
+            fused = plane.model.fuse(zone_spe, mode)
+            recall_at[mode] = roc_curve(fused, truth).detection_at(fa_budget)
+            native[mode] = operating_point(
+                fused, truth, plane.model.fusion_threshold(mode)
+            )
+        scores.append(
+            FusionScenarioScore(
+                scenario=spec.name,
+                topology=spec.topology,
+                families=spec.families(),
+                num_truth_bins=int(truth.size),
+                fa_budget=fa_budget,
+                recall_at_budget=recall_at,
+                native=native,
+            )
+        )
+    return FusionSuiteReport(
+        suite=suite_name,
+        confidence=confidence,
+        num_zones=num_zones,
+        scheme=scheme,
+        fa_budget=fa_budget,
+        modes=tuple(modes),
+        scores=tuple(scores),
+    )

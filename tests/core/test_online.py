@@ -19,10 +19,13 @@ class TestWarmUp:
         assert detector.is_fitted
         assert detector.threshold > 0
 
-    def test_warm_up_keeps_last_window(self, sprint1):
+    def test_warm_up_uses_trailing_window(self, sprint1):
+        """Only the trailing ``window_bins`` rows seed the model."""
         detector = OnlineSubspaceDetector(window_bins=100)
         detector.warm_up(sprint1.link_traffic[:288])
-        assert len(detector._window) == 100
+        trailing = OnlineSubspaceDetector(window_bins=100)
+        trailing.warm_up(sprint1.link_traffic[188:288])
+        assert detector.threshold == trailing.threshold
 
     def test_validation(self):
         with pytest.raises(ModelError):
@@ -39,9 +42,12 @@ class TestStreaming:
         assert len(outcomes) == 144
         assert [o.index for o in outcomes] == list(range(144))
 
-    def test_matches_batch_detection_without_refit(self, sprint1):
-        """With refits disabled, streaming scores equal batch scores
-        from the same training window."""
+    def test_tracks_batch_detection_without_refresh(self, sprint1):
+        """With refreshes disabled, the basis stays at the warm-up model:
+        alarms match the batch detector, and scores stay within the
+        small drift of the exponentially folded mean (the adapter folds
+        every arrival; the old implementation froze the model between
+        refits)."""
         from repro.core import SPEDetector
 
         train = sprint1.link_traffic[:504]
@@ -53,8 +59,33 @@ class TestStreaming:
         online.warm_up(train)
         outcomes = online.process_block(test)
         spe = np.array([o.spe for o in outcomes])
-        assert np.allclose(spe, expected.spe)
+        assert np.allclose(spe, expected.spe, rtol=0.05)
         assert [o.is_anomalous for o in outcomes] == expected.flags.tolist()
+        assert online.threshold == pytest.approx(batch.threshold, rel=1e-9)
+
+    def test_matches_streaming_detector_bit_for_bit(self, sprint1):
+        """The anti-drift contract of the consolidation: the per-arrival
+        adapter and the windowed StreamingDetector are the *same*
+        engine — identical SPE, thresholds and alarms when fed the same
+        rows through one-row windows."""
+        from repro.pipeline import DetectionPipeline
+
+        train = sprint1.link_traffic[:504]
+        test = sprint1.link_traffic[504:600]
+
+        online = OnlineSubspaceDetector(window_bins=504, refit_interval=36)
+        online.warm_up(train)
+        outcomes = online.process_block(test)
+
+        pipeline = DetectionPipeline().fit(train)
+        streaming = pipeline.streaming(
+            forgetting=1.0 / 504, refresh_interval=36
+        )
+        for outcome, row in zip(outcomes, test):
+            window = streaming.process_window(row[None, :], refresh=False)
+            assert outcome.spe == window.spe[0]
+            assert outcome.threshold == window.threshold
+            assert outcome.is_anomalous == bool(window.flags[0])
 
     def test_detects_injected_spike_in_stream(self, sprint1):
         detector = OnlineSubspaceDetector(

@@ -1,0 +1,226 @@
+"""Tests for repro.core.suffstats (mergeable sufficient statistics)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import PCA, FinalizedStats, SufficientStats
+from repro.core.suffstats import DEFAULT_TILE_ROWS
+from repro.exceptions import ModelError
+
+
+@pytest.fixture()
+def block():
+    rng = np.random.default_rng(42)
+    t = 2 * DEFAULT_TILE_ROWS + 100  # spans complete tiles + a tail
+    return np.abs(rng.normal(1e7, 2e6, size=(t, 6)))
+
+
+def chunked(block, bounds, tile_rows=DEFAULT_TILE_ROWS):
+    return [
+        SufficientStats.from_block(
+            block[a:b], start_row=a, tile_rows=tile_rows
+        )
+        for a, b in zip(bounds, bounds[1:])
+    ]
+
+
+class TestFromBlock:
+    def test_aggregates_match_numpy(self, block):
+        stats = SufficientStats.from_block(block).finalize()
+        assert stats.count == block.shape[0]
+        assert np.allclose(stats.total, block.sum(axis=0), rtol=1e-12)
+        assert np.allclose(stats.mean, block.mean(axis=0), rtol=1e-12)
+        centered = block - block.mean(axis=0)
+        assert np.allclose(
+            stats.centered_gram(), centered.T @ centered, rtol=1e-10
+        )
+        assert np.allclose(
+            stats.uncentered_gram(), block.T @ block, rtol=1e-10
+        )
+        assert np.allclose(
+            stats.covariance(), np.cov(block, rowvar=False), rtol=1e-10
+        )
+
+    def test_zero_rows_is_merge_identity(self, block):
+        empty = SufficientStats.from_block(block[:0])
+        real = SufficientStats.from_block(block)
+        merged = empty.merge(real)
+        a, b = merged.finalize(), real.finalize()
+        assert a.count == b.count
+        assert np.array_equal(a.total, b.total)
+        assert np.array_equal(a.m2, b.m2)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ModelError):
+            SufficientStats.from_block(np.ones(5))
+        with pytest.raises(ModelError):
+            SufficientStats.from_block(np.ones((3, 2)), start_row=-1)
+        with pytest.raises(ModelError):
+            SufficientStats.from_block(np.array([[1.0, np.nan]]))
+        with pytest.raises(ModelError):
+            SufficientStats.empty(0)
+        with pytest.raises(ModelError):
+            SufficientStats.empty(3, tile_rows=0)
+
+    def test_non_contiguous_input_matches_contiguous(self, block):
+        strided = block[::1]  # same values; exercise the coercion path
+        fortran = np.asfortranarray(block)
+        reference = SufficientStats.from_block(block).finalize()
+        for variant in (strided, fortran):
+            stats = SufficientStats.from_block(variant).finalize()
+            assert np.array_equal(stats.m2, reference.m2)
+
+
+class TestMerge:
+    def test_arbitrary_chunking_is_exact(self, block):
+        """Any contiguous partition finalizes to the monolithic bits."""
+        reference = SufficientStats.from_block(block).finalize()
+        for bounds in (
+            [0, 1, 2, block.shape[0]],  # single-row chunks up front
+            [0, 100, DEFAULT_TILE_ROWS, block.shape[0]],
+            [0, DEFAULT_TILE_ROWS + 7, block.shape[0]],
+            list(range(0, block.shape[0], 97)) + [block.shape[0]],
+        ):
+            parts = chunked(block, bounds)
+            merged = parts[0]
+            for part in parts[1:]:
+                merged = merged.merge(part)
+            stats = merged.finalize()
+            assert stats.count == reference.count
+            assert np.array_equal(stats.total, reference.total)
+            assert np.array_equal(stats.m2, reference.m2)
+
+    def test_merge_is_order_invariant(self, block):
+        bounds = [0, 77, 400, 700, block.shape[0]]
+        parts = chunked(block, bounds)
+        forward = parts[0]
+        for part in parts[1:]:
+            forward = forward.merge(part)
+        backward = parts[-1]
+        for part in reversed(parts[:-1]):
+            backward = part.merge(backward)
+        paired = (parts[0].merge(parts[1])).merge(
+            parts[2].merge(parts[3])
+        )
+        a, b, c = (
+            forward.finalize(),
+            backward.finalize(),
+            paired.finalize(),
+        )
+        assert np.array_equal(a.m2, b.m2) and np.array_equal(a.m2, c.m2)
+        assert np.array_equal(a.total, b.total)
+        assert np.array_equal(a.total, c.total)
+
+    def test_merge_does_not_mutate_operands(self, block):
+        left = SufficientStats.from_block(block[:300])
+        right = SufficientStats.from_block(block[300:], start_row=300)
+        tiles_before = left.num_complete_tiles
+        left.merge(right)
+        assert left.num_complete_tiles == tiles_before
+        # The same operand can join a second merge tree.
+        again = left.merge(right).finalize()
+        assert again.count == block.shape[0]
+
+    def test_rejects_mismatched_operands(self, block):
+        left = SufficientStats.from_block(block[:100])
+        with pytest.raises(ModelError, match="column mismatch"):
+            left.merge(SufficientStats.from_block(np.ones((4, 3))))
+        with pytest.raises(ModelError, match="tile_rows"):
+            left.merge(
+                SufficientStats.from_block(
+                    block[100:], start_row=100, tile_rows=64
+                )
+            )
+        with pytest.raises(ModelError, match="overlap"):
+            left.merge(SufficientStats.from_block(block[:100]))
+        with pytest.raises(ModelError, match="overlap"):
+            SufficientStats.from_block(block).merge(
+                SufficientStats.from_block(block[:10])
+            )
+
+    def test_finalize_rejects_gaps(self, block):
+        left = SufficientStats.from_block(block[:100])
+        right = SufficientStats.from_block(block[200:300], start_row=200)
+        with pytest.raises(ModelError, match="gap"):
+            left.merge(right).finalize()
+
+    def test_finalize_rejects_empty(self):
+        with pytest.raises(ModelError, match="empty"):
+            SufficientStats.empty(4).finalize()
+
+    def test_fragment_bookkeeping(self, block):
+        tail = SufficientStats.from_block(
+            block[DEFAULT_TILE_ROWS : DEFAULT_TILE_ROWS + 10],
+            start_row=DEFAULT_TILE_ROWS,
+        )
+        assert tail.num_complete_tiles == 0
+        assert tail.num_fragment_rows == 10
+        assert tail.count == 10
+        head = SufficientStats.from_block(block[:DEFAULT_TILE_ROWS])
+        assert head.num_complete_tiles == 1
+        assert head.num_fragment_rows == 0
+
+    def test_is_picklable(self, block):
+        stats = SufficientStats.from_block(block[:300])
+        clone = pickle.loads(pickle.dumps(stats))
+        a = clone.merge(
+            SufficientStats.from_block(block[300:], start_row=300)
+        ).finalize()
+        b = SufficientStats.from_block(block).finalize()
+        assert np.array_equal(a.m2, b.m2)
+
+
+class TestFitFromStats:
+    def test_bit_identical_to_monolithic_gram_fit(self, block):
+        mono = PCA(method="gram").fit(block)
+        parts = chunked(block, [0, 500, 900, block.shape[0]])
+        merged = parts[1].merge(parts[2]).merge(parts[0])
+        fitted = PCA(method="gram").fit_from_stats(merged)
+        assert np.array_equal(mono.components, fitted.components)
+        assert np.array_equal(
+            mono.captured_variance(), fitted.captured_variance()
+        )
+        assert np.array_equal(mono.mean, fitted.mean)
+        assert mono.num_samples == fitted.num_samples
+        assert fitted.solver == "gram-covariance"
+
+    def test_accepts_finalized_stats(self, block):
+        finalized = SufficientStats.from_block(block).finalize()
+        assert isinstance(finalized, FinalizedStats)
+        fitted = PCA().fit_from_stats(finalized)
+        assert fitted.num_samples == block.shape[0]
+
+    def test_center_false_consistent(self, block):
+        mono = PCA(center=False, method="gram").fit(block)
+        fitted = PCA(center=False, method="gram").fit_from_stats(
+            SufficientStats.from_block(block)
+        )
+        assert np.array_equal(mono.components, fitted.components)
+        assert np.array_equal(mono.mean, fitted.mean)
+
+    def test_rejects_svd_methods(self, block):
+        stats = SufficientStats.from_block(block)
+        with pytest.raises(ModelError, match="cannot fit"):
+            PCA(method="svd").fit_from_stats(stats)
+        with pytest.raises(ModelError, match="cannot fit"):
+            PCA(method="svd-full").fit_from_stats(stats)
+
+    def test_rejects_wrong_type_and_tiny_counts(self, block):
+        with pytest.raises(ModelError, match="expects"):
+            PCA().fit_from_stats(block)
+        with pytest.raises(ModelError, match="at least 2"):
+            PCA().fit_from_stats(SufficientStats.from_block(block[:1]))
+
+    def test_short_and_wide_takes_covariance_route(self):
+        rng = np.random.default_rng(3)
+        wide = rng.normal(size=(5, 12))
+        fitted = PCA().fit_from_stats(SufficientStats.from_block(wide))
+        v = fitted.components
+        assert np.allclose(v.T @ v, np.eye(12), atol=1e-8)
+        # Rank <= t - 1 after centering: trailing spectrum is dust.
+        assert np.all(
+            fitted.captured_variance()[5:]
+            <= 1e-12 * fitted.captured_variance()[0]
+        )

@@ -1,0 +1,154 @@
+"""Property-based tests for the mergeable sufficient statistics.
+
+The exactness contract of the sharding seam (repro.core.suffstats):
+merge is associative and order-invariant bit for bit, any chunking of
+the rows finalizes to the same bits, and a PCA fitted from merged chunk
+statistics is bit-identical to the monolithic ``gram`` fit — including
+rank-deficient matrices and single-row chunks.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PCA, SufficientStats
+
+#: Small canonical tiles so random matrices exercise complete tiles,
+#: fragments and stitching (the default 1024 would make every test
+#: matrix a single fragment).
+TILE_ROWS = 16
+
+
+@st.composite
+def tall_matrices(draw, min_rows=4, max_rows=64, min_cols=1, max_cols=6):
+    """Random tall (t >= m) matrices, sometimes exactly rank-deficient."""
+    m = draw(st.integers(min_cols, max_cols))
+    t = draw(st.integers(max(min_rows, m), max_rows))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rank = draw(st.integers(1, m))
+    offset = draw(st.sampled_from([0.0, 1e6]))
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(t, rank)) @ rng.normal(size=(rank, m))
+    return factors + offset
+
+
+@st.composite
+def partitions(draw, length):
+    """A random contiguous partition of ``range(length)`` into chunks.
+
+    Biased toward including single-row chunks (the satellite's explicit
+    edge case).
+    """
+    bounds = draw(
+        st.lists(
+            st.integers(1, max(1, length - 1)),
+            min_size=0,
+            max_size=min(8, length - 1),
+            unique=True,
+        )
+    )
+    if length > 1 and draw(st.booleans()):
+        single = draw(st.integers(0, length - 2))
+        bounds.extend({single, single + 1} - {0, length})
+    return [0] + sorted(set(bounds)) + [length]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_any_chunking_finalizes_to_the_monolithic_bits(data):
+    block = data.draw(tall_matrices())
+    bounds = data.draw(partitions(block.shape[0]))
+    reference = SufficientStats.from_block(
+        block, tile_rows=TILE_ROWS
+    ).finalize()
+    parts = [
+        SufficientStats.from_block(
+            block[a:b], start_row=a, tile_rows=TILE_ROWS
+        )
+        for a, b in zip(bounds, bounds[1:])
+    ]
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    stats = merged.finalize()
+    assert stats.count == reference.count
+    assert np.array_equal(stats.total, reference.total)
+    assert np.array_equal(stats.m2, reference.m2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_merge_associative_and_order_invariant(data):
+    block = data.draw(tall_matrices(min_rows=6))
+    bounds = data.draw(partitions(block.shape[0]))
+    parts = [
+        SufficientStats.from_block(
+            block[a:b], start_row=a, tile_rows=TILE_ROWS
+        )
+        for a, b in zip(bounds, bounds[1:])
+    ]
+    order = data.draw(st.permutations(range(len(parts))))
+
+    left_fold = parts[0]
+    for part in parts[1:]:
+        left_fold = left_fold.merge(part)
+
+    shuffled = parts[order[0]]
+    for index in order[1:]:
+        shuffled = shuffled.merge(parts[index])
+
+    # A right-leaning association over the shuffled order.
+    right_assoc = parts[order[-1]]
+    for index in reversed(order[:-1]):
+        right_assoc = parts[index].merge(right_assoc)
+
+    a = left_fold.finalize()
+    for other in (shuffled.finalize(), right_assoc.finalize()):
+        assert np.array_equal(a.total, other.total)
+        assert np.array_equal(a.m2, other.m2)
+        assert a.count == other.count
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_fit_from_stats_bit_identical_to_gram_fit(data):
+    """fit_from_stats(merged chunks) == PCA.fit(method="gram"), bitwise.
+
+    ``t >= m`` (the gram-covariance regime the temporal sharding
+    targets); matrices include exactly rank-deficient and mean-offset
+    cases, and chunkings include single-row chunks.
+    """
+    block = data.draw(tall_matrices())
+    bounds = data.draw(partitions(block.shape[0]))
+    mono = PCA(method="gram").fit(block)
+    parts = [
+        SufficientStats.from_block(block[a:b], start_row=a)
+        for a, b in zip(bounds, bounds[1:])
+    ]
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    fitted = PCA(method="gram").fit_from_stats(merged)
+    assert np.array_equal(mono.mean, fitted.mean)
+    assert np.array_equal(mono.components, fitted.components)
+    assert np.array_equal(
+        mono.captured_variance(), fitted.captured_variance()
+    )
+    assert mono.num_samples == fitted.num_samples
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_stats_fit_agrees_with_svd_subspace(data):
+    """The stats route spans the same principal subspace as a thin SVD
+    (tolerance comparison — different algorithms, same answer)."""
+    block = data.draw(tall_matrices(min_rows=8, min_cols=2))
+    fitted = PCA(method="gram").fit_from_stats(
+        SufficientStats.from_block(block)
+    )
+    svd = PCA(method="svd").fit(block)
+    assert np.allclose(
+        fitted.captured_variance(),
+        svd.captured_variance(),
+        rtol=1e-6,
+        atol=1e-6 * max(1.0, svd.captured_variance().max()),
+    )

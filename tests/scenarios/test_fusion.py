@@ -1,0 +1,110 @@
+"""Tests for repro.scenarios.fusion (spatial fusion vs monolithic)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios import FAMILIES, run_fusion_suite
+from repro.scenarios.fusion import FUSION_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full 7-family core-suite pass (module-scoped: it compiles and
+    fits every scenario twice — monolithic + spatial)."""
+    return run_fusion_suite("core", num_zones=2)
+
+
+class TestAcceptance:
+    def test_covers_every_taxonomy_family(self, report):
+        assert set(report.families()) == set(FAMILIES)
+        assert len(report) == 7
+
+    def test_some_fusion_mode_matches_monolithic_within_5_percent(
+        self, report
+    ):
+        """The acceptance gate: at least one fusion mode matches the
+        monolithic detector's recall within 5% at equal false-alarm
+        budget."""
+        within = report.modes_within(0.05)
+        assert within, (
+            "no fusion mode within 5% of monolithic recall: "
+            + ", ".join(
+                f"{mode}={report.mean_recall(mode):.3f}"
+                for mode in report.modes
+            )
+            + f" vs monolithic={report.mean_recall('monolithic'):.3f}"
+        )
+
+    def test_per_family_numbers_reported(self, report):
+        """Per-family recall is part of the suite output for every mode."""
+        payload = report.to_json()
+        assert set(payload["family_recall"]) == set(FAMILIES)
+        for family, recalls in payload["family_recall"].items():
+            assert set(recalls) == {"monolithic", *report.modes}
+            for value in recalls.values():
+                assert 0.0 <= value <= 1.0
+        table = report.table()
+        for family in FAMILIES:
+            assert family in table
+
+
+class TestReport:
+    def test_scenario_scores_structure(self, report):
+        for score in report:
+            assert set(score.recall_at_budget) == {
+                "monolithic",
+                *report.modes,
+            }
+            assert set(score.native) == {"monolithic", *report.modes}
+            for recall, fa in score.native.values():
+                assert 0.0 <= recall <= 1.0
+                assert 0.0 <= fa <= 1.0
+            assert score.num_truth_bins > 0
+
+    def test_family_recall_aggregates_member_scenarios(self, report):
+        values = [
+            score.recall_at_budget["monolithic"]
+            for score in report
+            if "spike" in score.families
+        ]
+        assert report.family_recall("spike", "monolithic") == pytest.approx(
+            float(np.mean(values))
+        )
+        with pytest.raises(ValidationError):
+            report.family_recall("tsunami", "monolithic")
+
+    def test_best_mode_is_argmax(self, report):
+        best = report.best_mode()
+        assert report.mean_recall(best) == max(
+            report.mean_recall(mode) for mode in report.modes
+        )
+
+    def test_to_json_is_versioned_and_canonical(self, report):
+        payload = report.to_json()
+        assert payload["schema_version"] == FUSION_SCHEMA_VERSION
+        assert payload["suite"] == "core"
+        assert len(payload["scenarios"]) == 7
+        # Deterministic: a fresh run serializes identically.
+        again = run_fusion_suite("core", num_zones=2).to_json()
+        assert payload == again
+
+
+class TestValidation:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValidationError):
+            run_fusion_suite("core", fa_budget=0.0)
+        with pytest.raises(ValidationError):
+            run_fusion_suite("core", fa_budget=1.5)
+
+    def test_rejects_unknown_modes(self):
+        with pytest.raises(ValidationError, match="unknown fusion"):
+            run_fusion_suite("core", modes=("union", "quorum"))
+
+    def test_accepts_explicit_spec_sequence(self):
+        from repro.scenarios import get_suite
+
+        specs = get_suite("core")[:1]
+        report = run_fusion_suite(specs, num_zones=2)
+        assert report.suite == "custom"
+        assert len(report) == 1

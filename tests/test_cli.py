@@ -154,6 +154,45 @@ class TestCompare:
         assert "unknown detector" in capsys.readouterr().err
 
 
+class TestShard:
+    def test_temporal_run_reports_exactness(
+        self, tmp_path, capsys, small_dataset
+    ):
+        from repro.datasets import save_dataset
+
+        path = save_dataset(small_dataset, tmp_path / "world.npz")
+        json_path = tmp_path / "shard.json"
+        assert main([
+            "shard", "run", str(path),
+            "--mode", "temporal",
+            "--shards", "3",
+            "--workers", "1",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert "bit-identical to the monolithic gram fit: yes" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["temporal"]["exact_match_monolithic"] is True
+        assert payload["temporal"]["mode"] == "temporal"
+        assert len(payload["temporal"]["worker_timings"]) == 3
+
+    def test_spatial_run_prints_per_family_table(self, capsys):
+        assert main([
+            "shard", "run", "--mode", "spatial", "--zones", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per family" in out
+        assert "port-scan" in out
+        assert "fusion modes within 5%" in out
+
+    def test_mode_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["shard"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
