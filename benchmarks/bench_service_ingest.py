@@ -1,0 +1,174 @@
+"""Sustained ingest throughput of the always-on detection service.
+
+Measures rows/second through three paths on a sprint-like dataset:
+
+* the bare engine (``ingest_row`` in-process, no transport) — the
+  scoring + fold + accounting cost per arrival;
+* engine batch ingest (``ingest_rows``) — same work, request overhead
+  amortized across a chunk;
+* the full asyncio HTTP loop over a loopback socket — what an operator
+  actually deploys.
+
+The floor below asserts the in-process engine sustains well over the
+paper's operational arrival rate (one row per 5-minute bin — even a
+thousand parallel networks need only ~3 rows/s), so the service can
+never be the bottleneck of a deployment.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import build_dataset
+from repro.service import DetectionService, ServiceConfig
+
+#: rows/second the bare engine must sustain (measured ~10k+ locally).
+MIN_ENGINE_ROWS_PER_SEC = 500.0
+
+WARMUP_ROWS = 720
+STREAM_ROWS = 1000
+HTTP_ROWS = 300
+CHUNK = 50
+
+
+def _build_stream():
+    dataset = build_dataset("sprint-1")
+    traffic = dataset.link_traffic
+    if traffic.shape[0] < WARMUP_ROWS + STREAM_ROWS:
+        reps = -(-(WARMUP_ROWS + STREAM_ROWS) // traffic.shape[0])
+        traffic = np.vstack([traffic] * reps)
+    return (
+        dataset,
+        traffic[:WARMUP_ROWS],
+        traffic[WARMUP_ROWS : WARMUP_ROWS + STREAM_ROWS],
+    )
+
+
+def _fresh_service(dataset, warmup) -> DetectionService:
+    return DetectionService.from_warmup(
+        warmup,
+        routing=dataset.routing,
+        config=ServiceConfig(),
+    )
+
+
+def measure_ingest() -> dict[str, float]:
+    dataset, warmup, stream = _build_stream()
+
+    service = _fresh_service(dataset, warmup)
+    begin = time.perf_counter()
+    for row in stream:
+        service.ingest_row(row)
+    per_row_s = time.perf_counter() - begin
+
+    service = _fresh_service(dataset, warmup)
+    begin = time.perf_counter()
+    for start in range(0, stream.shape[0], CHUNK):
+        service.ingest_rows(stream[start : start + CHUNK])
+    batch_s = time.perf_counter() - begin
+
+    http_rows_per_sec = _measure_http(dataset, warmup, stream[:HTTP_ROWS])
+
+    return {
+        "num_links": int(dataset.num_links),
+        "warmup_rows": WARMUP_ROWS,
+        "stream_rows": STREAM_ROWS,
+        "engine_rows_per_sec": stream.shape[0] / per_row_s,
+        "engine_batch_rows_per_sec": stream.shape[0] / batch_s,
+        "http_rows_per_sec": http_rows_per_sec,
+        "min_engine_rows_per_sec": MIN_ENGINE_ROWS_PER_SEC,
+    }
+
+
+def _measure_http(dataset, warmup, stream) -> float:
+    import http.client
+    import json
+    import threading
+
+    from repro.service import ServiceHTTPServer
+
+    service = _fresh_service(dataset, warmup)
+    server = ServiceHTTPServer(service, host="127.0.0.1", port=0)
+
+    import asyncio
+
+    loop = asyncio.new_event_loop()
+
+    async def main():
+        await server.start()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(main()), daemon=True
+    )
+    thread.start()
+    while server.port == 0:
+        time.sleep(0.01)
+
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=60
+    )
+    try:
+        begin = time.perf_counter()
+        for start in range(0, stream.shape[0], CHUNK):
+            body = json.dumps(
+                {"rows": stream[start : start + CHUNK].tolist()}
+            )
+            connection.request("POST", "/ingest", body)
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+        elapsed = time.perf_counter() - begin
+        connection.request("POST", "/shutdown", "{}")
+        connection.getresponse().read()
+    finally:
+        connection.close()
+    thread.join(timeout=10)
+    loop.close()
+    return stream.shape[0] / elapsed
+
+
+def json_payload(stats: dict[str, float]) -> dict:
+    return dict(stats)
+
+
+def render(stats: dict[str, float]) -> str:
+    return "\n".join(
+        [
+            "service ingest throughput "
+            f"({stats['num_links']} links, {stats['stream_rows']} rows)",
+            f"engine per-row:   {stats['engine_rows_per_sec']:>10.0f} rows/s",
+            f"engine batched:   {stats['engine_batch_rows_per_sec']:>10.0f}"
+            " rows/s",
+            f"http loopback:    {stats['http_rows_per_sec']:>10.0f} rows/s",
+            f"floor:            {stats['min_engine_rows_per_sec']:>10.0f}"
+            " rows/s (engine per-row)",
+        ]
+    )
+
+
+def test_service_ingest_throughput(results_dir):
+    from conftest import write_json_result, write_result
+
+    stats = measure_ingest()
+    write_result(results_dir, "service_ingest", render(stats))
+    write_json_result(results_dir, "service_ingest", json_payload(stats))
+    assert stats["engine_rows_per_sec"] >= MIN_ENGINE_ROWS_PER_SEC
+    assert stats["http_rows_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    from conftest import RESULTS_DIR, write_json_result
+
+    results = measure_ingest()
+    print(render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json_result(RESULTS_DIR, "service_ingest", json_payload(results))
+    if results["engine_rows_per_sec"] < MIN_ENGINE_ROWS_PER_SEC:
+        raise SystemExit(
+            f"FAIL: {results['engine_rows_per_sec']:.0f} rows/s below "
+            f"{MIN_ENGINE_ROWS_PER_SEC:.0f}"
+        )
+    print("OK")

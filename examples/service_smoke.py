@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the always-on detection daemon (CI gate).
+
+Boots ``repro serve`` as a real subprocess, streams the post-warmup
+bins of a sprint-like dataset over HTTP across a synchronous hot-swap
+boundary, and asserts the operational contract:
+
+1. the alarm stream matches offline batch refits at the daemon's
+   reported model boundaries **bit for bit** (SPE and flagged bins);
+2. ``/metrics`` accounts every row and exposes the full catalog;
+3. one injected fault (a wrong-width row) increments exactly one error
+   counter and leaves ``/health`` green;
+4. ``POST /shutdown`` stops the daemon with exit status 0.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py
+Exits non-zero on any violation — wired into CI as the service smoke.
+"""
+
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.datasets import build_dataset  # noqa: E402
+from repro.pipeline import DetectionPipeline  # noqa: E402
+
+DATASET = "sprint-1"
+WARMUP = 720
+STREAM_ROWS = 120
+REFIT_INTERVAL = 50
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def request(connection, method, path, payload=None):
+    body = None if payload is None else json.dumps(payload)
+    connection.request(method, path, body)
+    response = connection.getresponse()
+    raw = response.read()
+    if response.getheader("Content-Type", "").startswith("application/json"):
+        return response.status, json.loads(raw)
+    return response.status, raw.decode()
+
+
+def wait_until_serving(daemon, port, deadline_s=120.0):
+    begin = time.monotonic()
+    while time.monotonic() - begin < deadline_s:
+        if daemon.poll() is not None:
+            raise SystemExit(
+                f"FAIL: daemon exited early with {daemon.returncode}"
+            )
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=5
+            )
+            status, health = request(connection, "GET", "/health")
+            connection.close()
+            if status == 200 and health["status"] == "ok":
+                return
+        except OSError:
+            time.sleep(0.2)
+    raise SystemExit("FAIL: daemon never became healthy")
+
+
+def main() -> int:
+    dataset = build_dataset(DATASET)
+    stream = dataset.link_traffic[WARMUP : WARMUP + STREAM_ROWS].copy()
+    # Plant one large OD-flow spike so alarm parity is exercised for
+    # real: both the daemon and the offline reference see this stream.
+    spike_flow = dataset.routing.od_pairs.index(dataset.routing.od_pairs[0])
+    stream[25] = stream[25] + 5.0e8 * dataset.routing.column(spike_flow)
+    port = free_port()
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            DATASET,
+            "--port",
+            str(port),
+            "--warmup-bins",
+            str(WARMUP),
+            "--refit-interval",
+            str(REFIT_INTERVAL),
+            "--synchronous-refit",
+        ],
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+        cwd=REPO,
+    )
+    try:
+        wait_until_serving(daemon, port)
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+        # 1. Stream in chunks across the refit boundaries.
+        collected = []
+        for start in range(0, STREAM_ROWS, 17):
+            status, body = request(
+                connection,
+                "POST",
+                "/ingest",
+                {"rows": stream[start : start + 17].tolist()},
+            )
+            assert status == 200, (status, body)
+            collected.extend(body["results"])
+        assert [r["bin"] for r in collected] == list(range(STREAM_ROWS))
+
+        # 2. The daemon's reported model history drives the offline
+        # reference; each segment must match bitwise.
+        status, version_info = request(connection, "GET", "/version")
+        assert status == 200
+        history = version_info["history"]
+        assert len(history) >= 2, "no hot-swap happened in the smoke window"
+        # The daemon retrains on what it ingested — warmup plus the
+        # (spiked) stream — so the reference must refit from the same.
+        ingested_history = np.vstack(
+            [dataset.link_traffic[:WARMUP], stream]
+        )
+        reference_spe = np.empty(STREAM_ROWS)
+        reference_flags = np.empty(STREAM_ROWS, dtype=bool)
+        for version in history:
+            lo = version["activated_at_row"] - WARMUP
+            hi = (
+                version["retired_at_row"] - WARMUP
+                if version["retired_at_row"] is not None
+                else STREAM_ROWS
+            )
+            if hi <= lo:
+                continue
+            offline = DetectionPipeline(svd_method="gram").fit(
+                ingested_history[: version["trained_rows"]],
+                routing=dataset.routing,
+            )
+            result = offline.detect(stream[lo:hi])
+            reference_spe[lo:hi] = result.spe
+            reference_flags[lo:hi] = result.flags
+        assert [r["spe"] for r in collected] == list(reference_spe), (
+            "FAIL: streamed SPE diverged from offline refits"
+        )
+        assert [r["bin"] for r in collected if r["flag"]] == [
+            int(b) for b in np.nonzero(reference_flags)[0]
+        ], "FAIL: alarm bins diverged from offline refits"
+        assert reference_flags.any(), "smoke window raised no alarms"
+        print(
+            f"parity ok: {STREAM_ROWS} rows, {len(history)} model "
+            f"versions, {int(reference_flags.sum())} alarms, bitwise equal"
+        )
+
+        # 3. Metrics account every row; a fault leaves /health green.
+        status, text = request(connection, "GET", "/metrics")
+        assert status == 200
+        lines = text.splitlines()
+        assert f"repro_rows_ingested_total {STREAM_ROWS}" in lines
+        assert any(
+            line.startswith("repro_model_swaps_total ") for line in lines
+        )
+        status, body = request(
+            connection, "POST", "/ingest", {"rows": [[1.0, 2.0]]}
+        )
+        assert status == 400 and body["reason"] == "wrong_width"
+        status, text = request(connection, "GET", "/metrics")
+        assert (
+            'repro_ingest_errors_total{reason="wrong_width"} 1'
+            in text.splitlines()
+        )
+        status, health = request(connection, "GET", "/health")
+        assert status == 200 and health["status"] == "ok"
+        print("metrics + fault accounting ok")
+
+        # 4. Clean shutdown with exit status 0.
+        status, body = request(connection, "POST", "/shutdown")
+        assert status == 200
+        connection.close()
+        code = daemon.wait(timeout=30)
+        assert code == 0, f"daemon exited with {code}"
+        print("clean shutdown ok")
+        print("OK")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ pipeline  run the vectorized DetectionPipeline (batch or streaming)
 compare   rank detectors by AUC over an injection grid (Fig. 10++)
 shard     sharded detection plane: temporal (exact) / spatial (fusion)
 scenarios list or run declarative anomaly-taxonomy scenario suites
+serve     run the always-on detection daemon (ingest/metrics/health)
 inject    run a §6.3 injection sweep on a saved or preset dataset
 table2    regenerate the paper's Table 2
 table3    regenerate the paper's Table 3
@@ -253,6 +254,48 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the canonical suite report as JSON to this path",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on detection daemon (POST /ingest, "
+        "GET /metrics, GET /health)",
+    )
+    serve.add_argument(
+        "dataset", help="a preset name or a saved .npz path"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (default 8787; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--warmup-bins", type=int, default=720,
+        help="leading bins used to fit model version 1 (default 720)",
+    )
+    serve.add_argument(
+        "--confidence", type=float, default=0.999,
+        help="Q-statistic confidence level (default 0.999)",
+    )
+    serve.add_argument(
+        "--refit-interval", type=int, default=None,
+        help="automatically refit after this many ingested rows "
+        "(default: manual refits via POST /refit)",
+    )
+    serve.add_argument(
+        "--synchronous-refit", action="store_true",
+        help="run automatic refits inline in the ingesting request "
+        "(deterministic swap boundaries; used by the parity smoke)",
+    )
+    serve.add_argument(
+        "--event-log", default=None,
+        help="append alarm/lifecycle events to this JSONL file",
+    )
+    serve.add_argument(
+        "--no-routing", action="store_true",
+        help="detection only: skip identification/quantification",
     )
 
     inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
@@ -591,6 +634,49 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import DetectionService, EventLog, ServiceConfig
+    from repro.service.http import serve as run_server
+
+    dataset = _load_dataset(args.dataset)
+    warmup = args.warmup_bins
+    if not 2 <= warmup <= dataset.num_bins:
+        print(
+            f"error: --warmup-bins must lie in [2, {dataset.num_bins}] for "
+            f"this dataset, got {warmup}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServiceConfig(
+        confidence=args.confidence,
+        refit_interval=args.refit_interval,
+        synchronous_refit=args.synchronous_refit,
+    )
+    event_log = EventLog(args.event_log) if args.event_log else None
+    service = DetectionService.from_warmup(
+        dataset.link_traffic[:warmup],
+        routing=None if args.no_routing else dataset.routing,
+        config=config,
+        event_log=event_log,
+    )
+    version = service.lifecycle.current
+    print(
+        f"dataset {dataset.name}: warmed up on {warmup} bins, "
+        f"rank {version.normal_rank}, threshold {version.threshold:.3e}"
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port} (POST /shutdown to stop)",
+              flush=True)
+
+    run_server(service, host=args.host, port=args.port, announce=announce)
+    print(
+        f"stopped after {service.rows_ingested} rows, "
+        f"model version {service.lifecycle.current.version}"
+    )
+    return 0
+
+
 def _cmd_inject(args) -> int:
     import numpy as np
 
@@ -647,6 +733,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "shard": _cmd_shard,
     "scenarios": _cmd_scenarios,
+    "serve": _cmd_serve,
     "inject": _cmd_inject,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

@@ -295,6 +295,12 @@ class IncrementalSubspaceTracker:
         flags = spe > self._threshold
 
         measurements = np.asarray(measurements, dtype=np.float64)
+        if measurements.shape[0] == 0:
+            # A zero-row window folds nothing, so it must not refresh:
+            # the default path used to re-run the eigensolver on the
+            # unchanged covariance and reset the refresh cadence, which
+            # silently postponed the next scheduled refresh.
+            return spe, flags
         eta = self.forgetting
         decay = 1.0 - eta
         k_total = measurements.shape[0]

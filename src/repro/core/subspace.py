@@ -338,11 +338,25 @@ class SubspaceModel:
         """Squared prediction error ``SPE = ‖ỹ‖²`` (§5.1).
 
         Returns a scalar for a single vector, an array for a matrix.
+
+        **Row-decomposable by contract.**  The kernel is pinned to
+        ``np.einsum`` (not BLAS matmul) because einsum computes each
+        output row by an independent reduction: the SPE of row ``i`` is
+        bit-identical whether the row is scored alone, in any chunking,
+        or inside the full block.  BLAS GEMM does not guarantee this —
+        its blocking changes summation order with the operand shape —
+        and the always-on service relies on the guarantee to keep
+        per-row ingest alarms exactly equal to a batch
+        :meth:`~repro.pipeline.pipeline.DetectionPipeline.detect` over
+        the assembled matrix (pinned by the scoring-invariance property
+        tests).
         """
-        residual = self.residual(measurements)
-        if residual.ndim == 1:
-            return float(residual @ residual)
-        return np.einsum("ij,ij->i", residual, residual)
+        centered = self._center(measurements)
+        single = centered.ndim == 1
+        block = centered[None, :] if single else centered
+        residual = np.einsum("ij,jk->ik", block, self._c_tilde.T)
+        spe = np.einsum("ij,ij->i", residual, residual)
+        return float(spe[0]) if single else spe
 
     def state_magnitude(self, measurements: np.ndarray) -> np.ndarray | float:
         """``‖y − ȳ‖²`` — the state-vector magnitude of paper Fig. 5 (top)."""

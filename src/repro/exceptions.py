@@ -43,3 +43,20 @@ class NotFittedError(ModelError):
 
 class ValidationError(ReproError):
     """An experiment or metric computation was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The always-on detection service was misused or misconfigured."""
+
+
+class IngestError(ServiceError):
+    """One ingested row was rejected (bad shape, bad bin id, bad value).
+
+    ``reason`` is a short machine-readable token (``wrong_width``,
+    ``duplicate_bin``, ...) that keys the service's per-reason error
+    counter, so every rejection route is observable in ``/metrics``.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -423,7 +423,57 @@ class TemporalCoordinator:
             offset += chunk.shape[0]
         if stats is None:
             raise ModelError("chunk source yielded no chunks")
+        return self._fit_accumulated(
+            stats, chunk_source, tuple(timings), merge_s, begin
+        )
 
+    def fit_from_stats(
+        self,
+        stats: SufficientStats,
+        chunk_source: Callable[[], Iterable[np.ndarray]] | None = None,
+    ) -> TemporalShardFit:
+        """Fit from *already accumulated* sufficient statistics.
+
+        This is the refit entry point of the always-on service
+        (:mod:`repro.service`): the ingestion loop merges one
+        :class:`~repro.core.suffstats.SufficientStats` per arrival, so
+        by refit time pass 1 of :meth:`fit_stream` has effectively
+        already run.  ``chunk_source`` must replay exactly the rows the
+        statistics cover and is only consulted when the 3σ separation
+        rule needs its score-moments pass (``normal_rank=None``); with
+        an explicit rank the fit is a pure function of ``stats``.
+
+        The result is bit-identical to :meth:`fit` /
+        :meth:`fit_stream` on the same rows, by the sufficient-statistics
+        exactness guarantees.
+        """
+        begin = time.perf_counter()
+        if not isinstance(stats, SufficientStats):
+            raise ModelError(
+                f"stats must be SufficientStats, got {type(stats).__name__}"
+            )
+        if stats.tile_rows != self.tile_rows:
+            raise ModelError(
+                f"tile_rows mismatch: statistics use {stats.tile_rows}, "
+                f"coordinator expects {self.tile_rows}"
+            )
+        if self.normal_rank is None and chunk_source is None:
+            raise ModelError(
+                "the 3σ separation rule needs a chunk_source replaying "
+                "the statistics' rows; pass one or set an explicit "
+                "normal_rank"
+            )
+        return self._fit_accumulated(stats, chunk_source, (), 0.0, begin)
+
+    def _fit_accumulated(
+        self,
+        stats: SufficientStats,
+        chunk_source: Callable[[], Iterable[np.ndarray]] | None,
+        timings: tuple[WorkerTiming, ...],
+        merge_s: float,
+        begin: float,
+    ) -> TemporalShardFit:
+        """Shared tail of the streaming/accumulated fit routes."""
         fit_begin = time.perf_counter()
         pca = PCA(method="gram").fit_from_stats(stats)
         fit_s = time.perf_counter() - fit_begin

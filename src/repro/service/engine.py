@@ -1,0 +1,573 @@
+"""The always-on detection engine (transport-agnostic core).
+
+:class:`DetectionService` is everything the daemon does minus the HTTP:
+validate one arriving row, score it against the *pinned active model
+version*, identify/quantify it when flagged, fold it into the drift
+tracker and the refit statistics, and keep every step observable through
+Prometheus metrics and the JSONL event log.  The HTTP layer
+(:mod:`repro.service.http`) is a thin adapter over this object, which is
+what makes the fault-injection and parity suites fast: they drive the
+engine directly and only exercise sockets where transport behavior
+itself is under test.
+
+Parity contract
+---------------
+Every accepted row is scored by ``version.detector.spe(row)`` — the
+row-decomposable canonical kernel of
+:meth:`~repro.core.subspace.SubspaceModel.spe` — so the SPE, flag, and
+threshold of stream bin ``b`` are bit-identical to row ``b`` of a batch
+:meth:`DetectionPipeline.detect
+<repro.pipeline.pipeline.DetectionPipeline.detect>` under the same
+model.  Model versions themselves refit through merged sufficient
+statistics, bit-identical to an offline fit on the same prefix; together
+the two guarantees give exact service-vs-batch alarm parity across any
+hot-swap boundary, which the property tests replay.
+
+The exponentially weighted :class:`~repro.core.incremental.\
+IncrementalSubspaceTracker` is deliberately *not* on the scoring path:
+it folds every arrival to expose drift telemetry (its own adaptive
+threshold, the principal angle to the active version's subspace) that
+tells operators when the refit cadence is too slow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.identification import identify_block
+from repro.core.incremental import IncrementalSubspaceTracker
+from repro.exceptions import IngestError, ServiceError
+from repro.routing.routing_matrix import RoutingMatrix
+from repro.service.events import EventLog
+from repro.service.lifecycle import ModelLifecycleManager, ModelVersion
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["ServiceConfig", "DetectionService", "RowOutcome", "ERROR_REASONS"]
+
+#: Every reason the error counter may carry, transport reasons included.
+#: The fault suite asserts each injected fault lands on exactly one.
+ERROR_REASONS = (
+    "malformed_json",
+    "bad_payload",
+    "wrong_width",
+    "non_finite",
+    "duplicate_bin",
+    "out_of_order_bin",
+    "too_many_rows",
+    "body_too_large",
+    "read_timeout",
+    "client_disconnect",
+    "bad_request",
+    "refit_failed",
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the always-on service.
+
+    Attributes
+    ----------
+    confidence, threshold_sigma, normal_rank, min_normal_rank,
+    max_normal_rank, tile_rows:
+        Model parameters, forwarded to the lifecycle manager.
+    refit_interval:
+        Automatically refit after this many rows ingested since the
+        active version was trained; ``None`` leaves refits manual
+        (``POST /refit``).
+    synchronous_refit:
+        Run automatic refits inline in the ingesting call instead of on
+        a background thread.  Slower, but the swap boundary becomes a
+        deterministic function of the row stream — the parity property
+        tests rely on it.
+    forgetting, tracker_refresh_interval:
+        Drift-tracker parameters (see
+        :class:`~repro.core.incremental.IncrementalSubspaceTracker`).
+    max_rows_per_request, max_body_bytes, read_timeout:
+        Transport guards enforced by the HTTP layer.
+    """
+
+    confidence: float = 0.999
+    threshold_sigma: float = 3.0
+    normal_rank: int | None = None
+    min_normal_rank: int = 1
+    max_normal_rank: int | None = None
+    tile_rows: int = 1024
+    refit_interval: int | None = None
+    synchronous_refit: bool = False
+    forgetting: float = 1.0 / 1008.0
+    tracker_refresh_interval: int | None = 36
+    max_rows_per_request: int = 4096
+    max_body_bytes: int = 8_000_000
+    read_timeout: float = 10.0
+
+    def with_overrides(self, **overrides) -> "ServiceConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class RowOutcome:
+    """Scoring outcome for one accepted row.
+
+    ``bin`` is the stream-relative index (0 for the first ingested row;
+    warmup rows are never scored and own no bins).  Identification
+    fields are ``None`` without a routing matrix or when unflagged.
+    """
+
+    bin: int
+    spe: float
+    threshold: float
+    flag: bool
+    model_version: int
+    flow_index: int | None = None
+    od_pair: tuple[str, str] | None = None
+    magnitude: float | None = None
+    estimated_bytes: float | None = None
+
+    def to_json(self) -> dict:
+        payload = {
+            "bin": self.bin,
+            "spe": self.spe,
+            "threshold": self.threshold,
+            "flag": self.flag,
+            "model_version": self.model_version,
+        }
+        if self.flow_index is not None:
+            payload["flow_index"] = self.flow_index
+            payload["od_pair"] = list(self.od_pair)
+            payload["magnitude"] = self.magnitude
+            payload["estimated_bytes"] = self.estimated_bytes
+        return payload
+
+
+class DetectionService:
+    """Score → diagnose → fold → account, one row at a time.
+
+    Build via :meth:`from_warmup`.  All entry points are thread-safe;
+    rows are serialized through one lock so stream bins are assigned in
+    arrival order.
+    """
+
+    def __init__(
+        self,
+        lifecycle: ModelLifecycleManager,
+        routing: RoutingMatrix | None = None,
+        config: ServiceConfig | None = None,
+        event_log: EventLog | None = None,
+        latency_clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if not lifecycle.is_bootstrapped:
+            raise ServiceError(
+                "the lifecycle must be bootstrapped before serving"
+            )
+        self.config = config or ServiceConfig()
+        self.lifecycle = lifecycle
+        self.events = event_log if event_log is not None else EventLog()
+        self._latency_clock = latency_clock
+        self._lock = threading.RLock()
+        self._num_links = lifecycle.num_links
+        self._warmup_rows = lifecycle.rows
+        self._stream_rows = 0
+        self._routing = routing
+        self._directions: np.ndarray | None = None
+        self._quant_ratio: np.ndarray | None = None
+        if routing is not None:
+            if routing.num_links != self._num_links:
+                raise ServiceError(
+                    f"routing matrix covers {routing.num_links} links but "
+                    f"the warmup block has {self._num_links}"
+                )
+            self._directions = routing.normalized_columns()
+            self._quant_ratio = routing.quantification_ratios()
+        self._refit_thread: threading.Thread | None = None
+        self._last_refit_error: str | None = None
+        self._build_metrics()
+        self._tracker = self._seed_tracker(lifecycle.current)
+        self._refresh_model_gauges()
+        self.events.emit(
+            "service_start",
+            num_links=self._num_links,
+            warmup_rows=self._warmup_rows,
+            model_version=lifecycle.current.version,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_warmup(
+        cls,
+        warmup: np.ndarray,
+        routing: RoutingMatrix | None = None,
+        config: ServiceConfig | None = None,
+        event_log: EventLog | None = None,
+        refit_hook: Callable[[], None] | None = None,
+        latency_clock: Callable[[], float] = time.perf_counter,
+    ) -> "DetectionService":
+        """Bootstrap a lifecycle on ``warmup`` and wrap a service on it."""
+        config = config or ServiceConfig()
+        lifecycle = ModelLifecycleManager(
+            confidence=config.confidence,
+            threshold_sigma=config.threshold_sigma,
+            normal_rank=config.normal_rank,
+            min_normal_rank=config.min_normal_rank,
+            max_normal_rank=config.max_normal_rank,
+            tile_rows=config.tile_rows,
+            refit_hook=refit_hook,
+        )
+        lifecycle.bootstrap(warmup)
+        return cls(
+            lifecycle,
+            routing=routing,
+            config=config,
+            event_log=event_log,
+            latency_clock=latency_clock,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_metrics(self) -> None:
+        registry = MetricsRegistry()
+        self.metrics = registry
+        self._m_rows = registry.counter(
+            "repro_rows_ingested_total", "Rows accepted and scored."
+        )
+        self._m_alarms = registry.counter(
+            "repro_alarms_total", "Rows whose SPE exceeded the threshold."
+        )
+        self._m_errors = registry.counter(
+            "repro_ingest_errors_total",
+            "Rejected rows and transport faults, by reason.",
+            label="reason",
+        )
+        self._m_refits = registry.counter(
+            "repro_refits_total", "Successful model refits."
+        )
+        self._m_refit_failures = registry.counter(
+            "repro_refit_failures_total",
+            "Refit attempts that raised; the active model was kept.",
+        )
+        self._m_swaps = registry.counter(
+            "repro_model_swaps_total", "Atomic model hot-swaps performed."
+        )
+        self._g_spe = registry.gauge(
+            "repro_spe_last", "SPE of the most recently scored row."
+        )
+        self._g_threshold = registry.gauge(
+            "repro_spe_threshold",
+            "Q-statistic limit of the active model version.",
+        )
+        self._g_rank = registry.gauge(
+            "repro_normal_rank",
+            "Normal-subspace rank of the active model version.",
+        )
+        self._g_version = registry.gauge(
+            "repro_model_version", "Active model version id."
+        )
+        self._g_refresh_age = registry.gauge(
+            "repro_model_refresh_age_rows",
+            "Rows ingested since the active version was trained.",
+        )
+        self._g_tracker_threshold = registry.gauge(
+            "repro_tracker_threshold",
+            "Adaptive SPE limit of the drift tracker.",
+        )
+        self._g_drift = registry.gauge(
+            "repro_tracker_drift_radians",
+            "Largest principal angle between the drift tracker's "
+            "subspace and the active model's.",
+        )
+        self._h_latency = registry.histogram(
+            "repro_ingest_latency_seconds",
+            "Wall-clock seconds spent scoring and folding one row.",
+        )
+
+    def _seed_tracker(
+        self, version: ModelVersion
+    ) -> IncrementalSubspaceTracker:
+        pca = version.detector.model.pca
+        covariance = (pca.components * pca.eigenvalues()) @ pca.components.T
+        return IncrementalSubspaceTracker(
+            normal_rank=version.normal_rank,
+            forgetting=self.config.forgetting,
+            confidence=self.config.confidence,
+            refresh_interval=self.config.tracker_refresh_interval,
+        ).warm_up_from_moments(pca.mean, covariance)
+
+    def _reference_basis(self, version: ModelVersion) -> np.ndarray:
+        pca = version.detector.model.pca
+        return pca.components[:, : version.normal_rank]
+
+    def _refresh_model_gauges(self) -> None:
+        version = self.lifecycle.current
+        self._g_threshold.set(version.threshold)
+        self._g_rank.set(version.normal_rank)
+        self._g_version.set(version.version)
+        self._g_refresh_age.set(self.lifecycle.rows - version.trained_rows)
+        self._g_tracker_threshold.set(self._tracker.threshold)
+        self._g_drift.set(
+            self._tracker.drift_from(self._reference_basis(version))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Measurement width ``m``."""
+        return self._num_links
+
+    @property
+    def warmup_rows(self) -> int:
+        """Rows in the bootstrap block (never scored, own no bins)."""
+        return self._warmup_rows
+
+    @property
+    def rows_ingested(self) -> int:
+        """Stream rows accepted so far (= the next bin to assign)."""
+        with self._lock:
+            return self._stream_rows
+
+    @property
+    def last_refit_error(self) -> str | None:
+        with self._lock:
+            return self._last_refit_error
+
+    # ------------------------------------------------------------------
+    def record_error(self, reason: str, detail: str = "") -> None:
+        """Count one rejection/fault and log it (shared with HTTP layer)."""
+        if reason not in ERROR_REASONS:
+            raise ServiceError(f"unknown error reason {reason!r}")
+        self._m_errors.inc(label_value=reason)
+        self.events.emit("ingest_error", reason=reason, detail=detail)
+
+    def _validate_row(
+        self, row, bin_id: int | None
+    ) -> np.ndarray:
+        try:
+            values = np.asarray(row, dtype=np.float64)
+        except (TypeError, ValueError) as err:
+            raise IngestError(
+                f"row is not numeric: {err}", reason="bad_payload"
+            ) from err
+        if values.ndim != 1:
+            raise IngestError(
+                f"a row must be one-dimensional, got shape {values.shape}",
+                reason="bad_payload",
+            )
+        if values.shape[0] != self._num_links:
+            raise IngestError(
+                f"row has {values.shape[0]} links, expected "
+                f"{self._num_links}",
+                reason="wrong_width",
+            )
+        if not np.all(np.isfinite(values)):
+            raise IngestError(
+                "row contains NaN or infinite link counts",
+                reason="non_finite",
+            )
+        if bin_id is not None:
+            expected = self._stream_rows
+            if bin_id < expected:
+                raise IngestError(
+                    f"bin {bin_id} was already ingested (next is "
+                    f"{expected})",
+                    reason="duplicate_bin",
+                )
+            if bin_id > expected:
+                raise IngestError(
+                    f"bin {bin_id} arrived out of order (next is "
+                    f"{expected})",
+                    reason="out_of_order_bin",
+                )
+        return values
+
+    def ingest_row(self, row, bin_id: int | None = None) -> RowOutcome:
+        """Validate, score, diagnose, and fold one arriving row.
+
+        Raises :class:`~repro.exceptions.IngestError` on rejection — the
+        error counter and event log are already updated when it leaves,
+        and the service state is untouched (the stream position does not
+        advance).
+        """
+        begin = self._latency_clock()
+        with self._lock:
+            try:
+                values = self._validate_row(row, bin_id)
+            except IngestError as err:
+                self.record_error(err.reason, detail=str(err))
+                raise
+            version = self.lifecycle.current
+            spe = float(version.detector.spe(values))
+            flag = bool(spe > version.threshold)
+            outcome = RowOutcome(
+                bin=self._stream_rows,
+                spe=spe,
+                threshold=float(version.threshold),
+                flag=flag,
+                model_version=version.version,
+            )
+            if flag and self._directions is not None:
+                outcome = self._identify(outcome, values, version)
+            self._stream_rows += 1
+            self._m_rows.inc()
+            self._g_spe.set(spe)
+            if flag:
+                self._m_alarms.inc()
+                self.events.emit("alarm", **outcome.to_json())
+            self._tracker.update_block(values[None, :], refresh=False)
+            self.lifecycle.append_rows(values[None, :])
+            self._g_refresh_age.set(
+                self.lifecycle.rows - version.trained_rows
+            )
+            self._g_tracker_threshold.set(self._tracker.threshold)
+            self._g_drift.set(
+                self._tracker.drift_from(self._reference_basis(version))
+            )
+            due = (
+                self.config.refit_interval is not None
+                and self.lifecycle.rows - version.trained_rows
+                >= self.config.refit_interval
+            )
+            if due and self.config.synchronous_refit:
+                self._do_refit()
+        if due and not self.config.synchronous_refit:
+            self.request_refit()
+        self._h_latency.observe(self._latency_clock() - begin)
+        return outcome
+
+    def ingest_rows(
+        self, rows, bins=None
+    ) -> list[RowOutcome]:
+        """Ingest a batch in order; stops at (and re-raises) the first
+        rejection, leaving earlier rows ingested."""
+        outcomes = []
+        for index, row in enumerate(rows):
+            bin_id = None if bins is None else bins[index]
+            outcomes.append(self.ingest_row(row, bin_id=bin_id))
+        return outcomes
+
+    def _identify(
+        self,
+        outcome: RowOutcome,
+        values: np.ndarray,
+        version: ModelVersion,
+    ) -> RowOutcome:
+        identification = identify_block(
+            version.detector.model, self._directions, values[None, :]
+        )
+        winner = int(identification.flow_indices[0])
+        magnitude = float(identification.magnitudes[0])
+        return replace(
+            outcome,
+            flow_index=winner,
+            od_pair=self._routing.od_pairs[winner],
+            magnitude=magnitude,
+            estimated_bytes=magnitude * float(self._quant_ratio[winner]),
+        )
+
+    # ------------------------------------------------------------------
+    def refit(self) -> ModelVersion:
+        """Fit a candidate from the accumulated statistics and hot-swap.
+
+        On failure the active model is untouched, the failure counter
+        and event log record the cause, and the error re-raises as
+        :class:`~repro.exceptions.ServiceError`.
+        """
+        with self._lock:
+            return self._do_refit()
+
+    def _do_refit(self) -> ModelVersion:
+        try:
+            detector, trained_rows = self.lifecycle.fit_candidate()
+            version = self.lifecycle.activate(detector, trained_rows)
+        except Exception as err:
+            with self._lock:
+                self._last_refit_error = str(err)
+            self._m_refit_failures.inc()
+            self.record_error("refit_failed", detail=str(err))
+            self.events.emit("refit_failed", error=str(err))
+            raise ServiceError(f"refit failed: {err}") from err
+        with self._lock:
+            self._tracker = self._seed_tracker(version)
+            self._last_refit_error = None
+            self._m_refits.inc()
+            self._m_swaps.inc()
+            self._refresh_model_gauges()
+            self.events.emit("model_swap", **version.summary())
+            return version
+
+    def request_refit(self) -> bool:
+        """Kick off a background refit; False when one is in flight."""
+        with self._lock:
+            if self._refit_thread is not None and self._refit_thread.is_alive():
+                return False
+            thread = threading.Thread(
+                target=self._background_refit,
+                name="repro-service-refit",
+                daemon=True,
+            )
+            self._refit_thread = thread
+        thread.start()
+        return True
+
+    def _background_refit(self) -> None:
+        try:
+            self._do_refit()
+        except ServiceError:
+            pass  # already counted and logged; serving continues
+
+    def wait_for_refit(self, timeout: float | None = None) -> None:
+        """Block until no background refit is running (test helper)."""
+        with self._lock:
+            thread = self._refit_thread
+        if thread is not None:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness payload: always ``status: ok`` while the object
+        serves — faults are reported through counters, not health."""
+        version = self.lifecycle.current
+        with self._lock:
+            refitting = (
+                self._refit_thread is not None
+                and self._refit_thread.is_alive()
+            )
+            return {
+                "status": "ok",
+                "model_version": version.version,
+                "normal_rank": int(version.normal_rank),
+                "threshold": float(version.threshold),
+                "num_links": self._num_links,
+                "warmup_rows": self._warmup_rows,
+                "rows_ingested": self._stream_rows,
+                "alarms": int(self._m_alarms.value()),
+                "errors": int(self._m_errors.total()),
+                "refit_in_flight": refitting,
+                "last_refit_error": self._last_refit_error,
+            }
+
+    def version_info(self) -> dict:
+        """``/version`` payload: the active model plus full history."""
+        history = self.lifecycle.version_history()
+        return {
+            "current": history[-1].summary(),
+            "history": [version.summary() for version in history],
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition (refreshes model gauges first)."""
+        with self._lock:
+            self._refresh_model_gauges()
+        return self.metrics.render()
+
+    def close(self) -> None:
+        """Emit the stop event and close the event log."""
+        self.events.emit(
+            "service_stop",
+            rows_ingested=self.rows_ingested,
+            alarms=int(self._m_alarms.value()),
+        )
+        self.events.close()

@@ -1,0 +1,152 @@
+"""Structured JSONL event log for the always-on detection service.
+
+Every operationally interesting moment — an alarm, a model hot-swap, a
+rejected row, a failed refit — is appended to the log as one JSON object
+per line.  The schema is deliberately flat and versioned
+(``schema_version``) so downstream consumers (and the golden-file tests)
+can detect shape drift the moment a field is renamed.
+
+The clock is injectable: production uses ``time.time``, the golden tests
+substitute a deterministic counter so a rendered log is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from collections.abc import Callable, Iterator
+from pathlib import Path
+from typing import IO
+
+from repro.exceptions import ServiceError
+
+__all__ = ["EventLog", "EVENT_SCHEMA_VERSION", "EVENT_KINDS"]
+
+#: Bump when an event's field set changes; consumers key parsers on it.
+EVENT_SCHEMA_VERSION = 1
+
+#: Every kind the service emits.  ``emit`` rejects anything else so a
+#: typo cannot silently create a new event stream.
+EVENT_KINDS = (
+    "service_start",
+    "service_stop",
+    "alarm",
+    "model_swap",
+    "refit_failed",
+    "ingest_error",
+)
+
+
+class EventLog:
+    """Append-only JSONL event sink with a bounded in-memory tail.
+
+    Parameters
+    ----------
+    path:
+        Destination file (appended, created if missing).  ``None`` keeps
+        events in memory only — the mode unit tests and the engine's
+        default use.
+    clock:
+        Zero-argument callable returning the event timestamp.  Injected
+        so tests can pin byte-identical logs.
+    tail_size:
+        Number of most-recent events retained in memory for
+        :meth:`tail`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        clock: Callable[[], float] = None,
+        tail_size: int = 256,
+    ) -> None:
+        if clock is None:
+            import time
+
+            clock = time.time
+        if tail_size < 1:
+            raise ServiceError(f"tail_size must be >= 1, got {tail_size}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tail: deque[dict] = deque(maxlen=tail_size)
+        self._emitted = 0
+        self._path = Path(path) if path is not None else None
+        self._handle: IO[str] | None = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path | None:
+        """The backing file, or None for a memory-only log."""
+        return self._path
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted over the log's lifetime."""
+        with self._lock:
+            return self._emitted
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, /, **fields) -> dict:
+        """Append one event; returns the full record as written.
+
+        Field order in the serialized line is canonical (sorted keys) so
+        identical events serialize to identical bytes.
+        """
+        if kind not in EVENT_KINDS:
+            raise ServiceError(
+                f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
+            )
+        for reserved in ("schema_version", "kind", "time"):
+            if reserved in fields:
+                raise ServiceError(
+                    f"event field {reserved!r} is reserved for the envelope"
+                )
+        record = {
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "kind": kind,
+            "time": float(self._clock()),
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._emitted += 1
+            self._tail.append(record)
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+        return record
+
+    def tail(self, count: int | None = None) -> list[dict]:
+        """The most recent events, oldest first."""
+        with self._lock:
+            events = list(self._tail)
+        if count is not None:
+            events = events[-count:]
+        return events
+
+    def close(self) -> None:
+        """Close the backing file (memory tail stays readable)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_jsonl(path: str | Path) -> Iterator[dict]:
+        """Parse a written event log back into records."""
+        with Path(path).open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,433 @@
+"""Stdlib-asyncio HTTP front end for :class:`DetectionService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — the
+container ships no web framework, and the service needs exactly six
+routes:
+
+====== =========== ====================================================
+Method Path        Behavior
+====== =========== ====================================================
+POST   /ingest     Score a batch of rows; 400 with a reason token on
+                   the first rejected row (earlier rows stay ingested).
+GET    /metrics    Prometheus text exposition (format 0.0.4).
+GET    /health     Liveness JSON; ``status: ok`` whenever serving.
+GET    /version    Active model version + full swap history.
+POST   /refit      Refit now (``{"wait": false}`` → background, 202).
+POST   /shutdown   Graceful stop after the response is written.
+====== =========== ====================================================
+
+Transport faults never reach the engine as crashes: oversized bodies,
+stalled reads, malformed framing, and mid-request disconnects each map
+to one reason token on the service's error counter, and the connection
+handler survives to serve the next client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.exceptions import IngestError, ServiceError
+from repro.service.engine import DetectionService
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+_MAX_HEADER_LINES = 100
+_MAX_REQUEST_LINE = 8192
+
+
+class _HTTPError(Exception):
+    """An error that maps to a client-facing status + reason token."""
+
+    def __init__(self, status: int, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServiceHTTPServer:
+    """One engine, one listening socket, many keep-alive connections."""
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self.shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the socket; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or a cancelled task)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self.shutdown_event.wait()
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        timeout = self.service.config.read_timeout
+        try:
+            while not self.shutdown_event.is_set():
+                try:
+                    request = await self._read_request(reader, timeout)
+                except asyncio.TimeoutError:
+                    self.service.record_error(
+                        "read_timeout", detail="request read stalled"
+                    )
+                    await self._respond_safe(
+                        writer,
+                        408,
+                        {"error": "request read timed out"},
+                        close=True,
+                    )
+                    return
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    self.service.record_error(
+                        "client_disconnect",
+                        detail="connection dropped mid-request",
+                    )
+                    return
+                except _HTTPError as err:
+                    self.service.record_error(err.reason, detail=err.detail)
+                    await self._respond_safe(
+                        writer,
+                        err.status,
+                        {"error": err.detail or err.reason,
+                         "reason": err.reason},
+                        close=True,
+                    )
+                    return
+                if request is None:
+                    return  # clean end of keep-alive connection
+                method, path, body = request
+                status, payload, content_type = self._dispatch(
+                    method, path, body
+                )
+                keep_open = await self._respond_safe(
+                    writer, status, payload, content_type=content_type
+                )
+                if not keep_open:
+                    return
+                if path == "/shutdown" and status == 200:
+                    self.shutdown_event.set()
+                    return
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, timeout: float
+    ) -> tuple[str, str, bytes] | None:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            return None
+        if len(line) > _MAX_REQUEST_LINE:
+            raise _HTTPError(400, "bad_request", "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HTTPError(
+                400, "bad_request", f"malformed request line: {parts}"
+            )
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            header = await asyncio.wait_for(reader.readline(), timeout)
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HTTPError(400, "bad_request", "too many headers")
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.service.config.max_body_bytes:
+            raise _HTTPError(
+                413,
+                "body_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{self.service.config.max_body_bytes}-byte cap",
+            )
+        body = b""
+        if length > 0:
+            body = await asyncio.wait_for(reader.readexactly(length), timeout)
+        return method, target.split("?", 1)[0], body
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, object, str]:
+        routes = {
+            "/ingest": ("POST", self._route_ingest),
+            "/metrics": ("GET", self._route_metrics),
+            "/health": ("GET", self._route_health),
+            "/version": ("GET", self._route_version),
+            "/refit": ("POST", self._route_refit),
+            "/shutdown": ("POST", self._route_shutdown),
+        }
+        if path not in routes:
+            return 404, {"error": f"unknown path {path}"}, "application/json"
+        expected, handler = routes[path]
+        if method != expected:
+            return (
+                405,
+                {"error": f"{path} expects {expected}, got {method}"},
+                "application/json",
+            )
+        return handler(body)
+
+    def _parse_json(self, body: bytes) -> object:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            self.service.record_error("malformed_json", detail=str(err))
+            raise _HTTPError(
+                400, "malformed_json", f"body is not valid JSON: {err}"
+            ) from err
+
+    def _route_ingest(self, body: bytes) -> tuple[int, object, str]:
+        try:
+            payload = self._parse_json(body)
+        except _HTTPError as err:
+            return (
+                err.status,
+                {"error": err.detail, "reason": err.reason, "accepted": 0},
+                "application/json",
+            )
+        if isinstance(payload, dict) and "row" in payload:
+            rows = [payload["row"]]
+            bins = [payload["bin"]] if "bin" in payload else None
+        elif isinstance(payload, dict) and "rows" in payload:
+            rows = payload["rows"]
+            bins = payload.get("bins")
+        else:
+            self.service.record_error(
+                "bad_payload", detail="no 'row' or 'rows' key"
+            )
+            return (
+                400,
+                {
+                    "error": "payload must carry 'row' or 'rows'",
+                    "reason": "bad_payload",
+                    "accepted": 0,
+                },
+                "application/json",
+            )
+        if not isinstance(rows, list):
+            self.service.record_error(
+                "bad_payload", detail="'rows' is not a list"
+            )
+            return (
+                400,
+                {
+                    "error": "'rows' must be a list",
+                    "reason": "bad_payload",
+                    "accepted": 0,
+                },
+                "application/json",
+            )
+        if len(rows) > self.service.config.max_rows_per_request:
+            self.service.record_error(
+                "too_many_rows",
+                detail=f"{len(rows)} rows in one request",
+            )
+            return (
+                400,
+                {
+                    "error": (
+                        f"{len(rows)} rows exceed the per-request cap of "
+                        f"{self.service.config.max_rows_per_request}"
+                    ),
+                    "reason": "too_many_rows",
+                    "accepted": 0,
+                },
+                "application/json",
+            )
+        if bins is not None and (
+            not isinstance(bins, list) or len(bins) != len(rows)
+        ):
+            self.service.record_error(
+                "bad_payload", detail="'bins' does not match 'rows'"
+            )
+            return (
+                400,
+                {
+                    "error": "'bins' must be a list matching 'rows'",
+                    "reason": "bad_payload",
+                    "accepted": 0,
+                },
+                "application/json",
+            )
+        outcomes = []
+        for index, row in enumerate(rows):
+            bin_id = None if bins is None else bins[index]
+            try:
+                outcomes.append(
+                    self.service.ingest_row(row, bin_id=bin_id)
+                )
+            except IngestError as err:
+                return (
+                    400,
+                    {
+                        "error": str(err),
+                        "reason": err.reason,
+                        "accepted": len(outcomes),
+                        "alarms": sum(1 for o in outcomes if o.flag),
+                    },
+                    "application/json",
+                )
+        alarms = [outcome for outcome in outcomes if outcome.flag]
+        return (
+            200,
+            {
+                "accepted": len(outcomes),
+                "alarms": len(alarms),
+                "alarm_bins": [outcome.bin for outcome in alarms],
+                "results": [outcome.to_json() for outcome in outcomes],
+            },
+            "application/json",
+        )
+
+    def _route_metrics(self, body: bytes) -> tuple[int, object, str]:
+        return (
+            200,
+            self.service.metrics_text(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _route_health(self, body: bytes) -> tuple[int, object, str]:
+        return 200, self.service.health(), "application/json"
+
+    def _route_version(self, body: bytes) -> tuple[int, object, str]:
+        return 200, self.service.version_info(), "application/json"
+
+    def _route_refit(self, body: bytes) -> tuple[int, object, str]:
+        wait = True
+        if body:
+            try:
+                payload = self._parse_json(body)
+            except _HTTPError as err:
+                return (
+                    err.status,
+                    {"error": err.detail, "reason": err.reason},
+                    "application/json",
+                )
+            if isinstance(payload, dict):
+                wait = bool(payload.get("wait", True))
+        if not wait:
+            started = self.service.request_refit()
+            return (
+                202,
+                {"refit": "started" if started else "already running"},
+                "application/json",
+            )
+        try:
+            version = self.service.refit()
+        except ServiceError as err:
+            return (
+                500,
+                {"error": str(err), "reason": "refit_failed"},
+                "application/json",
+            )
+        return 200, {"refit": "done", **version.summary()}, "application/json"
+
+    def _route_shutdown(self, body: bytes) -> tuple[int, object, str]:
+        return 200, {"status": "shutting down"}, "application/json"
+
+    # ------------------------------------------------------------------
+    async def _respond_safe(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        content_type: str = "application/json",
+        close: bool = False,
+    ) -> bool:
+        """Write one response; False when the client vanished."""
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.service.record_error(
+                "client_disconnect", detail="connection dropped mid-response"
+            )
+            return False
+        return not close
+
+
+async def _serve_async(
+    service: DetectionService, host: str, port: int, announce=None
+) -> None:
+    server = ServiceHTTPServer(service, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    if announce is not None:
+        announce(bound_host, bound_port)
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.shutdown_event.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover
+        pass  # platform without signal support; /shutdown still works
+    await server.serve_until_shutdown()
+
+
+def serve(
+    service: DetectionService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    announce=None,
+) -> None:
+    """Run the daemon until ``POST /shutdown`` or SIGINT/SIGTERM.
+
+    ``announce(host, port)`` fires once the socket is bound — the CLI
+    prints the address, the smoke tests use it to rendezvous.
+    """
+    asyncio.run(_serve_async(service, host, port, announce=announce))

@@ -1,0 +1,414 @@
+"""Versioned model lifecycle for the always-on detection service.
+
+The service never scores a row against a half-updated model.  Instead it
+holds a sequence of immutable :class:`ModelVersion` records, each
+wrapping a fully fitted :class:`~repro.core.detection.SPEDetector`, and
+:class:`ModelLifecycleManager` owns the transitions:
+
+``bootstrap``
+    Fit version 1 from a warmup block (the service will not accept
+    traffic before this).
+``append_rows``
+    Fold freshly ingested rows into the running
+    :class:`~repro.core.suffstats.SufficientStats` (pass 1 of a future
+    refit, paid incrementally) and retain them for the separation
+    moments pass.
+``refit``
+    Fit a candidate from the accumulated statistics via
+    :meth:`TemporalCoordinator.fit_from_stats
+    <repro.pipeline.sharded.TemporalCoordinator.fit_from_stats>`, then
+    *atomically* swap it in: the swap is a single reference assignment
+    under the manager lock, recorded with the exact row boundary, so a
+    concurrent ingest scores either entirely under the old version or
+    entirely under the new one — never a blend, never a dropped row.
+
+Because the statistics path is bit-identical to a monolithic fit, an
+offline :class:`~repro.pipeline.pipeline.DetectionPipeline` refit on the
+rows ``[0, trained_rows)`` reproduces each version's detector exactly —
+the parity property the service tests pin.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.detection import SPEDetector
+from repro.core.suffstats import DEFAULT_TILE_ROWS, SufficientStats
+from repro.exceptions import ServiceError
+from repro.pipeline.sharded import TemporalCoordinator
+
+__all__ = ["ModelVersion", "ModelLifecycleManager", "CHECKPOINT_SCHEMA_VERSION"]
+
+#: Bump when the checkpoint payload shape changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable fitted model in the service's version sequence.
+
+    Attributes
+    ----------
+    version:
+        Monotonic id, 1 for the bootstrap fit.
+    detector:
+        The fully fitted :class:`~repro.core.detection.SPEDetector`.
+    trained_rows:
+        The model was fitted on absolute rows ``[0, trained_rows)``.
+    activated_at_row:
+        First absolute row index scored under this version — the
+        hot-swap boundary.  Equals ``trained_rows`` for the bootstrap
+        version (warmup rows are never scored).
+    retired_at_row:
+        First absolute row index *no longer* scored under this version,
+        or ``None`` while active.
+    """
+
+    version: int
+    detector: SPEDetector
+    trained_rows: int
+    activated_at_row: int
+    retired_at_row: int | None = None
+
+    @property
+    def threshold(self) -> float:
+        """The version's Q-statistic limit ``δ²_α``."""
+        return self.detector.threshold
+
+    @property
+    def normal_rank(self) -> int:
+        """The version's fitted normal-subspace rank."""
+        return self.detector.normal_rank
+
+    def summary(self) -> dict:
+        """JSON-friendly description (event log / ``/version`` payload)."""
+        return {
+            "version": self.version,
+            "trained_rows": self.trained_rows,
+            "activated_at_row": self.activated_at_row,
+            "retired_at_row": self.retired_at_row,
+            "normal_rank": int(self.normal_rank),
+            "threshold": float(self.threshold),
+        }
+
+
+class ModelLifecycleManager:
+    """Owns model versions, history statistics, and atomic hot-swaps.
+
+    Parameters mirror :class:`~repro.core.detection.SPEDetector`;
+    ``refit_hook`` is a zero-argument callable invoked at the start of
+    every candidate fit — the fault-injection tests use it to force a
+    refit failure and assert the active model survives untouched.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        threshold_sigma: float = 3.0,
+        normal_rank: int | None = None,
+        min_normal_rank: int = 1,
+        max_normal_rank: int | None = None,
+        tile_rows: int = DEFAULT_TILE_ROWS,
+        refit_hook: Callable[[], None] | None = None,
+    ) -> None:
+        self.confidence = confidence
+        self.threshold_sigma = threshold_sigma
+        self.requested_rank = normal_rank
+        self.min_normal_rank = min_normal_rank
+        self.max_normal_rank = max_normal_rank
+        self.tile_rows = tile_rows
+        self.refit_hook = refit_hook
+        self._lock = threading.RLock()
+        self._blocks: list[np.ndarray] = []
+        self._rows = 0
+        self._stats: SufficientStats | None = None
+        self._current: ModelVersion | None = None
+        self._retired: list[ModelVersion] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Absolute rows accumulated (warmup + ingested)."""
+        with self._lock:
+            return self._rows
+
+    @property
+    def num_links(self) -> int:
+        """Measurement width ``m`` fixed by the warmup block."""
+        with self._lock:
+            if self._stats is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            return self._stats.num_columns
+
+    @property
+    def current(self) -> ModelVersion:
+        """The active model version (atomic read)."""
+        with self._lock:
+            if self._current is None:
+                raise ServiceError(
+                    "no model is active: call bootstrap() first"
+                )
+            return self._current
+
+    @property
+    def is_bootstrapped(self) -> bool:
+        with self._lock:
+            return self._current is not None
+
+    def version_history(self) -> list[ModelVersion]:
+        """Every version ever activated, oldest first (active one last)."""
+        with self._lock:
+            history = list(self._retired)
+            if self._current is not None:
+                history.append(self._current)
+            return history
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, warmup: np.ndarray) -> ModelVersion:
+        """Fit version 1 from a ``(t, m)`` warmup block."""
+        warmup = np.ascontiguousarray(warmup, dtype=np.float64)
+        if warmup.ndim != 2:
+            raise ServiceError(
+                f"warmup must be a (t, m) block, got shape {warmup.shape}"
+            )
+        if warmup.shape[0] < 2:
+            raise ServiceError(
+                f"warmup needs at least 2 rows, got {warmup.shape[0]}"
+            )
+        with self._lock:
+            if self._current is not None:
+                raise ServiceError("lifecycle is already bootstrapped")
+            self._stats = SufficientStats.from_block(
+                warmup, start_row=0, tile_rows=self.tile_rows
+            )
+            self._blocks = [warmup]
+            self._rows = warmup.shape[0]
+            detector = self._fit_candidate_locked()
+            self._current = ModelVersion(
+                version=1,
+                detector=detector,
+                trained_rows=self._rows,
+                activated_at_row=self._rows,
+            )
+            return self._current
+
+    def append_rows(self, block: np.ndarray) -> None:
+        """Fold newly scored rows into the history (post-scoring)."""
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        if block.ndim != 2:
+            raise ServiceError(
+                f"rows must form a (k, m) block, got shape {block.shape}"
+            )
+        if block.shape[0] == 0:
+            return
+        with self._lock:
+            if self._stats is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            if block.shape[1] != self._stats.num_columns:
+                raise ServiceError(
+                    f"row width {block.shape[1]} != expected "
+                    f"{self._stats.num_columns}"
+                )
+            chunk = SufficientStats.from_block(
+                block, start_row=self._rows, tile_rows=self.tile_rows
+            )
+            self._stats = self._stats.merge(chunk)
+            self._blocks.append(block)
+            self._rows += block.shape[0]
+
+    # ------------------------------------------------------------------
+    def _coordinator(self) -> TemporalCoordinator:
+        return TemporalCoordinator(
+            workers=1,
+            confidence=self.confidence,
+            threshold_sigma=self.threshold_sigma,
+            normal_rank=self.requested_rank,
+            min_normal_rank=self.min_normal_rank,
+            max_normal_rank=self.max_normal_rank,
+            tile_rows=self.tile_rows,
+        )
+
+    def _fit_candidate_locked(self) -> SPEDetector:
+        """Fit a detector from the current snapshot (lock already held)."""
+        stats = self._stats
+        blocks = tuple(self._blocks)
+        return self._fit_candidate(stats, blocks)
+
+    def _fit_candidate(
+        self, stats: SufficientStats, blocks: tuple[np.ndarray, ...]
+    ) -> SPEDetector:
+        if self.refit_hook is not None:
+            self.refit_hook()
+        fit = self._coordinator().fit_from_stats(
+            stats, lambda: iter(blocks)
+        )
+        return fit.detector
+
+    def fit_candidate(self) -> tuple[SPEDetector, int]:
+        """Fit a candidate model from a consistent history snapshot.
+
+        Runs *outside* the manager lock (ingestion keeps flowing while
+        the candidate fits); returns the detector and the number of rows
+        it was trained on.  Raises whatever the fit raises — the caller
+        decides whether that is fatal.
+        """
+        with self._lock:
+            if self._stats is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            stats = self._stats
+            blocks = tuple(self._blocks)
+            trained_rows = self._rows
+        detector = self._fit_candidate(stats, blocks)
+        return detector, trained_rows
+
+    def refit(self) -> ModelVersion:
+        """Fit a candidate and atomically hot-swap it in.
+
+        The swap itself is a single reference assignment under the lock:
+        the retiring version records ``retired_at_row`` equal to the new
+        version's ``activated_at_row``, so the boundary partitions the
+        row stream exactly — no row is scored under both models and none
+        is dropped.
+        """
+        detector, trained_rows = self.fit_candidate()
+        return self.activate(detector, trained_rows)
+
+    def activate(
+        self, detector: SPEDetector, trained_rows: int
+    ) -> ModelVersion:
+        """Atomically install a fitted candidate as the new version."""
+        with self._lock:
+            if self._current is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            boundary = self._rows
+            retiring = self._current
+            self._retired.append(
+                ModelVersion(
+                    version=retiring.version,
+                    detector=retiring.detector,
+                    trained_rows=retiring.trained_rows,
+                    activated_at_row=retiring.activated_at_row,
+                    retired_at_row=boundary,
+                )
+            )
+            self._current = ModelVersion(
+                version=retiring.version + 1,
+                detector=detector,
+                trained_rows=trained_rows,
+                activated_at_row=boundary,
+            )
+            return self._current
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str | Path) -> dict:
+        """Serialize the full lifecycle state to ``path``.
+
+        The payload carries the merged sufficient statistics, the raw
+        history blocks (needed by the separation rule's moments pass on
+        the next refit), the version bookkeeping, and the fit
+        configuration.  Returns the summary section for logging.
+        """
+        with self._lock:
+            if self._stats is None or self._current is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            payload = {
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "config": {
+                    "confidence": self.confidence,
+                    "threshold_sigma": self.threshold_sigma,
+                    "normal_rank": self.requested_rank,
+                    "min_normal_rank": self.min_normal_rank,
+                    "max_normal_rank": self.max_normal_rank,
+                    "tile_rows": self.tile_rows,
+                },
+                "stats": self._stats,
+                "blocks": list(self._blocks),
+                "rows": self._rows,
+                "current": self._current.summary(),
+                "retired": [v.summary() for v in self._retired],
+            }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return payload["current"]
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "ModelLifecycleManager":
+        """Rebuild a lifecycle manager from a checkpoint.
+
+        The active detector is *refit from the checkpointed statistics*
+        rather than unpickled, which keeps the checkpoint free of
+        fitted-model internals; by the sufficient-statistics exactness
+        guarantee the restored detector is bit-identical to the one that
+        wrote the checkpoint (the restore tests pin threshold, mean, and
+        components bitwise).
+        """
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            raise ServiceError(
+                "unsupported checkpoint schema "
+                f"{payload.get('schema_version')!r}"
+            )
+        config = payload["config"]
+        manager = cls(
+            confidence=config["confidence"],
+            threshold_sigma=config["threshold_sigma"],
+            normal_rank=config["normal_rank"],
+            min_normal_rank=config["min_normal_rank"],
+            max_normal_rank=config["max_normal_rank"],
+            tile_rows=config["tile_rows"],
+        )
+        current = payload["current"]
+        with manager._lock:
+            manager._stats = payload["stats"]
+            manager._blocks = list(payload["blocks"])
+            manager._rows = payload["rows"]
+            # Refit on the trained prefix only: rows ingested after the
+            # checkpointed model was fitted belong to the *next* refit.
+            trained = current["trained_rows"]
+            stats, blocks = _history_prefix(
+                manager._blocks, trained, manager.tile_rows
+            )
+            detector = manager._fit_candidate(stats, blocks)
+            manager._current = ModelVersion(
+                version=current["version"],
+                detector=detector,
+                trained_rows=trained,
+                activated_at_row=current["activated_at_row"],
+            )
+        return manager
+
+
+def _history_prefix(
+    blocks: list[np.ndarray], rows: int, tile_rows: int
+) -> tuple[SufficientStats, tuple[np.ndarray, ...]]:
+    """Statistics + chunk list covering exactly the first ``rows`` rows."""
+    prefix: list[np.ndarray] = []
+    seen = 0
+    for block in blocks:
+        if seen >= rows:
+            break
+        take = min(block.shape[0], rows - seen)
+        prefix.append(block[:take])
+        seen += take
+    if seen != rows:
+        raise ServiceError(
+            f"history holds {seen} rows but the checkpoint claims {rows}"
+        )
+    stats: SufficientStats | None = None
+    offset = 0
+    for block in prefix:
+        chunk = SufficientStats.from_block(
+            block, start_row=offset, tile_rows=tile_rows
+        )
+        stats = chunk if stats is None else stats.merge(chunk)
+        offset += block.shape[0]
+    return stats, tuple(prefix)

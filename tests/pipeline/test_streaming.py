@@ -178,6 +178,57 @@ class TestStreamingEdgeCases:
         assert detector.arrivals == 0
         assert np.array_equal(detector.tracker.mean, before)
 
+    def test_empty_window_does_not_reset_the_refresh_cadence(self, fitted):
+        """Regression pin: a zero-row window must not refresh.
+
+        The default ``refresh=True`` path used to re-run the eigensolver
+        on the unchanged covariance and zero ``since_refresh``, silently
+        postponing the next *scheduled* refresh every time an idle
+        service processed an empty window.
+        """
+        dataset, warmup, pipeline = fitted
+        detector = pipeline.streaming(refresh_interval=5)
+        tracker = detector.tracker
+        tracker.update_block(
+            dataset.link_traffic[warmup : warmup + 3], refresh=False
+        )
+        assert tracker.since_refresh == 3
+        empty = np.empty((0, dataset.num_links))
+        detector.process_window(empty)  # default refresh=True
+        assert tracker.since_refresh == 3  # cadence untouched
+        tracker.update_block(empty, refresh=True)
+        assert tracker.since_refresh == 3
+        # Two more arrivals reach the interval and refresh on schedule.
+        tracker.update_block(
+            dataset.link_traffic[warmup + 3 : warmup + 5], refresh=False
+        )
+        assert tracker.since_refresh == 0
+
+    def test_refresh_interval_one_refreshes_after_every_single_row(
+        self, fitted
+    ):
+        """Pin the service's steady state: per-row feeds with
+        ``refresh_interval=1`` refresh after *every* arrival, and each
+        row is scored under the model refreshed at the previous one —
+        bit-identical to forcing ``refresh=True`` per row."""
+        dataset, warmup, pipeline = fitted
+        cadence = pipeline.streaming(refresh_interval=1)
+        forced = pipeline.streaming(refresh_interval=1)
+        for row in dataset.link_traffic[warmup : warmup + 40]:
+            spe_c, flags_c = cadence.tracker.update_block(
+                row[None, :], refresh=False
+            )
+            spe_f, flags_f = forced.tracker.update_block(
+                row[None, :], refresh=True
+            )
+            assert cadence.tracker.since_refresh == 0
+            assert np.array_equal(spe_c, spe_f)
+            assert np.array_equal(flags_c, flags_f)
+            assert cadence.tracker.threshold == forced.tracker.threshold
+        assert np.array_equal(
+            cadence.tracker.normal_basis, forced.tracker.normal_basis
+        )
+
     def test_window_larger_than_stream(self, fitted):
         """A single short final window covers the whole stream."""
         dataset, warmup, pipeline = fitted

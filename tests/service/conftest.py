@@ -1,0 +1,150 @@
+"""Shared fixtures for the always-on service suite.
+
+The engine and lifecycle tests drive :class:`DetectionService` directly;
+the HTTP and fault suites run a real ``asyncio`` server on a loopback
+socket in a background thread and talk to it over plain sockets /
+``urllib`` — no test framework magic between the suite and the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import DetectionService, ServiceConfig
+from repro.service.http import ServiceHTTPServer
+
+
+@pytest.fixture(scope="session")
+def service_split(small_dataset):
+    """(dataset, warmup_rows): 200 warmup bins, 88 streamable bins."""
+    return small_dataset, 200
+
+
+@pytest.fixture
+def make_service(service_split):
+    """Factory for a bootstrapped service over the small dataset."""
+    dataset, warmup = service_split
+
+    def build(
+        routing: bool = True,
+        config: ServiceConfig | None = None,
+        **kwargs,
+    ) -> DetectionService:
+        return DetectionService.from_warmup(
+            dataset.link_traffic[:warmup],
+            routing=dataset.routing if routing else None,
+            config=config or ServiceConfig(),
+            **kwargs,
+        )
+
+    return build
+
+
+class FakeClock:
+    """Deterministic clock: starts at ``start``, advances ``step``/call."""
+
+    def __init__(self, start: float = 1000.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+class ServerThread:
+    """A live service daemon on a loopback socket, in a thread."""
+
+    def __init__(self, service: DetectionService) -> None:
+        self.service = service
+        self.server: ServiceHTTPServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.server = ServiceHTTPServer(self.service, port=0)
+        await self.server.start()
+        self.host, self.port = self.server.host, self.server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("service daemon failed to bind in time")
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive() and self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.shutdown_event.set)
+        self._thread.join(timeout=10)
+        assert not self._thread.is_alive(), "daemon did not stop cleanly"
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def url(self, path: str) -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    # -- tiny HTTP client ---------------------------------------------
+    def get(self, path: str) -> tuple[int, str]:
+        try:
+            with urllib.request.urlopen(self.url(path), timeout=10) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode("utf-8")
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, body = self.get(path)
+        return status, json.loads(body)
+
+    def post_json(self, path: str, payload) -> tuple[int, dict]:
+        data = (
+            payload
+            if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8")
+        )
+        request = urllib.request.Request(
+            self.url(path), data=data, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+
+@pytest.fixture
+def run_server():
+    """Factory starting daemons that are always stopped at teardown."""
+    servers: list[ServerThread] = []
+
+    def launch(service: DetectionService) -> ServerThread:
+        server = ServerThread(service).start()
+        servers.append(server)
+        return server
+
+    yield launch
+    for server in servers:
+        if server.alive:
+            server.stop()

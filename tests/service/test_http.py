@@ -1,0 +1,200 @@
+"""The asyncio HTTP front end over a real loopback socket."""
+
+import json
+
+import numpy as np
+
+from repro.pipeline import DetectionPipeline
+from repro.service import ServiceConfig
+
+
+class TestIngestRoute:
+    def test_batch_ingest_reports_alarms_and_results(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        server = run_server(make_service())
+        stream = dataset.link_traffic[warmup:]
+        status, body = server.post_json("/ingest", {"rows": stream.tolist()})
+        assert status == 200
+        assert body["accepted"] == stream.shape[0]
+        batch = DetectionPipeline(svd_method="gram").fit(
+            dataset.link_traffic[:warmup], routing=dataset.routing
+        ).detect(stream)
+        assert body["alarm_bins"] == [int(b) for b in batch.anomalous_bins]
+        assert body["alarms"] == batch.num_alarms
+        spe = [result["spe"] for result in body["results"]]
+        # JSON round-trips doubles exactly (repr shortest round-trip).
+        assert spe == list(batch.spe)
+
+    def test_single_row_form_with_bin(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        server = run_server(make_service())
+        row = dataset.link_traffic[warmup].tolist()
+        status, body = server.post_json("/ingest", {"row": row, "bin": 0})
+        assert status == 200 and body["accepted"] == 1
+        assert body["results"][0]["bin"] == 0
+
+    def test_rejection_reports_reason_and_accepted_prefix(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        server = run_server(make_service())
+        good = dataset.link_traffic[warmup].tolist()
+        status, body = server.post_json(
+            "/ingest", {"rows": [good, [1.0, 2.0], good]}
+        )
+        assert status == 400
+        assert body["reason"] == "wrong_width"
+        assert body["accepted"] == 1
+        status, health = server.get_json("/health")
+        assert health["rows_ingested"] == 1
+
+
+class TestObservabilityRoutes:
+    def test_health_version_and_metrics(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        server = run_server(make_service())
+        server.post_json(
+            "/ingest", {"rows": dataset.link_traffic[warmup : warmup + 5].tolist()}
+        )
+        status, health = server.get_json("/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["rows_ingested"] == 5
+
+        status, version = server.get_json("/version")
+        assert status == 200
+        assert version["current"]["version"] == 1
+
+        status, text = server.get("/metrics")
+        assert status == 200
+        assert "repro_rows_ingested_total 5" in text.splitlines()
+        assert "# TYPE repro_ingest_latency_seconds histogram" in text
+
+    def test_unknown_route_and_wrong_method(self, make_service, run_server):
+        server = run_server(make_service())
+        status, body = server.get_json("/nope")
+        assert status == 404
+        status, body = server.post_json("/metrics", {})
+        assert status == 405
+        # The daemon still serves after both.
+        status, _ = server.get_json("/health")
+        assert status == 200
+
+    def test_keep_alive_reuses_one_connection(self, make_service, run_server):
+        import http.client
+
+        server = run_server(make_service())
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=10
+        )
+        try:
+            for _ in range(3):
+                connection.request("GET", "/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+
+class TestRefitRoute:
+    def test_synchronous_refit_returns_the_new_version(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        server = run_server(make_service())
+        server.post_json(
+            "/ingest",
+            {"rows": dataset.link_traffic[warmup : warmup + 10].tolist()},
+        )
+        status, body = server.post_json("/refit", {"wait": True})
+        assert status == 200
+        assert body["refit"] == "done"
+        assert body["version"] == 2
+        assert body["trained_rows"] == warmup + 10
+
+    def test_background_refit_returns_202(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        service = make_service()
+        server = run_server(service)
+        server.post_json(
+            "/ingest",
+            {"rows": dataset.link_traffic[warmup : warmup + 5].tolist()},
+        )
+        status, body = server.post_json("/refit", {"wait": False})
+        assert status == 202
+        assert body["refit"] in ("started", "already running")
+        service.wait_for_refit(timeout=30)
+        status, version = server.get_json("/version")
+        assert version["current"]["version"] == 2
+
+
+class TestShutdown:
+    def test_shutdown_stops_the_daemon_cleanly(
+        self, make_service, run_server
+    ):
+        server = run_server(make_service())
+        status, body = server.post_json("/shutdown", {})
+        assert status == 200
+        assert body["status"] == "shutting down"
+        server._thread.join(timeout=10)
+        assert not server.alive
+        stop_events = [
+            e
+            for e in server.service.events.tail()
+            if e["kind"] == "service_stop"
+        ]
+        assert len(stop_events) == 1
+
+
+class TestHotSwapParityOverHTTP:
+    def test_alarms_match_batch_refits_at_reported_boundaries(
+        self, service_split, make_service, run_server
+    ):
+        """End-to-end: rows over the wire, synchronous auto-refits, and
+        the alarm stream still matches offline refits bit for bit."""
+        dataset, warmup = service_split
+        config = ServiceConfig(refit_interval=30, synchronous_refit=True)
+        server = run_server(make_service(config=config))
+        stream = dataset.link_traffic[warmup:]
+        # Chunked posting across the swap boundaries.
+        collected = []
+        for start in range(0, stream.shape[0], 17):
+            status, body = server.post_json(
+                "/ingest",
+                {"rows": stream[start : start + 17].tolist()},
+            )
+            assert status == 200
+            collected.extend(body["results"])
+        assert [r["bin"] for r in collected] == list(range(stream.shape[0]))
+
+        service = server.service
+        reference_spe = np.empty(stream.shape[0])
+        reference_flags = np.empty(stream.shape[0], dtype=bool)
+        for version in service.lifecycle.version_history():
+            lo = version.activated_at_row - warmup
+            hi = (
+                version.retired_at_row - warmup
+                if version.retired_at_row is not None
+                else stream.shape[0]
+            )
+            if hi <= lo:
+                continue
+            offline = DetectionPipeline(svd_method="gram").fit(
+                dataset.link_traffic[: version.trained_rows],
+                routing=dataset.routing,
+            )
+            result = offline.detect(stream[lo:hi])
+            reference_spe[lo:hi] = result.spe
+            reference_flags[lo:hi] = result.flags
+        assert [r["spe"] for r in collected] == list(reference_spe)
+        assert [r["bin"] for r in collected if r["flag"]] == [
+            int(b) for b in np.nonzero(reference_flags)[0]
+        ]

@@ -1,0 +1,183 @@
+"""Versioned model lifecycle: exact refits, atomic swaps, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.pipeline import DetectionPipeline
+from repro.service import ModelLifecycleManager
+
+
+@pytest.fixture
+def manager(service_split):
+    dataset, warmup = service_split
+    lifecycle = ModelLifecycleManager()
+    lifecycle.bootstrap(dataset.link_traffic[:warmup])
+    return dataset, warmup, lifecycle
+
+
+class TestBootstrap:
+    def test_version_one_matches_offline_fit(self, manager):
+        dataset, warmup, lifecycle = manager
+        version = lifecycle.current
+        assert version.version == 1
+        assert version.trained_rows == warmup
+        assert version.activated_at_row == warmup
+        assert version.retired_at_row is None
+        offline = DetectionPipeline(svd_method="gram").fit(
+            dataset.link_traffic[:warmup]
+        )
+        assert version.threshold == offline.threshold
+        assert version.normal_rank == offline.normal_rank
+        assert np.array_equal(
+            version.detector.model.pca.mean, offline.detector.model.pca.mean
+        )
+        assert np.array_equal(
+            version.detector.model.pca.components,
+            offline.detector.model.pca.components,
+        )
+
+    def test_guards(self, service_split):
+        dataset, warmup = service_split
+        lifecycle = ModelLifecycleManager()
+        with pytest.raises(ServiceError, match="bootstrap"):
+            lifecycle.current
+        with pytest.raises(ServiceError, match="at least 2"):
+            lifecycle.bootstrap(dataset.link_traffic[:1])
+        with pytest.raises(ServiceError, match="\\(t, m\\)"):
+            lifecycle.bootstrap(dataset.link_traffic[0])
+        lifecycle.bootstrap(dataset.link_traffic[:warmup])
+        with pytest.raises(ServiceError, match="already bootstrapped"):
+            lifecycle.bootstrap(dataset.link_traffic[:warmup])
+
+
+class TestAppendAndRefit:
+    def test_refit_is_bit_identical_to_offline_refit(self, manager):
+        dataset, warmup, lifecycle = manager
+        for row in dataset.link_traffic[warmup : warmup + 50]:
+            lifecycle.append_rows(row[None, :])
+        version = lifecycle.refit()
+        assert version.version == 2
+        assert version.trained_rows == warmup + 50
+        assert version.activated_at_row == warmup + 50
+        offline = DetectionPipeline(svd_method="gram").fit(
+            dataset.link_traffic[: warmup + 50]
+        )
+        assert version.threshold == offline.threshold
+        assert version.normal_rank == offline.normal_rank
+        probe = dataset.link_traffic[warmup + 50 : warmup + 80]
+        assert np.array_equal(
+            version.detector.spe(probe), offline.detector.spe(probe)
+        )
+
+    def test_swap_boundary_partitions_the_stream_exactly(self, manager):
+        dataset, warmup, lifecycle = manager
+        lifecycle.append_rows(dataset.link_traffic[warmup : warmup + 30])
+        lifecycle.refit()
+        lifecycle.append_rows(dataset.link_traffic[warmup + 30 : warmup + 70])
+        lifecycle.refit()
+        history = lifecycle.version_history()
+        assert [v.version for v in history] == [1, 2, 3]
+        # Each retirement boundary is the successor's activation row: no
+        # row scored under two models, none dropped.
+        for retiring, incoming in zip(history, history[1:]):
+            assert retiring.retired_at_row == incoming.activated_at_row
+        assert history[-1].retired_at_row is None
+
+    def test_append_guards(self, manager):
+        dataset, _, lifecycle = manager
+        with pytest.raises(ServiceError, match="width"):
+            lifecycle.append_rows(np.ones((1, 3)))
+        with pytest.raises(ServiceError, match="block"):
+            lifecycle.append_rows(np.ones(4))
+        rows_before = lifecycle.rows
+        lifecycle.append_rows(
+            np.empty((0, dataset.num_links))
+        )  # empty append is a no-op
+        assert lifecycle.rows == rows_before
+
+    def test_explicit_rank_refits_without_history_pass(self, service_split):
+        dataset, warmup = service_split
+        lifecycle = ModelLifecycleManager(normal_rank=4)
+        lifecycle.bootstrap(dataset.link_traffic[:warmup])
+        lifecycle.append_rows(dataset.link_traffic[warmup : warmup + 20])
+        version = lifecycle.refit()
+        assert version.normal_rank == 4
+
+
+class TestRefitFailure:
+    def test_failed_refit_keeps_the_active_model(self, service_split):
+        dataset, warmup = service_split
+        boom = {"armed": False}
+
+        def hook():
+            if boom["armed"]:
+                raise RuntimeError("injected refit failure")
+
+        lifecycle = ModelLifecycleManager(refit_hook=hook)
+        lifecycle.bootstrap(dataset.link_traffic[:warmup])
+        active = lifecycle.current
+        lifecycle.append_rows(dataset.link_traffic[warmup : warmup + 10])
+        boom["armed"] = True
+        with pytest.raises(RuntimeError, match="injected"):
+            lifecycle.refit()
+        assert lifecycle.current is active  # swap never started
+        assert [v.version for v in lifecycle.version_history()] == [1]
+        boom["armed"] = False
+        assert lifecycle.refit().version == 2  # recovery needs no reset
+
+
+class TestCheckpoint:
+    def test_restore_reproduces_the_model_bitwise(self, manager, tmp_path):
+        dataset, warmup, lifecycle = manager
+        lifecycle.append_rows(dataset.link_traffic[warmup : warmup + 40])
+        lifecycle.refit()
+        # Rows ingested after the fit belong to the *next* refit.
+        lifecycle.append_rows(dataset.link_traffic[warmup + 40 : warmup + 55])
+        path = tmp_path / "ckpt" / "state.pkl"
+        summary = lifecycle.checkpoint(path)
+        assert summary["version"] == 2
+
+        restored = ModelLifecycleManager.restore(path)
+        original = lifecycle.current
+        assert restored.current.version == original.version
+        assert restored.current.trained_rows == original.trained_rows
+        assert restored.current.threshold == original.threshold
+        assert np.array_equal(
+            restored.current.detector.model.pca.mean,
+            original.detector.model.pca.mean,
+        )
+        assert np.array_equal(
+            restored.current.detector.model.pca.components,
+            original.detector.model.pca.components,
+        )
+        assert restored.rows == lifecycle.rows
+
+    def test_restored_manager_refits_identically(self, manager, tmp_path):
+        dataset, warmup, lifecycle = manager
+        lifecycle.append_rows(dataset.link_traffic[warmup : warmup + 25])
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path)
+        restored = ModelLifecycleManager.restore(path)
+        left = lifecycle.refit()
+        right = restored.refit()
+        assert left.threshold == right.threshold
+        assert left.normal_rank == right.normal_rank
+
+    def test_unbootstrapped_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="bootstrap"):
+            ModelLifecycleManager().checkpoint(tmp_path / "x.pkl")
+
+    def test_schema_version_is_enforced(self, manager, tmp_path):
+        import pickle
+
+        _, _, lifecycle = manager
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        payload["schema_version"] = 999
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(ServiceError, match="unsupported checkpoint"):
+            ModelLifecycleManager.restore(path)

@@ -1,0 +1,169 @@
+"""Golden pins for the two machine-readable service surfaces.
+
+``/metrics`` is scraped by Prometheus and the event log is tailed by
+operators; both are interface contracts, so their exact shapes are
+pinned here byte-for-byte.  The run is fully deterministic: seeded
+dataset, fake clocks for both event timestamps and latency timing, and
+synchronous refits.  Float samples are rounded to 10 significant digits
+before pinning, matching the repo-wide golden stability policy
+(``canonical_json`` itself never rounds).
+
+Refresh after an intentional change with::
+
+    pytest tests/service/test_metrics_goldens.py --update-goldens
+"""
+
+from math import floor, log10
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.service import DetectionService, EventLog, ServiceConfig
+
+GOLDENS = Path(__file__).parent / "goldens"
+SIG_DIGITS = 10
+
+
+def rounded(value: float) -> float:
+    value = float(value)
+    if value == 0.0 or value != value or value in (float("inf"), float("-inf")):
+        return value
+    return round(value, SIG_DIGITS - 1 - floor(log10(abs(value))))
+
+
+def rounded_tree(node):
+    """Round every float in a JSON-ish tree, leaving ints and text."""
+    if isinstance(node, bool):
+        return node
+    if isinstance(node, float):
+        return rounded(node)
+    if isinstance(node, dict):
+        return {key: rounded_tree(value) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [rounded_tree(value) for value in node]
+    return node
+
+
+def rounded_sample_line(line: str) -> str:
+    """Round the sample value of one exposition line, keep the format."""
+    if line.startswith("#") or not line:
+        return line
+    name_part, raw = line.rsplit(" ", 1)
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return line
+    if "." not in raw and "e" not in raw and "E" not in raw:
+        return line  # bare integer sample — already exact
+    return f"{name_part} {rounded(float(raw))!r}"
+
+
+@pytest.fixture
+def deterministic_run(service_split, tmp_path):
+    """One scripted service lifetime touching every event kind."""
+    dataset, warmup = service_split
+    event_clock = iter(range(10_000)).__next__
+    latency_clock_state = {"t": 0.0}
+
+    def latency_clock() -> float:
+        latency_clock_state["t"] += 0.5e-3  # every ingest takes 1 ms
+        return latency_clock_state["t"]
+
+    log_path = tmp_path / "events.jsonl"
+    boom = {"armed": False}
+
+    def hook():
+        if boom["armed"]:
+            raise RuntimeError("injected refit failure")
+
+    service = DetectionService.from_warmup(
+        dataset.link_traffic[:warmup],
+        routing=dataset.routing,
+        config=ServiceConfig(refit_interval=40, synchronous_refit=True),
+        event_log=EventLog(log_path, clock=lambda: float(event_clock())),
+        refit_hook=hook,
+        latency_clock=latency_clock,
+    )
+    stream = dataset.link_traffic[warmup:].copy()
+    flow = dataset.routing.od_index("lon", "zur")
+    stream[10] = stream[10] + 5.0e8 * dataset.routing.column(flow)
+
+    for row in stream:  # two synchronous swaps at rows 40 and 80
+        service.ingest_row(row)
+    with pytest.raises(IngestError):
+        service.ingest_row([1.0, 2.0])  # one ingest_error event
+    boom["armed"] = True
+    with pytest.raises(Exception):
+        service.refit()  # one refit_failed event
+    boom["armed"] = False
+    service.close()
+    return service, log_path
+
+
+class TestMetricsExpositionGolden:
+    def test_exposition_text_is_pinned(self, deterministic_run, golden_check):
+        service, _ = deterministic_run
+        lines = service.metrics_text().splitlines()
+        payload = {
+            "format": "prometheus-text-0.0.4",
+            "exposition": [rounded_sample_line(line) for line in lines],
+        }
+        golden_check(GOLDENS / "metrics_exposition.json", payload)
+
+    def test_exposition_structure_is_scrapable(self, deterministic_run):
+        """Independent of the golden bytes: every sample line belongs to
+        a declared metric family, in HELP/TYPE/samples order."""
+        service, _ = deterministic_run
+        declared = set()
+        for line in service.metrics_text().splitlines():
+            if line.startswith("# HELP "):
+                declared.add(line.split(" ", 3)[2])
+            elif line.startswith("# TYPE "):
+                assert line.split(" ", 3)[2] in declared
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                family = (
+                    name.removesuffix("_bucket")
+                    .removesuffix("_sum")
+                    .removesuffix("_count")
+                )
+                assert family in declared, line
+
+
+class TestEventLogGolden:
+    def test_event_schema_and_samples_are_pinned(
+        self, deterministic_run, golden_check
+    ):
+        service, log_path = deterministic_run
+        events = list(EventLog.read_jsonl(log_path))
+        assert events == service.events.tail()  # file == memory tail
+        fields = {}
+        samples = {}
+        for event in events:
+            kind = event["kind"]
+            fields.setdefault(kind, set()).update(event)
+            samples.setdefault(kind, rounded_tree(event))
+        payload = {
+            "schema_version": events[0]["schema_version"],
+            "kinds": sorted(fields),
+            "fields": {kind: sorted(names) for kind, names in fields.items()},
+            "first_sample_by_kind": samples,
+        }
+        golden_check(GOLDENS / "event_log_schema.json", payload)
+
+    def test_every_kind_appears_in_the_scripted_run(self, deterministic_run):
+        from repro.service import EVENT_KINDS
+
+        service, _ = deterministic_run
+        seen = {event["kind"] for event in service.events.tail()}
+        assert seen == set(EVENT_KINDS)
+
+    def test_log_lines_are_canonical_jsonl(self, deterministic_run):
+        import json
+
+        _, log_path = deterministic_run
+        for line in log_path.read_text().splitlines():
+            record = json.loads(line)
+            compact = json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+            assert line == compact
