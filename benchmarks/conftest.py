@@ -97,10 +97,13 @@ def write_json_result(results_dir: Path, name: str, payload: dict) -> Path:
     grid sizes stay diffable across PRs (the txt artifacts are for
     humans).  Every artifact also records the numpy/BLAS thread
     configuration it was measured under (see
-    :func:`runtime_environment`).
+    :func:`runtime_environment`) and the scoring precision the numbers
+    were taken at (``dtype``; benchmarks that don't thread the knob
+    measure the float64 default).
     """
     payload = dict(payload)
     payload.setdefault("environment", runtime_environment())
+    payload.setdefault("dtype", "float64")
     path = Path(results_dir) / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[{name}] wrote {path}")

@@ -21,6 +21,7 @@ __all__ = [
     "check_positive",
     "check_nonnegative",
     "check_probability",
+    "ensure_matrix",
     "require",
     "rng_from",
 ]
@@ -57,6 +58,42 @@ def as_matrix(values: Iterable[Iterable[float]] | np.ndarray, name: str = "matri
     array = as_float_array(values, name=name)
     if array.ndim != 2:
         raise ReproError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    return array
+
+
+def ensure_matrix(
+    values,
+    dtype: np.dtype | type = np.float64,
+    name: str = "matrix",
+    error: type[ReproError] = ReproError,
+    check_finite: bool = True,
+) -> np.ndarray:
+    """Validate a ``(t, m)`` measurement block without copying it.
+
+    The single entry point for input coercion on the scoring hot path.
+    When ``values`` is already a 2-D ndarray (or ndarray subclass such
+    as ``np.memmap``) of ``dtype``, the returned array *shares its
+    memory* — ``np.asarray`` only converts, never clones, so memory-
+    mapped datasets stream through block scoring and
+    :meth:`~repro.pipeline.sharded.TemporalCoordinator.fit_stream`
+    zero-copy (the out-of-core regression tests pin this with
+    ``np.shares_memory``).  Non-conforming inputs (lists, wrong dtype)
+    are converted, which necessarily allocates.
+
+    ``check_finite`` scans for NaN/inf — a streaming read over the
+    block, no temporary of its size.  Disable only where the caller
+    already guarantees finiteness.
+    """
+    try:
+        array = np.asarray(values, dtype=dtype)
+    except (TypeError, ValueError) as err:
+        raise error(f"{name} is not numeric: {err}") from err
+    if array.ndim != 2:
+        raise error(
+            f"{name} must be 2-dimensional, got shape {array.shape}"
+        )
+    if check_finite and not np.all(np.isfinite(array)):
+        raise error(f"{name} must contain only finite values")
     return array
 
 

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rank", type=int, default=None,
         help="explicit normal-subspace rank (default: 3-sigma separation)",
     )
+    pipe_run.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float64",
+        help="scoring precision (fits always run in float64; default "
+        "float64)",
+    )
 
     pipe_stream = modes.add_parser(
         "stream", help="warm up on leading bins, stream the rest in windows"
@@ -297,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-routing", action="store_true",
         help="detection only: skip identification/quantification",
     )
+    serve.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float64",
+        help="scoring precision (fits always run in float64; default "
+        "float64)",
+    )
 
     inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
     inject.add_argument("dataset", help="a preset name or a saved .npz path")
@@ -379,7 +389,8 @@ def _cmd_pipeline(args) -> int:
     dataset = _load_dataset(args.dataset)
     if args.mode == "run":
         pipeline = DetectionPipeline(
-            confidence=args.confidence, normal_rank=args.rank
+            confidence=args.confidence, normal_rank=args.rank,
+            dtype=args.dtype,
         ).fit(dataset.link_traffic, routing=dataset.routing)
         result = pipeline.detect(dataset.link_traffic)
         print(
@@ -651,6 +662,7 @@ def _cmd_serve(args) -> int:
         confidence=args.confidence,
         refit_interval=args.refit_interval,
         synchronous_refit=args.synchronous_refit,
+        dtype=args.dtype,
     )
     event_log = EventLog(args.event_log) if args.event_log else None
     service = DetectionService.from_warmup(

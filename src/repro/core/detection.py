@@ -79,6 +79,13 @@ class SPEDetector:
     svd_method:
         Eigensolver route forwarded to :class:`~repro.core.pca.PCA`
         (``"auto"`` picks the economy path for the matrix shape).
+    dtype:
+        Scoring precision (``"float64"`` default, or ``"float32"``),
+        forwarded to :class:`~repro.core.pca.PCA`.  The fit — and with
+        it the separation rank and the Q-statistic threshold — always
+        runs in float64; float32 only changes the per-row projection
+        arithmetic, with SPE error bounded by
+        :func:`~repro.core.subspace.float32_spe_band`.
 
     Examples
     --------
@@ -98,6 +105,7 @@ class SPEDetector:
         min_normal_rank: int = 1,
         max_normal_rank: int | None = None,
         svd_method: str = "auto",
+        dtype: np.dtype | type | str = np.float64,
     ) -> None:
         if not 0.0 < confidence < 1.0:
             raise ModelError(f"confidence must lie in (0, 1), got {confidence}")
@@ -107,6 +115,7 @@ class SPEDetector:
         self.min_normal_rank = min_normal_rank
         self.max_normal_rank = max_normal_rank
         self.svd_method = svd_method
+        self.dtype = np.dtype(dtype)
         self._model: SubspaceModel | None = None
         self._threshold: float | None = None
 
@@ -135,6 +144,9 @@ class SPEDetector:
         """
         detector = cls(confidence=confidence, **kwargs)
         detector._model = model
+        # The model's PCA owns the scoring precision; keep the
+        # detector's record of it consistent.
+        detector.dtype = model.dtype
         detector._threshold = q_threshold(
             model.residual_eigenvalues(), confidence=confidence
         )
@@ -142,7 +154,7 @@ class SPEDetector:
 
     def fit(self, measurements: np.ndarray) -> "SPEDetector":
         """Fit PCA, separate subspaces, and compute the SPE limit."""
-        pca = PCA(method=self.svd_method).fit(measurements)
+        pca = PCA(method=self.svd_method, dtype=self.dtype).fit(measurements)
         if self.requested_rank is not None:
             model = SubspaceModel.with_rank(pca, self.requested_rank)
         else:
@@ -210,8 +222,13 @@ class SPEDetector:
         else:
             threshold = self.threshold_at(confidence)
             level = confidence
-        spe = np.atleast_1d(model.spe(measurements))
-        flags = spe > threshold
+        # One fused kernel pass: SPE and the threshold comparison come
+        # out of the same chunked sweep (no full-block residual
+        # temporary), bit-identical to model.spe + elementwise compare.
+        scored = model.score_block(measurements, threshold=float(threshold))
         return DetectionResult(
-            spe=spe, threshold=float(threshold), flags=flags, confidence=level
+            spe=scored.spe,
+            threshold=float(threshold),
+            flags=scored.flags,
+            confidence=level,
         )

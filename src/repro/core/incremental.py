@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.qstatistic import q_threshold
+from repro.core.subspace import score_block
 from repro.exceptions import ModelError, NotFittedError
 
 __all__ = ["IncrementalSubspaceTracker", "principal_angles"]
@@ -235,12 +237,22 @@ class IncrementalSubspaceTracker:
     def spe_block(self, measurements: np.ndarray) -> np.ndarray:
         """SPE of a ``(t, m)`` block under the current model (no update).
 
-        One ``(t, m) @ (m, r)`` product scores the whole block — the
-        vectorized counterpart of calling :meth:`spe` per row.
+        Runs the fused :func:`~repro.core.subspace.score_block` kernel
+        in its basis form (``c − (c P) Pᵀ``, the tracker's historical
+        arithmetic): blocks up to
+        :data:`~repro.core.subspace.DEFAULT_CHUNK_ROWS` rows — every
+        streaming window and per-arrival fold — are computed in a
+        single chunk, bit-identical to the monolithic matmul; larger
+        (out-of-core) blocks are chunked so no full-block residual
+        temporary materializes, at the cost of last-ulp differences
+        (BLAS GEMM is not row-decomposable).
         """
         self._require_ready()
-        measurements = np.asarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2 or measurements.shape[1] != self._mean.shape[0]:
+        measurements = ensure_matrix(
+            measurements, name="block", error=ModelError,
+            check_finite=False,
+        )
+        if measurements.shape[1] != self._mean.shape[0]:
             raise ModelError(
                 f"block must be (t, {self._mean.shape[0]}), got shape "
                 f"{measurements.shape}"
@@ -249,9 +261,9 @@ class IncrementalSubspaceTracker:
             # Full normal subspace: the residual is exactly 0, not the
             # numerical dust of the projection arithmetic.
             return np.zeros(measurements.shape[0])
-        centered = measurements - self._mean
-        residual = centered - (centered @ self._basis) @ self._basis.T
-        return np.einsum("ij,ij->i", residual, residual)
+        return score_block(
+            measurements, self._mean, basis=self._basis
+        ).spe
 
     def update_block(
         self, measurements: np.ndarray, refresh: bool = True

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.suffstats import FinalizedStats, SufficientStats
 from repro.exceptions import ModelError, NotFittedError
 
@@ -100,6 +101,15 @@ class PCA:
         ``"svd"`` forces the thin SVD, ``"gram"`` forces the Gram
         eigensolve on the cheaper side, and ``"svd-full"`` keeps the
         legacy ``full_matrices=True`` reference path.
+    dtype:
+        Precision of the downstream *scoring* kernel (``"float64"``
+        default, or ``"float32"``).  The fit itself always runs in
+        float64 — mean, components, eigenvalues, and hence the
+        separation rank and Q-statistic threshold are bit-identical
+        across modes — the knob only tells
+        :class:`~repro.core.subspace.SubspaceModel` which precision to
+        project rows in, with error bounded by
+        :func:`~repro.core.subspace.float32_spe_band`.
 
     Examples
     --------
@@ -111,13 +121,24 @@ class PCA:
     True
     """
 
-    def __init__(self, center: bool = True, method: str = "auto") -> None:
+    def __init__(
+        self,
+        center: bool = True,
+        method: str = "auto",
+        dtype: np.dtype | type | str = np.float64,
+    ) -> None:
         if method not in _METHODS:
             raise ModelError(
                 f"unknown PCA method {method!r}; choose from {_METHODS}"
             )
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ModelError(
+                f"scoring dtype must be float32 or float64, got {dtype}"
+            )
         self.center = center
         self.method = method
+        self.dtype = dtype
         self._mean: np.ndarray | None = None
         self._components: np.ndarray | None = None  # (m, m): columns are v_i
         self._singular_values: np.ndarray | None = None
@@ -130,18 +151,14 @@ class PCA:
 
         Requires ``t >= 2`` (variance needs at least two samples).
         """
-        measurements = np.asarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2:
-            raise ModelError(
-                f"measurement matrix must be 2-D, got shape {measurements.shape}"
-            )
+        measurements = ensure_matrix(
+            measurements, name="measurement matrix", error=ModelError
+        )
         t, m = measurements.shape
         if t < 2:
             raise ModelError(f"need at least 2 time samples, got {t}")
         if m < 1:
             raise ModelError("measurement matrix has no columns")
-        if not np.all(np.isfinite(measurements)):
-            raise ModelError("measurement matrix contains non-finite values")
 
         solver = self.method
         if solver == "auto":

@@ -82,6 +82,11 @@ def q_threshold(
         # underflow; be safe.
         return 0.0
 
+    if phi2**2 == 0.0 or phi1**2 == 0.0:
+        # Subnormal spectra (λ ≲ 1e-155) underflow the squared power sums
+        # to exact zero even though the phis themselves are non-zero; the
+        # SPE scale is numerically zero there, like the all-zero case.
+        return 0.0
     c_alpha = float(stats.norm.ppf(confidence))
     h0 = 1.0 - (2.0 * phi1 * phi3) / (3.0 * phi2**2)
     if h0 <= 0.0:
@@ -138,6 +143,10 @@ def q_thresholds(
         return np.zeros(conf.shape)
     phi1, phi2, phi3 = residual_phis(lam)
     if phi1 == 0.0 or phi2 == 0.0 or phi3 == 0.0:
+        return np.zeros(conf.shape)
+    if phi2**2 == 0.0 or phi1**2 == 0.0:
+        # Same subnormal-underflow guard as the scalar path: the squared
+        # power sums flush to zero, so the limit is numerically zero.
         return np.zeros(conf.shape)
 
     g = phi2 / phi1

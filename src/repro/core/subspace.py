@@ -18,17 +18,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.pca import PCA
 from repro.exceptions import ModelError
 
 __all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "FLOAT32_BAND_FACTOR",
+    "ScoreBlockResult",
     "ScoreMoments",
     "SeparationResult",
     "SubspaceModel",
+    "float32_spe_band",
+    "score_block",
     "score_moments",
     "separate_axes",
     "separate_axes_from_moments",
 ]
+
+#: Rows processed per pass of the fused scoring kernel.  Large enough
+#: that every interactive caller (one service row, a 36-bin streaming
+#: window, a scenario block) lands in a single chunk, small enough that
+#: the kernel's temporaries stay a few MB regardless of block size.
+DEFAULT_CHUNK_ROWS = 8192
+
+#: Safety factor of the float32 scoring error band (see
+#: :func:`float32_spe_band`).
+FLOAT32_BAND_FACTOR = 16.0
 
 
 @dataclass(frozen=True)
@@ -158,12 +174,19 @@ class ScoreMoments:
         )
 
 
-def score_moments(
-    measurements: np.ndarray, mean: np.ndarray, components: np.ndarray
-) -> ScoreMoments:
-    """Per-axis score moments of one row chunk under a fitted basis."""
-    measurements = np.asarray(measurements, dtype=np.float64)
-    scores = (measurements - mean) @ components
+def _moments_identity(num_axes: int) -> ScoreMoments:
+    """The merge-neutral element: folding it changes nothing."""
+    return ScoreMoments(
+        count=0,
+        sums=np.zeros(num_axes),
+        squares=np.zeros(num_axes),
+        minima=np.full(num_axes, np.inf),
+        maxima=np.full(num_axes, -np.inf),
+    )
+
+
+def _fold_scores(scores: np.ndarray) -> ScoreMoments:
+    """The four mergeable aggregates of one chunk's score matrix."""
     return ScoreMoments(
         count=scores.shape[0],
         sums=scores.sum(axis=0),
@@ -171,6 +194,181 @@ def score_moments(
         minima=scores.min(axis=0),
         maxima=scores.max(axis=0),
     )
+
+
+def score_moments(
+    measurements: np.ndarray, mean: np.ndarray, components: np.ndarray
+) -> ScoreMoments:
+    """Per-axis score moments of one row chunk under a fitted basis."""
+    measurements = ensure_matrix(
+        measurements, name="measurements", error=ModelError,
+        check_finite=False,
+    )
+    return _fold_scores((measurements - mean) @ components)
+
+
+@dataclass(frozen=True)
+class ScoreBlockResult:
+    """Outcome of one fused :func:`score_block` pass.
+
+    Attributes
+    ----------
+    spe:
+        Squared prediction error per row, float64.
+    flags:
+        ``spe > threshold`` per row; ``None`` when no threshold was
+        supplied.
+    moments:
+        Per-axis score moments folded across the whole block; ``None``
+        when no ``components`` were supplied.
+    """
+
+    spe: np.ndarray
+    flags: np.ndarray | None
+    moments: ScoreMoments | None
+
+
+def score_block(
+    measurements: np.ndarray,
+    mean: np.ndarray,
+    *,
+    projector: np.ndarray | None = None,
+    basis: np.ndarray | None = None,
+    threshold: float | None = None,
+    components: np.ndarray | None = None,
+    dtype: np.dtype | type = np.float64,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> ScoreBlockResult:
+    """The fused scoring kernel: SPE → threshold → separation, one pass.
+
+    Processes ``measurements`` in chunks of ``chunk_rows`` rows and, per
+    chunk, computes the residual, its per-row energy (SPE), the
+    Q-threshold comparison, and the per-axis score moments the 3σ
+    separation rule consumes — so the largest temporary is
+    ``(chunk_rows, m)`` no matter how many rows the block has.  With a
+    memory-mapped block, each chunk is a view: nothing bigger than one
+    chunk is ever resident.
+
+    Exactly one residual form must be given:
+
+    ``projector``
+        ``ỹ = (y−ȳ) C̃ᵀ`` via the row-decomposable ``np.einsum`` kernel
+        of :meth:`SubspaceModel.spe` — every row is an independent
+        reduction, so the result is **bit-identical for any chunking**
+        (single row, any ``chunk_rows``, or the whole block at once).
+    ``basis``
+        ``ỹ = c − (c P) Pᵀ`` — the matmul form of
+        :meth:`~repro.core.incremental.IncrementalSubspaceTracker.\
+spe_block`.  BLAS GEMM is *not* row-decomposable: results match the
+        monolithic computation bitwise only while the block fits in one
+        chunk (all interactive callers do; oversized blocks chunk and
+        may differ in the last ulps).
+
+    ``dtype=np.float32`` runs the residual arithmetic in single
+    precision: rows are centered in float64 first (so the large-number
+    cancellation of ``y − ȳ`` never happens in float32), then cast.
+    SPE is returned as float64 either way; its float32-mode error is
+    bounded by :func:`float32_spe_band`.  Moments are always computed
+    in float64 — they are fit-time statistics, not hot-path outputs.
+    """
+    measurements = ensure_matrix(
+        measurements, name="measurements", error=ModelError,
+        check_finite=False,
+    )
+    mean = np.asarray(mean, dtype=np.float64)
+    if (projector is None) == (basis is None):
+        raise ModelError(
+            "score_block needs exactly one of projector= or basis="
+        )
+    if chunk_rows < 1:
+        raise ModelError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ModelError(
+            f"scoring dtype must be float32 or float64, got {dtype}"
+        )
+    m = mean.shape[0]
+    if measurements.shape[1] != m:
+        raise ModelError(
+            f"measurements have {measurements.shape[1]} links, mean "
+            f"covers {m}"
+        )
+
+    # np.asarray never copies when the dtype already matches, so in
+    # float64 mode the operator keeps the exact strides of the caller's
+    # array — einsum's reduction order (and hence the result's bits)
+    # depends on operand layout, so this must stay a view.
+    if projector is not None:
+        operator = np.asarray(projector.T, dtype=dtype)
+    else:
+        operator = np.asarray(basis, dtype=dtype)
+
+    t = measurements.shape[0]
+    spe = np.empty(t)
+    flags = None if threshold is None else np.empty(t, dtype=bool)
+    moments = None if components is None else _moments_identity(
+        np.asarray(components).shape[1]
+    )
+
+    for start in range(0, t, chunk_rows):
+        chunk = measurements[start : start + chunk_rows]
+        centered = chunk - mean
+        work = centered if dtype == np.float64 else centered.astype(dtype)
+        if projector is not None:
+            residual = np.einsum("ij,jk->ik", work, operator)
+        else:
+            residual = work - (work @ operator) @ operator.T
+        part = np.einsum("ij,ij->i", residual, residual)
+        stop = start + chunk.shape[0]
+        spe[start:stop] = part
+        if flags is not None:
+            flags[start:stop] = spe[start:stop] > threshold
+        if moments is not None and chunk.shape[0]:
+            moments = moments.merge(_fold_scores(centered @ components))
+    return ScoreBlockResult(spe=spe, flags=flags, moments=moments)
+
+
+def float32_spe_band(
+    state_magnitude: np.ndarray | float, num_links: int
+) -> np.ndarray | float:
+    """Error band of float32-mode SPE around the float64 value.
+
+    Rows are centered in float64, so the float32 error enters through
+    the cast of the centered vector (relative ``u32`` per coordinate),
+    the cast of the projector entries, and the length-``m`` reductions
+    of the projection and the row dot product — each contributing
+    ``O(m·u32)`` *relative to the centered energy* ``‖y − ȳ‖²`` (the
+    residual is a contraction of the centered vector, so its absolute
+    error scales with the full centered magnitude, not with the
+    possibly tiny SPE itself).  Below float32's subnormal range the
+    relative model breaks — values under ``2⁻¹⁴⁹`` flush to zero
+    outright — so an absolute underflow term joins: every cast,
+    product, and square can mis-round by at most ``tiny = 2⁻¹⁴⁹``,
+    and the cross terms of the dot product scale those flushes by the
+    residual coordinates, which ``‖y − ȳ‖`` bounds.  Stacked and
+    rounded up by :data:`FLOAT32_BAND_FACTOR`:
+
+        |SPE₃₂ − SPE₆₄| ≤ FACTOR · (m + 2) · u32 · ‖y − ȳ‖²
+                        + FACTOR · (m + 2)² · tiny · (1 + ‖y − ȳ‖)
+
+    with ``u32 = 2⁻²³``.  For real traffic (byte counts, ``‖y − ȳ‖²``
+    at 1e6 and up) the underflow term is ~1e-40 — invisible; it exists
+    so the bound is *unconditional*.  The hypothesis suite pins the
+    bound on random models; the scenario suite pins the consequence:
+    float32 and float64 alarm decisions agree on every bin whose
+    float64 SPE sits farther than this band from the threshold.
+    """
+    u32 = float(np.finfo(np.float32).eps)
+    tiny = float(np.finfo(np.float32).smallest_subnormal)
+    magnitude = np.asarray(state_magnitude, dtype=np.float64)
+    band = FLOAT32_BAND_FACTOR * (num_links + 2) * u32 * magnitude
+    band = band + (
+        FLOAT32_BAND_FACTOR
+        * (num_links + 2) ** 2
+        * tiny
+        * (1.0 + np.sqrt(magnitude))
+    )
+    return float(band) if band.ndim == 0 else band
 
 
 def separate_axes_from_moments(
@@ -242,6 +440,10 @@ class SubspaceModel:
             )
         self.pca = pca
         self.normal_rank = normal_rank
+        #: Precision the scoring kernel runs in (the *fit* is always
+        #: float64); inherited from the PCA's ``dtype`` knob.
+        self.dtype = np.dtype(getattr(pca, "dtype", np.float64))
+        self._mean = pca.mean  # cached: the property returns a copy
         components = pca.components
         self._p = components[:, :normal_rank]  # (m, r)
         if normal_rank == m:
@@ -316,7 +518,7 @@ class SubspaceModel:
                 f"measurements have {measurements.shape[-1]} links, model "
                 f"expects {self.num_links}"
             )
-        return measurements - self.pca.mean
+        return measurements - self._mean
 
     def decompose(self, measurements: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Split (centered) measurements into ``(ŷ, ỹ)`` — modeled + residual.
@@ -349,14 +551,57 @@ class SubspaceModel:
         per-row ingest alarms exactly equal to a batch
         :meth:`~repro.pipeline.pipeline.DetectionPipeline.detect` over
         the assembled matrix (pinned by the scoring-invariance property
-        tests).
+        tests).  The same contract is what lets the fused
+        :func:`score_block` kernel process arbitrary row chunks (an
+        out-of-core block never materializes) without moving a bit.
         """
-        centered = self._center(measurements)
-        single = centered.ndim == 1
-        block = centered[None, :] if single else centered
-        residual = np.einsum("ij,jk->ik", block, self._c_tilde.T)
-        spe = np.einsum("ij,ij->i", residual, residual)
+        measurements = np.asarray(measurements, dtype=np.float64)
+        single = measurements.ndim == 1
+        block = measurements[None, :] if single else measurements
+        if block.shape[-1] != self.num_links:
+            raise ModelError(
+                f"measurements have {block.shape[-1]} links, model "
+                f"expects {self.num_links}"
+            )
+        spe = score_block(
+            block, self._mean, projector=self._c_tilde, dtype=self.dtype
+        ).spe
         return float(spe[0]) if single else spe
+
+    def score_block(
+        self,
+        measurements: np.ndarray,
+        threshold: float | None = None,
+        components: np.ndarray | None = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> ScoreBlockResult:
+        """Fused SPE/threshold/separation pass under this model.
+
+        One call to the :func:`score_block` kernel with this model's
+        projector (and scoring dtype): SPE for every row, alarm flags
+        when a ``threshold`` is given, and mergeable score moments when
+        ``components`` are given — all in one chunked pass with no
+        full-block temporary.  Float64 results are bit-identical to
+        :meth:`spe` + elementwise comparison + :func:`score_moments`.
+        """
+        measurements = ensure_matrix(
+            measurements, name="measurements", error=ModelError,
+            check_finite=False,
+        )
+        if measurements.shape[1] != self.num_links:
+            raise ModelError(
+                f"measurements have {measurements.shape[1]} links, model "
+                f"expects {self.num_links}"
+            )
+        return score_block(
+            measurements,
+            self._mean,
+            projector=self._c_tilde,
+            threshold=threshold,
+            components=components,
+            dtype=self.dtype,
+            chunk_rows=chunk_rows,
+        )
 
     def state_magnitude(self, measurements: np.ndarray) -> np.ndarray | float:
         """``‖y − ȳ‖²`` — the state-vector magnitude of paper Fig. 5 (top)."""

@@ -9,7 +9,13 @@ anomalies, and the derived link measurement matrix ``Y = X Aᵀ``.
 from repro.datasets.dataset import Dataset
 from repro.datasets.synthetic import build_dataset, dataset_from_config
 from repro.datasets.export import export_csv
-from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.io import (
+    load_dataset,
+    open_traffic_memmap,
+    save_dataset,
+    save_traffic_memmap,
+    traffic_chunks,
+)
 from repro.datasets.summary import dataset_summary, summary_table
 
 __all__ = [
@@ -18,6 +24,9 @@ __all__ = [
     "dataset_from_config",
     "save_dataset",
     "load_dataset",
+    "save_traffic_memmap",
+    "open_traffic_memmap",
+    "traffic_chunks",
     "export_csv",
     "dataset_summary",
     "summary_table",

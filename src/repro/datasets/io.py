@@ -4,6 +4,17 @@ Datasets round-trip through a single ``.npz`` archive: numeric arrays are
 stored natively, the topology as embedded JSON, and the ground-truth event
 ledger as parallel arrays.  The workload config is stored as JSON too, so
 a loaded dataset remembers how it was generated.
+
+For traffic matrices too large to hold in memory, the raw ``(t, m)``
+link-measurement block additionally round-trips through a plain ``.npy``
+file opened as a read-only :class:`numpy.memmap`
+(:func:`save_traffic_memmap` / :func:`open_traffic_memmap`): row slices
+of the map are ordinary float64 views that stream zero-copy through
+:func:`~repro._util.ensure_matrix` into block scoring and
+:meth:`~repro.pipeline.sharded.TemporalCoordinator.fit_stream` — the OS
+pages rows in and out on demand and the matrix is never materialized.
+:func:`traffic_chunks` packages the re-iterable chunk source those
+streaming fits expect.
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.datasets.dataset import Dataset
 from repro.exceptions import DatasetError
 from repro.routing.routing_matrix import RoutingMatrix
@@ -22,9 +34,83 @@ from repro.traffic.anomalies import AnomalyEvent, AnomalyShape
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.workloads import WorkloadConfig
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_traffic_memmap",
+    "open_traffic_memmap",
+    "traffic_chunks",
+]
 
 _FORMAT_VERSION = 1
+
+
+def save_traffic_memmap(measurements: np.ndarray, path: str | Path) -> Path:
+    """Write a ``(t, m)`` traffic block as a memmap-ready ``.npy`` file.
+
+    Uses the standard ``.npy`` container (``np.save``), so the file is
+    also loadable with plain ``np.load``; stored as C-contiguous float64
+    because that is the layout :func:`open_traffic_memmap` hands back as
+    zero-copy views.
+    """
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(path.suffix + ".npy")
+    measurements = ensure_matrix(
+        measurements, name="measurements", error=DatasetError
+    )
+    np.save(path, measurements, allow_pickle=False)
+    return path
+
+
+def open_traffic_memmap(path: str | Path) -> np.ndarray:
+    """Open a :func:`save_traffic_memmap` file as a read-only memmap.
+
+    The returned array reads pages from disk on demand; row slices are
+    views onto the map, so chunked scoring and streaming fits touch only
+    the rows they are currently processing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"traffic file not found: {path}")
+    try:
+        mapped = np.load(path, mmap_mode="r", allow_pickle=False)
+    except ValueError as err:
+        raise DatasetError(f"not a .npy traffic file: {path}: {err}") from err
+    if mapped.ndim != 2:
+        raise DatasetError(
+            f"traffic file must hold a (t, m) block, got shape {mapped.shape}"
+        )
+    if mapped.dtype != np.float64:
+        raise DatasetError(
+            f"traffic file must hold float64, got {mapped.dtype}"
+        )
+    return mapped
+
+
+def traffic_chunks(source: np.ndarray | str | Path, chunk_rows: int = 8192):
+    """A re-iterable chunk source over a traffic block or ``.npy`` path.
+
+    Returns the zero-argument callable
+    :meth:`~repro.pipeline.sharded.TemporalCoordinator.fit_stream`
+    expects: each call yields fresh ``(k, m)`` row slices, oldest first.
+    Slices are views (zero-copy) whether ``source`` is an in-memory
+    array or a path opened through :func:`open_traffic_memmap`.
+    """
+    if chunk_rows < 1:
+        raise DatasetError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if isinstance(source, (str, Path)):
+        block = open_traffic_memmap(source)
+    else:
+        block = ensure_matrix(
+            source, name="source", error=DatasetError, check_finite=False
+        )
+
+    def chunks():
+        for start in range(0, block.shape[0], chunk_rows):
+            yield block[start : start + chunk_rows]
+
+    return chunks
 
 
 def save_dataset(dataset: Dataset, path: str | Path) -> Path:

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.detection import DetectionResult, SPEDetector
 from repro.core.diagnosis import Diagnosis
 from repro.core.identification import identify_block
@@ -177,6 +178,7 @@ class DetectionPipeline:
         min_normal_rank: int = 1,
         max_normal_rank: int | None = None,
         svd_method: str = "auto",
+        dtype: np.dtype | type | str = np.float64,
     ) -> None:
         self._detector = SPEDetector(
             confidence=confidence,
@@ -185,6 +187,7 @@ class DetectionPipeline:
             min_normal_rank=min_normal_rank,
             max_normal_rank=max_normal_rank,
             svd_method=svd_method,
+            dtype=dtype,
         )
         self._routing: RoutingMatrix | None = None
         self._directions: np.ndarray | None = None
@@ -216,11 +219,10 @@ class DetectionPipeline:
             is also identified (winning OD flow) and quantified (bytes);
             without it the pipeline performs detection only.
         """
-        measurements = np.asarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2:
-            raise ModelError(
-                f"measurements must be (t, m), got shape {measurements.shape}"
-            )
+        measurements = ensure_matrix(
+            measurements, name="measurements", error=ModelError,
+            check_finite=False,
+        )
         if routing is not None and routing.num_links != measurements.shape[1]:
             raise ModelError(
                 f"measurements cover {measurements.shape[1]} links but the "

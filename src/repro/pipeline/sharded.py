@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.detection import SPEDetector
 from repro.core.pca import PCA
 from repro.core.qstatistic import q_threshold
@@ -309,6 +310,11 @@ class TemporalCoordinator:
         distributed pass over mergeable score moments.
     tile_rows:
         Canonical tile height of the sufficient statistics.
+    dtype:
+        Scoring precision of the packaged detector (``"float64"``
+        default, or ``"float32"``).  The fit itself — statistics,
+        eigendecomposition, separation, threshold — always runs in
+        float64.
     """
 
     def __init__(
@@ -321,6 +327,7 @@ class TemporalCoordinator:
         min_normal_rank: int = 1,
         max_normal_rank: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
+        dtype: np.dtype | type | str = np.float64,
     ) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
@@ -334,6 +341,7 @@ class TemporalCoordinator:
         self.min_normal_rank = min_normal_rank
         self.max_normal_rank = max_normal_rank
         self.tile_rows = int(tile_rows)
+        self.dtype = np.dtype(dtype)
 
     # ------------------------------------------------------------------
     def fit(self, measurements: np.ndarray) -> TemporalShardFit:
@@ -345,11 +353,14 @@ class TemporalCoordinator:
         monolithically (for ``t >= m``, the sharding regime).
         """
         begin = time.perf_counter()
-        measurements = np.ascontiguousarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2:
-            raise ModelError(
-                f"measurements must be (t, m), got shape {measurements.shape}"
-            )
+        measurements = ensure_matrix(
+            measurements, name="measurements", error=ModelError,
+            check_finite=False,
+        )
+        if not measurements.flags.c_contiguous:
+            # The fork/shared-memory fan-out hands workers row ranges of
+            # one flat buffer; only a non-contiguous layout forces a copy.
+            measurements = np.ascontiguousarray(measurements)
         bounds = _shard_bounds(measurements.shape[0], self.num_shards)
         workers = self.workers
         if workers is None:
@@ -401,7 +412,11 @@ class TemporalCoordinator:
         offset = 0
         merge_s = 0.0
         for chunk in chunk_source():
-            chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+            # Zero-copy for conforming chunks: memmap slices stream
+            # straight into the statistics kernel without materializing.
+            chunk = ensure_matrix(
+                chunk, name="chunk", error=ModelError, check_finite=False
+            )
             if chunk.shape[0] == 0:
                 continue  # an empty shard contributes nothing
             pass_begin = time.perf_counter()
@@ -475,7 +490,7 @@ class TemporalCoordinator:
     ) -> TemporalShardFit:
         """Shared tail of the streaming/accumulated fit routes."""
         fit_begin = time.perf_counter()
-        pca = PCA(method="gram").fit_from_stats(stats)
+        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(stats)
         fit_s = time.perf_counter() - fit_begin
 
         separation: SeparationResult | None = None
@@ -486,7 +501,10 @@ class TemporalCoordinator:
             folded: ScoreMoments | None = None
             position = 0
             for chunk in chunk_source():
-                chunk = np.asarray(chunk, dtype=np.float64)
+                chunk = ensure_matrix(
+                    chunk, name="chunk", error=ModelError,
+                    check_finite=False,
+                )
                 if chunk.shape[0] == 0:
                     continue  # mirror the stats pass: empty shards skip
                 moments = score_moments(chunk, mean, components)
@@ -549,7 +567,7 @@ class TemporalCoordinator:
         merge_s = time.perf_counter() - merge_begin
 
         fit_begin = time.perf_counter()
-        pca = PCA(method="gram").fit_from_stats(merged)
+        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(merged)
         fit_s = time.perf_counter() - fit_begin
 
         separation: SeparationResult | None = None
@@ -593,6 +611,7 @@ class TemporalCoordinator:
             normal_rank=self.normal_rank,
             min_normal_rank=self.min_normal_rank,
             max_normal_rank=self.max_normal_rank,
+            dtype=self.dtype,
         )
 
     def _fit_serial(self, measurements: np.ndarray, bounds):
@@ -730,6 +749,7 @@ def temporal_fit_matches_monolithic(
         min_normal_rank=fit.detector.min_normal_rank,
         max_normal_rank=fit.detector.max_normal_rank,
         svd_method="gram",
+        dtype=fit.detector.dtype,
     ).fit(measurements)
     ours, theirs = fit.detector.model, reference.model
     return (

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.identification import identify_from_residuals
 from repro.core.incremental import IncrementalSubspaceTracker
 from repro.exceptions import ModelError
@@ -209,11 +210,9 @@ class StreamingDetector:
         arrivals) — the per-arrival adapters use this to decouple window
         size from refresh schedule.
         """
-        measurements = np.asarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2:
-            raise ModelError(
-                f"a window must be (k, m), got shape {measurements.shape}"
-            )
+        measurements = ensure_matrix(
+            measurements, name="window", error=ModelError, check_finite=False,
+        )
         threshold = self._tracker.threshold
         start = self._arrivals
 
@@ -250,11 +249,10 @@ class StreamingDetector:
         The final window may be shorter.  Yields lazily so callers can
         act on alarms as each window completes.
         """
-        measurements = np.asarray(measurements, dtype=np.float64)
-        if measurements.ndim != 2:
-            raise ModelError(
-                f"expected a (t, m) block, got shape {measurements.shape}"
-            )
+        measurements = ensure_matrix(
+            measurements, name="measurements", error=ModelError,
+            check_finite=False,
+        )
         if window_bins < 1:
             raise ModelError(f"window_bins must be >= 1, got {window_bins}")
         for start in range(0, measurements.shape[0], window_bins):

@@ -12,9 +12,10 @@ itself is under test.
 
 Parity contract
 ---------------
-Every accepted row is scored by ``version.detector.spe(row)`` — the
-row-decomposable canonical kernel of
-:meth:`~repro.core.subspace.SubspaceModel.spe` — so the SPE, flag, and
+Every accepted row is scored by the fused
+:meth:`~repro.core.subspace.SubspaceModel.score_block` kernel against
+the pinned version — the same row-decomposable projection the batch
+path runs — so the SPE, flag, and
 threshold of stream bin ``b`` are bit-identical to row ``b`` of a batch
 :meth:`DetectionPipeline.detect
 <repro.pipeline.pipeline.DetectionPipeline.detect>` under the same
@@ -90,6 +91,12 @@ class ServiceConfig:
         :class:`~repro.core.incremental.IncrementalSubspaceTracker`).
     max_rows_per_request, max_body_bytes, read_timeout:
         Transport guards enforced by the HTTP layer.
+    dtype:
+        Scoring precision, ``"float64"`` (default) or ``"float32"``.
+        Fits — rank, threshold, components — always run in float64;
+        float32 only changes the per-row projection arithmetic, with
+        SPE error bounded by
+        :func:`~repro.core.subspace.float32_spe_band`.
     """
 
     confidence: float = 0.999
@@ -105,6 +112,7 @@ class ServiceConfig:
     max_rows_per_request: int = 4096
     max_body_bytes: int = 8_000_000
     read_timeout: float = 10.0
+    dtype: str = "float64"
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """A copy with the given fields replaced."""
@@ -218,6 +226,7 @@ class DetectionService:
             max_normal_rank=config.max_normal_rank,
             tile_rows=config.tile_rows,
             refit_hook=refit_hook,
+            dtype=config.dtype,
         )
         lifecycle.bootstrap(warmup)
         return cls(
@@ -282,7 +291,8 @@ class DetectionService:
         )
         self._h_latency = registry.histogram(
             "repro_ingest_latency_seconds",
-            "Wall-clock seconds spent scoring and folding one row.",
+            "Wall-clock seconds spent handling one ingested row, "
+            "accepted or rejected.",
         )
 
     def _seed_tracker(
@@ -389,9 +399,17 @@ class DetectionService:
         Raises :class:`~repro.exceptions.IngestError` on rejection — the
         error counter and event log are already updated when it leaves,
         and the service state is untouched (the stream position does not
-        advance).
+        advance).  The latency histogram observes *every* row, accepted
+        or rejected — rejections consume wall-clock too, and a flood of
+        malformed traffic must not vanish from the latency telemetry.
         """
         begin = self._latency_clock()
+        try:
+            return self._ingest_row(row, bin_id)
+        finally:
+            self._h_latency.observe(self._latency_clock() - begin)
+
+    def _ingest_row(self, row, bin_id: int | None = None) -> RowOutcome:
         with self._lock:
             try:
                 values = self._validate_row(row, bin_id)
@@ -399,8 +417,13 @@ class DetectionService:
                 self.record_error(err.reason, detail=str(err))
                 raise
             version = self.lifecycle.current
-            spe = float(version.detector.spe(values))
-            flag = bool(spe > version.threshold)
+            # One fused kernel pass scores the row and compares it to
+            # the threshold (bit-identical to detector.spe + compare).
+            scored = version.detector.model.score_block(
+                values[None, :], threshold=float(version.threshold)
+            )
+            spe = float(scored.spe[0])
+            flag = bool(scored.flags[0])
             outcome = RowOutcome(
                 bin=self._stream_rows,
                 spe=spe,
@@ -434,7 +457,6 @@ class DetectionService:
                 self._do_refit()
         if due and not self.config.synchronous_refit:
             self.request_refit()
-        self._h_latency.observe(self._latency_clock() - begin)
         return outcome
 
     def ingest_rows(
@@ -555,6 +577,7 @@ class DetectionService:
         return {
             "current": history[-1].summary(),
             "history": [version.summary() for version in history],
+            "dtype": self.config.dtype,
         }
 
     def metrics_text(self) -> str:

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro._util import ensure_matrix
 from repro.core.detection import SPEDetector
 from repro.core.suffstats import DEFAULT_TILE_ROWS, SufficientStats
 from repro.exceptions import ServiceError
@@ -116,6 +117,7 @@ class ModelLifecycleManager:
         max_normal_rank: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
         refit_hook: Callable[[], None] | None = None,
+        dtype: np.dtype | type | str = np.float64,
     ) -> None:
         self.confidence = confidence
         self.threshold_sigma = threshold_sigma
@@ -124,6 +126,7 @@ class ModelLifecycleManager:
         self.max_normal_rank = max_normal_rank
         self.tile_rows = tile_rows
         self.refit_hook = refit_hook
+        self.dtype = np.dtype(dtype)
         self._lock = threading.RLock()
         self._blocks: list[np.ndarray] = []
         self._rows = 0
@@ -172,11 +175,9 @@ class ModelLifecycleManager:
     # ------------------------------------------------------------------
     def bootstrap(self, warmup: np.ndarray) -> ModelVersion:
         """Fit version 1 from a ``(t, m)`` warmup block."""
-        warmup = np.ascontiguousarray(warmup, dtype=np.float64)
-        if warmup.ndim != 2:
-            raise ServiceError(
-                f"warmup must be a (t, m) block, got shape {warmup.shape}"
-            )
+        warmup = ensure_matrix(
+            warmup, name="warmup", error=ServiceError, check_finite=False
+        )
         if warmup.shape[0] < 2:
             raise ServiceError(
                 f"warmup needs at least 2 rows, got {warmup.shape[0]}"
@@ -200,11 +201,9 @@ class ModelLifecycleManager:
 
     def append_rows(self, block: np.ndarray) -> None:
         """Fold newly scored rows into the history (post-scoring)."""
-        block = np.ascontiguousarray(block, dtype=np.float64)
-        if block.ndim != 2:
-            raise ServiceError(
-                f"rows must form a (k, m) block, got shape {block.shape}"
-            )
+        block = ensure_matrix(
+            block, name="rows", error=ServiceError, check_finite=False
+        )
         if block.shape[0] == 0:
             return
         with self._lock:
@@ -232,6 +231,7 @@ class ModelLifecycleManager:
             min_normal_rank=self.min_normal_rank,
             max_normal_rank=self.max_normal_rank,
             tile_rows=self.tile_rows,
+            dtype=self.dtype,
         )
 
     def _fit_candidate_locked(self) -> SPEDetector:
@@ -326,6 +326,7 @@ class ModelLifecycleManager:
                     "min_normal_rank": self.min_normal_rank,
                     "max_normal_rank": self.max_normal_rank,
                     "tile_rows": self.tile_rows,
+                    "dtype": str(self.dtype),
                 },
                 "stats": self._stats,
                 "blocks": list(self._blocks),
@@ -365,6 +366,9 @@ class ModelLifecycleManager:
             min_normal_rank=config["min_normal_rank"],
             max_normal_rank=config["max_normal_rank"],
             tile_rows=config["tile_rows"],
+            # Schema-1 checkpoints written before the dtype knob existed
+            # carry no entry; those models scored in float64.
+            dtype=config.get("dtype", "float64"),
         )
         current = payload["current"]
         with manager._lock:

@@ -31,6 +31,17 @@ class TestQThreshold:
     def test_zero_eigenvalues_give_zero(self):
         assert q_threshold(np.zeros(5)) == 0.0
 
+    def test_subnormal_spectrum_gives_zero(self):
+        # λ ≈ 1e-91 squares to ~1e-182 and phi2² underflows to exact
+        # zero; the guard must return 0.0 instead of dividing by it.
+        lam = np.full(5, 1e-91)
+        assert q_threshold(lam) == 0.0
+        from repro.core.qstatistic import q_thresholds
+
+        assert np.array_equal(
+            q_thresholds(lam, np.array([0.995, 0.999])), np.zeros(2)
+        )
+
     def test_monotone_in_confidence(self):
         lam = np.array([4.0, 3.0, 2.0, 1.0, 0.5])
         t95 = q_threshold(lam, confidence=0.95)

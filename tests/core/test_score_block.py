@@ -1,0 +1,243 @@
+"""The fused score→threshold→separate kernel (:func:`score_block`).
+
+The kernel replaces three separate passes — SPE projection, threshold
+comparison, separation-moments fold — with one chunked sweep.  These
+tests pin its contracts: bit-identity with the historical per-stage
+arithmetic, chunking invariance of the projector route, the basis
+route's single-chunk equivalence, and the float32 error band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import SPEDetector
+from repro.core.subspace import (
+    DEFAULT_CHUNK_ROWS,
+    ScoreMoments,
+    SubspaceModel,
+    float32_spe_band,
+    score_block,
+    score_moments,
+)
+from repro.exceptions import ModelError
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A fitted model plus a scoring block with alarms in it."""
+    rng = np.random.default_rng(7341)
+    factors = rng.normal(size=(4, 12))
+    train = 1e3 + rng.normal(size=(300, 4)) * [9.0, 5.0, 2.0, 1.0] @ factors
+    train += rng.normal(size=(300, 12)) * 0.1
+    detector = SPEDetector(confidence=0.99).fit(train)
+    block = train[:120].copy()
+    block[::17] += rng.normal(size=block[::17].shape) * 40.0  # force alarms
+    return detector, block
+
+
+class TestFusionBitIdentity:
+    def test_spe_matches_unfused_projector_arithmetic(self, world):
+        detector, block = world
+        model = detector.model
+        centered = block - model.pca.mean
+        residual = np.einsum(
+            "ij,jk->ik", centered, np.asarray(model.anomalous_projector.T)
+        )
+        expected = np.einsum("ij,ij->i", residual, residual)
+        result = score_block(
+            block, model.pca.mean, projector=model.anomalous_projector
+        )
+        assert np.array_equal(result.spe, expected)
+        assert result.flags is None
+        assert result.moments is None
+
+    def test_flags_match_elementwise_compare(self, world):
+        detector, block = world
+        threshold = float(detector.threshold)
+        result = detector.model.score_block(block, threshold=threshold)
+        assert np.array_equal(result.flags, result.spe > threshold)
+        assert result.flags.any() and not result.flags.all()
+
+    def test_moments_match_separate_fold_single_chunk(self, world):
+        detector, block = world
+        model = detector.model
+        components = model.pca.components
+        fused = model.score_block(block, components=components).moments
+        separate = score_moments(block, model.pca.mean, components)
+        assert fused.count == separate.count
+        assert np.array_equal(fused.sums, separate.sums)
+        assert np.array_equal(fused.squares, separate.squares)
+        assert np.array_equal(fused.minima, separate.minima)
+        assert np.array_equal(fused.maxima, separate.maxima)
+
+    def test_model_spe_routes_through_kernel(self, world):
+        detector, block = world
+        model = detector.model
+        via_kernel = score_block(
+            block, model.pca.mean, projector=model.anomalous_projector
+        ).spe
+        assert np.array_equal(model.spe(block), via_kernel)
+        assert float(model.spe(block[3])) == via_kernel[3]
+
+    def test_detect_matches_spe_plus_compare(self, world):
+        detector, block = world
+        result = detector.detect(block)
+        spe = detector.spe(block)
+        assert np.array_equal(result.spe, spe)
+        assert np.array_equal(result.flags, spe > detector.threshold)
+
+
+class TestChunking:
+    def test_projector_route_chunking_is_bitwise_invariant(self, world):
+        detector, block = world
+        model = detector.model
+        reference = score_block(
+            block, model.pca.mean, projector=model.anomalous_projector
+        ).spe
+        for chunk_rows in (1, 7, 64, DEFAULT_CHUNK_ROWS):
+            chunked = score_block(
+                block,
+                model.pca.mean,
+                projector=model.anomalous_projector,
+                chunk_rows=chunk_rows,
+            ).spe
+            assert np.array_equal(chunked, reference), chunk_rows
+
+    def test_chunked_moments_fold_is_exact_in_count_and_extrema(self, world):
+        detector, block = world
+        model = detector.model
+        components = model.pca.components
+        whole = model.score_block(block, components=components).moments
+        chunked = model.score_block(
+            block, components=components, chunk_rows=11
+        ).moments
+        assert chunked.count == whole.count
+        assert np.array_equal(chunked.minima, whole.minima)
+        assert np.array_equal(chunked.maxima, whole.maxima)
+        # Partial sums re-associate the reduction; equality is only up
+        # to rounding, which is why every current caller stays within
+        # one DEFAULT_CHUNK_ROWS chunk.
+        assert np.allclose(chunked.sums, whole.sums, rtol=1e-12)
+        assert np.allclose(chunked.squares, whole.squares, rtol=1e-12)
+
+    def test_basis_route_matches_matmul_form_in_one_chunk(self, world):
+        detector, block = world
+        model = detector.model
+        basis = model.pca.components[:, : model.normal_rank]
+        centered = block - model.pca.mean
+        residual = centered - (centered @ basis) @ basis.T
+        expected = np.einsum("ij,ij->i", residual, residual)
+        result = score_block(block, model.pca.mean, basis=basis)
+        assert np.array_equal(result.spe, expected)
+
+    def test_empty_block(self, world):
+        detector, _ = world
+        model = detector.model
+        empty = np.empty((0, model.pca.num_components))
+        result = model.score_block(
+            empty, threshold=1.0, components=model.pca.components
+        )
+        assert result.spe.shape == (0,)
+        assert result.flags.shape == (0,)
+        assert result.moments.count == 0
+        assert np.all(np.isinf(result.moments.minima))
+
+
+class TestValidation:
+    def test_exactly_one_operator_required(self, world):
+        detector, block = world
+        model = detector.model
+        mean = model.pca.mean
+        with pytest.raises(ModelError, match="exactly one"):
+            score_block(block, mean)
+        with pytest.raises(ModelError, match="exactly one"):
+            score_block(
+                block,
+                mean,
+                projector=model.anomalous_projector,
+                basis=model.pca.components[:, :2],
+            )
+
+    def test_rejects_bad_chunk_rows_and_dtype(self, world):
+        detector, block = world
+        model = detector.model
+        with pytest.raises(ModelError, match="chunk_rows"):
+            score_block(
+                block,
+                model.pca.mean,
+                projector=model.anomalous_projector,
+                chunk_rows=0,
+            )
+        with pytest.raises(ModelError, match="dtype"):
+            score_block(
+                block,
+                model.pca.mean,
+                projector=model.anomalous_projector,
+                dtype=np.int32,
+            )
+
+    def test_rejects_width_mismatch(self, world):
+        detector, block = world
+        model = detector.model
+        with pytest.raises(ModelError):
+            model.score_block(block[:, :-1])
+
+
+class TestFloat32Mode:
+    def test_spe_within_band_of_float64(self, world):
+        detector, block = world
+        model = detector.model
+        spe64 = model.spe(block)
+        model32 = SubspaceModel(model.pca, model.normal_rank)
+        model32.dtype = np.dtype(np.float32)
+        spe32 = model32.spe(block)
+        assert spe32.dtype == np.float64  # returned in float64 either way
+        band = float32_spe_band(
+            model.state_magnitude(block), model.pca.num_components
+        )
+        assert np.all(np.abs(spe32 - spe64) <= band)
+        assert not np.array_equal(spe32, spe64)  # precision actually moved
+
+    def test_detector_dtype_threads_to_scoring(self, world):
+        _, block = world
+        d64 = SPEDetector(confidence=0.99).fit(block)
+        d32 = SPEDetector(confidence=0.99, dtype="float32").fit(block)
+        # The fit is float64 in both modes: identical model and limit.
+        assert d32.threshold == d64.threshold
+        assert d32.normal_rank == d64.normal_rank
+        assert np.array_equal(
+            d32.model.pca.components, d64.model.pca.components
+        )
+        assert d32.model.dtype == np.dtype(np.float32)
+        band = float32_spe_band(
+            d64.model.state_magnitude(block), block.shape[1]
+        )
+        assert np.all(np.abs(d32.spe(block) - d64.spe(block)) <= band)
+
+    def test_band_scalar_and_vector_forms(self):
+        # Even at zero magnitude the band keeps the absolute underflow
+        # term — the bound is unconditional, never exactly zero.
+        assert 0.0 < float32_spe_band(0.0, 10) < 1e-40
+        scalar = float32_spe_band(4.0, 10)
+        assert isinstance(scalar, float)
+        vector = float32_spe_band(np.array([4.0, 8.0]), 10)
+        assert vector[0] == scalar and vector[1] > vector[0]
+
+
+class TestMomentsIdentity:
+    def test_merge_with_identity_is_neutral(self, world):
+        detector, block = world
+        model = detector.model
+        components = model.pca.components
+        folded = score_moments(block, model.pca.mean, components)
+        identity = ScoreMoments(
+            count=0,
+            sums=np.zeros(components.shape[1]),
+            squares=np.zeros(components.shape[1]),
+            minima=np.full(components.shape[1], np.inf),
+            maxima=np.full(components.shape[1], -np.inf),
+        )
+        merged = identity.merge(folded)
+        assert merged.count == folded.count
+        assert np.array_equal(merged.sums, folded.sums)
+        assert np.array_equal(merged.minima, folded.minima)

@@ -1,0 +1,89 @@
+"""Property-based tests for the validated float32 scoring mode.
+
+The analytical claim (see :func:`repro.core.subspace.float32_spe_band`):
+with rows centered in float64 before the cast, the float32 SPE differs
+from the float64 SPE by at most ``16·(m+2)·u32·‖y − ȳ‖²``.  These tests
+pin the bound over arbitrary well-conditioned ensembles, and pin the
+consequence the service relies on — alarm decisions can only disagree
+inside the band around the threshold.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.detection import SPEDetector
+from repro.core.subspace import SubspaceModel, float32_spe_band
+
+
+def matrices(min_rows=8, max_rows=60, min_cols=3, max_cols=10):
+    """Random finite measurement matrices with bounded magnitude."""
+    shapes = st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    )
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), st.integers(0, 9))
+def test_float32_spe_stays_inside_the_band(data, rank_seed):
+    from repro.core.pca import PCA
+
+    pca = PCA().fit(data)
+    rank = min(rank_seed, pca.num_components)
+    model64 = SubspaceModel(pca, rank)
+    model32 = SubspaceModel(pca, rank)
+    model32.dtype = np.dtype(np.float32)
+    spe64 = np.atleast_1d(model64.spe(data))
+    spe32 = np.atleast_1d(model32.spe(data))
+    band = np.atleast_1d(
+        float32_spe_band(model64.state_magnitude(data), pca.num_components)
+    )
+    assert np.all(np.abs(spe32 - spe64) <= band)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(min_rows=16))
+def test_alarm_disagreements_only_inside_the_band(data):
+    d64 = SPEDetector(confidence=0.99).fit(data)
+    d32 = SPEDetector(confidence=0.99, dtype="float32").fit(data)
+    threshold = float(d64.threshold)
+    assert float(d32.threshold) == threshold  # fit is float64 in both
+    flags64 = d64.detect(data).flags
+    flags32 = d32.detect(data).flags
+    band = np.atleast_1d(
+        float32_spe_band(d64.model.state_magnitude(data), data.shape[1])
+    )
+    spe64 = np.atleast_1d(d64.spe(data))
+    disagree = flags64 != flags32
+    assert np.all(np.abs(spe64[disagree] - threshold) <= band[disagree])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 20),
+        elements=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    ),
+    st.integers(1, 2000),
+)
+def test_band_is_positive_and_monotone_in_magnitude(magnitudes, num_links):
+    band = np.atleast_1d(float32_spe_band(magnitudes, num_links))
+    assert np.all(band > 0)  # the underflow term keeps it off zero
+    doubled = np.atleast_1d(float32_spe_band(2.0 * magnitudes, num_links))
+    assert np.all(doubled >= band)
+    # The relative term dominates at real traffic magnitudes.
+    u32 = float(np.finfo(np.float32).eps)
+    assert np.all(band >= 16.0 * (num_links + 2) * u32 * magnitudes)

@@ -1,0 +1,76 @@
+"""Float32 scoring parity across the full anomaly-taxonomy suite.
+
+The validated float32 mode promises: the fit (rank, components,
+threshold) is bit-identical to float64, and alarm decisions agree on
+every bin whose float64 SPE sits farther than
+:func:`~repro.core.subspace.float32_spe_band` from the threshold.
+These tests pin that promise against every scenario of the core suite —
+all seven anomaly families, both topologies — so a kernel change that
+widens the float32 error surfaces as a golden drift here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.subspace import float32_spe_band
+from repro.pipeline import DetectionPipeline
+from repro.scenarios import CORE_SUITE
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in CORE_SUITE]
+)
+def test_float32_alarms_agree_outside_the_band(name, compiled_core):
+    dataset = compiled_core[name].dataset
+    traffic = dataset.link_traffic
+    pipe64 = DetectionPipeline(confidence=0.999).fit(traffic)
+    pipe32 = DetectionPipeline(confidence=0.999, dtype="float32").fit(traffic)
+
+    # The fit never runs in float32: same subspaces, same limit.
+    assert pipe32.threshold == pipe64.threshold
+    assert pipe32.normal_rank == pipe64.normal_rank
+    assert np.array_equal(
+        pipe32.detector.model.pca.components,
+        pipe64.detector.model.pca.components,
+    )
+
+    r64 = pipe64.detect(traffic)
+    r32 = pipe32.detect(traffic)
+    spe64 = r64.spe
+    band = float32_spe_band(
+        pipe64.detector.model.state_magnitude(traffic), traffic.shape[1]
+    )
+
+    # SPE itself stays inside the analytical band on every bin.
+    assert np.all(np.abs(r32.spe - spe64) <= band)
+
+    # Alarm decisions may only differ within the ε-band of the limit.
+    disagree = r64.flags != r32.flags
+    assert np.all(
+        np.abs(spe64[disagree] - r64.threshold) <= band[disagree]
+    ), f"{name}: float32 flipped a decision outside the band"
+
+
+def test_float32_decisions_identical_on_core_suite(compiled_core):
+    """On the shipped suite the band never straddles the limit.
+
+    Traffic SPE sits orders of magnitude from the threshold relative to
+    the float32 error, so the seven families should agree bin-for-bin —
+    pinning this catches precision regressions long before they grow
+    past the analytical band.
+    """
+    for name, compiled in compiled_core.items():
+        traffic = compiled.dataset.link_traffic
+        flags64 = (
+            DetectionPipeline(confidence=0.999)
+            .fit(traffic)
+            .detect(traffic)
+            .flags
+        )
+        flags32 = (
+            DetectionPipeline(confidence=0.999, dtype="float32")
+            .fit(traffic)
+            .detect(traffic)
+            .flags
+        )
+        assert np.array_equal(flags64, flags32), name

@@ -44,7 +44,7 @@ class TestBootstrap:
             lifecycle.current
         with pytest.raises(ServiceError, match="at least 2"):
             lifecycle.bootstrap(dataset.link_traffic[:1])
-        with pytest.raises(ServiceError, match="\\(t, m\\)"):
+        with pytest.raises(ServiceError, match="2-dimensional"):
             lifecycle.bootstrap(dataset.link_traffic[0])
         lifecycle.bootstrap(dataset.link_traffic[:warmup])
         with pytest.raises(ServiceError, match="already bootstrapped"):
@@ -88,7 +88,7 @@ class TestAppendAndRefit:
         dataset, _, lifecycle = manager
         with pytest.raises(ServiceError, match="width"):
             lifecycle.append_rows(np.ones((1, 3)))
-        with pytest.raises(ServiceError, match="block"):
+        with pytest.raises(ServiceError, match="2-dimensional"):
             lifecycle.append_rows(np.ones(4))
         rows_before = lifecycle.rows
         lifecycle.append_rows(

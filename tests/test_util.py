@@ -11,12 +11,13 @@ from repro._util import (
     check_nonnegative,
     check_positive,
     check_probability,
+    ensure_matrix,
     pairwise,
     require,
     rng_from,
     unit_norm,
 )
-from repro.exceptions import ReproError, TopologyError
+from repro.exceptions import ModelError, ReproError, TopologyError
 
 
 class TestRequire:
@@ -48,6 +49,50 @@ class TestArrayConversions:
     def test_round_trips(self):
         assert as_vector([1, 2, 3]).dtype == np.float64
         assert as_matrix([[1, 2]]).shape == (1, 2)
+
+
+class TestEnsureMatrix:
+    """The hot-path coercion: validates without cloning conforming input."""
+
+    def test_conforming_array_is_never_copied(self):
+        block = np.arange(12.0).reshape(3, 4)
+        out = ensure_matrix(block)
+        assert out is block  # asarray returns the selfsame object
+        view = block[1:]
+        assert np.shares_memory(ensure_matrix(view), block)
+
+    def test_memmap_slices_stay_zero_copy(self, tmp_path):
+        path = tmp_path / "block.npy"
+        np.save(path, np.arange(40.0).reshape(10, 4))
+        mapped = np.load(path, mmap_mode="r")
+        out = ensure_matrix(mapped[2:7], check_finite=False)
+        assert np.shares_memory(out, mapped)
+        # The finiteness scan reads but does not clone either.
+        assert np.shares_memory(ensure_matrix(mapped[2:7]), mapped)
+
+    def test_nonconforming_input_converts(self):
+        out = ensure_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+        f32 = np.ones((2, 2), dtype=np.float32)
+        assert not np.shares_memory(ensure_matrix(f32), f32)
+
+    def test_shape_and_finiteness_guards(self):
+        with pytest.raises(ReproError, match="2-dimensional"):
+            ensure_matrix(np.ones(3))
+        with pytest.raises(ReproError, match="finite"):
+            ensure_matrix([[1.0, np.nan]])
+        out = ensure_matrix([[1.0, np.inf]], check_finite=False)
+        assert np.isinf(out[0, 1])
+        with pytest.raises(ReproError, match="not numeric"):
+            ensure_matrix([["a", "b"]])
+
+    def test_error_class_and_name_thread_through(self):
+        with pytest.raises(ModelError, match="window must be 2-dimensional"):
+            ensure_matrix(np.ones(3), name="window", error=ModelError)
+
+    def test_dtype_parameter(self):
+        f32 = np.ones((2, 2), dtype=np.float32)
+        assert ensure_matrix(f32, dtype=np.float32) is f32
 
 
 class TestChecks:
