@@ -10,7 +10,12 @@ boundary, and asserts the operational contract:
 2. ``/metrics`` accounts every row and exposes the full catalog;
 3. one injected fault (a wrong-width row) increments exactly one error
    counter and leaves ``/health`` green;
-4. ``POST /shutdown`` stops the daemon with exit status 0.
+4. a checkpoint round-trip: ``POST /checkpoint`` persists the lifecycle,
+   shutdown re-checkpoints, and a second daemon started with
+   ``--resume`` scores the next bin bit-identically to the offline
+   reference — the warm restart is indistinguishable from never having
+   stopped;
+5. ``POST /shutdown`` stops each daemon with exit status 0.
 
 Run:  PYTHONPATH=src python examples/service_smoke.py
 Exits non-zero on any violation — wired into CI as the service smoke.
@@ -22,6 +27,7 @@ import os
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -74,6 +80,28 @@ def wait_until_serving(daemon, port, deadline_s=120.0):
     raise SystemExit("FAIL: daemon never became healthy")
 
 
+def serve_command(port, checkpoint=None, resume=False):
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        DATASET,
+        "--port",
+        str(port),
+        "--warmup-bins",
+        str(WARMUP),
+        "--refit-interval",
+        str(REFIT_INTERVAL),
+        "--synchronous-refit",
+    ]
+    if checkpoint is not None:
+        command += ["--checkpoint", checkpoint]
+    if resume:
+        command += ["--resume"]
+    return command
+
+
 def main() -> int:
     dataset = build_dataset(DATASET)
     stream = dataset.link_traffic[WARMUP : WARMUP + STREAM_ROWS].copy()
@@ -81,22 +109,11 @@ def main() -> int:
     # real: both the daemon and the offline reference see this stream.
     spike_flow = dataset.routing.od_pairs.index(dataset.routing.od_pairs[0])
     stream[25] = stream[25] + 5.0e8 * dataset.routing.column(spike_flow)
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-smoke-")
+    checkpoint = os.path.join(checkpoint_dir, "service.ckpt")
     port = free_port()
     daemon = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            DATASET,
-            "--port",
-            str(port),
-            "--warmup-bins",
-            str(WARMUP),
-            "--refit-interval",
-            str(REFIT_INTERVAL),
-            "--synchronous-refit",
-        ],
+        serve_command(port, checkpoint=checkpoint),
         env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
         cwd=REPO,
     )
@@ -179,7 +196,59 @@ def main() -> int:
         assert status == 200 and health["status"] == "ok"
         print("metrics + fault accounting ok")
 
-        # 4. Clean shutdown with exit status 0.
+        # 4. Checkpoint round-trip: persist the lifecycle, stop the
+        # daemon, restart a second one warm from the checkpoint, and
+        # require the next bin to score bit-identically to the offline
+        # reference for the surviving model.
+        status, body = request(connection, "POST", "/checkpoint")
+        assert status == 200 and body["checkpoint"] == "written", body
+        assert body["rows_ingested"] == STREAM_ROWS, body
+        current = history[-1]
+        status, body = request(connection, "POST", "/shutdown")
+        assert status == 200
+        connection.close()
+        code = daemon.wait(timeout=30)
+        assert code == 0, f"daemon exited with {code}"
+        assert os.path.exists(checkpoint), "no checkpoint file on disk"
+
+        port = free_port()
+        daemon = subprocess.Popen(
+            serve_command(port, checkpoint=checkpoint, resume=True),
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+            cwd=REPO,
+        )
+        wait_until_serving(daemon, port)
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        status, version_info = request(connection, "GET", "/version")
+        assert status == 200
+        resumed = version_info["history"][-1]
+        assert resumed["trained_rows"] == current["trained_rows"], (
+            "resumed daemon serves a different model than was "
+            "checkpointed"
+        )
+        probe = dataset.link_traffic[
+            WARMUP + STREAM_ROWS : WARMUP + STREAM_ROWS + 1
+        ]
+        status, body = request(
+            connection, "POST", "/ingest", {"rows": probe.tolist()}
+        )
+        assert status == 200, (status, body)
+        (scored,) = body["results"]
+        offline = DetectionPipeline(svd_method="gram").fit(
+            ingested_history[: current["trained_rows"]],
+            routing=dataset.routing,
+        )
+        reference = offline.detect(probe)
+        assert scored["bin"] == STREAM_ROWS, (
+            "warm restart lost the stream position"
+        )
+        assert scored["spe"] == reference.spe[0], (
+            "FAIL: warm-restart SPE diverged from the offline reference"
+        )
+        assert scored["flag"] == bool(reference.flags[0])
+        print("checkpoint round-trip ok: warm restart scores bitwise equal")
+
+        # 5. Clean shutdown with exit status 0.
         status, body = request(connection, "POST", "/shutdown")
         assert status == 200
         connection.close()

@@ -17,6 +17,7 @@ __all__ = [
     "as_float_array",
     "as_matrix",
     "as_vector",
+    "atomic_pickle_dump",
     "check_fraction",
     "check_positive",
     "check_nonnegative",
@@ -151,3 +152,36 @@ def unit_norm(vector: np.ndarray, name: str = "vector") -> np.ndarray:
 def pairwise(items: Sequence) -> list[tuple]:
     """Return consecutive pairs ``[(items[0], items[1]), ...]`` of a sequence."""
     return [(items[i], items[i + 1]) for i in range(len(items) - 1)]
+
+
+def atomic_pickle_dump(path, payload) -> None:
+    """Pickle ``payload`` to ``path`` atomically (temp file + rename).
+
+    The write lands in a temporary file in the *same directory* (so the
+    rename stays within one filesystem), is fsynced, and replaces the
+    destination with ``os.replace`` — a crash at any instant leaves
+    either the previous complete file or the new complete file, never a
+    torn hybrid.  This is the only way checkpoints are written.
+    """
+    import os
+    import pickle
+    import tempfile
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -15,6 +15,7 @@ compare   rank detectors by AUC over an injection grid (Fig. 10++)
 shard     sharded detection plane: temporal (exact) / spatial (fusion)
 scenarios list or run declarative anomaly-taxonomy scenario suites
 serve     run the always-on detection daemon (ingest/metrics/health)
+chaos     fault-injection matrix over the sharded detection plane
 inject    run a §6.3 injection sweep on a saved or preset dataset
 table2    regenerate the paper's Table 2
 table3    regenerate the paper's Table 3
@@ -306,6 +307,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype", choices=("float32", "float64"), default="float64",
         help="scoring precision (fits always run in float64; default "
         "float64)",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None,
+        help="persist the model lifecycle to this file (atomic writes; "
+        "POST /checkpoint, every --checkpoint-interval rows, and on "
+        "shutdown/SIGTERM)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=None,
+        help="auto-checkpoint after this many ingested rows "
+        "(requires --checkpoint)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restart warm from --checkpoint instead of refitting from "
+        "the warmup bins (the file must exist)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="drive the fault-injection chaos harness "
+        "(see docs/robustness.md)",
+    )
+    chaos_modes = chaos.add_subparsers(dest="chaos_mode", required=True)
+    chaos_run = chaos_modes.add_parser(
+        "run",
+        help="run the fault x plane chaos matrix over a scenario suite",
+    )
+    chaos_run.add_argument(
+        "--suite", default="core",
+        help="scenario suite to replay under faults (default 'core')",
+    )
+    chaos_run.add_argument(
+        "--policy", choices=("fail-fast", "retry", "partial"),
+        default="retry",
+        help="fault policy every cell runs under (default 'retry')",
+    )
+    chaos_run.add_argument(
+        "--faults", nargs="+", default=None, metavar="FAULT",
+        help="restrict to these fault kinds (default: all)",
+    )
+    chaos_run.add_argument(
+        "--planes", nargs="+", default=None, metavar="PLANE",
+        help="restrict to these planes: temporal, spatial, stream, "
+        "service (default: all)",
+    )
+    chaos_run.add_argument(
+        "--max-scenarios", type=int, default=None,
+        help="only replay the first N scenarios of the suite",
+    )
+    chaos_run.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised-pool workers per cell (default 2)",
+    )
+    chaos_run.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="per-task deadline in seconds bounding hung tasks "
+        "(default 5.0)",
+    )
+    chaos_run.add_argument(
+        "--no-recall-probe", action="store_true",
+        help="skip the degraded-recall gate (faster smoke runs)",
+    )
+    chaos_run.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the full chaos report as JSON to this path",
     )
 
     inject = commands.add_parser("inject", help="run a §6.3 injection sweep")
@@ -658,24 +725,50 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_interval is not None and not args.checkpoint:
+        print(
+            "error: --checkpoint-interval requires --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         confidence=args.confidence,
         refit_interval=args.refit_interval,
         synchronous_refit=args.synchronous_refit,
         dtype=args.dtype,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
     )
     event_log = EventLog(args.event_log) if args.event_log else None
-    service = DetectionService.from_warmup(
-        dataset.link_traffic[:warmup],
-        routing=None if args.no_routing else dataset.routing,
-        config=config,
-        event_log=event_log,
-    )
-    version = service.lifecycle.current
-    print(
-        f"dataset {dataset.name}: warmed up on {warmup} bins, "
-        f"rank {version.normal_rank}, threshold {version.threshold:.3e}"
-    )
+    routing = None if args.no_routing else dataset.routing
+    if args.resume:
+        service = DetectionService.from_checkpoint(
+            args.checkpoint,
+            routing=routing,
+            config=config,
+            event_log=event_log,
+        )
+        version = service.lifecycle.current
+        print(
+            f"dataset {dataset.name}: resumed from {args.checkpoint} at "
+            f"bin {service.rows_ingested}, model version {version.version}, "
+            f"rank {version.normal_rank}, threshold {version.threshold:.3e}"
+        )
+    else:
+        service = DetectionService.from_warmup(
+            dataset.link_traffic[:warmup],
+            routing=routing,
+            config=config,
+            event_log=event_log,
+        )
+        version = service.lifecycle.current
+        print(
+            f"dataset {dataset.name}: warmed up on {warmup} bins, "
+            f"rank {version.normal_rank}, threshold {version.threshold:.3e}"
+        )
 
     def announce(host: str, port: int) -> None:
         print(f"serving on http://{host}:{port} (POST /shutdown to stop)",
@@ -686,6 +779,39 @@ def _cmd_serve(args) -> int:
         f"stopped after {service.rows_ingested} rows, "
         f"model version {service.lifecycle.current.version}"
     )
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.pipeline.chaos import CHAOS_FAULTS, CHAOS_PLANES, run_chaos_suite
+
+    report = run_chaos_suite(
+        suite=args.suite,
+        policy=args.policy,
+        faults=tuple(args.faults) if args.faults else CHAOS_FAULTS,
+        planes=tuple(args.planes) if args.planes else CHAOS_PLANES,
+        max_scenarios=args.max_scenarios,
+        workers=args.workers,
+        deadline=args.deadline,
+        probe_degraded_recall=not args.no_recall_probe,
+    )
+    print(report.table())
+    if args.json_path:
+        import json
+
+        from pathlib import Path
+
+        Path(args.json_path).write_text(
+            json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json_path}")
+    if not report.all_ok:
+        return 1
+    if (
+        report.degraded_recall is not None
+        and not report.degraded_recall["within_tolerance"]
+    ):
+        return 1
     return 0
 
 
@@ -746,6 +872,7 @@ _HANDLERS = {
     "shard": _cmd_shard,
     "scenarios": _cmd_scenarios,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "inject": _cmd_inject,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

@@ -343,51 +343,62 @@ class SufficientStats:
         return np.concatenate([fragment.rows for fragment in parts], axis=0)
 
     # ------------------------------------------------------------------
-    def finalize(self) -> FinalizedStats:
+    def finalize(self, allow_gaps: bool = False) -> FinalizedStats:
         """Reduce to ``(t, S, G)``, folding tiles in canonical order.
 
         Requires the covered rows to form one contiguous range (partial
         tiles at the two ends are allowed — they are the data's true
-        boundaries).  The fold order is ascending tile index, so the
-        result is a pure function of the covered rows, not of the merge
-        history.
+        boundaries).  ``allow_gaps=True`` lifts that requirement and
+        folds exactly the rows that are covered — the degraded-mode
+        (``partial`` fault policy) fit of :mod:`repro.pipeline.sharded`,
+        where permanently lost chunks leave holes in the history.  The
+        fold order is ascending covered-row start (identical to the
+        ascending-tile order of the contiguous case), so the result is
+        a pure function of the covered rows, not of the merge history.
         """
-        entries: list[tuple[int, _TileStat]] = []
+        entries: list[_TileStat] = []
         spans: list[tuple[int, int]] = []
         for k, stat in self._tiles.items():
-            entries.append((k, stat))
+            entries.append(stat)
             spans.append((k * self.tile_rows, (k + 1) * self.tile_rows))
         for k, parts in self._fragments.items():
+            runs: list[list] = [[parts[0]]]
             for left, right in zip(parts, parts[1:]):
                 if left.start + left.rows.shape[0] != right.start:
-                    raise ModelError(
-                        f"cannot finalize: tile {k} has an interior gap "
-                        f"after row {left.start + left.rows.shape[0]}"
+                    if not allow_gaps:
+                        raise ModelError(
+                            f"cannot finalize: tile {k} has an interior gap "
+                            f"after row {left.start + left.rows.shape[0]}"
+                        )
+                    runs.append([right])
+                else:
+                    runs[-1].append(right)
+            for run in runs:
+                entries.append(_tile_stat(self._stitch(tuple(run))))
+                spans.append(
+                    (
+                        run[0].start,
+                        run[-1].start + run[-1].rows.shape[0],
                     )
-            entries.append((k, _tile_stat(self._stitch(parts))))
-            spans.append(
-                (
-                    parts[0].start,
-                    parts[-1].start + parts[-1].rows.shape[0],
                 )
-            )
         if not entries:
             raise ModelError("cannot finalize empty statistics")
-        order = np.argsort([k for k, _ in entries], kind="stable")
+        order = np.argsort([start for start, _ in spans], kind="stable")
         spans = [spans[i] for i in order]
-        for (_, end), (start, _) in zip(spans, spans[1:]):
-            if end != start:
-                raise ModelError(
-                    f"cannot finalize: covered rows have a gap between "
-                    f"{end} and {start}"
-                )
+        if not allow_gaps:
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                if end != start:
+                    raise ModelError(
+                        f"cannot finalize: covered rows have a gap between "
+                        f"{end} and {start}"
+                    )
         # Parallel-Welford fold (Chan et al.): combine tile moments with
         # the rank-one cross-mean correction, in ascending tile order.
         count = 0
         total: np.ndarray | None = None
         m2: np.ndarray | None = None
         for i in order:
-            stat = entries[i][1]
+            stat = entries[i]
             if total is None:
                 count = stat.count
                 total = stat.total.copy()

@@ -45,6 +45,25 @@ class ValidationError(ReproError):
     """An experiment or metric computation was configured inconsistently."""
 
 
+class SupervisionError(ReproError):
+    """A supervised parallel fit lost work it was not allowed to lose.
+
+    Raised when a task exhausts its retry budget under the ``fail-fast``
+    or ``retry`` fault policies, or when so much work is lost that no
+    model can be fitted at all (even under ``partial``).  Carries the
+    :class:`~repro.pipeline.supervision.FaultReport` describing what
+    happened as ``report`` when available.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, truncated, or incompatible."""
+
+
 class ServiceError(ReproError):
     """The always-on detection service was misused or misconfigured."""
 

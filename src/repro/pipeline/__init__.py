@@ -20,7 +20,14 @@ quantification — into composable entry points:
   :class:`~repro.pipeline.sharded.SpatialCoordinator` — the sharded
   detection plane: coordinator/worker fit fan-out over time chunks
   (exact, via mergeable sufficient statistics) or link zones (with a
-  pluggable alarm-fusion stage).
+  pluggable alarm-fusion stage);
+* :class:`~repro.pipeline.supervision.SupervisedPool` /
+  :class:`~repro.pipeline.faults.FaultInjector` /
+  :func:`~repro.pipeline.chaos.run_chaos_suite` — the fault-tolerance
+  layer: per-task deadlines, bounded retry, worker-death recovery and
+  degraded-mode (``partial``) fits, plus the deterministic fault
+  injection and chaos harness that exercise them (``repro chaos run``;
+  see ``docs/robustness.md``).
 
 **Model lifecycles.**  The pipeline offers four ways to keep a model
 current, from cheapest to most thorough:
@@ -49,8 +56,16 @@ from repro.pipeline.compare import (
     ComparisonRunner,
     ComparisonScenario,
 )
+from repro.pipeline.chaos import ChaosOutcome, ChaosReport, run_chaos_suite
+from repro.pipeline.faults import (
+    CHUNK_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    WorkerFault,
+)
 from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
 from repro.pipeline.sharded import (
+    FAULT_POLICIES,
     FUSION_MODES,
     ShardReport,
     SpatialCoordinator,
@@ -62,6 +77,12 @@ from repro.pipeline.sharded import (
     temporal_fit_matches_monolithic,
 )
 from repro.pipeline.streaming import StreamingDetector, StreamWindow
+from repro.pipeline.supervision import (
+    FaultReport,
+    PoolRun,
+    SupervisedPool,
+    TaskFault,
+)
 
 __all__ = [
     "DetectionPipeline",
@@ -75,13 +96,25 @@ __all__ = [
     "ComparisonScenario",
     "StreamingDetector",
     "StreamWindow",
+    "CHUNK_FAULTS",
+    "ChaosOutcome",
+    "ChaosReport",
+    "FAULT_POLICIES",
     "FUSION_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "PoolRun",
     "ShardReport",
     "SpatialCoordinator",
     "SpatialShardedModel",
     "SpatialShardFit",
+    "SupervisedPool",
+    "TaskFault",
     "TemporalCoordinator",
     "TemporalShardFit",
+    "WorkerFault",
     "partition_links",
+    "run_chaos_suite",
     "temporal_fit_matches_monolithic",
 ]

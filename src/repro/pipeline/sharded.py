@@ -50,13 +50,16 @@ byte-stable across worker layouts, the same contract
 
 from __future__ import annotations
 
+import math
+import random
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro._util import ensure_matrix
+from repro._util import atomic_pickle_dump, ensure_matrix
 from repro.core.detection import SPEDetector
 from repro.core.pca import PCA
 from repro.core.qstatistic import q_threshold
@@ -68,12 +71,28 @@ from repro.core.subspace import (
     separate_axes_from_moments,
 )
 from repro.core.suffstats import DEFAULT_TILE_ROWS, SufficientStats
-from repro.exceptions import ModelError, ValidationError
+from repro.exceptions import (
+    CheckpointError,
+    ModelError,
+    ReproError,
+    SupervisionError,
+    ValidationError,
+)
 from repro.pipeline.compare import _attach_array, _share_array, _SharedArray
+from repro.pipeline.supervision import (
+    FAULT_POLICIES,
+    FaultReport,
+    SupervisedPool,
+    TaskFault,
+    raise_if_lost,
+    resolve_policy,
+)
 
 __all__ = [
+    "FAULT_POLICIES",
     "FUSION_MODES",
     "SHARD_SCHEMA_VERSION",
+    "STREAM_CHECKPOINT_SCHEMA_VERSION",
     "ShardReport",
     "SpatialCoordinator",
     "SpatialShardedModel",
@@ -88,6 +107,10 @@ __all__ = [
 #: Version of the :meth:`ShardReport.to_json` payload layout.  Bump on
 #: any structural change.
 SHARD_SCHEMA_VERSION = 1
+
+#: Version of the :meth:`TemporalCoordinator.fit_stream` checkpoint
+#: payload.  Bump on any shape change.
+STREAM_CHECKPOINT_SCHEMA_VERSION = 1
 
 #: The pluggable alarm-fusion stages of the spatial plane.
 FUSION_MODES = ("union", "vote", "rescore")
@@ -120,7 +143,13 @@ class ShardReport:
 
     ``to_json(include_timings=False)`` is byte-stable across worker
     layouts: every wall-clock field is dropped and the remaining payload
-    is a pure function of the inputs.
+    is a pure function of the inputs.  ``coverage`` is the fraction of
+    the input (rows for temporal, links for spatial) the fitted model
+    actually saw — 1.0 except under the ``partial`` fault policy with
+    permanently lost work; ``fault`` is the supervised pool's
+    :class:`~repro.pipeline.supervision.FaultReport` (``None`` on
+    serial paths, and omitted from the JSON payload when clean so
+    fault-free payloads stay byte-stable across layouts).
     """
 
     mode: str  # "temporal" | "spatial"
@@ -133,6 +162,8 @@ class ShardReport:
     threshold: float | tuple[float, ...]
     tile_rows: int | None = None
     fusion_thresholds: dict[str, float] = field(default_factory=dict)
+    coverage: float = 1.0
+    fault: FaultReport | None = None
     merge_seconds: float = 0.0
     fit_seconds: float = 0.0
     separation_seconds: float = 0.0
@@ -155,6 +186,7 @@ class ShardReport:
             },
             "model": {
                 "confidence": self.confidence,
+                "coverage": self.coverage,
                 "normal_rank": (
                     list(rank) if isinstance(rank, tuple) else rank
                 ),
@@ -169,6 +201,8 @@ class ShardReport:
             payload["fusion_thresholds"] = dict(
                 sorted(self.fusion_thresholds.items())
             )
+        if self.fault is not None and not self.fault.clean:
+            payload["fault"] = self.fault.to_json()
         if include_timings:
             payload["workers"] = self.workers
             payload["elapsed_seconds"] = self.elapsed_seconds
@@ -290,6 +324,106 @@ def _shard_bounds(num_rows: int, num_shards: int) -> list[tuple[int, int]]:
     ]
 
 
+class _CoverageLedger:
+    """Disjoint, sorted covered intervals of absolute row indices.
+
+    The exactly-once accounting behind the resilient
+    :meth:`TemporalCoordinator.fit_stream`: every incoming chunk is
+    sliced to its *uncovered* sub-intervals before folding, which makes
+    duplicated, re-delivered (retry), and out-of-order chunks all fold
+    each row exactly once — and therefore bit-identically to a clean
+    sequential pass, by the order-invariance of the statistics merge.
+    """
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._intervals: list[list[int]] = []
+        for start, stop in intervals:
+            self.add(int(start), int(stop))
+
+    def add(self, start: int, stop: int) -> None:
+        """Mark ``[start, stop)`` covered (merging neighbors)."""
+        if stop <= start:
+            return
+        merged: list[list[int]] = []
+        placed = False
+        for a, b in self._intervals:
+            if b < start or a > stop:
+                if not placed and a > stop:
+                    merged.append([start, stop])
+                    placed = True
+                merged.append([a, b])
+            else:
+                start, stop = min(a, start), max(b, stop)
+        if not placed:
+            merged.append([start, stop])
+            merged.sort()
+        self._intervals = merged
+
+    def uncovered(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """Sub-intervals of ``[start, stop)`` not yet covered."""
+        out: list[tuple[int, int]] = []
+        cursor = start
+        for a, b in self._intervals:
+            if b <= cursor:
+                continue
+            if a >= stop:
+                break
+            if a > cursor:
+                out.append((cursor, min(a, stop)))
+            cursor = max(cursor, b)
+            if cursor >= stop:
+                break
+        if cursor < stop:
+            out.append((cursor, stop))
+        return out
+
+    def covered_within(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """Covered sub-intervals of ``[start, stop)``."""
+        out: list[tuple[int, int]] = []
+        for a, b in self._intervals:
+            lo, hi = max(a, start), min(b, stop)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    @property
+    def covered_rows(self) -> int:
+        return sum(b - a for a, b in self._intervals)
+
+    @property
+    def max_stop(self) -> int:
+        return self._intervals[-1][1] if self._intervals else 0
+
+    def intervals(self) -> tuple[tuple[int, int], ...]:
+        return tuple((int(a), int(b)) for a, b in self._intervals)
+
+
+def _stream_item(item, position: int) -> tuple[int, np.ndarray]:
+    """Decode one chunk-source item into ``(start_row, chunk)``.
+
+    Plain array chunks are sequential (the classic protocol): their
+    start row is the running position.  ``(start_row, chunk)`` tuples
+    are the resilient indexed protocol, required for sources that may
+    deliver chunks late, twice, or out of order.
+    """
+    if (
+        isinstance(item, tuple)
+        and len(item) == 2
+        and np.isscalar(item[0])
+    ):
+        start = int(item[0])
+        if start < 0:
+            raise ModelError(f"chunk start_row must be >= 0, got {start}")
+        chunk = item[1]
+    else:
+        start = position
+        chunk = item
+    chunk = ensure_matrix(
+        chunk, name="chunk", error=ModelError, check_finite=False
+    )
+    return start, chunk
+
+
 class TemporalCoordinator:
     """Fit the subspace model from per-time-chunk statistics.
 
@@ -315,6 +449,23 @@ class TemporalCoordinator:
         default, or ``"float32"``).  The fit itself — statistics,
         eigendecomposition, separation, threshold — always runs in
         float64.
+    fault_policy:
+        Degraded-mode policy of the parallel/streaming fit paths (see
+        :data:`~repro.pipeline.supervision.FAULT_POLICIES`):
+        ``"fail-fast"`` (default — no retries, any lost work aborts),
+        ``"retry"`` (bounded retries; a retried-to-success run is
+        bit-identical to the fault-free run), or ``"partial"`` (retries
+        then fits from the surviving statistics, recording the
+        ``coverage`` fraction in the report).
+    task_deadline:
+        Per-task wall-clock budget in seconds for the supervised
+        workers; ``None`` disables deadlines.
+    max_retries, backoff_base, backoff_max, fault_seed:
+        Retry budget and backoff/jitter parameters of the supervised
+        pool (and of streaming-source retries in :meth:`fit_stream`).
+    fault_plan:
+        Optional :class:`~repro.pipeline.faults.FaultPlan` injected
+        into every worker — the chaos/robustness suites' hook.
     """
 
     def __init__(
@@ -328,6 +479,13 @@ class TemporalCoordinator:
         max_normal_rank: int | None = None,
         tile_rows: int = DEFAULT_TILE_ROWS,
         dtype: np.dtype | type | str = np.float64,
+        fault_policy: str = "fail-fast",
+        task_deadline: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        fault_seed: int = 0,
+        fault_plan=None,
     ) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
@@ -342,17 +500,31 @@ class TemporalCoordinator:
         self.max_normal_rank = max_normal_rank
         self.tile_rows = int(tile_rows)
         self.dtype = np.dtype(dtype)
+        self.fault_policy = resolve_policy(fault_policy, "fail-fast")
+        self.task_deadline = task_deadline
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.fault_seed = int(fault_seed)
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
-    def fit(self, measurements: np.ndarray) -> TemporalShardFit:
+    def fit(
+        self,
+        measurements: np.ndarray,
+        fault_policy: str | None = None,
+    ) -> TemporalShardFit:
         """Fan the fit out over shards; merge; fit once; separate.
 
         The returned detector is an ordinary fitted
         :class:`~repro.core.detection.SPEDetector` whose PCA is
         bit-identical to ``SPEDetector(svd_method="gram")`` fitted
         monolithically (for ``t >= m``, the sharding regime).
+        ``fault_policy`` overrides the coordinator's configured policy
+        for this one fit.
         """
         begin = time.perf_counter()
+        policy = resolve_policy(fault_policy, self.fault_policy)
         measurements = ensure_matrix(
             measurements, name="measurements", error=ModelError,
             check_finite=False,
@@ -372,8 +544,19 @@ class TemporalCoordinator:
         if workers <= 1:
             outcome = self._fit_serial(measurements, bounds)
         else:
-            outcome = self._fit_parallel(measurements, bounds, workers)
-        detector, separation, timings, merge_s, fit_s, sep_s = outcome
+            outcome = self._fit_parallel(
+                measurements, bounds, workers, policy
+            )
+        (
+            detector,
+            separation,
+            timings,
+            merge_s,
+            fit_s,
+            sep_s,
+            coverage,
+            fault,
+        ) = outcome
         report = ShardReport(
             mode="temporal",
             num_shards=len(bounds),
@@ -384,6 +567,8 @@ class TemporalCoordinator:
             normal_rank=detector.normal_rank,
             threshold=float(detector.threshold),
             tile_rows=self.tile_rows,
+            coverage=coverage,
+            fault=fault,
             merge_seconds=merge_s,
             fit_seconds=fit_s,
             separation_seconds=sep_s,
@@ -395,52 +580,291 @@ class TemporalCoordinator:
         )
 
     def fit_stream(
-        self, chunk_source: Callable[[], Iterable[np.ndarray]]
+        self,
+        chunk_source: Callable[[], Iterable],
+        fault_policy: str | None = None,
+        expected_rows: int | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = True,
     ) -> TemporalShardFit:
         """Out-of-core fit over a re-iterable chunk source.
 
-        ``chunk_source()`` must return a fresh iterator of ``(k, m)``
-        row chunks (oldest first) each time it is called; the matrix is
-        never materialized.  One pass accumulates sufficient statistics;
-        when the separation rule is needed, a second pass folds score
+        ``chunk_source()`` must return a fresh iterator each time it is
+        called, yielding either plain ``(k, m)`` row chunks (oldest
+        first — the sequential protocol) or ``(start_row, chunk)`` pairs
+        (the resilient indexed protocol for sources that may deliver
+        chunks late, twice, or out of order).  The matrix is never
+        materialized.  One pass accumulates sufficient statistics; when
+        the separation rule is needed, a second pass folds score
         moments.  Statistics are exact, so the result matches
         :meth:`fit` on the concatenated chunks bit for bit.
+
+        A coverage ledger slices every incoming chunk to its not-yet-
+        covered rows before folding, so duplicated, re-delivered and
+        out-of-order chunks fold each row exactly once — a faulty
+        source retried to success is bit-identical to a clean pass.
+
+        Parameters
+        ----------
+        fault_policy:
+            Override of the coordinator's policy for this fit.  A
+            source that raises mid-iteration (or leaves a coverage gap)
+            is re-iterated up to ``max_retries`` times under ``retry``
+            / ``partial``; under ``partial`` a stream that never
+            completes still fits from the surviving rows and records
+            the coverage fraction.
+        expected_rows:
+            Total rows the source is supposed to deliver.  Without it a
+            *trailing* loss is undetectable (the stream just looks
+            shorter); interior gaps are detected either way.
+        checkpoint_path:
+            When set, the accumulated statistics are checkpointed
+            atomically every ``checkpoint_every`` folded chunks, and an
+            interrupted fit re-run with ``resume=True`` (the default)
+            picks up from the last completed chunk boundary —
+            bit-identically to an uninterrupted run, because already-
+            covered rows are skipped by the same exactly-once ledger.
+            A corrupt or unreadable checkpoint is recorded as a fault
+            and the fit starts fresh.
         """
         begin = time.perf_counter()
+        policy = resolve_policy(fault_policy, self.fault_policy)
+        if checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        path = None if checkpoint_path is None else Path(checkpoint_path)
+
         stats: SufficientStats | None = None
+        ledger = _CoverageLedger()
         timings: list[WorkerTiming] = []
-        offset = 0
         merge_s = 0.0
-        for chunk in chunk_source():
-            # Zero-copy for conforming chunks: memmap slices stream
-            # straight into the statistics kernel without materializing.
-            chunk = ensure_matrix(
-                chunk, name="chunk", error=ModelError, check_finite=False
+        stream_faults: list[TaskFault] = []
+        retries = 0
+
+        if path is not None and resume and path.exists():
+            try:
+                stats, ledger, timings, merge_s = (
+                    self._load_stream_checkpoint(path)
+                )
+            except CheckpointError as err:
+                stream_faults.append(
+                    TaskFault(
+                        task=-1,
+                        attempt=0,
+                        kind="corrupt_checkpoint",
+                        worker=-1,
+                        detail=str(err),
+                    )
+                )
+
+        folds = [0]  # folds since the last checkpoint write
+
+        def fold(start: int, chunk: np.ndarray) -> None:
+            nonlocal stats, merge_s
+            for lo, hi in ledger.uncovered(start, start + chunk.shape[0]):
+                piece = chunk[lo - start : hi - start]
+                pass_begin = time.perf_counter()
+                piece_stats = _chunk_stats(piece, lo, self.tile_rows)
+                stats_s = time.perf_counter() - pass_begin
+                merge_begin = time.perf_counter()
+                stats = (
+                    piece_stats
+                    if stats is None
+                    else stats.merge(piece_stats)
+                )
+                merge_s += time.perf_counter() - merge_begin
+                ledger.add(lo, hi)
+                timings.append(
+                    WorkerTiming(
+                        worker=len(timings),
+                        start=lo,
+                        size=hi - lo,
+                        stats_seconds=stats_s,
+                    )
+                )
+                folds[0] += 1
+                if path is not None and folds[0] >= checkpoint_every:
+                    self._write_stream_checkpoint(
+                        path, stats, ledger, timings, merge_s
+                    )
+                    folds[0] = 0
+
+        allowed_retries = 0 if policy == "fail-fast" else self.max_retries
+        backoff_rng = random.Random(self.fault_seed)
+        attempt = 0
+        while True:
+            attempt += 1
+            source_error: Exception | None = None
+            position = 0
+            try:
+                for item in chunk_source():
+                    # Zero-copy for conforming chunks: memmap slices
+                    # stream straight into the statistics kernel.
+                    start, chunk = _stream_item(item, position)
+                    position = start + chunk.shape[0]
+                    if chunk.shape[0] == 0:
+                        continue  # an empty shard contributes nothing
+                    fold(start, chunk)
+            except ReproError:
+                raise  # our own validation errors are never retried
+            except Exception as err:  # noqa: BLE001 - source fault
+                source_error = err
+
+            expected = (
+                ledger.max_stop if expected_rows is None else expected_rows
             )
-            if chunk.shape[0] == 0:
-                continue  # an empty shard contributes nothing
-            pass_begin = time.perf_counter()
-            chunk_stats = _chunk_stats(chunk, offset, self.tile_rows)
-            stats_s = time.perf_counter() - pass_begin
-            merge_begin = time.perf_counter()
-            stats = (
-                chunk_stats if stats is None else stats.merge(chunk_stats)
+            intervals = ledger.intervals()
+            complete = (
+                source_error is None
+                and stats is not None
+                and len(intervals) == 1
+                and intervals[0] == (0, max(expected, intervals[0][1]))
             )
-            merge_s += time.perf_counter() - merge_begin
-            timings.append(
-                WorkerTiming(
-                    worker=len(timings),
-                    start=offset,
-                    size=chunk.shape[0],
-                    stats_seconds=stats_s,
+            if complete:
+                break
+            detail = (
+                f"{type(source_error).__name__}: {source_error}"
+                if source_error is not None
+                else (
+                    f"covered {ledger.covered_rows} of {expected} rows "
+                    f"in {len(intervals)} interval(s)"
                 )
             )
-            offset += chunk.shape[0]
-        if stats is None:
-            raise ModelError("chunk source yielded no chunks")
-        return self._fit_accumulated(
-            stats, chunk_source, tuple(timings), merge_s, begin
+            kind = "stream_error" if source_error else "stream_gap"
+            if attempt <= allowed_retries:
+                retries += 1
+                stream_faults.append(
+                    TaskFault(
+                        task=-1,
+                        attempt=attempt,
+                        kind=kind,
+                        worker=-1,
+                        detail=detail,
+                    )
+                )
+                delay = min(
+                    self.backoff_max,
+                    self.backoff_base * (2 ** (attempt - 1)),
+                )
+                time.sleep(delay * (1.0 + 0.25 * backoff_rng.random()))
+                continue
+            if policy != "partial":
+                if source_error is not None:
+                    raise source_error
+                if stats is None:
+                    raise ModelError("chunk source yielded no chunks")
+                raise SupervisionError(
+                    f"stream coverage is incomplete after {attempt} "
+                    f"pass(es): {detail}"
+                )
+            stream_faults.append(
+                TaskFault(
+                    task=-1,
+                    attempt=attempt,
+                    kind=kind,
+                    worker=-1,
+                    detail=detail,
+                )
+            )
+            if stats is None:
+                raise SupervisionError(
+                    "no chunks survived the faulty stream; nothing to fit"
+                )
+            break
+
+        if path is not None and folds[0] > 0:
+            self._write_stream_checkpoint(
+                path, stats, ledger, timings, merge_s
+            )
+            folds[0] = 0
+
+        expected = (
+            ledger.max_stop if expected_rows is None else expected_rows
         )
+        coverage = (
+            min(1.0, ledger.covered_rows / expected) if expected else 1.0
+        )
+        fault: FaultReport | None = None
+        if stream_faults or retries:
+            fault = FaultReport(
+                tasks=len(timings),
+                attempts=attempt,
+                retries=retries,
+                faults=tuple(stream_faults),
+            )
+        return self._fit_accumulated(
+            stats,
+            chunk_source,
+            tuple(timings),
+            merge_s,
+            begin,
+            ledger=ledger,
+            policy=policy,
+            coverage=coverage,
+            fault=fault,
+        )
+
+    def _write_stream_checkpoint(
+        self, path: Path, stats, ledger, timings, merge_s: float
+    ) -> None:
+        atomic_pickle_dump(
+            path,
+            {
+                "schema_version": STREAM_CHECKPOINT_SCHEMA_VERSION,
+                "tile_rows": self.tile_rows,
+                "dtype": self.dtype.name,
+                "intervals": ledger.intervals(),
+                "stats": stats,
+                "timings": tuple(timings),
+                "merge_seconds": merge_s,
+            },
+        )
+
+    def _load_stream_checkpoint(self, path: Path):
+        """Load a stream checkpoint; :class:`CheckpointError` on damage."""
+        import pickle
+
+        try:
+            with Path(path).open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception as err:  # noqa: BLE001 - any damage mode
+            raise CheckpointError(
+                f"stream checkpoint {path} is unreadable: "
+                f"{type(err).__name__}: {err}"
+            ) from err
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema_version")
+            != STREAM_CHECKPOINT_SCHEMA_VERSION
+        ):
+            raise CheckpointError(
+                f"stream checkpoint {path} has an unsupported layout "
+                f"(expected schema_version "
+                f"{STREAM_CHECKPOINT_SCHEMA_VERSION})"
+            )
+        if payload.get("tile_rows") != self.tile_rows:
+            raise ModelError(
+                f"stream checkpoint tile_rows mismatch: checkpoint uses "
+                f"{payload.get('tile_rows')}, coordinator expects "
+                f"{self.tile_rows}"
+            )
+        try:
+            stats = payload["stats"]
+            ledger = _CoverageLedger(payload["intervals"])
+            timings = list(payload["timings"])
+            merge_s = float(payload["merge_seconds"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise CheckpointError(
+                f"stream checkpoint {path} is malformed: {err}"
+            ) from err
+        if stats is not None and not isinstance(stats, SufficientStats):
+            raise CheckpointError(
+                f"stream checkpoint {path} does not hold sufficient "
+                f"statistics (got {type(stats).__name__})"
+            )
+        return stats, ledger, timings, merge_s
 
     def fit_from_stats(
         self,
@@ -483,14 +907,29 @@ class TemporalCoordinator:
     def _fit_accumulated(
         self,
         stats: SufficientStats,
-        chunk_source: Callable[[], Iterable[np.ndarray]] | None,
+        chunk_source: Callable[[], Iterable] | None,
         timings: tuple[WorkerTiming, ...],
         merge_s: float,
         begin: float,
+        ledger: "_CoverageLedger | None" = None,
+        policy: str | None = None,
+        coverage: float = 1.0,
+        fault: FaultReport | None = None,
     ) -> TemporalShardFit:
-        """Shared tail of the streaming/accumulated fit routes."""
+        """Shared tail of the streaming/accumulated fit routes.
+
+        ``ledger`` is pass 1's coverage (absolute row intervals the
+        statistics fold); the score-moments pass folds exactly those
+        rows, exactly once, so a faulty source replayed for pass 2 still
+        yields the clean-run moments.  ``None`` means the statistics
+        cover ``[0, num_samples)`` contiguously (the accumulated route).
+        """
+        policy = resolve_policy(policy, self.fault_policy)
         fit_begin = time.perf_counter()
-        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(stats)
+        finalized = (
+            stats.finalize(allow_gaps=True) if coverage < 1.0 else stats
+        )
+        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(finalized)
         fit_s = time.perf_counter() - fit_begin
 
         separation: SeparationResult | None = None
@@ -498,25 +937,128 @@ class TemporalCoordinator:
         if self.normal_rank is None:
             sep_begin = time.perf_counter()
             mean, components = pca.mean, pca.components
+            pass1 = (
+                ledger
+                if ledger is not None
+                else _CoverageLedger([(0, pca.num_samples)])
+            )
             folded: ScoreMoments | None = None
-            position = 0
-            for chunk in chunk_source():
-                chunk = ensure_matrix(
-                    chunk, name="chunk", error=ModelError,
-                    check_finite=False,
+            seen = _CoverageLedger()
+            sep_faults: list[TaskFault] = []
+            sep_retries = 0
+            allowed_retries = 0 if policy == "fail-fast" else self.max_retries
+            backoff_rng = random.Random(self.fault_seed + 1)
+            attempt = 0
+            while True:
+                attempt += 1
+                source_error: Exception | None = None
+                raw_rows = 0
+                stray_rows = 0
+                position = 0
+                try:
+                    for item in chunk_source():
+                        start, chunk = _stream_item(item, position)
+                        position = start + chunk.shape[0]
+                        raw_rows += chunk.shape[0]
+                        if chunk.shape[0] == 0:
+                            continue  # mirror the stats pass
+                        stop = start + chunk.shape[0]
+                        inside = 0
+                        for lo, hi in seen.uncovered(start, stop):
+                            for a, b in pass1.covered_within(lo, hi):
+                                moments = score_moments(
+                                    chunk[a - start : b - start],
+                                    mean,
+                                    components,
+                                )
+                                folded = (
+                                    moments
+                                    if folded is None
+                                    else folded.merge(moments)
+                                )
+                                seen.add(a, b)
+                        for a, b in pass1.covered_within(start, stop):
+                            inside += b - a
+                        stray_rows += (stop - start) - inside
+                except ReproError:
+                    raise
+                except Exception as err:  # noqa: BLE001 - source fault
+                    source_error = err
+                complete = (
+                    source_error is None
+                    and stray_rows == 0
+                    and seen.covered_rows == pca.num_samples
                 )
-                if chunk.shape[0] == 0:
-                    continue  # mirror the stats pass: empty shards skip
-                moments = score_moments(chunk, mean, components)
-                folded = (
-                    moments if folded is None else folded.merge(moments)
+                if complete:
+                    break
+                if attempt <= allowed_retries:
+                    sep_retries += 1
+                    detail = (
+                        f"{type(source_error).__name__}: {source_error}"
+                        if source_error is not None
+                        else (
+                            f"moments cover {seen.covered_rows} of "
+                            f"{pca.num_samples} rows "
+                            f"({stray_rows} stray row(s))"
+                        )
+                    )
+                    sep_faults.append(
+                        TaskFault(
+                            task=-1,
+                            attempt=attempt,
+                            kind=(
+                                "stream_error"
+                                if source_error
+                                else "stream_gap"
+                            ),
+                            worker=-1,
+                            detail=detail,
+                        )
+                    )
+                    delay = min(
+                        self.backoff_max,
+                        self.backoff_base * (2 ** (attempt - 1)),
+                    )
+                    time.sleep(
+                        delay * (1.0 + 0.25 * backoff_rng.random())
+                    )
+                    continue
+                if policy != "partial":
+                    if source_error is not None:
+                        raise source_error
+                    raise ModelError(
+                        f"chunk source changed between passes: saw "
+                        f"{raw_rows} rows, statistics cover "
+                        f"{pca.num_samples}"
+                    )
+                sep_faults.append(
+                    TaskFault(
+                        task=-1,
+                        attempt=attempt,
+                        kind=(
+                            "stream_error" if source_error else "stream_gap"
+                        ),
+                        worker=-1,
+                        detail=(
+                            f"separation pass incomplete: covered "
+                            f"{seen.covered_rows} of {pca.num_samples} rows"
+                        ),
+                    )
                 )
-                position += moments.count
-            if position != pca.num_samples:
-                raise ModelError(
-                    f"chunk source changed between passes: saw {position} "
-                    f"rows, statistics cover {pca.num_samples}"
+                break
+            if folded is None:
+                raise SupervisionError(
+                    "no score moments survived the faulty stream; the 3σ "
+                    "separation cannot run (set an explicit normal_rank "
+                    "to fit without it)"
                 )
+            if sep_faults or sep_retries:
+                extra = FaultReport(
+                    attempts=attempt,
+                    retries=sep_retries,
+                    faults=tuple(sep_faults),
+                )
+                fault = extra if fault is None else fault.merge(extra)
             separation = separate_axes_from_moments(
                 pca,
                 folded,
@@ -543,6 +1085,8 @@ class TemporalCoordinator:
             normal_rank=detector.normal_rank,
             threshold=float(detector.threshold),
             tile_rows=self.tile_rows,
+            coverage=coverage,
+            fault=fault,
             merge_seconds=merge_s,
             fit_seconds=fit_s,
             separation_seconds=sep_s,
@@ -558,8 +1102,14 @@ class TemporalCoordinator:
         self,
         stats_parts: Sequence[SufficientStats],
         moments_for: Callable[[np.ndarray, np.ndarray], list[ScoreMoments]],
+        allow_gaps: bool = False,
     ):
-        """Merge statistics, fit, and (optionally) separate."""
+        """Merge statistics, fit, and (optionally) separate.
+
+        ``allow_gaps`` finalizes the merged statistics tolerating
+        interior coverage gaps — the ``partial`` policy's path when
+        whole chunks were permanently lost.
+        """
         merge_begin = time.perf_counter()
         merged = stats_parts[0]
         for part in stats_parts[1:]:
@@ -567,7 +1117,8 @@ class TemporalCoordinator:
         merge_s = time.perf_counter() - merge_begin
 
         fit_begin = time.perf_counter()
-        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(merged)
+        source = merged.finalize(allow_gaps=True) if allow_gaps else merged
+        pca = PCA(method="gram", dtype=self.dtype).fit_from_stats(source)
         fit_s = time.perf_counter() - fit_begin
 
         separation: SeparationResult | None = None
@@ -654,11 +1205,20 @@ class TemporalCoordinator:
         detector, separation, merge_s, fit_s, sep_s = self._finish(
             stats_parts, moments_for
         )
-        return detector, separation, tuple(timings), merge_s, fit_s, sep_s
+        return (
+            detector,
+            separation,
+            tuple(timings),
+            merge_s,
+            fit_s,
+            sep_s,
+            1.0,
+            None,
+        )
 
-    def _fit_parallel(self, measurements: np.ndarray, bounds, workers: int):
-        import multiprocessing
-
+    def _fit_parallel(
+        self, measurements: np.ndarray, bounds, workers: int, policy: str
+    ):
         global _INHERITED_TRAFFIC
 
         segments: list = []
@@ -669,44 +1229,94 @@ class TemporalCoordinator:
                 _INHERITED_TRAFFIC = measurements
             else:  # pragma: no cover - non-fork platforms
                 shared = _share_array(measurements, segments)
-            with multiprocessing.Pool(processes=workers) as pool:
+            max_retries = 0 if policy == "fail-fast" else self.max_retries
+            with SupervisedPool(
+                workers,
+                deadline=self.task_deadline,
+                max_retries=max_retries,
+                backoff_base=self.backoff_base,
+                backoff_max=self.backoff_max,
+                seed=self.fault_seed,
+                fault_plan=self.fault_plan,
+            ) as pool:
                 stats_tasks = [
                     _StatsTask(shared, start, stop, self.tile_rows)
                     for start, stop in bounds
                 ]
-                stats_outputs = pool.map(_run_stats_task, stats_tasks)
-                stats_parts = [stats for stats, _ in stats_outputs]
+                stats_run = pool.run(
+                    _run_stats_task, stats_tasks, stage="stats"
+                )
+                raise_if_lost(stats_run, "temporal stats pass", policy)
+                reports = [stats_run.report]
+                surviving = [
+                    index
+                    for index, result in enumerate(stats_run.results)
+                    if result is not None
+                ]
+                if not surviving:
+                    raise SupervisionError(
+                        "every statistics chunk was lost; nothing "
+                        "survives to fit",
+                        report=stats_run.report,
+                    )
+                live_bounds = [bounds[index] for index in surviving]
+                stats_parts = [
+                    stats_run.results[index][0] for index in surviving
+                ]
+                total_rows = sum(stop - start for start, stop in bounds)
+                covered_rows = sum(
+                    stop - start for start, stop in live_bounds
+                )
+                coverage = covered_rows / total_rows
                 timings = [
                     WorkerTiming(
                         worker=index,
-                        start=start,
-                        size=stop - start,
-                        stats_seconds=seconds,
+                        start=bounds[index][0],
+                        size=bounds[index][1] - bounds[index][0],
+                        stats_seconds=stats_run.results[index][1],
                     )
-                    for index, ((start, stop), (_, seconds)) in enumerate(
-                        zip(bounds, stats_outputs)
-                    )
+                    for index in surviving
                 ]
 
                 def moments_for(mean, components):
                     tasks = [
                         _MomentsTask(shared, start, stop, mean, components)
-                        for start, stop in bounds
+                        for start, stop in live_bounds
                     ]
-                    outputs = pool.map(_run_moments_task, tasks)
-                    for index, (_, seconds) in enumerate(outputs):
-                        timings[index] = WorkerTiming(
-                            worker=index,
-                            start=timings[index].start,
-                            size=timings[index].size,
-                            stats_seconds=timings[index].stats_seconds,
+                    run = pool.run(
+                        _run_moments_task, tasks, stage="moments"
+                    )
+                    raise_if_lost(run, "temporal moments pass", policy)
+                    reports.append(run.report)
+                    parts = []
+                    for slot, output in enumerate(run.results):
+                        if output is None:
+                            continue  # partial: lost moments chunk
+                        moments, seconds = output
+                        timings[slot] = WorkerTiming(
+                            worker=timings[slot].worker,
+                            start=timings[slot].start,
+                            size=timings[slot].size,
+                            stats_seconds=timings[slot].stats_seconds,
                             moments_seconds=seconds,
                         )
-                    return [moments for moments, _ in outputs]
+                        parts.append(moments)
+                    if not parts:
+                        raise SupervisionError(
+                            "every score-moments chunk was lost; the 3σ "
+                            "separation cannot run",
+                            report=run.report,
+                        )
+                    return parts
 
                 detector, separation, merge_s, fit_s, sep_s = self._finish(
-                    stats_parts, moments_for
+                    stats_parts,
+                    moments_for,
+                    allow_gaps=coverage < 1.0,
                 )
+            fault = reports[0]
+            for extra in reports[1:]:
+                fault = fault.merge(extra)
             return (
                 detector,
                 separation,
@@ -714,6 +1324,8 @@ class TemporalCoordinator:
                 merge_s,
                 fit_s,
                 sep_s,
+                coverage,
+                fault,
             )
         finally:
             _INHERITED_TRAFFIC = None
@@ -794,6 +1406,19 @@ def partition_links(
     )
 
 
+def _quorum_votes(votes: int, total_zones: int, alive_zones: int) -> int:
+    """Scale a k-of-n vote quorum to the surviving zone count.
+
+    The requested quorum fraction ``votes / total_zones`` is preserved
+    (rounded up) over the ``alive_zones`` survivors, clamped to
+    ``[1, alive_zones]`` — a majority stays a majority after losses.
+    """
+    return max(
+        1,
+        min(alive_zones, math.ceil(votes * alive_zones / total_zones)),
+    )
+
+
 class SpatialShardedModel:
     """Per-zone subspace detectors plus the pluggable fusion stage.
 
@@ -805,6 +1430,14 @@ class SpatialShardedModel:
       (``1.0`` is the native alarm boundary);
     * ``rescore`` scores in residual-energy units against the pooled
       Jackson–Mudholkar limit.
+
+    A model may be *degraded*: some of its original zones lost (a
+    worker death under the ``partial`` policy, or an operational outage
+    applied via :meth:`without_zones`).  A degraded model still scores
+    full-width measurement blocks — the surviving zones index into the
+    original link columns — with its ``vote`` quorum scaled to the
+    survivors by :func:`_quorum_votes` and its ``coverage`` reporting
+    the fraction of links still watched.
     """
 
     def __init__(
@@ -813,6 +1446,11 @@ class SpatialShardedModel:
         detectors: tuple[SPEDetector, ...],
         confidence: float,
         votes: int,
+        requested_votes: int | None = None,
+        num_links: int | None = None,
+        total_zones: int | None = None,
+        dead_zones: tuple[int, ...] = (),
+        zone_ids: tuple[int, ...] | None = None,
     ) -> None:
         if len(zones) != len(detectors):
             raise ModelError(
@@ -826,13 +1464,73 @@ class SpatialShardedModel:
         self.detectors = detectors
         self.confidence = confidence
         self.votes = votes
-        self.num_links = int(sum(zone.size for zone in zones))
+        self.requested_votes = (
+            votes if requested_votes is None else int(requested_votes)
+        )
+        self.total_zones = (
+            len(zones) if total_zones is None else int(total_zones)
+        )
+        self.dead_zones = tuple(sorted(int(z) for z in dead_zones))
+        self.zone_ids = (
+            tuple(range(len(zones))) if zone_ids is None else zone_ids
+        )
+        if len(self.zone_ids) != len(zones):
+            raise ModelError(
+                f"{len(zones)} zones but {len(self.zone_ids)} zone ids"
+            )
+        watched = int(sum(zone.size for zone in zones))
+        self.num_links = watched if num_links is None else int(num_links)
+        self._watched_links = watched
 
     # ------------------------------------------------------------------
     @property
     def num_zones(self) -> int:
-        """Number of link zones."""
+        """Number of (surviving) link zones."""
         return len(self.zones)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the network's links the surviving zones watch."""
+        return self._watched_links / self.num_links
+
+    def without_zones(self, dead: Iterable[int]) -> "SpatialShardedModel":
+        """A degraded copy with the given *original* zone ids removed.
+
+        The quorum of the ``vote`` fusion is rescaled to the survivors;
+        thresholds and detectors of surviving zones are untouched, so
+        their alarms are bit-identical to the full model's.  Removing
+        every zone raises :class:`ModelError`.
+        """
+        dead_req = {int(z) for z in dead}
+        unknown = dead_req - set(range(self.total_zones))
+        if unknown:
+            raise ModelError(
+                f"unknown zone id(s) {sorted(unknown)}; this plane has "
+                f"zones 0..{self.total_zones - 1}"
+            )
+        dead_all = set(self.dead_zones) | dead_req
+        keep = [
+            index
+            for index, zone_id in enumerate(self.zone_ids)
+            if zone_id not in dead_all
+        ]
+        if not keep:
+            raise ModelError(
+                "cannot drop every zone; at least one must survive"
+            )
+        return SpatialShardedModel(
+            zones=tuple(self.zones[i] for i in keep),
+            detectors=tuple(self.detectors[i] for i in keep),
+            confidence=self.confidence,
+            votes=_quorum_votes(
+                self.requested_votes, self.total_zones, len(keep)
+            ),
+            requested_votes=self.requested_votes,
+            num_links=self.num_links,
+            total_zones=self.total_zones,
+            dead_zones=tuple(sorted(dead_all)),
+            zone_ids=tuple(self.zone_ids[i] for i in keep),
+        )
 
     @property
     def zone_ranks(self) -> tuple[int, ...]:
@@ -942,6 +1640,30 @@ class SpatialShardedModel:
         score = self.fused_score(measurements, fusion, confidence=confidence)
         return score > self.fusion_threshold(fusion, confidence)
 
+    def alarm_report(
+        self,
+        measurements: np.ndarray,
+        fusion: str = "rescore",
+        confidence: float | None = None,
+    ) -> dict:
+        """Fused alarms annotated with the plane's degradation state.
+
+        The JSON-ready payload a degraded plane emits instead of bare
+        alarm flags: which zones are dead, what fraction of links the
+        decision actually covers, and the quorum in force.
+        """
+        score = self.fused_score(measurements, fusion, confidence=confidence)
+        threshold = self.fusion_threshold(fusion, confidence)
+        return {
+            "fusion": fusion,
+            "threshold": float(threshold),
+            "votes": self.votes,
+            "coverage": self.coverage,
+            "dead_zones": list(self.dead_zones),
+            "alarms": [bool(flag) for flag in np.atleast_1d(score > threshold)],
+            "fused_score": [float(v) for v in np.atleast_1d(score)],
+        }
+
 
 @dataclass(frozen=True)
 class SpatialShardFit:
@@ -1002,6 +1724,14 @@ class SpatialCoordinator:
         zone fits (measures the fuse stage and pins every mode's native
         threshold into the report).  Disable when only the fitted plane
         is needed.
+    fault_policy, task_deadline, max_retries, backoff_base,
+    backoff_max, fault_seed, fault_plan:
+        Supervision parameters of the parallel zone fits, exactly as
+        for :class:`TemporalCoordinator`.  Under ``partial``, a zone
+        whose fit is permanently lost is dropped from the plane: the
+        surviving zones form a degraded
+        :class:`SpatialShardedModel` with a quorum-adjusted ``vote``
+        fusion and a ``coverage`` fraction below 1.
     """
 
     def __init__(
@@ -1014,6 +1744,13 @@ class SpatialCoordinator:
         threshold_sigma: float = 3.0,
         normal_rank: int | None = None,
         score_training: bool = True,
+        fault_policy: str = "fail-fast",
+        task_deadline: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        fault_seed: int = 0,
+        fault_plan=None,
     ) -> None:
         if num_zones < 1:
             raise ValidationError(f"num_zones must be >= 1, got {num_zones}")
@@ -1029,11 +1766,23 @@ class SpatialCoordinator:
         self.threshold_sigma = threshold_sigma
         self.normal_rank = normal_rank
         self.score_training = score_training
+        self.fault_policy = resolve_policy(fault_policy, "fail-fast")
+        self.task_deadline = task_deadline
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.fault_seed = int(fault_seed)
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
-    def fit(self, measurements: np.ndarray) -> SpatialShardFit:
+    def fit(
+        self,
+        measurements: np.ndarray,
+        fault_policy: str | None = None,
+    ) -> SpatialShardFit:
         """Fit every zone (serially or fanned out over processes)."""
         begin = time.perf_counter()
+        policy = resolve_policy(fault_policy, self.fault_policy)
         measurements = np.ascontiguousarray(measurements, dtype=np.float64)
         if measurements.ndim != 2:
             raise ModelError(
@@ -1056,8 +1805,9 @@ class SpatialCoordinator:
             workers = min(len(zones), os.cpu_count() or 1)
         workers = min(workers, len(zones))
 
+        fault: FaultReport | None = None
         if workers <= 1:
-            detectors: list[SPEDetector] = []
+            fitted: dict[int, SPEDetector] = {}
             timings: list[WorkerTiming] = []
             for index, zone in enumerate(zones):
                 zone_begin = time.perf_counter()
@@ -1068,7 +1818,7 @@ class SpatialCoordinator:
                     threshold_sigma=self.threshold_sigma,
                     normal_rank=self.normal_rank,
                 )
-                detectors.append(_fit_zone(measurements, task))
+                fitted[index] = _fit_zone(measurements, task)
                 timings.append(
                     WorkerTiming(
                         worker=index,
@@ -1078,16 +1828,33 @@ class SpatialCoordinator:
                     )
                 )
         else:
-            detectors, timings = self._fit_parallel(
-                measurements, zones, workers
+            fitted, timings, fault = self._fit_parallel(
+                measurements, zones, workers, policy
             )
 
-        model = SpatialShardedModel(
-            zones=zones,
-            detectors=tuple(detectors),
-            confidence=self.confidence,
-            votes=votes,
+        alive = sorted(fitted)
+        dead = tuple(
+            index for index in range(len(zones)) if index not in fitted
         )
+        if dead:
+            model = SpatialShardedModel(
+                zones=tuple(zones[i] for i in alive),
+                detectors=tuple(fitted[i] for i in alive),
+                confidence=self.confidence,
+                votes=_quorum_votes(votes, len(zones), len(alive)),
+                requested_votes=votes,
+                num_links=measurements.shape[1],
+                total_zones=len(zones),
+                dead_zones=dead,
+                zone_ids=tuple(alive),
+            )
+        else:
+            model = SpatialShardedModel(
+                zones=zones,
+                detectors=tuple(fitted[i] for i in alive),
+                confidence=self.confidence,
+                votes=votes,
+            )
         # One fused scoring pass over the training block: measures the
         # fuse stage and pins every mode's native threshold into the
         # report.
@@ -1115,14 +1882,15 @@ class SpatialCoordinator:
                 float(det.threshold) for det in model.detectors
             ),
             fusion_thresholds=fusion_thresholds,
+            coverage=model.coverage,
+            fault=fault,
             fuse_seconds=fuse_s,
             elapsed_seconds=time.perf_counter() - begin,
             worker_timings=tuple(timings),
         )
         return SpatialShardFit(model=model, report=report)
 
-    def _fit_parallel(self, measurements, zones, workers):
-        import multiprocessing
+    def _fit_parallel(self, measurements, zones, workers, policy):
         import pickle
 
         global _INHERITED_TRAFFIC
@@ -1145,21 +1913,39 @@ class SpatialCoordinator:
                 )
                 for zone in zones
             ]
-            with multiprocessing.Pool(processes=workers) as pool:
-                outputs = pool.map(_run_zone_task, tasks)
-            detectors = [pickle.loads(blob) for blob, _ in outputs]
-            timings = [
-                WorkerTiming(
-                    worker=index,
-                    start=int(zone[0]),
-                    size=int(zone.size),
-                    stats_seconds=seconds,
+            max_retries = 0 if policy == "fail-fast" else self.max_retries
+            with SupervisedPool(
+                workers,
+                deadline=self.task_deadline,
+                max_retries=max_retries,
+                backoff_base=self.backoff_base,
+                backoff_max=self.backoff_max,
+                seed=self.fault_seed,
+                fault_plan=self.fault_plan,
+            ) as pool:
+                run = pool.run(_run_zone_task, tasks, stage="zones")
+            raise_if_lost(run, "spatial zone fits", policy)
+            fitted: dict[int, SPEDetector] = {}
+            timings: list[WorkerTiming] = []
+            for index, output in enumerate(run.results):
+                if output is None:
+                    continue  # partial: permanently lost zone
+                blob, seconds = output
+                fitted[index] = pickle.loads(blob)
+                timings.append(
+                    WorkerTiming(
+                        worker=index,
+                        start=int(zones[index][0]),
+                        size=int(zones[index].size),
+                        stats_seconds=seconds,
+                    )
                 )
-                for index, (zone, (_, seconds)) in enumerate(
-                    zip(zones, outputs)
+            if not fitted:
+                raise SupervisionError(
+                    "every zone fit was lost; nothing survives to fuse",
+                    report=run.report,
                 )
-            ]
-            return detectors, timings
+            return fitted, timings, run.report
         finally:
             _INHERITED_TRAFFIC = None
             for segment in segments:

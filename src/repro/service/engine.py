@@ -65,6 +65,7 @@ ERROR_REASONS = (
     "client_disconnect",
     "bad_request",
     "refit_failed",
+    "checkpoint_failed",
 )
 
 
@@ -91,6 +92,16 @@ class ServiceConfig:
         :class:`~repro.core.incremental.IncrementalSubspaceTracker`).
     max_rows_per_request, max_body_bytes, read_timeout:
         Transport guards enforced by the HTTP layer.
+    checkpoint_path:
+        Where :meth:`DetectionService.checkpoint` persists the lifecycle
+        (atomic temp-file-and-rename writes); ``None`` disables
+        checkpointing.  A service built via
+        :meth:`DetectionService.from_checkpoint` restarts warm from this
+        file — same model version, same stream position.
+    checkpoint_interval:
+        Automatically checkpoint after this many ingested rows
+        (requires ``checkpoint_path``); ``None`` leaves checkpoints
+        manual (``POST /checkpoint`` or SIGTERM).
     dtype:
         Scoring precision, ``"float64"`` (default) or ``"float32"``.
         Fits — rank, threshold, components — always run in float64;
@@ -113,6 +124,8 @@ class ServiceConfig:
     max_body_bytes: int = 8_000_000
     read_timeout: float = 10.0
     dtype: str = "float64"
+    checkpoint_path: str | None = None
+    checkpoint_interval: int | None = None
 
     def with_overrides(self, **overrides) -> "ServiceConfig":
         """A copy with the given fields replaced."""
@@ -207,6 +220,43 @@ class DetectionService:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        routing: RoutingMatrix | None = None,
+        config: ServiceConfig | None = None,
+        event_log: EventLog | None = None,
+        refit_hook: Callable[[], None] | None = None,
+        latency_clock: Callable[[], float] = time.perf_counter,
+    ) -> "DetectionService":
+        """Restart warm from a checkpoint written by :meth:`checkpoint`.
+
+        The restored service scores under the same model version (the
+        detector is refit bit-identically from the checkpointed
+        sufficient statistics) and resumes at the same stream position —
+        its next assigned bin continues where the checkpointing process
+        stopped.  Unreadable or torn files raise
+        :class:`~repro.exceptions.CheckpointError`.
+        """
+        lifecycle = ModelLifecycleManager.restore(path)
+        lifecycle.refit_hook = refit_hook
+        service = cls(
+            lifecycle,
+            routing=routing,
+            config=config,
+            event_log=event_log,
+            latency_clock=latency_clock,
+        )
+        extra = lifecycle.restored_extra
+        if extra:
+            with service._lock:
+                service._warmup_rows = int(
+                    extra.get("warmup_rows", service._warmup_rows)
+                )
+                service._stream_rows = int(extra.get("stream_rows", 0))
+        return service
+
+    @classmethod
     def from_warmup(
         cls,
         warmup: np.ndarray,
@@ -261,6 +311,10 @@ class DetectionService:
         )
         self._m_swaps = registry.counter(
             "repro_model_swaps_total", "Atomic model hot-swaps performed."
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_checkpoints_total",
+            "Lifecycle checkpoints written successfully.",
         )
         self._g_spe = registry.gauge(
             "repro_spe_last", "SPE of the most recently scored row."
@@ -455,6 +509,18 @@ class DetectionService:
             )
             if due and self.config.synchronous_refit:
                 self._do_refit()
+            checkpoint_due = (
+                self.config.checkpoint_path is not None
+                and self.config.checkpoint_interval is not None
+                and self._stream_rows % self.config.checkpoint_interval == 0
+            )
+            if checkpoint_due:
+                # Auto-checkpoints are fail-soft: a sick disk is counted
+                # under ``checkpoint_failed`` and serving continues.
+                try:
+                    self.checkpoint()
+                except ServiceError:
+                    pass
         if due and not self.config.synchronous_refit:
             self.request_refit()
         return outcome
@@ -519,6 +585,45 @@ class DetectionService:
             self._refresh_model_gauges()
             self.events.emit("model_swap", **version.summary())
             return version
+
+    def checkpoint(self, path: str | None = None) -> dict:
+        """Persist the lifecycle (plus stream position) atomically.
+
+        Writes to ``path`` or the configured ``checkpoint_path`` via the
+        lifecycle's temp-file-and-rename protocol, so a crash mid-write
+        leaves the previous complete checkpoint intact.  On success the
+        checkpoint counter and event log record it; on failure the
+        ``checkpoint_failed`` error reason is counted and the cause
+        re-raises as :class:`~repro.exceptions.ServiceError`.
+        """
+        target = path if path is not None else self.config.checkpoint_path
+        if target is None:
+            raise ServiceError(
+                "no checkpoint path: pass one or set "
+                "ServiceConfig.checkpoint_path"
+            )
+        with self._lock:
+            extra = {
+                "warmup_rows": self._warmup_rows,
+                "stream_rows": self._stream_rows,
+            }
+            try:
+                summary = self.lifecycle.checkpoint(target, extra=extra)
+            except Exception as err:
+                self.record_error("checkpoint_failed", detail=str(err))
+                raise ServiceError(f"checkpoint failed: {err}") from err
+            self._m_checkpoints.inc()
+            self.events.emit(
+                "checkpoint",
+                path=str(target),
+                rows_ingested=self._stream_rows,
+                model_version=summary["version"],
+            )
+            return {
+                "path": str(target),
+                "rows_ingested": self._stream_rows,
+                "current": summary,
+            }
 
     def request_refit(self) -> bool:
         """Kick off a background refit; False when one is in flight."""
@@ -587,7 +692,19 @@ class DetectionService:
         return self.metrics.render()
 
     def close(self) -> None:
-        """Emit the stop event and close the event log."""
+        """Checkpoint (if configured), emit the stop event, close the log.
+
+        The shutdown checkpoint is what makes a SIGTERM restart warm:
+        the daemon's signal handler funnels into ``close()``, so the
+        last stream position always lands on disk before the process
+        exits.  Like auto-checkpoints it is fail-soft — a dying disk
+        must not block shutdown.
+        """
+        if self.config.checkpoint_path is not None:
+            try:
+                self.checkpoint()
+            except ServiceError:
+                pass  # counted under checkpoint_failed; keep shutting down
         self.events.emit(
             "service_stop",
             rows_ingested=self.rows_ingested,

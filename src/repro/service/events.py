@@ -35,6 +35,7 @@ EVENT_KINDS = (
     "model_swap",
     "refit_failed",
     "ingest_error",
+    "checkpoint",
 )
 
 
@@ -71,6 +72,7 @@ class EventLog:
         self._lock = threading.Lock()
         self._tail: deque[dict] = deque(maxlen=tail_size)
         self._emitted = 0
+        self._write_errors = 0
         self._path = Path(path) if path is not None else None
         self._handle: IO[str] | None = None
         if self._path is not None:
@@ -88,6 +90,18 @@ class EventLog:
         """Total events emitted over the log's lifetime."""
         with self._lock:
             return self._emitted
+
+    @property
+    def write_errors(self) -> int:
+        """Lines the backing file refused (disk full, revoked handle...).
+
+        Event logging is observability, not correctness: a failing disk
+        must never take the scoring path down with it, so ``emit``
+        swallows :class:`OSError` from the file write, counts it here,
+        and keeps the event in the memory tail.
+        """
+        with self._lock:
+            return self._write_errors
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, /, **fields) -> dict:
@@ -116,8 +130,14 @@ class EventLog:
             self._emitted += 1
             self._tail.append(record)
             if self._handle is not None:
-                self._handle.write(line + "\n")
-                self._handle.flush()
+                # Fail-soft: a sick disk costs the persisted line, never
+                # the caller — the record stays in the memory tail and
+                # the loss is visible via ``write_errors``.
+                try:
+                    self._handle.write(line + "\n")
+                    self._handle.flush()
+                except OSError:
+                    self._write_errors += 1
         return record
 
     def tail(self, count: int | None = None) -> list[dict]:

@@ -1,7 +1,7 @@
 """Stdlib-asyncio HTTP front end for :class:`DetectionService`.
 
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — the
-container ships no web framework, and the service needs exactly six
+container ships no web framework, and the service needs exactly seven
 routes:
 
 ====== =========== ====================================================
@@ -13,8 +13,16 @@ GET    /metrics    Prometheus text exposition (format 0.0.4).
 GET    /health     Liveness JSON; ``status: ok`` whenever serving.
 GET    /version    Active model version + full swap history.
 POST   /refit      Refit now (``{"wait": false}`` → background, 202).
-POST   /shutdown   Graceful stop after the response is written.
+POST   /checkpoint Persist the lifecycle atomically (``{"path": ...}``
+                   overrides the configured destination).
+POST   /shutdown   Graceful stop after the response is written (a
+                   configured checkpoint path makes the stop warm).
 ====== =========== ====================================================
+
+A SIGTERM takes the same path as ``POST /shutdown`` — the signal
+handler sets the shutdown event, ``serve_until_shutdown`` falls through
+to ``service.close()``, and ``close()`` writes a final checkpoint when
+one is configured, so an orchestrator's ordinary kill restarts warm.
 
 Transport faults never reach the engine as crashes: oversized bodies,
 stalled reads, malformed framing, and mid-request disconnects each map
@@ -198,6 +206,7 @@ class ServiceHTTPServer:
             "/health": ("GET", self._route_health),
             "/version": ("GET", self._route_version),
             "/refit": ("POST", self._route_refit),
+            "/checkpoint": ("POST", self._route_checkpoint),
             "/shutdown": ("POST", self._route_shutdown),
         }
         if path not in routes:
@@ -365,6 +374,29 @@ class ServiceHTTPServer:
                 "application/json",
             )
         return 200, {"refit": "done", **version.summary()}, "application/json"
+
+    def _route_checkpoint(self, body: bytes) -> tuple[int, object, str]:
+        path = None
+        if body:
+            try:
+                payload = self._parse_json(body)
+            except _HTTPError as err:
+                return (
+                    err.status,
+                    {"error": err.detail, "reason": err.reason},
+                    "application/json",
+                )
+            if isinstance(payload, dict):
+                path = payload.get("path")
+        try:
+            written = self.service.checkpoint(path)
+        except ServiceError as err:
+            return (
+                500,
+                {"error": str(err), "reason": "checkpoint_failed"},
+                "application/json",
+            )
+        return 200, {"checkpoint": "written", **written}, "application/json"
 
     def _route_shutdown(self, body: bytes) -> tuple[int, object, str]:
         return 200, {"status": "shutting down"}, "application/json"

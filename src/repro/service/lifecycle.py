@@ -38,10 +38,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro._util import ensure_matrix
+from repro._util import atomic_pickle_dump, ensure_matrix
 from repro.core.detection import SPEDetector
 from repro.core.suffstats import DEFAULT_TILE_ROWS, SufficientStats
-from repro.exceptions import ServiceError
+from repro.exceptions import CheckpointError, ServiceError
 from repro.pipeline.sharded import TemporalCoordinator
 
 __all__ = ["ModelVersion", "ModelLifecycleManager", "CHECKPOINT_SCHEMA_VERSION"]
@@ -133,6 +133,10 @@ class ModelLifecycleManager:
         self._stats: SufficientStats | None = None
         self._current: ModelVersion | None = None
         self._retired: list[ModelVersion] = []
+        #: Side-channel state from the checkpoint that restored this
+        #: manager ({} when constructed fresh) — the service layer uses
+        #: it to resume its own counters (warmup/stream row tallies).
+        self.restored_extra: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -306,13 +310,18 @@ class ModelLifecycleManager:
             return self._current
 
     # ------------------------------------------------------------------
-    def checkpoint(self, path: str | Path) -> dict:
-        """Serialize the full lifecycle state to ``path``.
+    def checkpoint(self, path: str | Path, extra: dict | None = None) -> dict:
+        """Serialize the full lifecycle state to ``path`` atomically.
 
         The payload carries the merged sufficient statistics, the raw
         history blocks (needed by the separation rule's moments pass on
-        the next refit), the version bookkeeping, and the fit
-        configuration.  Returns the summary section for logging.
+        the next refit), the version bookkeeping, the fit configuration,
+        and an optional ``extra`` dict of caller state (the service
+        stores its row counters there).  The write goes through
+        :func:`~repro._util.atomic_pickle_dump` — temp file in the same
+        directory, fsync, ``os.replace`` — so a crash mid-write leaves
+        the previous complete checkpoint, never a torn file.  Returns
+        the summary section for logging.
         """
         with self._lock:
             if self._stats is None or self._current is None:
@@ -333,11 +342,9 @@ class ModelLifecycleManager:
                 "rows": self._rows,
                 "current": self._current.summary(),
                 "retired": [v.summary() for v in self._retired],
+                "extra": dict(extra or {}),
             }
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_pickle_dump(path, payload)
         return payload["current"]
 
     @classmethod
@@ -350,27 +357,49 @@ class ModelLifecycleManager:
         guarantee the restored detector is bit-identical to the one that
         wrote the checkpoint (the restore tests pin threshold, mean, and
         components bitwise).
+
+        A file that cannot be read or unpickled — truncated, scribbled,
+        missing — raises :class:`~repro.exceptions.CheckpointError`; a
+        readable payload from an incompatible schema raises
+        :class:`~repro.exceptions.ServiceError`.
         """
-        with Path(path).open("rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            with Path(path).open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, MemoryError, ValueError) as err:
+            raise CheckpointError(
+                f"unreadable service checkpoint {path}: {err}"
+            ) from err
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"malformed service checkpoint {path}: "
+                f"expected dict payload, got {type(payload).__name__}"
+            )
         if payload.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
             raise ServiceError(
                 "unsupported checkpoint schema "
                 f"{payload.get('schema_version')!r}"
             )
-        config = payload["config"]
-        manager = cls(
-            confidence=config["confidence"],
-            threshold_sigma=config["threshold_sigma"],
-            normal_rank=config["normal_rank"],
-            min_normal_rank=config["min_normal_rank"],
-            max_normal_rank=config["max_normal_rank"],
-            tile_rows=config["tile_rows"],
-            # Schema-1 checkpoints written before the dtype knob existed
-            # carry no entry; those models scored in float64.
-            dtype=config.get("dtype", "float64"),
-        )
-        current = payload["current"]
+        try:
+            config = payload["config"]
+            manager = cls(
+                confidence=config["confidence"],
+                threshold_sigma=config["threshold_sigma"],
+                normal_rank=config["normal_rank"],
+                min_normal_rank=config["min_normal_rank"],
+                max_normal_rank=config["max_normal_rank"],
+                tile_rows=config["tile_rows"],
+                # Schema-1 checkpoints written before the dtype knob
+                # existed carry no entry; those models scored in float64.
+                dtype=config.get("dtype", "float64"),
+            )
+            current = payload["current"]
+        except (KeyError, TypeError) as err:
+            raise CheckpointError(
+                f"malformed service checkpoint {path}: {err}"
+            ) from err
+        manager.restored_extra = dict(payload.get("extra") or {})
         with manager._lock:
             manager._stats = payload["stats"]
             manager._blocks = list(payload["blocks"])

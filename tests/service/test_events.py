@@ -89,3 +89,42 @@ class TestFileSink:
         log.emit("alarm")
         log.close()  # closing a memory log is a no-op
         assert log.tail()[0]["kind"] == "alarm"
+
+
+class TestFailSoftWrites:
+    """A sick disk costs log lines, never the scoring path."""
+
+    def test_oserror_is_counted_and_swallowed(self, tmp_path, fake_clock):
+        log = EventLog(tmp_path / "events.jsonl", clock=fake_clock)
+        log.emit("alarm", bin=1)
+        assert log.write_errors == 0
+
+        # Simulate the disk dying under the open handle.
+        class DeadHandle:
+            def write(self, _):
+                raise OSError(28, "No space left on device")
+
+            def flush(self):
+                raise OSError(28, "No space left on device")
+
+            def close(self):
+                pass
+
+        log._handle = DeadHandle()
+        record = log.emit("alarm", bin=2)  # must not raise
+        assert record["bin"] == 2
+        assert log.write_errors == 1
+        log.emit("alarm", bin=3)
+        assert log.write_errors == 2
+        # The memory tail kept every event despite the failed writes.
+        assert [e["bin"] for e in log.tail()] == [1, 2, 3]
+        # Counters: every emit counted, only the first line persisted.
+        assert log.emitted == 3
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_memory_only_log_never_counts_write_errors(self):
+        log = EventLog()
+        for _ in range(5):
+            log.emit("alarm", bin=0)
+        assert log.write_errors == 0

@@ -181,3 +181,73 @@ class TestCheckpoint:
             pickle.dump(payload, handle)
         with pytest.raises(ServiceError, match="unsupported checkpoint"):
             ModelLifecycleManager.restore(path)
+
+
+class TestAtomicCheckpoint:
+    """Regression pins for the torn-write and corrupt-restore contracts."""
+
+    def test_write_is_atomic_under_interruption(self, manager, tmp_path):
+        """A crash mid-checkpoint must leave the previous file intact.
+
+        The atomic protocol writes a temp file and renames; interrupting
+        the temp-file write (simulated by a full disk on fsync) must not
+        touch the destination bytes.
+        """
+        import os
+
+        _, _, lifecycle = manager
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path)
+        before = path.read_bytes()
+
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        os.fsync = exploding_fsync
+        try:
+            with pytest.raises(OSError):
+                lifecycle.checkpoint(path)
+        finally:
+            os.fsync = real_fsync
+        assert path.read_bytes() == before  # old checkpoint untouched
+        assert not list(tmp_path.glob("*.tmp"))  # temp file cleaned up
+        ModelLifecycleManager.restore(path)  # and it still restores
+
+    def test_truncated_file_raises_checkpoint_error(self, manager, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        _, _, lifecycle = manager
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            ModelLifecycleManager.restore(path)
+
+    def test_scribbled_file_raises_checkpoint_error(self, manager, tmp_path):
+        import os
+
+        from repro.exceptions import CheckpointError
+
+        _, _, lifecycle = manager
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path)
+        size = path.stat().st_size
+        path.write_bytes(os.urandom(size))
+        with pytest.raises(CheckpointError):
+            ModelLifecycleManager.restore(path)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            ModelLifecycleManager.restore(tmp_path / "never-written.pkl")
+
+    def test_extra_state_round_trips(self, manager, tmp_path):
+        _, _, lifecycle = manager
+        path = tmp_path / "state.pkl"
+        lifecycle.checkpoint(path, extra={"stream_rows": 17})
+        restored = ModelLifecycleManager.restore(path)
+        assert restored.restored_extra == {"stream_rows": 17}

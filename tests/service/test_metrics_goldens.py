@@ -58,9 +58,12 @@ def rounded_sample_line(line: str) -> str:
 
 
 @pytest.fixture
-def deterministic_run(service_split, tmp_path):
+def deterministic_run(service_split, tmp_path, monkeypatch):
     """One scripted service lifetime touching every event kind."""
     dataset, warmup = service_split
+    # The checkpoint event records its path verbatim; a relative path
+    # under a chdir keeps the golden bytes machine-independent.
+    monkeypatch.chdir(tmp_path)
     event_clock = iter(range(10_000)).__next__
     latency_clock_state = {"t": 0.0}
 
@@ -78,7 +81,11 @@ def deterministic_run(service_split, tmp_path):
     service = DetectionService.from_warmup(
         dataset.link_traffic[:warmup],
         routing=dataset.routing,
-        config=ServiceConfig(refit_interval=40, synchronous_refit=True),
+        config=ServiceConfig(
+            refit_interval=40,
+            synchronous_refit=True,
+            checkpoint_path="service.ckpt",
+        ),
         event_log=EventLog(log_path, clock=lambda: float(event_clock())),
         refit_hook=hook,
         latency_clock=latency_clock,
@@ -95,7 +102,7 @@ def deterministic_run(service_split, tmp_path):
     with pytest.raises(Exception):
         service.refit()  # one refit_failed event
     boom["armed"] = False
-    service.close()
+    service.close()  # configured checkpoint path → one checkpoint event
     return service, log_path
 
 
