@@ -1,0 +1,353 @@
+"""Multi-tenant fleet: tenant-scaling curve + per-tenant p99 isolation.
+
+PR 9's scheduling contract, measured head-on:
+
+* **Batched-vs-serial parity** — at every tenant count the stacked
+  scoring kernel must be *bit-identical* to scoring each tenant
+  serially.  Any mismatch fails the bench (and the CI smoke) outright.
+* **Batched throughput floor** — at the largest tenant count the
+  stacked kernel must beat the serial per-tenant loop by
+  **>= MIN_BATCHED_SPEEDUP**.  The per-tenant kernel is tiny by design,
+  so the serial loop's cost is dominated by Python dispatch — the
+  scheduler, not BLAS, is the bottleneck the batching removes.  The
+  curve records the dispatch-overhead fraction at every tenant count so
+  the crossover is visible in the artifact.
+* **Per-tenant p99 isolation floor** — scoring latency is sampled per
+  tenant over many rounds; the slowest tenant's p99 must stay within
+  **MAX_P99_ISOLATION_RATIO x** the median tenant's p99.  One tenant's
+  position in the schedule must never starve another.
+
+BLAS threading is pinned to one thread per process (set below, before
+numpy loads) so the measured ratios are scheduling effects, not
+thread-count drift; the pinning is recorded in the artifact's
+environment block.
+
+Artifacts: ``results/fleet_scale.txt`` (human-readable) and
+``results/BENCH_fleet_scale.json`` (machine-readable: scaling curve,
+floors, enforcement, per-tenant latency quantiles, thread environment).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_fleet_scale.py
+CI smoke:        PYTHONPATH=src python benchmarks/bench_fleet_scale.py --smoke
+"""
+
+from __future__ import annotations
+
+import os
+
+for _var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+import time
+
+import numpy as np
+
+MIN_BATCHED_SPEEDUP = 1.2
+MAX_P99_ISOLATION_RATIO = 25.0
+FULL_TENANT_COUNTS = (8, 32, 128, 512)
+SMOKE_TENANT_COUNTS = (4, 16, 64)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_fleet(num_tenants: int, warmup_rows: int, links: int):
+    from repro.pipeline.fleet import FleetManager, synthetic_tenant_traffic
+
+    fleet = FleetManager(workers=1, fault_policy="fail-fast")
+    for index in range(num_tenants):
+        tenant_id = f"tenant-{index:04d}"
+        fleet.add_tenant(
+            tenant_id,
+            synthetic_tenant_traffic(tenant_id, warmup_rows, links=links),
+        )
+    return fleet
+
+
+def _score_blocks(fleet, score_rows: int, links: int, start_row: int):
+    from repro.pipeline.fleet import synthetic_tenant_traffic
+
+    return {
+        tenant_id: synthetic_tenant_traffic(
+            tenant_id, score_rows, links=links, start_row=start_row
+        )
+        for tenant_id in fleet.tenants
+    }
+
+
+def measure_tenant_count(
+    num_tenants: int,
+    warmup_rows: int,
+    score_rows: int,
+    links: int,
+    latency_rounds: int,
+    repeats: int,
+) -> dict:
+    """One point on the scaling curve: fit, score both ways, sample p99."""
+    fleet = _build_fleet(num_tenants, warmup_rows, links)
+
+    fit_start = time.perf_counter()
+    fit_report = fleet.fit(strict=True)
+    fit_seconds = time.perf_counter() - fit_start
+    if not fit_report.clean:
+        raise AssertionError(f"fleet fit lost tenants at n={num_tenants}")
+
+    blocks = _score_blocks(fleet, score_rows, links, start_row=warmup_rows)
+
+    batched = fleet.score(blocks, batch=True)
+    plan = dict(fleet.last_score_plan)
+    serial = fleet.score(blocks, batch=False)
+    parity_ok = all(
+        np.array_equal(batched[t].spe, serial[t].spe)
+        and np.array_equal(batched[t].flags, serial[t].flags)
+        for t in fleet.tenants
+    )
+
+    batched_seconds = _time(lambda: fleet.score(blocks, batch=True), repeats)
+    serial_seconds = _time(lambda: fleet.score(blocks, batch=False), repeats)
+    batched_speedup = serial_seconds / batched_seconds
+    # The stacked call is (almost) pure kernel; the serial loop adds one
+    # scheduler dispatch per tenant on the same flops.  The fraction of
+    # the serial wall clock that batching removes is therefore the
+    # scheduler's share of the bill.
+    dispatch_overhead_fraction = max(
+        0.0, 1.0 - batched_seconds / serial_seconds
+    )
+
+    # Per-tenant latency sampling: each round scores every tenant on its
+    # own dispatch, so a tenant starved by the schedule shows up as an
+    # inflated p99 relative to the median tenant.  The order is shuffled
+    # every round (fixed seed) so OS noise lands on random tenants
+    # instead of whichever id happens to sit at a resonant position; a
+    # warmup round absorbs cold caches.
+    rng = np.random.default_rng(20040830)
+    tenant_ids = list(fleet.tenants)
+    samples = {tenant_id: [] for tenant_id in tenant_ids}
+    for round_index in range(latency_rounds + 1):
+        order = rng.permutation(len(tenant_ids))
+        for position in order:
+            tenant_id = tenant_ids[position]
+            single = {tenant_id: blocks[tenant_id]}
+            start = time.perf_counter()
+            fleet.score(single)
+            elapsed = time.perf_counter() - start
+            if round_index > 0:
+                samples[tenant_id].append(elapsed)
+    p99 = {
+        tenant_id: float(np.quantile(times, 0.99))
+        for tenant_id, times in samples.items()
+    }
+    p99_values = np.array(sorted(p99.values()))
+    median_p99 = float(np.median(p99_values))
+    max_p99 = float(p99_values[-1])
+    isolation_ratio = max_p99 / median_p99 if median_p99 > 0 else float("inf")
+
+    return {
+        "tenants": num_tenants,
+        "warmup_rows": warmup_rows,
+        "score_rows": score_rows,
+        "links": links,
+        "fit_seconds": fit_seconds,
+        "batched_score_seconds": batched_seconds,
+        "serial_score_seconds": serial_seconds,
+        "batched_speedup": batched_speedup,
+        "dispatch_overhead_fraction": dispatch_overhead_fraction,
+        "scheduler_bound": dispatch_overhead_fraction > 0.5,
+        "parity_ok": bool(parity_ok),
+        "score_plan": plan,
+        "latency_rounds": latency_rounds,
+        "per_tenant_p99_seconds": {
+            "median": median_p99,
+            "max": max_p99,
+            "min": float(p99_values[0]),
+        },
+        "p99_isolation_ratio": isolation_ratio,
+    }
+
+
+def measure(smoke: bool = False) -> dict:
+    """The full benchmark record (smaller grid in smoke mode)."""
+    # Small per-round score windows are the fleet's design point (many
+    # tenants, a few fresh rows each): the per-tenant kernel is tiny, so
+    # the serial loop's bill is dispatch and batching pays it off.
+    if smoke:
+        tenant_counts = SMOKE_TENANT_COUNTS
+        warmup_rows, score_rows, links = 96, 16, 16
+        latency_rounds, repeats = 30, 2
+    else:
+        tenant_counts = FULL_TENANT_COUNTS
+        warmup_rows, score_rows, links = 192, 16, 16
+        latency_rounds, repeats = 120, 3
+    curve = [
+        measure_tenant_count(
+            num_tenants,
+            warmup_rows=warmup_rows,
+            score_rows=score_rows,
+            links=links,
+            latency_rounds=latency_rounds,
+            repeats=repeats,
+        )
+        for num_tenants in tenant_counts
+    ]
+    largest = curve[-1]
+    return {
+        "benchmark": "fleet_scale",
+        "smoke": smoke,
+        "floors": {
+            "batched_speedup": MIN_BATCHED_SPEEDUP,
+            "p99_isolation_ratio_max": MAX_P99_ISOLATION_RATIO,
+        },
+        "floor_enforced": {
+            "batched_speedup": True,
+            "p99_isolation": True,
+        },
+        "enforcement": {
+            "cpu_count": os.cpu_count() or 1,
+            "reason": "batched-speedup and p99-isolation floors enforced "
+            "at every tenant count (single-process, no CPU precondition)",
+        },
+        "curve": curve,
+        "scheduler_bottleneck": {
+            "tenants": largest["tenants"],
+            "dispatch_overhead_fraction": largest[
+                "dispatch_overhead_fraction"
+            ],
+            "scheduler_bound": largest["scheduler_bound"],
+        },
+    }
+
+
+def check_floors(stats: dict) -> list[str]:
+    """Violations (empty = pass): parity always, floors as enforced."""
+    failures: list[str] = []
+    for point in stats["curve"]:
+        n = point["tenants"]
+        if not point["parity_ok"]:
+            failures.append(
+                f"tenants={n}: batched scoring diverged from serial"
+            )
+        if (
+            stats["floor_enforced"]["p99_isolation"]
+            and point["p99_isolation_ratio"]
+            > stats["floors"]["p99_isolation_ratio_max"]
+        ):
+            failures.append(
+                f"tenants={n}: p99 isolation ratio "
+                f"{point['p99_isolation_ratio']:.1f}x above the "
+                f"{stats['floors']['p99_isolation_ratio_max']:.0f}x ceiling"
+            )
+    largest = stats["curve"][-1]
+    if (
+        stats["floor_enforced"]["batched_speedup"]
+        and largest["batched_speedup"] < stats["floors"]["batched_speedup"]
+    ):
+        failures.append(
+            f"tenants={largest['tenants']}: batched speedup "
+            f"{largest['batched_speedup']:.2f}x below the "
+            f"{stats['floors']['batched_speedup']:.1f}x floor"
+        )
+    return failures
+
+
+def render(stats: dict) -> str:
+    lines = [
+        "fleet scaling curve (batched vs serial scoring, per-tenant p99):"
+    ]
+    for point in stats["curve"]:
+        lines.append(
+            f"  {point['tenants']:>4} tenants: fit "
+            f"{point['fit_seconds']:>7.3f} s | score "
+            f"{point['batched_score_seconds'] * 1e3:>8.2f} ms batched vs "
+            f"{point['serial_score_seconds'] * 1e3:>8.2f} ms serial "
+            f"({point['batched_speedup']:.2f}x, dispatch "
+            f"{point['dispatch_overhead_fraction'] * 100:.0f}%) | "
+            f"p99 iso {point['p99_isolation_ratio']:.1f}x"
+        )
+    bottleneck = stats["scheduler_bottleneck"]
+    lines.append(
+        f"at {bottleneck['tenants']} tenants the scheduler is "
+        + (
+            "the bottleneck"
+            if bottleneck["scheduler_bound"]
+            else "not yet the bottleneck"
+        )
+        + f" ({bottleneck['dispatch_overhead_fraction'] * 100:.0f}% of the "
+        "serial wall clock is dispatch)"
+    )
+    lines.append(
+        f"floors: batched >= {stats['floors']['batched_speedup']:.1f}x at "
+        f"the largest count, p99 isolation <= "
+        f"{stats['floors']['p99_isolation_ratio_max']:.0f}x (both enforced)"
+    )
+    return "\n".join(lines)
+
+
+def test_fleet_scale(results_dir):
+    """Pytest entry: re-runs the bench in a thread-pinned subprocess."""
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    env = dict(os.environ)
+    for var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+    ):
+        env[var] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    outcome = subprocess.run(
+        [sys.executable, __file__, "--smoke"],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    print(outcome.stdout)
+    assert outcome.returncode == 0, outcome.stdout + outcome.stderr
+    payload = json.loads(
+        (results_dir / "BENCH_fleet_scale.json").read_text()
+    )
+    assert not check_floors(payload)
+    assert payload["floor_enforced"]["p99_isolation"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import RESULTS_DIR, write_json_result, write_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller tenant grid and fewer repeats; parity and floors "
+        "still apply",
+    )
+    arguments = parser.parse_args()
+    results = measure(smoke=arguments.smoke)
+    print(render(results))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_result(RESULTS_DIR, "fleet_scale", render(results))
+    path = write_json_result(RESULTS_DIR, "fleet_scale", results)
+    if not path.exists():
+        raise SystemExit("FAIL: JSON artifact missing")
+    failures = check_floors(results)
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+    print("OK")

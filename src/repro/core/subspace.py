@@ -31,6 +31,7 @@ __all__ = [
     "SubspaceModel",
     "float32_spe_band",
     "score_block",
+    "score_block_stacked",
     "score_moments",
     "separate_axes",
     "separate_axes_from_moments",
@@ -326,6 +327,96 @@ spe_block`.  BLAS GEMM is *not* row-decomposable: results match the
         if moments is not None and chunk.shape[0]:
             moments = moments.merge(_fold_scores(centered @ components))
     return ScoreBlockResult(spe=spe, flags=flags, moments=moments)
+
+
+def score_block_stacked(
+    measurements: np.ndarray,
+    means: np.ndarray,
+    *,
+    projectors: np.ndarray,
+    thresholds: np.ndarray | None = None,
+    dtype: np.dtype | type = np.float64,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> ScoreBlockResult:
+    """One fused scoring pass over a stack of same-shape models.
+
+    The multi-tenant fleet scores ``n`` tenants whose blocks share a
+    ``(t, m)`` shape through a single kernel call instead of ``n``
+    Python-level :func:`score_block` calls: ``measurements`` is the
+    ``(n, t, m)`` stack of tenant blocks, ``means`` the ``(n, m)`` stack
+    of model means, ``projectors`` the ``(n, m, m)`` stack of anomalous
+    projectors ``C̃`` and ``thresholds`` (optional) the ``(n,)`` vector
+    of per-model Q-limits.  Returns a :class:`ScoreBlockResult` whose
+    ``spe`` (and ``flags``) carry shape ``(n, t)``; ``moments`` is
+    always ``None`` — moments are fit-time statistics and the stacked
+    kernel is a scoring hot path.
+
+    **Bit-identical to serial scoring by contract.**  The kernel is the
+    batched form of the projector route of :func:`score_block`: each
+    ``(model, row)`` output is an independent ``np.einsum`` reduction
+    whose contraction order over the link axis is identical to the
+    2-D kernel's, so ``result.spe[i]`` equals
+    ``score_block(measurements[i], means[i],
+    projector=projectors[i], ...).spe`` bit for bit — for any
+    ``chunk_rows``, in float64 and float32 mode alike (the fleet's
+    hypothesis suite pins this).  That is what lets the fleet batch
+    opportunistically: batching is a scheduling decision, never a
+    numerical one.
+    """
+    measurements = np.asarray(measurements, dtype=np.float64)
+    means = np.asarray(means, dtype=np.float64)
+    projectors = np.asarray(projectors, dtype=np.float64)
+    if measurements.ndim != 3:
+        raise ModelError(
+            f"stacked measurements must be (n, t, m), got shape "
+            f"{measurements.shape}"
+        )
+    n, t, m = measurements.shape
+    if n == 0:
+        raise ModelError("stacked scoring needs at least one model")
+    if means.shape != (n, m):
+        raise ModelError(
+            f"stacked means must be {(n, m)}, got {means.shape}"
+        )
+    if projectors.shape != (n, m, m):
+        raise ModelError(
+            f"stacked projectors must be {(n, m, m)}, got "
+            f"{projectors.shape}"
+        )
+    if thresholds is not None:
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.shape != (n,):
+            raise ModelError(
+                f"stacked thresholds must be ({n},), got "
+                f"{thresholds.shape}"
+            )
+    if chunk_rows < 1:
+        raise ModelError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ModelError(
+            f"scoring dtype must be float32 or float64, got {dtype}"
+        )
+
+    # Mirror score_block exactly: in float64 the operator stack is a
+    # transposed *view* (einsum's reduction order depends on operand
+    # layout); in float32 the cast copies, just as the 2-D kernel's
+    # ``np.asarray(projector.T, dtype)`` does.
+    operators = np.asarray(projectors.transpose(0, 2, 1), dtype=dtype)
+
+    spe = np.empty((n, t))
+    flags = None if thresholds is None else np.empty((n, t), dtype=bool)
+    for start in range(0, t, chunk_rows):
+        chunk = measurements[:, start : start + chunk_rows, :]
+        centered = chunk - means[:, None, :]
+        work = centered if dtype == np.float64 else centered.astype(dtype)
+        residual = np.einsum("tij,tjk->tik", work, operators)
+        part = np.einsum("tij,tij->ti", residual, residual)
+        stop = start + chunk.shape[1]
+        spe[:, start:stop] = part
+        if flags is not None:
+            flags[:, start:stop] = spe[:, start:stop] > thresholds[:, None]
+    return ScoreBlockResult(spe=spe, flags=flags, moments=None)
 
 
 def float32_spe_band(

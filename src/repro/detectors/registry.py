@@ -146,6 +146,13 @@ def _sharded_subspace_factory(**kwargs) -> Detector:
     return ShardedSubspaceDetector(**kwargs)
 
 
+def _fleet_subspace_factory(**kwargs) -> Detector:
+    from repro.detectors.fleet import FleetSubspaceDetector
+
+    kwargs.pop("bin_seconds", None)  # bin-agnostic, like the subspace method
+    return FleetSubspaceDetector(**kwargs)
+
+
 def _streaming_subspace_factory(**kwargs) -> Detector:
     from repro.detectors.streaming import StreamingSubspaceDetector
 
@@ -158,6 +165,11 @@ register(
     "sharded-subspace",
     _sharded_subspace_factory,
     aliases=("spatial-subspace", "zoned-subspace"),
+)
+register(
+    "fleet-subspace",
+    _fleet_subspace_factory,
+    aliases=("multi-tenant-subspace", "tenant-subspace"),
 )
 register(
     "streaming-subspace",

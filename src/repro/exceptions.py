@@ -64,6 +64,15 @@ class CheckpointError(ReproError):
     """A checkpoint file is corrupt, truncated, or incompatible."""
 
 
+class FleetError(ReproError):
+    """The multi-tenant detector fleet was misused or lost a tenant.
+
+    Raised for unknown/duplicate tenant ids, scoring an unfitted
+    tenant, and (under a strict fit) tenants whose fit was permanently
+    lost despite a loss-intolerant fault policy.
+    """
+
+
 class ServiceError(ReproError):
     """The always-on detection service was misused or misconfigured."""
 

@@ -63,6 +63,14 @@ from repro.pipeline.faults import (
     FaultPlan,
     WorkerFault,
 )
+from repro.pipeline.fleet import (
+    FleetFitReport,
+    FleetManager,
+    TenantAlarms,
+    TenantFitOutcome,
+    run_fleet_check,
+    tenant_checkpoint_path,
+)
 from repro.pipeline.pipeline import DetectionPipeline, PipelineResult
 from repro.pipeline.sharded import (
     FAULT_POLICIES,
@@ -104,6 +112,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
+    "FleetFitReport",
+    "FleetManager",
     "PoolRun",
     "ShardReport",
     "SpatialCoordinator",
@@ -113,8 +123,12 @@ __all__ = [
     "TaskFault",
     "TemporalCoordinator",
     "TemporalShardFit",
+    "TenantAlarms",
+    "TenantFitOutcome",
     "WorkerFault",
     "partition_links",
     "run_chaos_suite",
+    "run_fleet_check",
+    "tenant_checkpoint_path",
     "temporal_fit_matches_monolithic",
 ]

@@ -67,19 +67,37 @@ _STATUS_TEXT = {
 
 
 class ServiceHTTPServer:
-    """One engine, one listening socket, many keep-alive connections."""
+    """One engine, one listening socket, many keep-alive connections.
+
+    With ``tenants`` (a
+    :class:`~repro.service.tenants.MultiTenantService`) the server also
+    routes ``POST /ingest/<tenant>`` to the named tenant's engine and
+    appends the fleet's tenant-labeled counters to ``GET /metrics``.
+    ``service`` stays the primary engine: it serves the unprefixed
+    routes and accounts transport-level faults (which have no tenant).
+    """
 
     def __init__(
         self,
         service: DetectionService,
         host: str = "127.0.0.1",
         port: int = 0,
+        tenants=None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.tenants = tenants
         self._server: asyncio.Server | None = None
         self.shutdown_event = asyncio.Event()
+
+    @classmethod
+    def for_tenants(
+        cls, tenants, host: str = "127.0.0.1", port: int = 0
+    ) -> "ServiceHTTPServer":
+        """A multi-tenant server with the first tenant as primary."""
+        primary = tenants.service(tenants.tenants[0])
+        return cls(primary, host=host, port=port, tenants=tenants)
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -209,6 +227,18 @@ class ServiceHTTPServer:
             "/checkpoint": ("POST", self._route_checkpoint),
             "/shutdown": ("POST", self._route_shutdown),
         }
+        if path.startswith("/ingest/") and self.tenants is not None:
+            if method != "POST":
+                return (
+                    405,
+                    {"error": f"{path} expects POST, got {method}"},
+                    "application/json",
+                )
+            from urllib.parse import unquote
+
+            return self._route_ingest_tenant(
+                unquote(path[len("/ingest/") :]), body
+            )
         if path not in routes:
             return 404, {"error": f"unknown path {path}"}, "application/json"
         expected, handler = routes[path]
@@ -229,7 +259,34 @@ class ServiceHTTPServer:
                 400, "malformed_json", f"body is not valid JSON: {err}"
             ) from err
 
-    def _route_ingest(self, body: bytes) -> tuple[int, object, str]:
+    def _route_ingest_tenant(
+        self, tenant_id: str, body: bytes
+    ) -> tuple[int, object, str]:
+        """``POST /ingest/<tenant>``: score a batch under one tenant."""
+        try:
+            self.tenants.service(tenant_id)
+        except ServiceError:
+            return (
+                404,
+                {
+                    "error": f"unknown tenant {tenant_id!r}",
+                    "reason": "unknown_tenant",
+                    "accepted": 0,
+                },
+                "application/json",
+            )
+        return self._route_ingest(
+            body,
+            ingest=lambda row, bin_id: self.tenants.ingest_row(
+                tenant_id, row, bin_id=bin_id
+            ),
+        )
+
+    def _route_ingest(
+        self, body: bytes, ingest=None
+    ) -> tuple[int, object, str]:
+        if ingest is None:
+            ingest = self.service.ingest_row
         try:
             payload = self._parse_json(body)
         except _HTTPError as err:
@@ -306,9 +363,7 @@ class ServiceHTTPServer:
         for index, row in enumerate(rows):
             bin_id = None if bins is None else bins[index]
             try:
-                outcomes.append(
-                    self.service.ingest_row(row, bin_id=bin_id)
-                )
+                outcomes.append(ingest(row, bin_id))
             except IngestError as err:
                 return (
                     400,
@@ -333,9 +388,14 @@ class ServiceHTTPServer:
         )
 
     def _route_metrics(self, body: bytes) -> tuple[int, object, str]:
+        text = self.service.metrics_text()
+        if self.tenants is not None:
+            # Fleet counters are tenant-labeled and disjoint from the
+            # engine's names, so the expositions concatenate cleanly.
+            text = text + self.tenants.metrics_text()
         return (
             200,
-            self.service.metrics_text(),
+            text,
             "text/plain; version=0.0.4; charset=utf-8",
         )
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import pickle
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -202,6 +202,57 @@ class ModelLifecycleManager:
                 activated_at_row=self._rows,
             )
             return self._current
+
+    @classmethod
+    def from_fitted(
+        cls,
+        detector: SPEDetector,
+        stats: SufficientStats,
+        blocks: Sequence[np.ndarray],
+        rows: int,
+        **kwargs,
+    ) -> "ModelLifecycleManager":
+        """Adopt an externally fitted version-1 model.
+
+        The multi-tenant fleet amortizes bootstrap fits across tenants
+        on a shared worker pool, so the fit happens *outside* the
+        manager; this constructor installs the result with the same
+        bookkeeping :meth:`bootstrap` would have produced.  ``stats``
+        and ``blocks`` must cover exactly the ``rows`` the detector was
+        trained on (the state :meth:`history_snapshot` returns), so a
+        later :meth:`refit` or :meth:`restore` reproduces the detector
+        bit-identically.  ``kwargs`` are the constructor's fit knobs.
+        """
+        manager = cls(**kwargs)
+        if rows < 2:
+            raise ServiceError(f"a fitted history needs >= 2 rows, got {rows}")
+        with manager._lock:
+            manager._stats = stats
+            manager._blocks = list(blocks)
+            manager._rows = int(rows)
+            manager._current = ModelVersion(
+                version=1,
+                detector=detector,
+                trained_rows=int(rows),
+                activated_at_row=int(rows),
+            )
+        return manager
+
+    def history_snapshot(
+        self,
+    ) -> tuple[SufficientStats, tuple[np.ndarray, ...], int]:
+        """Consistent ``(stats, blocks, rows)`` snapshot of the history.
+
+        This is the state :meth:`fit_candidate` fits from, exposed so
+        external schedulers (the fleet's shared pool) can run the same
+        fit in a worker process and install the result via
+        :meth:`activate` — bit-identical to an in-process refit, since
+        both paths feed identical statistics to the same kernel.
+        """
+        with self._lock:
+            if self._stats is None:
+                raise ServiceError("bootstrap the lifecycle first")
+            return self._stats, tuple(self._blocks), self._rows
 
     def append_rows(self, block: np.ndarray) -> None:
         """Fold newly scored rows into the history (post-scoring)."""

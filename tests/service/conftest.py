@@ -65,10 +65,15 @@ def fake_clock():
 
 
 class ServerThread:
-    """A live service daemon on a loopback socket, in a thread."""
+    """A live service daemon on a loopback socket, in a thread.
 
-    def __init__(self, service: DetectionService) -> None:
+    With ``tenants`` (a :class:`MultiTenantService`) the daemon also
+    serves the per-tenant ingest routes and fleet metrics.
+    """
+
+    def __init__(self, service: DetectionService, tenants=None) -> None:
         self.service = service
+        self.tenants = tenants
         self.server: ServiceHTTPServer | None = None
         self.host: str | None = None
         self.port: int | None = None
@@ -80,7 +85,9 @@ class ServerThread:
         asyncio.run(self._main())
 
     async def _main(self) -> None:
-        self.server = ServiceHTTPServer(self.service, port=0)
+        self.server = ServiceHTTPServer(
+            self.service, port=0, tenants=self.tenants
+        )
         await self.server.start()
         self.host, self.port = self.server.host, self.server.port
         self._loop = asyncio.get_running_loop()
@@ -139,8 +146,8 @@ def run_server():
     """Factory starting daemons that are always stopped at teardown."""
     servers: list[ServerThread] = []
 
-    def launch(service: DetectionService) -> ServerThread:
-        server = ServerThread(service).start()
+    def launch(service: DetectionService, tenants=None) -> ServerThread:
+        server = ServerThread(service, tenants=tenants).start()
         servers.append(server)
         return server
 
