@@ -15,7 +15,11 @@ boundary, and asserts the operational contract:
    ``--resume`` scores the next bin bit-identically to the offline
    reference — the warm restart is indistinguishable from never having
    stopped;
-5. ``POST /shutdown`` stops each daemon with exit status 0.
+5. batched ingestion parity: one multi-row request (a single
+   ``ingest_block`` crossing a synchronous hot-swap) returns per-row
+   results **bit-identical** to a row-wise replay by an in-process
+   service restored from the same checkpoint;
+6. ``POST /shutdown`` stops each daemon with exit status 0.
 
 Run:  PYTHONPATH=src python examples/service_smoke.py
 Exits non-zero on any violation — wired into CI as the service smoke.
@@ -37,6 +41,7 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.datasets import build_dataset  # noqa: E402
 from repro.pipeline import DetectionPipeline  # noqa: E402
+from repro.service import DetectionService, ServiceConfig  # noqa: E402
 
 DATASET = "sprint-1"
 WARMUP = 720
@@ -248,7 +253,43 @@ def main() -> int:
         assert scored["flag"] == bool(reference.flags[0])
         print("checkpoint round-trip ok: warm restart scores bitwise equal")
 
-        # 5. Clean shutdown with exit status 0.
+        # 5. Batched ingestion parity: stream the next BLOCK_ROWS bins
+        # as ONE multi-row request (a single ingest_block call that
+        # crosses a synchronous hot-swap), while an in-process twin
+        # restored from the same checkpoint replays the probe row plus
+        # the same rows one ingest_row call at a time.  Every per-row
+        # field — spe, threshold, flag, model_version, identification —
+        # must match bitwise.
+        BLOCK_ROWS = 40
+        block = dataset.link_traffic[
+            WARMUP + STREAM_ROWS + 1 : WARMUP + STREAM_ROWS + 1 + BLOCK_ROWS
+        ]
+        assert block.shape[0] == BLOCK_ROWS, "dataset too short for block step"
+        replay = DetectionService.from_checkpoint(
+            checkpoint,
+            routing=dataset.routing,
+            config=ServiceConfig(
+                refit_interval=REFIT_INTERVAL, synchronous_refit=True
+            ),
+        )
+        replay.ingest_row(probe[0])  # align with the daemon's probe row
+        replay_rows = [replay.ingest_row(row).to_json() for row in block]
+        replay.close()
+        status, body = request(
+            connection, "POST", "/ingest", {"rows": block.tolist()}
+        )
+        assert status == 200, (status, body)
+        assert body["results"] == replay_rows, (
+            "FAIL: multi-row request diverged from the row-wise replay"
+        )
+        swaps = len({r["model_version"] for r in replay_rows})
+        assert swaps > 1, "the block crossed no hot-swap boundary"
+        print(
+            f"batched ingestion ok: one {BLOCK_ROWS}-row request across "
+            f"{swaps} model versions == row-wise replay, bitwise"
+        )
+
+        # 6. Clean shutdown with exit status 0.
         status, body = request(connection, "POST", "/shutdown")
         assert status == 200
         connection.close()

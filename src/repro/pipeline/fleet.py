@@ -40,6 +40,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -71,6 +72,13 @@ __all__ = [
 
 #: File suffix of per-tenant checkpoints inside a fleet directory.
 _CHECKPOINT_SUFFIX = ".ckpt"
+
+#: LRU capacities of the scheduler caches.  The stack cache holds the
+#: stacked model parameters of one tenant group per entry; the plan
+#: cache holds one full dispatch plan (group membership + preallocated
+#: input buffers) per distinct (tenant set, block shapes) call pattern.
+_STACK_CACHE_ENTRIES = 32
+_PLAN_CACHE_ENTRIES = 8
 
 
 def tenant_checkpoint_path(root: str | Path, tenant_id: str) -> Path:
@@ -199,6 +207,51 @@ class _TenantState:
         self.last_error: str | None = None
 
 
+class _PlanGroup:
+    """One dispatch group of a precomputed score plan.
+
+    A stacked group carries the cached parameter stacks plus a
+    preallocated ``(g, t, m)`` input buffer the tenant blocks are
+    copied into (no per-call allocation, same C layout ``np.stack``
+    would produce — so the stacked kernel's bits are unchanged).  A
+    serial group (singleton shape) pins the model/version directly.
+    """
+
+    __slots__ = ("members", "stacked", "dtype", "means", "projectors",
+                 "thresholds", "threshold_list", "version_ids", "models",
+                 "buffer")
+
+    def __init__(self, *, members, stacked, dtype, means=None,
+                 projectors=None, thresholds=None, threshold_list=(),
+                 version_ids=(), models=None, buffer=None) -> None:
+        self.members = members
+        self.stacked = stacked
+        self.dtype = dtype
+        self.means = means
+        self.projectors = projectors
+        self.thresholds = thresholds
+        self.threshold_list = threshold_list
+        self.version_ids = version_ids
+        self.models = models
+        self.buffer = buffer
+
+
+class _ScorePlan:
+    """A full precomputed dispatch for one recurring score-call shape.
+
+    Valid while the fleet's model epoch is unchanged — any
+    :meth:`FleetManager.fit` install or tenant add bumps the epoch and
+    retires every plan, which is exactly the "version change or tenant
+    add/remove" invalidation contract.
+    """
+
+    __slots__ = ("epoch", "groups")
+
+    def __init__(self, epoch: int, groups: tuple) -> None:
+        self.epoch = epoch
+        self.groups = groups
+
+
 class FleetManager:
     """N independent tenant detectors behind one scheduler.
 
@@ -277,8 +330,14 @@ class FleetManager:
         #: serially, and the per-group sizes (benchmarks read this).
         self.last_score_plan: dict = {}
         # Stacked model parameters per tenant group, keyed by member
-        # ids + versions; see :meth:`score`.
-        self._stack_cache: dict[tuple, tuple] = {}
+        # ids + versions; LRU-evicted one entry at a time.
+        self._stack_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        # Precomputed dispatch plans keyed by (tenant ids, block
+        # shapes); valid while _model_epoch is unchanged.
+        self._plan_cache: OrderedDict[tuple, _ScorePlan] = OrderedDict()
+        # Bumped on any model install or tenant add — the only events
+        # that can change what a score plan dispatches.
+        self._model_epoch = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -321,6 +380,7 @@ class FleetManager:
             fault_policy = resolve_policy(fault_policy, self.fault_policy)
         state = _TenantState(tenant_id, fault_policy)
         self._tenants[tenant_id] = state
+        self._model_epoch += 1
         if warmup is not None:
             self.ingest(tenant_id, warmup)
 
@@ -516,6 +576,8 @@ class FleetManager:
                 )
             )
 
+        # Any install changes what a cached score plan would dispatch.
+        self._model_epoch += 1
         fit_report = FleetFitReport(
             outcomes=tuple(outcomes),
             report=report,
@@ -552,7 +614,155 @@ class FleetManager:
         kernel for every tenant.  The two paths are bit-identical by
         the stacked kernel's contract, so the returned alarms never
         depend on the batching decision.
+
+        Repeated batched calls with the same tenant set and block
+        shapes ride a **precomputed dispatch plan**: group discovery,
+        per-tenant state lookups, and cache-key construction happen
+        once, and the stacked inputs land in preallocated buffers.  The
+        plan is invalidated only by a model install
+        (:meth:`fit`) or a tenant add — mutating a tenant's lifecycle
+        behind the manager's back is outside the fast path's contract
+        (call :meth:`invalidate_score_plans` after doing so).
         """
+        if batch:
+            key = self._plan_key(blocks)
+            if key is not None:
+                plan = self._plan_cache.get(key)
+                if plan is not None and plan.epoch == self._model_epoch:
+                    self._plan_cache.move_to_end(key)
+                    return self._score_planned(plan, blocks)
+        else:
+            key = None
+        return self._score_direct(blocks, batch=batch, plan_key=key)
+
+    def invalidate_score_plans(self) -> None:
+        """Retire every cached score plan (out-of-band model changes)."""
+        self._model_epoch += 1
+
+    def _plan_key(self, blocks: Mapping[str, np.ndarray]):
+        """Cache key of a batched call, or None when not plannable.
+
+        Single-tenant calls are never planned: there is nothing to
+        stack, the validating path is already one state lookup, and a
+        fleet cycling through tenants one at a time would otherwise
+        churn the bounded plan cache with entries that are evicted
+        before they can ever be reused.
+        """
+        if len(blocks) < 2:
+            return None
+        try:
+            shapes = tuple(block.shape for block in blocks.values())
+        except AttributeError:
+            return None  # non-ndarray payloads take the validating path
+        if any(len(shape) != 2 for shape in shapes):
+            return None
+        return (tuple(blocks), shapes)
+
+    def _stack_params(
+        self, members: list[str], prepared: dict, shape, dtype
+    ) -> tuple:
+        """Stacked means/projectors/thresholds of one tenant group.
+
+        Model parameters change only on refit, so the stacks are cached
+        per tenant group and invalidated by the member version numbers.
+        Without the cache, re-stacking n (m, m) projectors on every
+        call costs more than the per-tenant dispatch the batching is
+        meant to remove.  Eviction is LRU, one entry at a time — a
+        fleet with more than ``_STACK_CACHE_ENTRIES`` live groups
+        cycles the coldest entry instead of thrashing the whole cache.
+        """
+        cache_key = (
+            tuple(members),
+            tuple(prepared[t][1].version for t in members),
+            shape[1],
+            dtype,
+        )
+        cached = self._stack_cache.get(cache_key)
+        if cached is None:
+            cached = (
+                np.stack([prepared[t][2]._mean for t in members]),
+                np.stack([prepared[t][2]._c_tilde for t in members]),
+                np.asarray([prepared[t][1].threshold for t in members]),
+            )
+            while len(self._stack_cache) >= _STACK_CACHE_ENTRIES:
+                self._stack_cache.popitem(last=False)
+            self._stack_cache[cache_key] = cached
+        else:
+            self._stack_cache.move_to_end(cache_key)
+        return cached
+
+    def _score_planned(
+        self, plan: _ScorePlan, blocks: Mapping[str, np.ndarray]
+    ) -> dict[str, TenantAlarms]:
+        """Execute a cached dispatch plan (the batched fast path).
+
+        Per group: copy the tenant blocks into the plan's preallocated
+        C-contiguous stack (the layout ``np.stack`` would produce, so
+        the kernel's reduction order — and hence every output bit — is
+        unchanged) and run one stacked kernel call.
+        """
+        alarms: dict[str, TenantAlarms] = {}
+        account = {
+            "batched_tenants": 0, "serial_tenants": 0, "groups": [],
+            "planned": True,
+        }
+        for group in plan.groups:
+            if group.stacked:
+                buffer = group.buffer
+                for i, tenant_id in enumerate(group.members):
+                    np.copyto(buffer[i], blocks[tenant_id], casting="unsafe")
+                result = score_block_stacked(
+                    buffer,
+                    group.means,
+                    projectors=group.projectors,
+                    thresholds=group.thresholds,
+                    dtype=group.dtype,
+                    chunk_rows=self.chunk_rows,
+                )
+                for i, tenant_id in enumerate(group.members):
+                    alarms[tenant_id] = TenantAlarms(
+                        tenant=tenant_id,
+                        spe=result.spe[i],
+                        threshold=group.threshold_list[i],
+                        flags=result.flags[i],
+                        model_version=group.version_ids[i],
+                    )
+                account["batched_tenants"] += len(group.members)
+                account["groups"].append(
+                    {"shape": list(buffer.shape[1:]),
+                     "tenants": len(group.members), "mode": "stacked"}
+                )
+            else:
+                tenant_id = group.members[0]
+                threshold = group.threshold_list[0]
+                result = group.models[0].score_block(
+                    blocks[tenant_id],
+                    threshold=threshold,
+                    chunk_rows=self.chunk_rows,
+                )
+                alarms[tenant_id] = TenantAlarms(
+                    tenant=tenant_id,
+                    spe=result.spe,
+                    threshold=threshold,
+                    flags=result.flags,
+                    model_version=group.version_ids[0],
+                )
+                account["serial_tenants"] += 1
+                account["groups"].append(
+                    {"shape": list(blocks[tenant_id].shape), "tenants": 1,
+                     "mode": "serial"}
+                )
+        self.last_score_plan = account
+        return alarms
+
+    def _score_direct(
+        self,
+        blocks: Mapping[str, np.ndarray],
+        *,
+        batch: bool,
+        plan_key=None,
+    ) -> dict[str, TenantAlarms]:
+        """The validating scoring path; builds a plan as a side effect."""
         order = [( _validate_tenant_id(t), b) for t, b in blocks.items()]
         prepared: dict[str, tuple] = {}
         groups: dict[tuple, list[str]] = {}
@@ -579,39 +789,16 @@ class FleetManager:
             ).append(tenant_id)
 
         alarms: dict[str, TenantAlarms] = {}
-        plan = {"batched_tenants": 0, "serial_tenants": 0, "groups": []}
+        plan = {
+            "batched_tenants": 0, "serial_tenants": 0, "groups": [],
+            "planned": False,
+        }
         for (shape, dtype), members in groups.items():
             if batch and len(members) > 1:
                 stacked = np.stack([prepared[t][0] for t in members])
-                # Model parameters change only on refit, so the stacked
-                # means/projectors/thresholds are cached per tenant
-                # group and invalidated by the member version numbers.
-                # Without the cache, re-stacking n (m, m) projectors on
-                # every call costs more than the per-tenant dispatch
-                # the batching is meant to remove.
-                cache_key = (
-                    tuple(members),
-                    tuple(prepared[t][1].version for t in members),
-                    shape[1],
-                    dtype,
+                means, projectors, thresholds = self._stack_params(
+                    members, prepared, shape, dtype
                 )
-                cached = self._stack_cache.get(cache_key)
-                if cached is None:
-                    cached = (
-                        np.stack(
-                            [prepared[t][2]._mean for t in members]
-                        ),
-                        np.stack(
-                            [prepared[t][2]._c_tilde for t in members]
-                        ),
-                        np.asarray(
-                            [prepared[t][1].threshold for t in members]
-                        ),
-                    )
-                    if len(self._stack_cache) >= 32:
-                        self._stack_cache.clear()
-                    self._stack_cache[cache_key] = cached
-                means, projectors, thresholds = cached
                 result = score_block_stacked(
                     stacked,
                     means,
@@ -655,7 +842,51 @@ class FleetManager:
                      "mode": "serial"}
                 )
         self.last_score_plan = plan
+        if plan_key is not None:
+            self._store_plan(plan_key, groups, prepared)
         return alarms
+
+    def _store_plan(
+        self, key, groups: dict[tuple, list[str]], prepared: dict
+    ) -> None:
+        plan_groups = []
+        for (shape, dtype), members in groups.items():
+            if len(members) > 1:
+                means, projectors, thresholds = self._stack_params(
+                    members, prepared, shape, dtype
+                )
+                plan_groups.append(_PlanGroup(
+                    members=tuple(members),
+                    stacked=True,
+                    dtype=dtype,
+                    means=means,
+                    projectors=projectors,
+                    thresholds=thresholds,
+                    threshold_list=tuple(
+                        float(prepared[t][1].threshold) for t in members
+                    ),
+                    version_ids=tuple(
+                        prepared[t][1].version for t in members
+                    ),
+                    buffer=np.empty((len(members),) + shape),
+                ))
+            else:
+                tenant_id = members[0]
+                plan_groups.append(_PlanGroup(
+                    members=(tenant_id,),
+                    stacked=False,
+                    dtype=dtype,
+                    threshold_list=(
+                        float(prepared[tenant_id][1].threshold),
+                    ),
+                    version_ids=(prepared[tenant_id][1].version,),
+                    models=(prepared[tenant_id][2],),
+                ))
+        while len(self._plan_cache) >= _PLAN_CACHE_ENTRIES:
+            self._plan_cache.popitem(last=False)
+        self._plan_cache[key] = _ScorePlan(
+            epoch=self._model_epoch, groups=tuple(plan_groups)
+        )
 
     # ------------------------------------------------------------------
     def checkpoint(self, root: str | Path | None = None) -> dict[str, dict]:

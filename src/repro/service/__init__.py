@@ -23,6 +23,7 @@ assembled matrix, including across hot-swap boundaries.  See
 
 from repro.service.engine import (
     ERROR_REASONS,
+    BlockResult,
     DetectionService,
     RowOutcome,
     ServiceConfig,
@@ -46,6 +47,7 @@ __all__ = [
     "DetectionService",
     "ServiceConfig",
     "RowOutcome",
+    "BlockResult",
     "ERROR_REASONS",
     "ModelLifecycleManager",
     "ModelVersion",

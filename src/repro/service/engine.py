@@ -48,7 +48,13 @@ from repro.service.events import EventLog
 from repro.service.lifecycle import ModelLifecycleManager, ModelVersion
 from repro.service.metrics import MetricsRegistry
 
-__all__ = ["ServiceConfig", "DetectionService", "RowOutcome", "ERROR_REASONS"]
+__all__ = [
+    "ServiceConfig",
+    "DetectionService",
+    "RowOutcome",
+    "BlockResult",
+    "ERROR_REASONS",
+]
 
 #: Every reason the error counter may carry, transport reasons included.
 #: The fault suite asserts each injected fault lands on exactly one.
@@ -167,12 +173,41 @@ class RowOutcome:
         return payload
 
 
+@dataclass(frozen=True)
+class BlockResult:
+    """Outcome of one :meth:`DetectionService.ingest_block` call.
+
+    ``outcomes`` covers the accepted prefix (possibly the whole block).
+    On a mid-block rejection ``rejected`` carries the same
+    :class:`~repro.exceptions.IngestError` the per-row path would have
+    raised for that row, and ``rejected_index`` its position in the
+    submitted block — the split point is exactly where a per-row replay
+    would stop, and the error counter/event log are already updated
+    when the result is returned.
+    """
+
+    outcomes: tuple[RowOutcome, ...]
+    rejected: IngestError | None = None
+    rejected_index: int | None = None
+
+    @property
+    def accepted(self) -> int:
+        """Rows ingested by this call (length of the accepted prefix)."""
+        return len(self.outcomes)
+
+    @property
+    def alarms(self) -> int:
+        """Accepted rows whose SPE exceeded the threshold."""
+        return sum(1 for outcome in self.outcomes if outcome.flag)
+
+
 class DetectionService:
     """Score → diagnose → fold → account, one row at a time.
 
     Build via :meth:`from_warmup`.  All entry points are thread-safe;
     rows are serialized through one lock so stream bins are assigned in
-    arrival order.
+    arrival order.  :meth:`ingest_block` is the batched fast path: the
+    same contract per row, amortized control-plane work per block.
     """
 
     def __init__(
@@ -529,12 +564,270 @@ class DetectionService:
         self, rows, bins=None
     ) -> list[RowOutcome]:
         """Ingest a batch in order; stops at (and re-raises) the first
-        rejection, leaving earlier rows ingested."""
-        outcomes = []
+        rejection, leaving earlier rows ingested.
+
+        Delegates to :meth:`ingest_block` — the outcomes (and every
+        model swap boundary) are bit-identical to looping
+        :meth:`ingest_row`, with the control-plane cost paid once per
+        block instead of once per row.
+        """
+        result = self.ingest_block(rows, bins=bins)
+        if result.rejected is not None:
+            raise result.rejected
+        return list(result.outcomes)
+
+    # -- batched fast path ---------------------------------------------
+    def ingest_block(self, rows, bins=None) -> BlockResult:
+        """Validate, score, diagnose, and fold a block of rows at once.
+
+        **Exact by construction.**  The accepted rows are scored through
+        the same row-decomposable :meth:`~repro.core.subspace.\
+SubspaceModel.score_block` kernel the per-row path runs — one call per
+        contiguous run under one model version instead of one call per
+        row — so every SPE, flag, and identification is bit-identical
+        to ingesting the rows one at a time, including across
+        synchronous hot-swap boundaries (the run splits exactly where a
+        refit would fall due row-by-row).  Validation is vectorized
+        (masks over the ``(n, m)`` block) but reproduces the per-row
+        reject contract exactly: same reason, same message, same split
+        index, and rejects never advance the stream.
+
+        Unlike :meth:`ingest_rows` a rejection does not raise: the
+        returned :class:`BlockResult` carries the accepted prefix plus
+        the would-be :class:`~repro.exceptions.IngestError`, so
+        transports can report both without re-scoring.  Accounting is
+        amortized — one latency-histogram observation and one buffered
+        event-log write per block (flushed on checkpoint and close);
+        counter totals and final gauge values match the per-row path.
+        Auto-checkpoints are evaluated once per block: crossing one or
+        more ``checkpoint_interval`` multiples inside a block writes a
+        single checkpoint at the block boundary.
+        """
+        begin = self._latency_clock()
+        try:
+            return self._ingest_block(rows, bins)
+        finally:
+            self._h_latency.observe(self._latency_clock() - begin)
+
+    def _ingest_block(self, rows, bins) -> BlockResult:
+        pending: list[tuple[str, dict]] = []
+        due_async = False
+        with self._lock:
+            try:
+                coerced = self._coerce_block(rows, bins)
+                if coerced is None:
+                    # Ragged / non-numeric payloads cannot be validated
+                    # as one array; the per-row loop finds the exact
+                    # split the contract promises.
+                    return self._ingest_block_fallback(rows, bins)
+                values, bins_arr = coerced
+                if values.shape[0] == 0:
+                    return BlockResult(outcomes=())
+                before = self._stream_rows
+                split, reject = self._validate_block(values, bins, bins_arr)
+                outcomes = self._ingest_accepted(values[:split], pending)
+                interval = self.config.checkpoint_interval
+                checkpoint_due = (
+                    self.config.checkpoint_path is not None
+                    and interval is not None
+                    and self._stream_rows // interval > before // interval
+                )
+                if checkpoint_due:
+                    self._drain_events(pending)
+                    # Fail-soft, like per-row auto-checkpoints.
+                    try:
+                        self.checkpoint()
+                    except ServiceError:
+                        pass
+                if reject is not None:
+                    self._m_errors.inc(label_value=reject.reason)
+                    pending.append(
+                        (
+                            "ingest_error",
+                            {"reason": reject.reason, "detail": str(reject)},
+                        )
+                    )
+                version = self.lifecycle.current
+                due_async = (
+                    self.config.refit_interval is not None
+                    and not self.config.synchronous_refit
+                    and self.lifecycle.rows - version.trained_rows
+                    >= self.config.refit_interval
+                )
+                result = BlockResult(
+                    outcomes=tuple(outcomes),
+                    rejected=reject,
+                    rejected_index=None if reject is None else split,
+                )
+            finally:
+                self._drain_events(pending)
+        if due_async:
+            self.request_refit()
+        return result
+
+    def _coerce_block(self, rows, bins):
+        """``(values, bins_array)`` for the vectorized path, else None."""
+        try:
+            values = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        if values.ndim != 2:
+            return None
+        bins_arr = None
+        if bins is not None:
+            try:
+                bins_arr = np.asarray(bins)
+            except (TypeError, ValueError):
+                return None
+            if (
+                bins_arr.ndim != 1
+                or bins_arr.shape[0] != values.shape[0]
+                or bins_arr.dtype.kind not in "iufb"
+            ):
+                return None
+        return values, bins_arr
+
+    def _validate_block(
+        self, values: np.ndarray, bins, bins_arr
+    ) -> tuple[int, IngestError | None]:
+        """First-bad split of a rectangular block, per-row semantics.
+
+        Returns ``(split, error)``: rows ``[:split]`` are exactly the
+        rows a per-row loop would accept, and ``error`` (None when the
+        whole block passes) is the :class:`IngestError` the loop would
+        raise at row ``split`` — same reason, same message.
+        """
+        n = values.shape[0]
+        if values.shape[1] != self._num_links:
+            return 0, IngestError(
+                f"row has {values.shape[1]} links, expected "
+                f"{self._num_links}",
+                reason="wrong_width",
+            )
+        finite = np.isfinite(values).all(axis=1)
+        bad = ~finite
+        if bins_arr is not None:
+            expected = self._stream_rows + np.arange(n)
+            # Mirror the per-row comparisons exactly: a NaN bin fails
+            # both orderings and is therefore *accepted*, as it is by
+            # ``_validate_row``.
+            bad |= (bins_arr < expected) | (bins_arr > expected)
+        if not bad.any():
+            return n, None
+        split = int(np.argmax(bad))
+        if not finite[split]:
+            return split, IngestError(
+                "row contains NaN or infinite link counts",
+                reason="non_finite",
+            )
+        expected_bin = self._stream_rows + split
+        bin_value = bins[split]
+        if bin_value < expected_bin:
+            return split, IngestError(
+                f"bin {bin_value} was already ingested (next is "
+                f"{expected_bin})",
+                reason="duplicate_bin",
+            )
+        return split, IngestError(
+            f"bin {bin_value} arrived out of order (next is "
+            f"{expected_bin})",
+            reason="out_of_order_bin",
+        )
+
+    def _ingest_accepted(
+        self, accepted: np.ndarray, pending: list
+    ) -> list[RowOutcome]:
+        """Score and fold an accepted run, splitting at refit boundaries.
+
+        Each sub-run is every row up to the next synchronous-refit due
+        point: one fused ``score_block`` call, one suffstats fold, one
+        tracker fold — then the refit (if due) swaps the version exactly
+        where the per-row loop would have swapped it.  Flagged rows are
+        identified one at a time with the same single-row call the
+        per-row path makes, so identification stays bitwise identical
+        (BLAS matmuls are not row-decomposable; alarms are rare enough
+        that this costs nothing measurable).
+        """
+        outcomes: list[RowOutcome] = []
+        position = 0
+        total = accepted.shape[0]
+        while position < total:
+            version = self.lifecycle.current
+            take = total - position
+            synchronous = (
+                self.config.synchronous_refit
+                and self.config.refit_interval is not None
+            )
+            if synchronous:
+                until_due = self.config.refit_interval - (
+                    self.lifecycle.rows - version.trained_rows
+                )
+                take = min(take, max(1, until_due))
+            chunk = accepted[position : position + take]
+            threshold = float(version.threshold)
+            scored = version.detector.model.score_block(
+                chunk, threshold=threshold
+            )
+            start_bin = self._stream_rows
+            for i in range(take):
+                flag = bool(scored.flags[i])
+                outcome = RowOutcome(
+                    bin=start_bin + i,
+                    spe=float(scored.spe[i]),
+                    threshold=threshold,
+                    flag=flag,
+                    model_version=version.version,
+                )
+                if flag:
+                    if self._directions is not None:
+                        outcome = self._identify(outcome, chunk[i], version)
+                    pending.append(("alarm", outcome.to_json()))
+                outcomes.append(outcome)
+            flagged = int(np.count_nonzero(scored.flags))
+            self._stream_rows += take
+            self._m_rows.inc(float(take))
+            self._g_spe.set(float(scored.spe[take - 1]))
+            if flagged:
+                self._m_alarms.inc(float(flagged))
+            self._tracker.update_block(chunk, refresh=False)
+            self.lifecycle.append_rows(chunk)
+            self._g_refresh_age.set(
+                self.lifecycle.rows - version.trained_rows
+            )
+            self._g_tracker_threshold.set(self._tracker.threshold)
+            self._g_drift.set(
+                self._tracker.drift_from(self._reference_basis(version))
+            )
+            position += take
+            due = (
+                self.config.refit_interval is not None
+                and self.lifecycle.rows - version.trained_rows
+                >= self.config.refit_interval
+            )
+            if due and synchronous:
+                self._drain_events(pending)
+                self._do_refit()
+        return outcomes
+
+    def _ingest_block_fallback(self, rows, bins) -> BlockResult:
+        """Per-row loop for payloads the array path cannot represent."""
+        outcomes: list[RowOutcome] = []
         for index, row in enumerate(rows):
             bin_id = None if bins is None else bins[index]
-            outcomes.append(self.ingest_row(row, bin_id=bin_id))
-        return outcomes
+            try:
+                outcomes.append(self._ingest_row(row, bin_id))
+            except IngestError as err:
+                return BlockResult(
+                    outcomes=tuple(outcomes),
+                    rejected=err,
+                    rejected_index=index,
+                )
+        return BlockResult(outcomes=tuple(outcomes))
+
+    def _drain_events(self, pending: list) -> None:
+        if pending:
+            self.events.emit_many(list(pending))
+            pending.clear()
 
     def _identify(
         self,
@@ -603,6 +896,9 @@ class DetectionService:
                 "ServiceConfig.checkpoint_path"
             )
         with self._lock:
+            # A checkpoint is a durability point: buffered batch events
+            # must not outlive a crash the checkpoint survives.
+            self.events.flush()
             extra = {
                 "warmup_rows": self._warmup_rows,
                 "stream_rows": self._stream_rows,
@@ -705,6 +1001,7 @@ class DetectionService:
                 self.checkpoint()
             except ServiceError:
                 pass  # counted under checkpoint_failed; keep shutting down
+        self.events.flush()
         self.events.emit(
             "service_stop",
             rows_ingested=self.rows_ingested,

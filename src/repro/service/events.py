@@ -104,12 +104,7 @@ class EventLog:
             return self._write_errors
 
     # ------------------------------------------------------------------
-    def emit(self, kind: str, /, **fields) -> dict:
-        """Append one event; returns the full record as written.
-
-        Field order in the serialized line is canonical (sorted keys) so
-        identical events serialize to identical bytes.
-        """
+    def _build_record(self, kind: str, fields: dict) -> dict:
         if kind not in EVENT_KINDS:
             raise ServiceError(
                 f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
@@ -119,12 +114,20 @@ class EventLog:
                 raise ServiceError(
                     f"event field {reserved!r} is reserved for the envelope"
                 )
-        record = {
+        return {
             "schema_version": EVENT_SCHEMA_VERSION,
             "kind": kind,
             "time": float(self._clock()),
             **fields,
         }
+
+    def emit(self, kind: str, /, **fields) -> dict:
+        """Append one event; returns the full record as written.
+
+        Field order in the serialized line is canonical (sorted keys) so
+        identical events serialize to identical bytes.
+        """
+        record = self._build_record(kind, fields)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._lock:
             self._emitted += 1
@@ -139,6 +142,51 @@ class EventLog:
                 except OSError:
                     self._write_errors += 1
         return record
+
+    def emit_many(self, events: list[tuple[str, dict]]) -> list[dict]:
+        """Append a batch of ``(kind, fields)`` events in one write.
+
+        The batched ingestion path accumulates a block's alarms (and its
+        trailing rejection, if any) and lands them here: every record is
+        serialized exactly as :meth:`emit` would, but the lines reach
+        the backing file as **one buffered write with no flush** — the
+        OS-level durability point is deferred to :meth:`flush`, which
+        the service invokes on checkpoint and on close.  Record order in
+        the batch is preserved, so the written log interleaves exactly
+        like the per-row path's.
+        """
+        if not events:
+            return []
+        records = [self._build_record(kind, fields) for kind, fields in events]
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records
+        ]
+        with self._lock:
+            self._emitted += len(records)
+            self._tail.extend(records)
+            if self._handle is not None:
+                # Fail-soft like ``emit``, but the whole batch shares one
+                # write: a refusal costs every line in it.
+                try:
+                    self._handle.write("\n".join(lines) + "\n")
+                except OSError:
+                    self._write_errors += len(lines)
+        return records
+
+    def flush(self) -> None:
+        """Push buffered batch writes to the OS (fail-soft).
+
+        Per-event :meth:`emit` flushes inline; only :meth:`emit_many`
+        defers, so this is the durability point of the batched ingestion
+        path — called on checkpoint and on close.
+        """
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.flush()
+                except OSError:
+                    self._write_errors += 1
 
     def tail(self, count: int | None = None) -> list[dict]:
         """The most recent events, oldest first."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro.exceptions import IngestError, ServiceError
+from repro.exceptions import ServiceError
 from repro.service.engine import DetectionService
 
 __all__ = ["ServiceHTTPServer", "serve"]
@@ -277,16 +277,25 @@ class ServiceHTTPServer:
             )
         return self._route_ingest(
             body,
-            ingest=lambda row, bin_id: self.tenants.ingest_row(
-                tenant_id, row, bin_id=bin_id
+            ingest_block=lambda rows, bins: self.tenants.ingest_block(
+                tenant_id, rows, bins=bins
             ),
         )
 
     def _route_ingest(
-        self, body: bytes, ingest=None
+        self, body: bytes, ingest_block=None
     ) -> tuple[int, object, str]:
-        if ingest is None:
-            ingest = self.service.ingest_row
+        """Parse an ingest body and stream it through the block path.
+
+        Single-row (``{"row": ...}``) and multi-row (``{"rows": ...}``)
+        payloads both become one :meth:`DetectionService.ingest_block`
+        call — the engine parses the JSON rows into one ndarray and
+        scores each contiguous accepted run with a single fused kernel
+        pass, bit-identical to per-row ingestion.  Response shapes are
+        unchanged from the per-row implementation.
+        """
+        if ingest_block is None:
+            ingest_block = self.service.ingest_block
         try:
             payload = self._parse_json(body)
         except _HTTPError as err:
@@ -359,30 +368,26 @@ class ServiceHTTPServer:
                 },
                 "application/json",
             )
-        outcomes = []
-        for index, row in enumerate(rows):
-            bin_id = None if bins is None else bins[index]
-            try:
-                outcomes.append(ingest(row, bin_id))
-            except IngestError as err:
-                return (
-                    400,
-                    {
-                        "error": str(err),
-                        "reason": err.reason,
-                        "accepted": len(outcomes),
-                        "alarms": sum(1 for o in outcomes if o.flag),
-                    },
-                    "application/json",
-                )
-        alarms = [outcome for outcome in outcomes if outcome.flag]
+        result = ingest_block(rows, bins)
+        if result.rejected is not None:
+            return (
+                400,
+                {
+                    "error": str(result.rejected),
+                    "reason": result.rejected.reason,
+                    "accepted": result.accepted,
+                    "alarms": result.alarms,
+                },
+                "application/json",
+            )
+        alarms = [outcome for outcome in result.outcomes if outcome.flag]
         return (
             200,
             {
-                "accepted": len(outcomes),
+                "accepted": result.accepted,
                 "alarms": len(alarms),
                 "alarm_bins": [outcome.bin for outcome in alarms],
-                "results": [outcome.to_json() for outcome in outcomes],
+                "results": [outcome.to_json() for outcome in result.outcomes],
             },
             "application/json",
         )

@@ -200,6 +200,150 @@ class TestFleetScoring:
 
 
 # ----------------------------------------------------------------------
+# Scheduler fast path: precomputed plans and LRU caches.
+
+
+class TestScorePlan:
+    def test_second_call_rides_the_plan_bitwise(self):
+        fleet = make_fleet(4)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        cold = fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is False
+        warm = fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is True
+        serial = fleet.score(blocks, batch=False)
+        assert fleet.last_score_plan["planned"] is False
+        for tenant_id in fleet.tenants:
+            assert np.array_equal(cold[tenant_id].spe, warm[tenant_id].spe)
+            assert np.array_equal(warm[tenant_id].spe, serial[tenant_id].spe)
+            assert np.array_equal(
+                warm[tenant_id].flags, serial[tenant_id].flags
+            )
+            assert (
+                warm[tenant_id].model_version
+                == cold[tenant_id].model_version
+            )
+
+    def test_plan_covers_mixed_stacked_and_serial_groups(self):
+        fleet = make_fleet(3)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        odd = fleet.tenants[0]
+        blocks[odd] = blocks[odd][: SCORE // 2]
+        fleet.score(blocks)
+        planned = fleet.score(blocks)
+        account = fleet.last_score_plan
+        assert account["planned"] is True
+        assert account["batched_tenants"] == 2
+        assert account["serial_tenants"] == 1
+        direct = fleet.score(blocks, batch=False)
+        for tenant_id in fleet.tenants:
+            assert np.array_equal(
+                planned[tenant_id].spe, direct[tenant_id].spe
+            )
+
+    def test_refit_retires_the_plan(self):
+        """A model install must never serve stale plan parameters."""
+        fleet = make_fleet(3)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        fleet.score(blocks)
+        fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is True
+        fleet.ingest(
+            fleet.tenants[0],
+            synthetic_tenant_traffic(
+                fleet.tenants[0], 64, links=LINKS, start_row=WARMUP
+            ),
+        )
+        fleet.fit(tenants=[fleet.tenants[0]], strict=True)
+        replanned = fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is False
+        direct = fleet.score(blocks, batch=False)
+        for tenant_id in fleet.tenants:
+            assert np.array_equal(
+                replanned[tenant_id].spe, direct[tenant_id].spe
+            )
+
+    def test_add_tenant_retires_the_plan(self):
+        fleet = make_fleet(3)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        fleet.score(blocks)
+        fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is True
+        fleet.add_tenant(
+            "acme-99", synthetic_tenant_traffic("acme-99", WARMUP, links=LINKS)
+        )
+        fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is False
+
+    def test_invalidate_score_plans_forces_replan(self):
+        fleet = make_fleet(2)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        fleet.score(blocks)
+        fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is True
+        fleet.invalidate_score_plans()
+        fleet.score(blocks)
+        assert fleet.last_score_plan["planned"] is False
+
+    def test_non_ndarray_blocks_take_the_validating_path(self):
+        fleet = make_fleet(2)
+        fleet.fit(strict=True)
+        arrays = score_blocks(fleet)
+        lists = {t: b.tolist() for t, b in arrays.items()}
+        from_lists = fleet.score(lists)
+        assert fleet.last_score_plan["planned"] is False
+        from_lists_again = fleet.score(lists)
+        assert fleet.last_score_plan["planned"] is False
+        from_arrays = fleet.score(arrays)
+        for tenant_id in fleet.tenants:
+            assert np.array_equal(
+                from_lists[tenant_id].spe, from_arrays[tenant_id].spe
+            )
+            assert np.array_equal(
+                from_lists_again[tenant_id].spe, from_arrays[tenant_id].spe
+            )
+
+    def test_stack_cache_evicts_exactly_one_lru_entry(self):
+        """Regression: a 33rd group evicts one entry, not the cache."""
+        from repro.pipeline.fleet import _STACK_CACHE_ENTRIES
+
+        fleet = make_fleet(2)
+        fleet.fit(strict=True)
+        sentinel = object()
+        for index in range(_STACK_CACHE_ENTRIES):
+            fleet._stack_cache[("sentinel", index)] = sentinel
+        assert len(fleet._stack_cache) == _STACK_CACHE_ENTRIES
+        fleet.score(score_blocks(fleet))  # one real miss -> one insert
+        assert len(fleet._stack_cache) == _STACK_CACHE_ENTRIES
+        remaining = list(fleet._stack_cache)
+        assert ("sentinel", 0) not in remaining  # only the oldest left
+        for index in range(1, _STACK_CACHE_ENTRIES):
+            assert ("sentinel", index) in remaining
+
+    def test_stack_cache_hit_refreshes_recency(self):
+        """A hit moves its entry to the MRU end, protecting it."""
+        from repro.pipeline.fleet import _STACK_CACHE_ENTRIES
+
+        fleet = make_fleet(2)
+        fleet.fit(strict=True)
+        blocks = score_blocks(fleet)
+        fleet.score(blocks)  # real entry inserted (and plan built)
+        (real_key,) = fleet._stack_cache
+        sentinel = object()
+        for index in range(_STACK_CACHE_ENTRIES - 1):
+            fleet._stack_cache[("sentinel", index)] = sentinel
+        assert list(fleet._stack_cache)[0] == real_key  # currently LRU
+        fleet.invalidate_score_plans()  # force the stacking path again
+        fleet.score(blocks)  # hit: real entry becomes most-recent
+        assert list(fleet._stack_cache)[-1] == real_key
+
+
+# ----------------------------------------------------------------------
 # Fault isolation: one tenant's crash never touches another.
 
 

@@ -1,0 +1,250 @@
+"""Batched ingestion: every typed reject reason through the block path.
+
+``DetectionService.ingest_block`` promises the *per-row reject contract,
+vectorized*: same reason, same message, same rejected-row index, and a
+reject never advances the stream.  This module drives each of the
+service's typed error reasons through the block path and pins those
+fields against a literal per-row replay:
+
+* the five row-level reasons (``bad_payload``, ``wrong_width``,
+  ``non_finite``, ``duplicate_bin``, ``out_of_order_bin``) are asserted
+  field-by-field against ``ingest_row`` on a twin service;
+* the lifecycle reasons (``refit_failed``, ``checkpoint_failed``) are
+  triggered *mid-block* and must account and propagate exactly as the
+  per-row path does;
+* the transport reasons reachable from an ingest body
+  (``malformed_json``, ``too_many_rows``, ``body_too_large``,
+  ``bad_request`` and the bins-mismatch ``bad_payload``) are driven
+  through the HTTP multi-row route, which now feeds ``ingest_block``.
+  ``read_timeout`` and ``client_disconnect`` happen before a body ever
+  reaches the engine, so the block conversion cannot change them; the
+  fault suite owns those.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IngestError, ServiceError
+from repro.service import ServiceConfig
+
+ROW_REASONS = (
+    "bad_payload",
+    "wrong_width",
+    "non_finite",
+    "duplicate_bin",
+    "out_of_order_bin",
+)
+
+
+def replay_rows(service, rows, bins=None):
+    """The per-row reference: ingest until the first rejection."""
+    outcomes = []
+    for index, row in enumerate(rows):
+        bin_id = None if bins is None else bins[index]
+        try:
+            outcomes.append(service.ingest_row(row, bin_id=bin_id))
+        except IngestError as err:
+            return outcomes, err, index
+    return outcomes, None, None
+
+
+def build_block(dataset, warmup, reason):
+    """A six-row block whose first bad row carries ``reason``."""
+    stream = dataset.link_traffic[warmup:]
+    rows = [stream[i] for i in range(6)]
+    bins = None
+    bad_index = 3
+    if reason == "bad_payload":
+        rows[3] = "not a row"
+    elif reason == "wrong_width":
+        rows = [row[:-1] for row in rows]  # rectangular, narrow
+        bad_index = 0
+    elif reason == "non_finite":
+        rows[3] = stream[3].copy()
+        rows[3][0] = np.nan
+    elif reason == "duplicate_bin":
+        bins = [0, 1, 2, 2, 4, 5]
+    elif reason == "out_of_order_bin":
+        bins = [0, 1, 2, 9, 4, 5]
+    else:  # pragma: no cover - parametrization guards this
+        raise AssertionError(reason)
+    return rows, bins, bad_index
+
+
+class TestRowRejectParity:
+    @pytest.mark.parametrize("reason", ROW_REASONS)
+    def test_reason_index_position_and_message_match_per_row(
+        self, service_split, make_service, reason
+    ):
+        dataset, warmup = service_split
+        block_service = make_service(routing=False)
+        row_service = make_service(routing=False)
+        rows, bins, bad_index = build_block(dataset, warmup, reason)
+
+        result = block_service.ingest_block(rows, bins=bins)
+        expected, err, err_index = replay_rows(row_service, rows, bins)
+
+        assert err is not None and result.rejected is not None
+        assert result.rejected.reason == reason == err.reason
+        assert str(result.rejected) == str(err)
+        assert result.rejected_index == err_index == bad_index
+        assert result.accepted == len(expected)
+        assert [o.spe for o in result.outcomes] == [o.spe for o in expected]
+        assert [o.bin for o in result.outcomes] == [o.bin for o in expected]
+        assert block_service.rows_ingested == row_service.rows_ingested
+        for service in (block_service, row_service):
+            errors = service.metrics["repro_ingest_errors_total"]
+            assert errors.value(reason) == 1
+            tail = [
+                e
+                for e in service.events.tail()
+                if e["kind"] == "ingest_error"
+            ]
+            assert len(tail) == 1 and tail[0]["reason"] == reason
+
+    @pytest.mark.parametrize("reason", ROW_REASONS)
+    def test_reject_never_advances_the_stream(
+        self, service_split, make_service, reason
+    ):
+        """The next good row lands exactly where the reject happened."""
+        dataset, warmup = service_split
+        service = make_service(routing=False)
+        rows, bins, _ = build_block(dataset, warmup, reason)
+        result = service.ingest_block(rows, bins=bins)
+        follow = service.ingest_row(
+            dataset.link_traffic[warmup + 10], bin_id=result.accepted
+        )
+        assert follow.bin == result.accepted
+
+
+class TestLifecycleReasonsMidBlock:
+    def test_refit_failed_mid_block_matches_per_row(
+        self, service_split, make_service
+    ):
+        """A synchronous refit blowing up inside a block must surface
+        exactly like the per-row path: same raised type, same stream
+        position (the sub-run before the boundary stays ingested), same
+        ``refit_failed`` accounting."""
+        dataset, warmup = service_split
+        config = ServiceConfig(refit_interval=5, synchronous_refit=True)
+        boom = {"armed": False}
+
+        def hook():
+            if boom["armed"]:
+                raise RuntimeError("injected refit failure")
+
+        block_service = make_service(
+            routing=False, config=config, refit_hook=hook
+        )
+        row_service = make_service(
+            routing=False, config=config, refit_hook=hook
+        )
+        boom["armed"] = True
+        stream = dataset.link_traffic[warmup:]
+
+        with pytest.raises(ServiceError, match="refit failed"):
+            block_service.ingest_block(stream[:8])
+        with pytest.raises(ServiceError, match="refit failed"):
+            for row in stream[:8]:
+                row_service.ingest_row(row)
+
+        assert block_service.rows_ingested == row_service.rows_ingested == 5
+        for service in (block_service, row_service):
+            errors = service.metrics["repro_ingest_errors_total"]
+            assert errors.value("refit_failed") == 1
+            assert (
+                service.metrics["repro_refit_failures_total"].value() == 1
+            )
+            assert service.lifecycle.current.version == 1
+
+    def test_checkpoint_failed_mid_block_is_fail_soft(
+        self, tmp_path, service_split, make_service
+    ):
+        """An auto-checkpoint crossing inside a block fails soft: the
+        block is fully accepted, the failure is counted once — exactly
+        as many times as the per-row path counts it."""
+        dataset, warmup = service_split
+        target = tmp_path / "ckpt-target"
+        target.mkdir()  # a directory: the atomic rename must fail
+        config = ServiceConfig(
+            checkpoint_path=str(target), checkpoint_interval=4
+        )
+        block_service = make_service(routing=False, config=config)
+        row_service = make_service(routing=False, config=config)
+        stream = dataset.link_traffic[warmup:]
+
+        result = block_service.ingest_block(stream[:6])
+        assert result.rejected is None and result.accepted == 6
+        for row in stream[:6]:
+            row_service.ingest_row(row)
+
+        for service in (block_service, row_service):
+            errors = service.metrics["repro_ingest_errors_total"]
+            assert errors.value("checkpoint_failed") == 1
+            assert service.rows_ingested == 6
+            assert service.health()["status"] == "ok"
+
+
+class TestTransportReasonsOnBlockRoute:
+    def test_body_level_rejects_are_counted_and_stream_holds(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        service = make_service(
+            routing=False, config=ServiceConfig(max_rows_per_request=8)
+        )
+        server = run_server(service)
+        stream = dataset.link_traffic[warmup:]
+        errors = service.metrics["repro_ingest_errors_total"]
+
+        status, body = server.post_json("/ingest", b"{not json")
+        assert status == 400 and body["reason"] == "malformed_json"
+        assert errors.value("malformed_json") == 1
+
+        rows = [stream[i].tolist() for i in range(9)]
+        status, body = server.post_json("/ingest", {"rows": rows})
+        assert status == 400 and body["reason"] == "too_many_rows"
+        assert body["accepted"] == 0
+        assert errors.value("too_many_rows") == 1
+
+        status, body = server.post_json(
+            "/ingest", {"rows": rows[:2], "bins": [0]}
+        )
+        assert status == 400 and body["reason"] == "bad_payload"
+        assert errors.value("bad_payload") == 1
+
+        assert service.rows_ingested == 0
+
+    def test_body_too_large_rejected_before_the_engine(
+        self, service_split, make_service, run_server
+    ):
+        dataset, warmup = service_split
+        service = make_service(
+            routing=False, config=ServiceConfig(max_body_bytes=1024)
+        )
+        server = run_server(service)
+        payload = {
+            "rows": [dataset.link_traffic[warmup].tolist()] * 40
+        }
+        status, body = server.post_json("/ingest", payload)
+        assert status == 413 and body["reason"] == "body_too_large"
+        errors = service.metrics["repro_ingest_errors_total"]
+        assert errors.value("body_too_large") == 1
+        assert service.rows_ingested == 0
+
+    def test_bad_request_line_is_counted(
+        self, service_split, make_service, run_server
+    ):
+        service = make_service(routing=False)
+        server = run_server(service)
+        raw = socket.create_connection(
+            (server.host, server.port), timeout=10
+        )
+        raw.sendall(b"GARBAGE LINE\r\n\r\n")
+        raw.recv(4096)
+        raw.close()
+        errors = service.metrics["repro_ingest_errors_total"]
+        assert errors.value("bad_request") == 1
+        assert service.rows_ingested == 0

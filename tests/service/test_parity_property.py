@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.exceptions import IngestError
 from repro.pipeline import DetectionPipeline
 from repro.service import DetectionService, ServiceConfig
 
@@ -133,6 +134,77 @@ def test_parity_survives_hot_swaps_mid_stream(data, refit_interval):
     )
     assert [o.bin for o in outcomes if o.flag] == [
         int(b) for b in np.nonzero(flags)[0]
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    row_streams(),
+    st.integers(4, 12),
+    st.integers(0, 2**32 - 1),
+)
+def test_block_ingest_matches_per_row_bitwise(data, refit_interval, seed):
+    """``ingest_block`` == an ``ingest_row`` replay, bit for bit — under
+    random chunkings, across the synchronous hot-swap boundaries the
+    chunks straddle, and through mid-block rejects (poisoned NaN rows):
+    same SPE/flag/threshold per accepted row, same model-swap history,
+    same reject reasons at the same stream positions."""
+    warmup, stream = data
+    rng = np.random.default_rng(seed)
+    stream = stream.copy()
+    for _ in range(int(rng.integers(0, 3))):
+        stream[int(rng.integers(0, stream.shape[0])), 0] = np.nan
+    config = ServiceConfig(
+        refit_interval=refit_interval, synchronous_refit=True
+    )
+    row_service = DetectionService.from_warmup(warmup, config=config)
+    block_service = DetectionService.from_warmup(warmup, config=config)
+
+    row_outcomes, row_rejects = [], []
+    for index, row in enumerate(stream):
+        try:
+            row_outcomes.append(row_service.ingest_row(row))
+        except IngestError as err:
+            row_rejects.append((index, err.reason, str(err)))
+
+    block_outcomes, block_rejects = [], []
+    position = 0
+    while position < stream.shape[0]:
+        size = int(rng.integers(1, 9))
+        result = block_service.ingest_block(
+            stream[position : position + size]
+        )
+        block_outcomes.extend(result.outcomes)
+        if result.rejected is not None:
+            # Skip the rejected row, exactly as the per-row loop does.
+            rejected_at = position + result.rejected_index
+            block_rejects.append(
+                (rejected_at, result.rejected.reason, str(result.rejected))
+            )
+            position = rejected_at + 1
+        else:
+            position += size
+
+    assert block_rejects == row_rejects
+    assert [o.bin for o in block_outcomes] == [o.bin for o in row_outcomes]
+    assert [o.spe for o in block_outcomes] == [o.spe for o in row_outcomes]
+    assert [o.flag for o in block_outcomes] == [
+        o.flag for o in row_outcomes
+    ]
+    assert [o.threshold for o in block_outcomes] == [
+        o.threshold for o in row_outcomes
+    ]
+    assert [o.model_version for o in block_outcomes] == [
+        o.model_version for o in row_outcomes
+    ]
+    row_history = row_service.lifecycle.version_history()
+    block_history = block_service.lifecycle.version_history()
+    assert [
+        (v.version, v.trained_rows, v.activated_at_row)
+        for v in row_history
+    ] == [
+        (v.version, v.trained_rows, v.activated_at_row)
+        for v in block_history
     ]
 
 
